@@ -1,0 +1,55 @@
+// Ablation (Section 6.2): why the paper ranks by the *maximum* LOF over
+// the MinPts range rather than the minimum or the mean. On the figure-8
+// dataset the S1 objects are outlying only inside a MinPts window — the
+// minimum erases them completely and the mean dilutes them; the maximum
+// keeps them on top. This bench prints the three rankings side by side.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/kd_tree_index.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+int main() {
+  PrintHeader("Ablation: MinPts-range aggregation (max vs mean vs min)",
+              "figure-8 dataset, MinPts in [10, 50]");
+  Rng rng(62);
+  auto scenario = CheckOk(scenarios::MakeFig8Clusters(rng),
+                          "MakeFig8Clusters");
+  const Dataset& ds = scenario.data;
+  KdTreeIndex index;
+  CheckOk(index.Build(ds, Euclidean()), "Build");
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(ds, index, 50),
+                   "Materialize");
+
+  for (LofAggregation aggregation :
+       {LofAggregation::kMax, LofAggregation::kMean, LofAggregation::kMin}) {
+    auto sweep = CheckOk(LofSweep::Run(m, 10, 50, aggregation), "Sweep");
+    auto ranked = RankDescending(sweep.aggregated, 12);
+    size_t s1_in_top = 0;
+    for (const RankedOutlier& r : ranked) {
+      if (ds.label(r.index) == "S1") ++s1_in_top;
+    }
+    std::printf("\n%-5s aggregation: top score %.3f, S1 objects in top 12: "
+                "%zu / 10\n",
+                std::string(LofAggregationName(aggregation)).c_str(),
+                ranked[0].score, s1_in_top);
+    std::printf("  top 5 labels:");
+    for (size_t i = 0; i < 5; ++i) {
+      std::printf(" %s(%.2f)", ds.label(ranked[i].index).c_str(),
+                  ranked[i].score);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check (paper section 6.2): max keeps the S1 objects "
+              "outlying; min erases the\noutlying window entirely; mean "
+              "dilutes it — exactly the argument for the max heuristic.\n");
+  return 0;
+}

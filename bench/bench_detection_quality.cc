@@ -1,0 +1,136 @@
+// Quantifies the paper's central qualitative claim — LOF identifies local
+// outliers that global, distance-based notions cannot — as detection
+// metrics (ROC-AUC, precision@n) on scenarios with planted ground truth:
+//   * DS1 (figure 1): the two planted outliers vs 500 cluster members,
+//   * figure 9: seven planted outliers among four clusters,
+//   * a "pure local" stress case: outliers hovering next to a dense
+//     cluster, where k-distance ranking provably underranks them.
+// Methods compared: LOF (max over a MinPts range), the kNN-distance
+// ranking of Ramaswamy et al., and DBSCAN noise (binary: noise scores 1,
+// members 0).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/knn_outlier.h"
+#include "bench/bench_util.h"
+#include "clustering/dbscan.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/kd_tree_index.h"
+#include "lof/evaluation.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+namespace {
+
+void Report(const char* scenario_name, const Dataset& data,
+            const std::vector<bool>& truth, double dbscan_eps) {
+  KdTreeIndex index;
+  CheckOk(index.Build(data, Euclidean()), "Build");
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, 30),
+                   "Materialize");
+
+  // LOF, max over MinPts [10, 30].
+  auto sweep = CheckOk(LofSweep::Run(m, 10, 30), "Sweep");
+  auto lof_quality = CheckOk(EvaluateRanking(sweep.aggregated, truth),
+                             "Evaluate LOF");
+
+  // Global kNN-distance ranking (k = 20).
+  auto knn = CheckOk(
+      KnnDistanceOutlierDetector::RankFromMaterializer(m, 20), "KnnRank");
+  std::vector<double> knn_scores(data.size());
+  for (const RankedOutlier& r : knn) knn_scores[r.index] = r.score;
+  auto knn_quality = CheckOk(EvaluateRanking(knn_scores, truth),
+                             "Evaluate kNN");
+
+  // DBSCAN noise as a binary score.
+  auto dbscan = CheckOk(
+      Dbscan::Run(data, index, {.eps = dbscan_eps, .min_pts = 10}),
+      "Dbscan");
+  std::vector<double> noise_scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (dbscan.cluster_of[i] == DbscanResult::kNoise) noise_scores[i] = 1.0;
+  }
+  auto noise_quality = CheckOk(EvaluateRanking(noise_scores, truth),
+                               "Evaluate noise");
+
+  std::printf("\n%s (n = %zu, planted outliers = %zu)\n", scenario_name,
+              data.size(),
+              static_cast<size_t>(std::count(truth.begin(), truth.end(),
+                                             true)));
+  std::printf("  %-22s %-10s %-14s %-8s\n", "method", "ROC-AUC",
+              "precision@|O|", "avg prec");
+  std::printf("  %-22s %-10.3f %-14.3f %-8.3f\n", "LOF (max, 10..30)",
+              lof_quality.roc_auc, lof_quality.precision_at_n,
+              lof_quality.average_precision);
+  std::printf("  %-22s %-10.3f %-14.3f %-8.3f\n", "kNN distance (k=20)",
+              knn_quality.roc_auc, knn_quality.precision_at_n,
+              knn_quality.average_precision);
+  std::printf("  %-22s %-10.3f %-14.3f %-8.3f\n", "DBSCAN noise",
+              noise_quality.roc_auc, noise_quality.precision_at_n,
+              noise_quality.average_precision);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Detection quality (LOF vs global baselines)",
+              "ROC-AUC / precision@n on planted ground truth");
+
+  {
+    Rng rng(11);
+    auto scenario = CheckOk(scenarios::MakeDs1(rng), "MakeDs1");
+    std::vector<bool> truth(scenario.data.size(), false);
+    truth[scenario.named.at("o1")] = true;
+    truth[scenario.named.at("o2")] = true;
+    Report("DS1 (figure 1)", scenario.data, truth, 3.0);
+  }
+  {
+    Rng rng(12);
+    auto scenario = CheckOk(scenarios::MakeFig9Dataset(rng), "MakeFig9");
+    std::vector<bool> truth(scenario.data.size(), false);
+    for (const auto& [name, index] : scenario.named) truth[index] = true;
+    Report("Figure 9 synthetic", scenario.data, truth, 3.0);
+  }
+  {
+    // Pure local stress: dense cluster + sparse cluster; outliers sit just
+    // outside the DENSE one, globally closer to data than most sparse
+    // inliers.
+    Rng rng(13);
+    auto data_or = Dataset::Create(2);
+    CheckOk(data_or.status(), "Create");
+    Dataset data = std::move(data_or).value();
+    const double dense[2] = {0, 0};
+    CheckOk(generators::AppendGaussianCluster(data, rng, dense, 0.2, 300,
+                                              "dense"),
+            "dense");
+    const double sparse_lo[2] = {15, -10};
+    const double sparse_hi[2] = {35, 10};
+    CheckOk(generators::AppendUniformBox(data, rng, sparse_lo, sparse_hi,
+                                         300, "sparse"),
+            "sparse");
+    std::vector<bool> truth(data.size(), false);
+    Rng outlier_rng(14);
+    for (int i = 0; i < 5; ++i) {
+      const double angle = outlier_rng.Uniform(0, 6.28);
+      const double p[2] = {1.6 * std::cos(angle), 1.6 * std::sin(angle)};
+      truth.push_back(true);
+      CheckOk(data.Append(p, "local_outlier"), "Append");
+    }
+    Report("Local-outlier stress (5 points ringing a dense cluster)", data,
+           truth, 1.2);
+  }
+
+  std::printf(
+      "\nShape check: LOF at or near AUC 1.0 everywhere; the global "
+      "kNN-distance ranking\ncollapses on the local-outlier stress case "
+      "(outliers are globally unremarkable);\nDBSCAN noise is binary and "
+      "parameter-brittle. This is section 3's argument, measured.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 4: LOF_max and LOF_min as functions of the
+// direct/indirect ratio for pct in {1, 5, 10} — analytically (the model of
+// section 5.3) and empirically (Theorem 1 evaluated on constructed
+// two-scale datasets), showing the spread grows linearly in the ratio.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_bounds.h"
+#include "lof/lof_computer.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+int main() {
+  PrintHeader("Figure 4",
+              "LOF bounds vs direct/indirect ratio for pct in {1,5,10}");
+
+  std::printf("Analytic model (section 5.3):\n");
+  std::printf("%-8s", "ratio");
+  for (double pct : {1.0, 5.0, 10.0}) {
+    std::printf("  LOFmin(%2.0f%%) LOFmax(%2.0f%%)", pct, pct);
+  }
+  std::printf("\n");
+  for (double ratio = 1.0; ratio <= 10.0; ratio += 1.0) {
+    std::printf("%-8.1f", ratio);
+    for (double pct : {1.0, 5.0, 10.0}) {
+      const LofBoundEstimate bounds = AnalyticBounds(ratio, pct);
+      std::printf("  %11.3f %12.3f", bounds.lower, bounds.upper);
+    }
+    std::printf("\n");
+  }
+
+  // Empirical check: place a point p at increasing distances from a
+  // uniform cluster; its direct/indirect ratio grows with the distance and
+  // Theorem 1's empirical bounds must bracket the actual LOF.
+  std::printf(
+      "\nEmpirical Theorem-1 bounds on constructed data (cluster of 200,\n"
+      "p moved outward; MinPts=10):\n");
+  std::printf("%-12s %-12s %-12s %-12s %-12s\n", "distance",
+              "direct/indir", "thm1 lower", "LOF(p)", "thm1 upper");
+  for (double offset : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    Rng rng(static_cast<uint64_t>(offset * 100));
+    auto ds = CheckOk(Dataset::Create(2), "Create");
+    const double lo[2] = {-1, -1};
+    const double hi[2] = {1, 1};
+    CheckOk(generators::AppendUniformBox(ds, rng, lo, hi, 200), "box");
+    const double p[2] = {offset, 0.0};
+    CheckOk(ds.Append(p), "Append");
+    LinearScanIndex index;
+    CheckOk(index.Build(ds, Euclidean()), "Build");
+    auto m = CheckOk(NeighborhoodMaterializer::Materialize(ds, index, 10),
+                     "Materialize");
+    auto scores = CheckOk(LofComputer::Compute(m, 10), "Compute");
+    auto stats =
+        CheckOk(ComputeNeighborhoodStats(m, 200, 10), "NeighborhoodStats");
+    const LofBoundEstimate bounds = Theorem1Bounds(stats);
+    const double ratio = ((stats.direct_min + stats.direct_max) / 2.0) /
+                         ((stats.indirect_min + stats.indirect_max) / 2.0);
+    std::printf("%-12.1f %-12.2f %-12.3f %-12.3f %-12.3f\n", offset, ratio,
+                bounds.lower, scores.lof[200], bounds.upper);
+  }
+  std::printf("\nShape check: LOFmax-LOFmin grows linearly with the ratio at"
+              " fixed pct,\nand Theorem 1 brackets the measured LOF.\n");
+  return 0;
+}

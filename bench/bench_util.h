@@ -1,0 +1,39 @@
+#ifndef LOFKIT_BENCH_BENCH_UTIL_H_
+#define LOFKIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lofkit::bench {
+
+/// Prints a section header for one reproduced table/figure.
+inline void PrintHeader(const char* experiment_id, const char* description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("==============================================================\n");
+}
+
+/// Aborts the bench with a readable message when a pipeline step fails.
+/// Benches are straight-line experiment drivers, so failing fast is the
+/// right behavior (unlike the library, which returns Status).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+}  // namespace lofkit::bench
+
+#endif  // LOFKIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// E-commerce fraud screening — the motivating application of the paper's
+// introduction ("detecting criminal activities in electronic commerce").
+//
+// Synthetic transaction features: (amount, items per order, hour of day).
+// Normal behavior forms several behavioral clusters of very different
+// densities (bulk buyers, lunch-break shoppers, night owls); fraud attempts
+// sit just outside *their local* cluster, which is exactly what a global
+// distance threshold cannot see and LOF can.
+//
+// The example runs the full production-style pipeline: index ->
+// materialize once -> LOF sweep over a MinPts range -> ranking -> per-
+// dimension explanation of each alert.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/index_factory.h"
+#include "lof/explain.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;  // NOLINT
+
+int main() {
+  Rng rng(2026);
+  auto data_or = Dataset::Create(3);
+  if (!data_or.ok()) return 1;
+  Dataset data = std::move(data_or).value();
+
+  // Normal behavioral clusters: (amount $, items, hour).
+  const double lunch[3] = {35, 2, 12.5};
+  const double evening[3] = {80, 4, 20};
+  const double bulk[3] = {900, 40, 10};
+  const double lunch_sd[3] = {10, 1, 0.8};
+  const double evening_sd[3] = {25, 2, 1.5};
+  const double bulk_sd[3] = {150, 8, 2};
+  (void)generators::AppendGaussianClusterAniso(data, rng, lunch, lunch_sd,
+                                               400, "lunch_shopper");
+  (void)generators::AppendGaussianClusterAniso(data, rng, evening,
+                                               evening_sd, 400,
+                                               "evening_shopper");
+  (void)generators::AppendGaussianClusterAniso(data, rng, bulk, bulk_sd, 150,
+                                               "bulk_buyer");
+
+  // Fraud attempts: each is unremarkable globally, anomalous locally.
+  const struct {
+    const char* name;
+    double amount, items, hour;
+  } fraud[] = {
+      {"card_testing", 34, 2, 3.5},    // lunch-profile amount at 3:30 am
+      {"reshipping", 320, 3, 12.3},    // lunch-time but 10x the basket value
+      {"bulk_probe", 900, 4, 10.2},    // bulk-buyer amount, 4 items only
+  };
+  std::map<std::string, size_t> fraud_index;
+  for (const auto& f : fraud) {
+    const double p[3] = {f.amount, f.items, f.hour};
+    fraud_index[f.name] = data.size();
+    (void)data.Append(p, f.name);
+  }
+
+  // Incommensurate units -> normalize before computing distances.
+  const Dataset normalized = data.NormalizedToUnitBox();
+
+  auto index = CreateIndex(RecommendIndexKind(normalized.dimension()));
+  if (!index->Build(normalized, Euclidean()).ok()) return 1;
+  auto m = NeighborhoodMaterializer::Materialize(normalized, *index, 30);
+  if (!m.ok()) return 1;
+  auto sweep = LofSweep::Run(*m, 15, 30);
+  if (!sweep.ok()) return 1;
+
+  auto ranked = RankDescending(sweep->aggregated, 6);
+  std::printf("Top fraud alerts (max LOF over MinPts in [15, 30]):\n\n");
+  std::printf("%-4s %-9s %-16s %-9s %-7s %-6s  dominant signal\n", "#",
+              "max LOF", "label", "amount", "items", "hour");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const uint32_t p = ranked[i].index;
+    auto explanation = ExplainOutlier(normalized, *m, p, 20);
+    const char* dims[] = {"amount", "items", "hour of day"};
+    std::printf("%-4zu %-9.2f %-16s %-9.0f %-7.0f %-6.1f  %s (%.0f%% of "
+                "deviation)\n",
+                i + 1, ranked[i].score, data.label(p).c_str(),
+                data.point(p)[0], data.point(p)[1], data.point(p)[2],
+                explanation.ok()
+                    ? dims[explanation->ranked_dimensions[0]]
+                    : "?",
+                explanation.ok()
+                    ? 100.0 * explanation
+                          ->contribution[explanation->ranked_dimensions[0]]
+                    : 0.0);
+  }
+
+  std::printf("\nAll three planted fraud patterns should rank on top, each "
+              "explained by the attribute\nthat makes it locally deviant — "
+              "despite being globally unremarkable.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// High-dimensional histogram screening — the section-7 "64-dimensional
+// color histograms from TV snapshots" setting, with two twists this library
+// adds on top of the paper:
+//   * the ANGULAR metric (direction of the histogram, not its magnitude),
+//     which is the natural similarity for normalized histograms, and
+//   * the M-TREE, the only engine whose pruning works for such a
+//     non-coordinate metric (grid/KD/R*/VA boxes are vacuous for angles).
+// The pipeline finds snapshots that belong to no scene type — blends of
+// two broadcasts — and explains which color bins make them odd.
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/linear_scan_index.h"
+#include "index/m_tree_index.h"
+#include "lof/explain.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;  // NOLINT
+
+int main() {
+  Rng rng(6464);
+  auto scenario = scenarios::Make64DHistograms(rng);
+  if (!scenario.ok()) return 1;
+  const Dataset& data = scenario->data;
+  std::printf("64-d histogram dataset: %zu vectors, 3 scene clusters, 5 "
+              "planted blends\n\n",
+              data.size());
+
+  // Engine choice matters under the angular metric: time both.
+  Stopwatch watch;
+  MTreeIndex m_tree;
+  if (!m_tree.Build(data, Angular()).ok()) return 1;
+  auto m = NeighborhoodMaterializer::Materialize(data, m_tree, 20);
+  if (!m.ok()) return 1;
+  const double tree_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  LinearScanIndex scan;
+  if (!scan.Build(data, Angular()).ok()) return 1;
+  auto m_scan = NeighborhoodMaterializer::Materialize(data, scan, 20);
+  if (!m_scan.ok()) return 1;
+  const double scan_seconds = watch.ElapsedSeconds();
+  std::printf("materialization under the angular metric: m_tree %.3fs vs "
+              "linear scan %.3fs\n\n",
+              tree_seconds, scan_seconds);
+
+  auto sweep = LofSweep::Run(*m, 10, 20);
+  if (!sweep.ok()) return 1;
+  auto ranked = RankDescending(sweep->aggregated, 8);
+
+  std::printf("%-4s %-16s %-9s %s\n", "#", "label", "max LOF",
+              "dominant color bins (explain)");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const uint32_t p = ranked[i].index;
+    std::string bins = "?";
+    auto explanation = ExplainOutlier(data, *m, p, 15);
+    if (explanation.ok()) {
+      bins.clear();
+      for (int b = 0; b < 3; ++b) {
+        bins += "bin" + std::to_string(explanation->ranked_dimensions[b]);
+        if (b < 2) bins += ", ";
+      }
+    }
+    std::printf("%-4zu %-16s %-9.2f %s\n", i + 1, data.label(p).c_str(),
+                ranked[i].score, bins.c_str());
+  }
+  std::printf("\nAll five planted cross-broadcast blends should rank on "
+              "top; their dominant bins\nare the color channels mixing the "
+              "two source scene types.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Choosing the MinPts range — a walk through the section-6 guidelines.
+//
+// On the figure-8 dataset (clusters of 10, 35 and 500 objects) this example
+// shows how MinPtsLB and MinPtsUB act as the *minimum cluster size to be
+// outlying-relative-to* and the *maximum group size that can collectively
+// be outliers*: sweep the range, watch which groups light up, and see why
+// the paper recommends LB >= 10 and ranking by the maximum.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/kd_tree_index.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;  // NOLINT
+
+namespace {
+
+double GroupMax(const Dataset& ds, const std::vector<double>& lof,
+                const char* label) {
+  double max_lof = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.label(i) == label) max_lof = std::max(max_lof, lof[i]);
+  }
+  return max_lof;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(6);
+  auto scenario = scenarios::MakeFig8Clusters(rng);
+  if (!scenario.ok()) return 1;
+  const Dataset& ds = scenario->data;
+
+  KdTreeIndex index;
+  if (!index.Build(ds, Euclidean()).ok()) return 1;
+  auto m = NeighborhoodMaterializer::Materialize(ds, index, 50);
+  if (!m.ok()) return 1;
+
+  std::printf("Dataset: S1 (10 objects), S2 (35), S3 (500)\n\n");
+  std::printf("%-8s %-14s %-14s %-14s\n", "MinPts", "max LOF in S1",
+              "max LOF in S2", "max LOF in S3");
+  for (size_t min_pts : {5, 10, 15, 20, 30, 36, 40, 45, 50}) {
+    auto scores = LofComputer::Compute(*m, min_pts);
+    if (!scores.ok()) return 1;
+    std::printf("%-8zu %-14.2f %-14.2f %-14.2f\n", min_pts,
+                GroupMax(ds, scores->lof, "S1"),
+                GroupMax(ds, scores->lof, "S2"),
+                GroupMax(ds, scores->lof, "S3"));
+  }
+
+  std::printf(
+      "\nHow to read this against the section-6 guidelines:\n"
+      " * Below MinPts ~ 10, statistical fluctuation dominates (guideline: "
+      "LB >= 10).\n"
+      " * S1 (10 objects) lights up once MinPts >= |S1|: a group can only "
+      "be outlying\n"
+      "   relative to a cluster when MinPts exceeds the group's size.\n"
+      " * S2 (35 objects) lights up around MinPts ~ 36-45, when its "
+      "neighborhoods reach\n"
+      "   S1 and then S3 — choose MinPtsUB above or below 35 depending on "
+      "whether a\n"
+      "   35-object group should count as a cluster or as outliers.\n"
+      " * S3 (500 objects) never lights up: it is the reference density.\n"
+      "\nFinal ranking, max aggregation over [10, 50]:\n");
+  auto sweep = LofSweep::Run(*m, 10, 50);
+  if (!sweep.ok()) return 1;
+  auto ranked = RankDescending(sweep->aggregated, 5);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("  %zu. %s object, max LOF %.2f\n", i + 1,
+                ds.label(ranked[i].index).c_str(), ranked[i].score);
+  }
+  return 0;
+}

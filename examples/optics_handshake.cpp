@@ -1,0 +1,92 @@
+// The LOF <-> OPTICS "handshake" from the paper's conclusions (section 8):
+// share the kNN computation between clustering and outlier detection, then
+// use the clustering to *explain* each outlier — which cluster it is
+// outlying relative to, and what that cluster's density reference looks
+// like. This example renders the OPTICS reachability plot as ASCII and
+// annotates the top LOF outliers with their cluster context.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "clustering/optics_lof_bridge.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "lof/lof_computer.h"
+
+using namespace lofkit;  // NOLINT
+
+int main() {
+  // Three clusters of very different densities plus two local outliers.
+  Rng rng(88);
+  auto data_or = Dataset::Create(2);
+  if (!data_or.ok()) return 1;
+  Dataset data = std::move(data_or).value();
+  const double c1[2] = {0, 0};
+  const double c2[2] = {30, 0};
+  const double c3[2] = {60, 0};
+  (void)generators::AppendGaussianCluster(data, rng, c1, 0.4, 120, "dense");
+  (void)generators::AppendGaussianCluster(data, rng, c2, 1.5, 120, "medium");
+  (void)generators::AppendGaussianCluster(data, rng, c3, 4.0, 120, "loose");
+  const double near_dense[2] = {2.5, 0.0};
+  const double near_loose[2] = {60.0, 17.5};
+  const size_t outlier_a = data.size();
+  (void)data.Append(near_dense, "outlier_near_dense");
+  const size_t outlier_b = data.size();
+  (void)data.Append(near_loose, "outlier_near_loose");
+
+  // ONE materialization feeds both OPTICS and LOF — the shared k-nn
+  // computation the paper describes.
+  KdTreeIndex index;
+  if (!index.Build(data, Euclidean()).ok()) return 1;
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 25);
+  if (!m.ok()) return 1;
+
+  auto optics = OpticsLofBridge::RunFromMaterializer(*m, 10);
+  if (!optics.ok()) return 1;
+  auto scores = LofComputer::Compute(*m, 10);
+  if (!scores.ok()) return 1;
+
+  // ASCII reachability plot (downsampled): cluster valleys + jumps.
+  std::printf("OPTICS reachability plot (one column per 4 points in the "
+              "ordering):\n\n");
+  const double cap = 8.0;
+  for (int row = 7; row >= 0; --row) {
+    const double level = cap * row / 8.0;
+    std::string line;
+    for (size_t pos = 0; pos < optics->ordering.size(); pos += 4) {
+      double reach = optics->reachability[optics->ordering[pos]];
+      if (!std::isfinite(reach)) reach = cap;
+      line += std::min(reach, cap) > level ? '#' : ' ';
+    }
+    std::printf("%5.1f |%s\n", level, line.c_str());
+  }
+  std::printf("      +%s\n", std::string(
+      (optics->ordering.size() + 3) / 4, '-').c_str());
+  std::printf("       (three valleys = three clusters; depth tracks "
+              "density)\n\n");
+
+  // Flat clustering + outlier explanation.
+  std::vector<int> clusters = ExtractClustering(*optics, 2.5);
+  auto contexts = OpticsLofBridge::ExplainTopOutliers(*m, *scores, clusters,
+                                                      4);
+  if (!contexts.ok()) return 1;
+  std::printf("Top LOF outliers, explained against the OPTICS clusters:\n");
+  std::printf("%-4s %-22s %-8s %-9s %-16s %-14s\n", "#", "label", "LOF",
+              "cluster", "nbr fraction", "cluster mean LOF");
+  for (size_t i = 0; i < contexts->size(); ++i) {
+    const OutlierClusterContext& c = (*contexts)[i];
+    std::printf("%-4zu %-22s %-8.2f %-9d %-16.2f %-14.2f\n", i + 1,
+                data.label(c.point).c_str(), c.lof, c.cluster,
+                c.neighbor_fraction, c.cluster_mean_lof);
+  }
+  std::printf("\nBoth planted outliers (points %zu and %zu) should rank at "
+              "the top, each attributed\nto the cluster whose density it "
+              "violates; cluster mean LOF ~ 1 is the Lemma-1\nbaseline the "
+              "outliers are measured against.\n",
+              outlier_a, outlier_b);
+  return 0;
+}

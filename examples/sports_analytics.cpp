@@ -1,0 +1,94 @@
+// Sports analytics — the paper's two real-world case studies (sections 7.2
+// and 7.3) end to end on the substituted NHL-like and Bundesliga-like
+// datasets: rank players by max LOF over a MinPts range, compare with the
+// DB(pct, dmin) baseline, and explain each finding attribute by attribute.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/db_outlier.h"
+#include "common/random.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/index_factory.h"
+#include "lof/explain.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;  // NOLINT
+
+namespace {
+
+void AnalyzeScenario(const char* title, const scenarios::Scenario& scenario,
+                     const char* const* dim_names) {
+  std::printf("\n--- %s (n = %zu) ---\n", title, scenario.data.size());
+  const Dataset normalized = scenario.data.NormalizedToUnitBox();
+
+  auto index = CreateIndex(IndexKind::kKdTree);
+  if (!index->Build(normalized, Euclidean()).ok()) return;
+  auto m = NeighborhoodMaterializer::Materialize(normalized, *index, 50);
+  if (!m.ok()) return;
+  auto sweep = LofSweep::Run(*m, 30, 50);
+  if (!sweep.ok()) return;
+  auto ranked = RankDescending(sweep->aggregated, 5);
+
+  std::printf("%-4s %-9s %-16s  why (top attribute)\n", "#", "max LOF",
+              "player");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const uint32_t p = ranked[i].index;
+    auto explanation = ExplainOutlier(normalized, *m, p, 40);
+    std::printf("%-4zu %-9.2f %-16s  %s\n", i + 1, ranked[i].score,
+                scenario.data.label(p).c_str(),
+                explanation.ok()
+                    ? dim_names[explanation->ranked_dimensions[0]]
+                    : "?");
+  }
+
+  // Baseline comparison: strict DB outliers.
+  auto db = DbOutlierDetector::Detect(normalized, Euclidean(), 99.8, 0.25);
+  if (db.ok()) {
+    std::printf("DB(99.8, 0.25) flags %zu object(s):", db->outlier_count);
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      if (db->is_outlier[i]) {
+        std::printf(" %s", scenario.data.label(i).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sports analytics with lofkit (paper sections 7.2 / 7.3)\n");
+
+  {
+    Rng rng(1996);
+    auto scenario = scenarios::MakeHockeySubspace1(rng);
+    if (!scenario.ok()) return 1;
+    const char* dims[] = {"points scored", "plus-minus", "penalty minutes"};
+    AnalyzeScenario("NHL-like: points / plus-minus / penalty minutes",
+                    *scenario, dims);
+  }
+  {
+    Rng rng(1997);
+    auto scenario = scenarios::MakeHockeySubspace2(rng);
+    if (!scenario.ok()) return 1;
+    const char* dims[] = {"games played", "goals", "shooting percentage"};
+    AnalyzeScenario("NHL-like: games / goals / shooting percentage",
+                    *scenario, dims);
+  }
+  {
+    Rng rng(1998);
+    auto scenario = scenarios::MakeSoccerLike(rng);
+    if (!scenario.ok()) return 1;
+    const char* dims[] = {"games played", "goals per game", "position"};
+    AnalyzeScenario("Bundesliga-like: games / goals-per-game / position",
+                    *scenario, dims);
+  }
+
+  std::printf("\nReading the output: each top player is exceptional "
+              "*relative to their own position\ncluster* — the goalie who "
+              "scores, the defender with a striker's average — which is\n"
+              "the 'local' in Local Outlier Factor.\n");
+  return 0;
+}

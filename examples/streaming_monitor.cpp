@@ -1,0 +1,88 @@
+// Streaming anomaly monitoring with incremental materialization — the
+// paper's "further improve the performance of LOF computation" direction
+// turned into an operational pattern: keep the neighborhood database M
+// maintained as observations arrive, touch only the affected
+// neighborhoods per insert, and score each arrival against the current
+// model.
+//
+// Scenario: server request telemetry (latency ms, payload KB). Normal
+// traffic forms two regimes (cache hits and cache misses); occasionally a
+// degraded request arrives that is anomalous relative to its own regime.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/incremental_materializer.h"
+#include "lof/lof_computer.h"
+
+using namespace lofkit;  // NOLINT
+
+int main() {
+  Rng rng(777);
+
+  // Warm-up history: two traffic regimes.
+  auto history_or = Dataset::Create(2);
+  if (!history_or.ok()) return 1;
+  Dataset history = std::move(history_or).value();
+  const double hits[2] = {5.0, 2.0};      // fast, small
+  const double misses[2] = {60.0, 40.0};  // slow, large
+  const double hits_sd[2] = {1.0, 0.5};
+  const double misses_sd[2] = {12.0, 8.0};
+  (void)generators::AppendGaussianClusterAniso(history, rng, hits, hits_sd,
+                                               400, "hit");
+  (void)generators::AppendGaussianClusterAniso(history, rng, misses,
+                                               misses_sd, 300, "miss");
+
+  const size_t kMinPts = 15;
+  auto monitor =
+      IncrementalMaterializer::Create(std::move(history), Euclidean(), 20);
+  if (!monitor.ok()) return 1;
+
+  // Live stream: mostly normal, a few planted anomalies.
+  struct Arrival {
+    const char* tag;
+    double latency, payload;
+  };
+  std::vector<Arrival> stream;
+  for (int i = 0; i < 40; ++i) {
+    if (rng.Bernoulli(0.6)) {
+      stream.push_back({"normal-hit", rng.Gaussian(5.0, 1.0),
+                        rng.Gaussian(2.0, 0.5)});
+    } else {
+      stream.push_back({"normal-miss", rng.Gaussian(60.0, 12.0),
+                        rng.Gaussian(40.0, 8.0)});
+    }
+  }
+  stream.push_back({"SLOW-HIT", 14.0, 2.0});    // hit-sized, 3x latency
+  stream.push_back({"HUGE-MISS", 60.0, 110.0}); // miss-latency, huge body
+  stream.push_back({"normal-hit", 5.2, 2.1});
+
+  std::printf("%-6s %-12s %-10s %-10s %-10s %-9s %s\n", "t", "tag",
+              "latency", "payload", "LOF", "affected", "verdict");
+  const double kAlertThreshold = 2.0;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    const Arrival& arrival = stream[t];
+    const double point[2] = {arrival.latency, arrival.payload};
+    if (!monitor->Insert(point, arrival.tag).ok()) return 1;
+    // Score the arrival against the updated model.
+    auto snapshot = monitor->Snapshot();
+    if (!snapshot.ok()) return 1;
+    auto scores = LofComputer::Compute(*snapshot, kMinPts);
+    if (!scores.ok()) return 1;
+    const double lof = scores->lof[monitor->data().size() - 1];
+    const bool alert = lof > kAlertThreshold;
+    if (alert || t >= stream.size() - 5) {  // print tail + all alerts
+      std::printf("%-6zu %-12s %-10.1f %-10.1f %-10.2f %-9zu %s\n", t,
+                  arrival.tag, arrival.latency, arrival.payload, lof,
+                  monitor->last_affected_count(),
+                  alert ? "ALERT" : "ok");
+    }
+  }
+  std::printf("\nThe two planted degradations should be the only ALERTs: "
+              "each is unremarkable\nglobally (SLOW-HIT is far faster than "
+              "any miss) but anomalous within its regime.\nThe 'affected' "
+              "column shows how few neighborhoods each insert touched.\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "baselines/db_outlier.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "dataset/metric.h"
+
+namespace lofkit {
+
+namespace {
+
+Result<size_t> ThresholdFor(const Dataset& data, double pct, double dmin) {
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!(pct >= 0.0 && pct <= 100.0)) {
+    return Status::InvalidArgument("pct must be in [0, 100]");
+  }
+  if (!(dmin >= 0.0)) {
+    return Status::InvalidArgument("dmin must be >= 0");
+  }
+  const double fraction = (100.0 - pct) / 100.0;
+  return static_cast<size_t>(
+      std::floor(fraction * static_cast<double>(data.size())));
+}
+
+}  // namespace
+
+Result<DbOutlierResult> DbOutlierDetector::Detect(const Dataset& data,
+                                                  const Metric& metric,
+                                                  double pct, double dmin) {
+  LOFKIT_ASSIGN_OR_RETURN(const size_t threshold,
+                          ThresholdFor(data, pct, dmin));
+  const size_t n = data.size();
+  DbOutlierResult result;
+  result.threshold_count = threshold;
+  result.is_outlier.assign(n, false);
+  result.neighbor_count.assign(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    size_t count = 0;
+    for (size_t q = 0; q < n; ++q) {
+      if (metric.Distance(data.point(p), data.point(q)) <= dmin) {
+        ++count;
+        if (count > threshold) break;  // p can no longer be an outlier
+      }
+    }
+    result.neighbor_count[p] = count;
+    if (count <= threshold) {
+      result.is_outlier[p] = true;
+      ++result.outlier_count;
+    }
+  }
+  return result;
+}
+
+Result<DbOutlierResult> DbOutlierDetector::DetectWithIndex(
+    const Dataset& data, const KnnIndex& index, double pct, double dmin) {
+  LOFKIT_ASSIGN_OR_RETURN(const size_t threshold,
+                          ThresholdFor(data, pct, dmin));
+  const size_t n = data.size();
+  DbOutlierResult result;
+  result.threshold_count = threshold;
+  result.is_outlier.assign(n, false);
+  result.neighbor_count.assign(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> ball,
+                            index.QueryRadius(data.point(p), dmin));
+    result.neighbor_count[p] = ball.size();  // includes p itself
+    if (ball.size() <= threshold) {
+      result.is_outlier[p] = true;
+      ++result.outlier_count;
+    }
+  }
+  return result;
+}
+
+Result<DbOutlierResult> DbOutlierDetector::DetectCellBased(
+    const Dataset& data, double pct, double dmin) {
+  LOFKIT_ASSIGN_OR_RETURN(const size_t threshold,
+                          ThresholdFor(data, pct, dmin));
+  const size_t d = data.dimension();
+  if (d > 4) {
+    return Status::InvalidArgument(
+        "cell-based DB-outlier detection is practical only for d <= 4; "
+        "use Detect or DetectWithIndex instead");
+  }
+  if (dmin <= 0.0) {
+    return Status::InvalidArgument(
+        "cell-based detection requires dmin > 0 (cell side would be 0)");
+  }
+  const size_t n = data.size();
+  DbOutlierResult result;
+  result.threshold_count = threshold;
+  result.is_outlier.assign(n, false);
+  result.neighbor_count.assign(n, 0);
+
+  // Cell side l = dmin / (2 sqrt(d)): the diagonal of one cell is dmin/2,
+  // so any two points in a cell and its layer-1 ring are within dmin.
+  const double side = dmin / (2.0 * std::sqrt(static_cast<double>(d)));
+  const std::vector<double> box_lo = data.Min();
+
+  auto cell_of = [&](size_t i) {
+    std::vector<int64_t> cell(d);
+    auto p = data.point(i);
+    for (size_t j = 0; j < d; ++j) {
+      cell[j] = static_cast<int64_t>(std::floor((p[j] - box_lo[j]) / side));
+    }
+    return cell;
+  };
+  auto pack = [&](const std::vector<int64_t>& cell) {
+    // Coordinates fit comfortably: offset into unsigned 16-bit lanes.
+    uint64_t key = 0;
+    for (int64_t c : cell) {
+      key = (key << 16) | static_cast<uint64_t>((c + 0x4000) & 0xffff);
+    }
+    return key;
+  };
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int64_t> cell = cell_of(i);
+    for (int64_t c : cell) {
+      if (c < -0x4000 || c > 0x3fff) {
+        return Status::OutOfRange(
+            "dataset extent too large relative to dmin for 16-bit cell "
+            "coordinates; use Detect instead");
+      }
+    }
+    cells[pack(cell)].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Layer-2 reach: rings 2 .. ceil(2 sqrt(d)).
+  const int64_t max_ring = static_cast<int64_t>(
+      std::ceil(2.0 * std::sqrt(static_cast<double>(d))));
+
+  // Enumerates occupied cells within Chebyshev ring distance [lo, hi] of
+  // `center`, invoking fn on each bucket.
+  auto visit_rings = [&](const std::vector<int64_t>& center, int64_t lo,
+                         int64_t hi, auto&& fn) {
+    std::vector<int64_t> offset(d, -hi);
+    std::vector<int64_t> cell(d);
+    for (;;) {
+      int64_t cheb = 0;
+      for (size_t j = 0; j < d; ++j) {
+        cheb = std::max<int64_t>(cheb, std::abs(offset[j]));
+        cell[j] = center[j] + offset[j];
+      }
+      if (cheb >= lo && cheb <= hi) {
+        auto it = cells.find(pack(cell));
+        if (it != cells.end()) fn(it->second);
+      }
+      size_t pos = 0;
+      while (pos < d) {
+        if (offset[pos] < hi) {
+          ++offset[pos];
+          break;
+        }
+        offset[pos] = -hi;
+        ++pos;
+      }
+      if (pos == d) break;
+    }
+  };
+
+  for (const auto& [key, members] : cells) {
+    (void)key;
+    const std::vector<int64_t> center = cell_of(members.front());
+
+    // Count the cell plus layer 1: all those points are within dmin of
+    // every point in the cell.
+    size_t close_count = 0;
+    visit_rings(center, 0, 1,
+                [&](const std::vector<uint32_t>& bucket) {
+                  close_count += bucket.size();
+                });
+    if (close_count > threshold) {
+      // Red cell: every member has too many close points to be an outlier.
+      for (uint32_t p : members) result.neighbor_count[p] = close_count;
+      continue;
+    }
+
+    // Add layer 2; points beyond it are guaranteed farther than dmin.
+    size_t extended_count = close_count;
+    std::vector<const std::vector<uint32_t>*> layer2;
+    visit_rings(center, 2, max_ring,
+                [&](const std::vector<uint32_t>& bucket) {
+                  extended_count += bucket.size();
+                  layer2.push_back(&bucket);
+                });
+    if (extended_count <= threshold) {
+      // Blue cell: even counting all of layer 2, members stay outliers.
+      for (uint32_t p : members) {
+        result.neighbor_count[p] = extended_count;
+        result.is_outlier[p] = true;
+        ++result.outlier_count;
+      }
+      continue;
+    }
+
+    // White cell: per-point refinement against the layer-2 points only.
+    for (uint32_t p : members) {
+      size_t count = close_count;
+      for (const auto* bucket : layer2) {
+        if (count > threshold) break;
+        for (uint32_t q : *bucket) {
+          if (Euclidean().Distance(data.point(p), data.point(q)) <= dmin) {
+            ++count;
+            if (count > threshold) break;
+          }
+        }
+      }
+      result.neighbor_count[p] = count;
+      if (count <= threshold) {
+        result.is_outlier[p] = true;
+        ++result.outlier_count;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lofkit

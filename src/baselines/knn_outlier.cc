@@ -1,0 +1,34 @@
+#include "baselines/knn_outlier.h"
+
+namespace lofkit {
+
+Result<std::vector<RankedOutlier>> KnnDistanceOutlierDetector::Rank(
+    const Dataset& data, const KnnIndex& index, size_t k, size_t top_n) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (k >= data.size()) {
+    return Status::InvalidArgument("k must be smaller than the dataset size");
+  }
+  std::vector<double> k_distance(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(
+        std::vector<Neighbor> neighbors,
+        index.Query(data.point(i), k, static_cast<uint32_t>(i)));
+    k_distance[i] = neighbors[k - 1].distance;
+  }
+  return RankDescending(k_distance, top_n);
+}
+
+Result<std::vector<RankedOutlier>>
+KnnDistanceOutlierDetector::RankFromMaterializer(
+    const NeighborhoodMaterializer& m, size_t k, size_t top_n) {
+  std::vector<double> k_distance(m.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, k));
+    k_distance[i] = view.k_distance;
+  }
+  return RankDescending(k_distance, top_n);
+}
+
+}  // namespace lofkit

@@ -1,0 +1,36 @@
+#ifndef LOFKIT_BASELINES_KNN_OUTLIER_H_
+#define LOFKIT_BASELINES_KNN_OUTLIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "index/knn_index.h"
+#include "index/neighborhood_materializer.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+
+/// The kNN-distance outlier ranking of Ramaswamy, Rastogi & Shim (reference
+/// [17] of the paper): points ranked by the distance to their k-th nearest
+/// neighbor; the top n are the outliers. Still a *global*, distance-based
+/// notion — the paper cites it as the ranked refinement of DB outliers.
+class KnnDistanceOutlierDetector {
+ public:
+  /// Ranks all points by k-distance descending and returns the strongest
+  /// `top_n` (0 = all). One kNN query per point against `index` (built
+  /// over `data`).
+  static Result<std::vector<RankedOutlier>> Rank(const Dataset& data,
+                                                 const KnnIndex& index,
+                                                 size_t k, size_t top_n = 0);
+
+  /// Same ranking computed from an existing materialization database —
+  /// sharing step 1 with LOF, as the paper's section 8 suggests
+  /// ("the shared computation may include k-nn queries").
+  static Result<std::vector<RankedOutlier>> RankFromMaterializer(
+      const NeighborhoodMaterializer& m, size_t k, size_t top_n = 0);
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_BASELINES_KNN_OUTLIER_H_

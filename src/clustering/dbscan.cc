@@ -1,0 +1,67 @@
+#include "clustering/dbscan.h"
+
+#include <deque>
+
+namespace lofkit {
+
+Result<DbscanResult> Dbscan::Run(const Dataset& data, const KnnIndex& index,
+                                 const DbscanParams& params) {
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!(params.eps >= 0.0)) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  if (params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  const size_t n = data.size();
+  DbscanResult result;
+  result.cluster_of.assign(n, DbscanResult::kNoise);
+  result.is_core.assign(n, false);
+  std::vector<bool> visited(n, false);
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> ball,
+                            index.QueryRadius(data.point(seed), params.eps));
+    // QueryRadius includes the point itself (no exclude), matching the
+    // DBSCAN definition of |N_eps(p)| >= MinPts.
+    if (ball.size() < params.min_pts) continue;  // noise (for now)
+
+    const int cluster = static_cast<int>(result.num_clusters++);
+    result.cluster_of[seed] = cluster;
+    result.is_core[seed] = true;
+    std::deque<uint32_t> frontier;
+    for (const Neighbor& q : ball) frontier.push_back(q.index);
+
+    while (!frontier.empty()) {
+      const uint32_t p = frontier.front();
+      frontier.pop_front();
+      if (result.cluster_of[p] == DbscanResult::kNoise) {
+        result.cluster_of[p] = cluster;  // border point adoption
+      }
+      if (visited[p]) continue;
+      visited[p] = true;
+      result.cluster_of[p] = cluster;
+      LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> p_ball,
+                              index.QueryRadius(data.point(p), params.eps));
+      if (p_ball.size() >= params.min_pts) {
+        result.is_core[p] = true;
+        for (const Neighbor& q : p_ball) {
+          if (!visited[q.index] ||
+              result.cluster_of[q.index] == DbscanResult::kNoise) {
+            frontier.push_back(q.index);
+          }
+        }
+      }
+    }
+  }
+  for (int c : result.cluster_of) {
+    if (c == DbscanResult::kNoise) ++result.noise_count;
+  }
+  return result;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,183 @@
+#include "clustering/optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace lofkit {
+
+Result<OpticsResult> Optics::Run(const Dataset& data, const KnnIndex& index,
+                                 const OpticsParams& params) {
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (!(params.eps >= 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument("eps must be >= 0 (or +infinity)");
+  }
+  const size_t n = data.size();
+  OpticsResult result;
+  result.ordering.reserve(n);
+  result.reachability.assign(n, OpticsResult::kUndefined);
+  result.core_distance.assign(n, OpticsResult::kUndefined);
+  std::vector<bool> processed(n, false);
+
+  // Neighborhood fetch: eps-ball when eps is finite, otherwise the
+  // min_pts-nearest neighbors suffice to drive the expansion (every
+  // reachability update uses max(core_dist, d) and larger distances can
+  // only matter once seeds run dry, in which case the next unprocessed
+  // point starts a new group).
+  auto fetch = [&](size_t p) -> Result<std::vector<Neighbor>> {
+    if (std::isfinite(params.eps)) {
+      return index.QueryRadius(data.point(p), params.eps,
+                               static_cast<uint32_t>(p));
+    }
+    return index.Query(data.point(p), std::min(n - 1, params.min_pts * 4),
+                       static_cast<uint32_t>(p));
+  };
+
+  auto core_distance_of = [&](const std::vector<Neighbor>& neighbors)
+      -> double {
+    // Neighbor lists exclude the point itself; the DBSCAN/OPTICS
+    // neighborhood includes it, so core status needs min_pts - 1 others.
+    if (neighbors.size() + 1 < params.min_pts) {
+      return OpticsResult::kUndefined;
+    }
+    if (params.min_pts == 1) return 0.0;
+    return neighbors[params.min_pts - 2].distance;
+  };
+
+  // Lazy-deletion priority queue over (reachability, point).
+  using Seed = std::pair<double, uint32_t>;
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    // Expand a new density-connected group from `start`.
+    processed[start] = true;
+    result.ordering.push_back(static_cast<uint32_t>(start));
+    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> neighbors, fetch(start));
+    result.core_distance[start] = core_distance_of(neighbors);
+    if (std::isfinite(result.core_distance[start])) {
+      for (const Neighbor& q : neighbors) {
+        if (processed[q.index]) continue;
+        const double reach =
+            std::max(result.core_distance[start], q.distance);
+        if (reach < result.reachability[q.index]) {
+          result.reachability[q.index] = reach;
+          seeds.emplace(reach, q.index);
+        }
+      }
+    }
+    while (!seeds.empty()) {
+      const auto [reach, p] = seeds.top();
+      seeds.pop();
+      if (processed[p] || reach != result.reachability[p]) continue;
+      processed[p] = true;
+      result.ordering.push_back(p);
+      LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> p_neighbors, fetch(p));
+      result.core_distance[p] = core_distance_of(p_neighbors);
+      if (std::isfinite(result.core_distance[p])) {
+        for (const Neighbor& q : p_neighbors) {
+          if (processed[q.index]) continue;
+          const double new_reach =
+              std::max(result.core_distance[p], q.distance);
+          if (new_reach < result.reachability[q.index]) {
+            result.reachability[q.index] = new_reach;
+            seeds.emplace(new_reach, q.index);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> ExtractClustering(const OpticsResult& optics,
+                                   double eps_prime) {
+  std::vector<int> cluster_of(optics.ordering.size(), -1);
+  int current = -1;
+  int next_id = 0;
+  for (uint32_t p : optics.ordering) {
+    if (optics.reachability[p] > eps_prime) {
+      if (optics.core_distance[p] <= eps_prime) {
+        current = next_id++;
+        cluster_of[p] = current;
+      } else {
+        cluster_of[p] = -1;  // noise
+        current = -1;
+      }
+    } else {
+      cluster_of[p] = current;
+    }
+  }
+  return cluster_of;
+}
+
+std::vector<ReachabilityCluster> ExtractHierarchicalClusters(
+    const OpticsResult& optics, double max_level, size_t levels,
+    size_t min_cluster_size) {
+  std::vector<ReachabilityCluster> clusters;
+  if (optics.ordering.empty() || levels == 0 || !(max_level > 0.0)) {
+    return clusters;
+  }
+  const size_t n = optics.ordering.size();
+  for (size_t step = 0; step < levels; ++step) {
+    // Thresholds from max_level down; deeper levels cut tighter valleys.
+    const double level =
+        max_level * static_cast<double>(levels - step) /
+        static_cast<double>(levels);
+    size_t run_begin = 0;
+    bool in_run = false;
+    auto close_run = [&](size_t run_end) {
+      if (!in_run) return;
+      in_run = false;
+      if (run_end - run_begin < min_cluster_size) return;
+      // Deduplicate: identical spans at shallower levels already recorded.
+      for (const ReachabilityCluster& c : clusters) {
+        if (c.begin == run_begin && c.end == run_end) return;
+      }
+      ReachabilityCluster cluster;
+      cluster.begin = run_begin;
+      cluster.end = run_end;
+      cluster.level = level;
+      clusters.push_back(cluster);
+    };
+    for (size_t pos = 0; pos < n; ++pos) {
+      // Position pos belongs to the valley iff its reachability (distance
+      // to the preceding part of the valley) is below the level; the first
+      // point of a valley is the one whose *successor* dips below.
+      const double reach = optics.reachability[optics.ordering[pos]];
+      if (reach <= level) {
+        if (!in_run) {
+          // The predecessor is the valley entry point.
+          run_begin = pos == 0 ? 0 : pos - 1;
+          in_run = true;
+        }
+      } else {
+        close_run(pos);
+      }
+    }
+    close_run(n);
+  }
+  // Assign nesting depth: number of strictly containing clusters.
+  for (ReachabilityCluster& c : clusters) {
+    c.depth = 0;
+    for (const ReachabilityCluster& other : clusters) {
+      const bool contains =
+          (other.begin <= c.begin && c.end <= other.end) &&
+          (other.begin != c.begin || other.end != c.end);
+      if (contains) ++c.depth;
+    }
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const ReachabilityCluster& a, const ReachabilityCluster& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.size() > b.size();
+            });
+  return clusters;
+}
+
+}  // namespace lofkit

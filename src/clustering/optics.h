@@ -1,0 +1,77 @@
+#ifndef LOFKIT_CLUSTERING_OPTICS_H_
+#define LOFKIT_CLUSTERING_OPTICS_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// OPTICS (Ankerst/Breunig/Kriegel/Sander 1999, reference [2] of the
+/// paper) — the hierarchical density-based clustering the paper names as
+/// the "handshake" partner of LOF in its future-work section: it shares the
+/// kNN/core-distance computations and provides the clusters relative to
+/// which local outliers can be explained.
+struct OpticsParams {
+  /// Generating distance: neighborhoods are truncated at eps. Use
+  /// +infinity for the exact reachability plot regardless of scale.
+  double eps = std::numeric_limits<double>::infinity();
+  size_t min_pts = 5;
+};
+
+struct OpticsResult {
+  /// The cluster ordering (a permutation of all point indices).
+  std::vector<uint32_t> ordering;
+  /// Reachability distance per point (+infinity where undefined, i.e. for
+  /// each density-based cluster's starting point).
+  std::vector<double> reachability;
+  /// Core distance per point (+infinity when the point is not a core point
+  /// w.r.t. eps and min_pts).
+  std::vector<double> core_distance;
+
+  static constexpr double kUndefined = std::numeric_limits<double>::infinity();
+};
+
+class Optics {
+ public:
+  /// Runs OPTICS over `data` using `index` (already built over `data`).
+  static Result<OpticsResult> Run(const Dataset& data, const KnnIndex& index,
+                                  const OpticsParams& params);
+};
+
+/// Extracts a flat DBSCAN-equivalent clustering from an OPTICS result at
+/// clustering distance eps_prime (<= the generating eps): scanning the
+/// ordering, a reachability above eps_prime either starts a new cluster (if
+/// the point is core at eps_prime) or marks noise (-1).
+std::vector<int> ExtractClustering(const OpticsResult& optics,
+                                   double eps_prime);
+
+/// A cluster found by the xi-style hierarchical extraction: a contiguous
+/// run of the OPTICS ordering between a steep-down and a steep-up area of
+/// the reachability plot. Clusters may nest (a dense core inside a looser
+/// region); `depth` is the nesting level (0 = outermost).
+struct ReachabilityCluster {
+  size_t begin = 0;  ///< first ordering position inside the cluster
+  size_t end = 0;    ///< one past the last ordering position
+  size_t depth = 0;
+  /// Reachability level that delimits the cluster (its "valley rim").
+  double level = 0.0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Hierarchical cluster extraction from the reachability plot, in the
+/// spirit of the OPTICS paper's xi-clusters: for each of `levels` evenly
+/// spaced reachability thresholds below `max_level`, contiguous valleys of
+/// at least `min_cluster_size` points become clusters; nested valleys get
+/// increasing depth. Returns clusters sorted by (begin, -size).
+std::vector<ReachabilityCluster> ExtractHierarchicalClusters(
+    const OpticsResult& optics, double max_level, size_t levels = 8,
+    size_t min_cluster_size = 5);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_CLUSTERING_OPTICS_H_

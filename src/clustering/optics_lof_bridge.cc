@@ -1,0 +1,119 @@
+#include "clustering/optics_lof_bridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<OpticsResult> OpticsLofBridge::RunFromMaterializer(
+    const NeighborhoodMaterializer& m, size_t min_pts) {
+  if (min_pts == 0 || min_pts > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                  m.k_max()));
+  }
+  const size_t n = m.size();
+  OpticsResult result;
+  result.ordering.reserve(n);
+  result.reachability.assign(n, OpticsResult::kUndefined);
+  result.core_distance.assign(n, OpticsResult::kUndefined);
+  std::vector<bool> processed(n, false);
+
+  // Core distance == the stored (min_pts - 1)-distance, because the
+  // materialized lists exclude the point itself while the OPTICS
+  // neighborhood includes it. min_pts == 1 makes every point core at 0.
+  for (size_t i = 0; i < n; ++i) {
+    if (min_pts == 1) {
+      result.core_distance[i] = 0.0;
+    } else {
+      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts - 1));
+      result.core_distance[i] = view.k_distance;
+    }
+  }
+
+  using Seed = std::pair<double, uint32_t>;
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+  auto relax_neighbors = [&](size_t p) {
+    const std::span<const Neighbor> neighbors = m.neighbors(p);
+    for (const Neighbor& q : neighbors) {
+      if (processed[q.index]) continue;
+      const double reach = std::max(result.core_distance[p], q.distance);
+      if (reach < result.reachability[q.index]) {
+        result.reachability[q.index] = reach;
+        seeds.emplace(reach, q.index);
+      }
+    }
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    result.ordering.push_back(static_cast<uint32_t>(start));
+    relax_neighbors(start);
+    while (!seeds.empty()) {
+      const auto [reach, p] = seeds.top();
+      seeds.pop();
+      if (processed[p] || reach != result.reachability[p]) continue;
+      processed[p] = true;
+      result.ordering.push_back(p);
+      relax_neighbors(p);
+    }
+  }
+  return result;
+}
+
+Result<std::vector<OutlierClusterContext>> OpticsLofBridge::ExplainTopOutliers(
+    const NeighborhoodMaterializer& m, const LofScores& scores,
+    std::span<const int> cluster_of, size_t top_n) {
+  if (scores.lof.size() != m.size() || cluster_of.size() != m.size()) {
+    return Status::InvalidArgument(
+        "scores / clustering / materializer sizes disagree");
+  }
+  // Mean LOF per cluster.
+  std::map<int, std::pair<double, size_t>> cluster_lof;  // sum, count
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (cluster_of[i] >= 0 && std::isfinite(scores.lof[i])) {
+      auto& [sum, count] = cluster_lof[cluster_of[i]];
+      sum += scores.lof[i];
+      ++count;
+    }
+  }
+
+  const std::vector<RankedOutlier> ranked =
+      RankDescending(scores.lof, top_n);
+  std::vector<OutlierClusterContext> contexts;
+  contexts.reserve(ranked.size());
+  for (const RankedOutlier& outlier : ranked) {
+    OutlierClusterContext context;
+    context.point = outlier.index;
+    context.lof = outlier.score;
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(outlier.index, scores.min_pts));
+    std::map<int, size_t> votes;
+    for (const Neighbor& q : view.neighborhood) {
+      if (cluster_of[q.index] >= 0) ++votes[cluster_of[q.index]];
+    }
+    size_t best_votes = 0;
+    for (const auto& [cluster, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        context.cluster = cluster;
+      }
+    }
+    if (context.cluster >= 0) {
+      context.neighbor_fraction =
+          static_cast<double>(best_votes) /
+          static_cast<double>(view.neighborhood.size());
+      const auto& [sum, count] = cluster_lof[context.cluster];
+      context.cluster_mean_lof =
+          count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    contexts.push_back(context);
+  }
+  return contexts;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,53 @@
+#ifndef LOFKIT_CLUSTERING_OPTICS_LOF_BRIDGE_H_
+#define LOFKIT_CLUSTERING_OPTICS_LOF_BRIDGE_H_
+
+#include <vector>
+
+#include "clustering/optics.h"
+#include "common/result.h"
+#include "index/neighborhood_materializer.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+
+/// The LOF <-> OPTICS "handshake" sketched in the paper's conclusions
+/// (section 8): (a) computation sharing — both consume the same k-nn
+/// queries and reachability distances, here realized by driving OPTICS from
+/// the LOF materialization database so no second round of kNN queries is
+/// needed; and (b) richer output — each local outlier is described by the
+/// cluster relative to which it is outlying.
+struct OutlierClusterContext {
+  uint32_t point = 0;
+  double lof = 0.0;
+  /// Dominant OPTICS cluster among the point's MinPts neighbors (-1 when
+  /// the neighborhood is all noise).
+  int cluster = -1;
+  /// Fraction of the point's neighbors belonging to that cluster.
+  double neighbor_fraction = 0.0;
+  /// Mean LOF inside that cluster — the density reference the outlier is
+  /// measured against (approximately 1 by Lemma 1).
+  double cluster_mean_lof = 0.0;
+};
+
+class OpticsLofBridge {
+ public:
+  /// Runs OPTICS using only the materialized neighbor lists (no kNN
+  /// queries): core distances are the k-distances already stored in M, and
+  /// reachability updates flow along the stored neighborhoods. Equivalent
+  /// to OPTICS with a per-point generating distance of the materialized
+  /// k_max-distance — sufficient for cluster extraction at any density the
+  /// LOF MinPts range can see.
+  static Result<OpticsResult> RunFromMaterializer(
+      const NeighborhoodMaterializer& m, size_t min_pts);
+
+  /// Explains the `top_n` strongest LOF outliers against a flat clustering
+  /// (from ExtractClustering or DBSCAN): which cluster each outlier is
+  /// outlying relative to, and that cluster's mean LOF.
+  static Result<std::vector<OutlierClusterContext>> ExplainTopOutliers(
+      const NeighborhoodMaterializer& m, const LofScores& scores,
+      std::span<const int> cluster_of, size_t top_n);
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_CLUSTERING_OPTICS_LOF_BRIDGE_H_

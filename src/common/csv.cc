@@ -1,0 +1,102 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<CsvTable> ParseCsv(const std::string& text,
+                          const CsvReadOptions& options) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  bool header_consumed = !options.has_header;
+  size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (options.allow_comments && trimmed.front() == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, options.separator);
+    if (!header_consumed) {
+      for (auto& f : fields) f = std::string(Trim(f));
+      table.header = std::move(fields);
+      expected_cols = table.header.size();
+      header_consumed = true;
+      continue;
+    }
+    if (expected_cols == 0) {
+      expected_cols = fields.size();
+    } else if (fields.size() != expected_cols) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_number,
+                    fields.size(), expected_cols));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) {
+      Result<double> value = ParseDouble(field);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line_number,
+                      value.status().message().c_str()));
+      }
+      row.push_back(*value);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvReadOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    return Status::IoError("read failure on file: " + path);
+  }
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const CsvTable& table, char separator) {
+  std::string out;
+  if (!table.header.empty()) {
+    for (size_t i = 0; i < table.header.size(); ++i) {
+      if (i > 0) out.push_back(separator);
+      out += table.header[i];
+    }
+    out.push_back('\n');
+  }
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(separator);
+      out += StrFormat("%.17g", row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char separator) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  std::string text = WriteCsv(table, separator);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) {
+    return Status::IoError("write failure on file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lofkit

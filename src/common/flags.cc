@@ -1,0 +1,155 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+void FlagParser::Add(const std::string& name, Type type,
+                     std::string default_value, std::string help) {
+  Flag flag;
+  flag.type = type;
+  flag.value = default_value;
+  flag.default_value = std::move(default_value);
+  flag.help = std::move(help);
+  flags_.emplace(name, std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  Add(name, Type::kString, std::move(default_value), std::move(help));
+}
+
+void FlagParser::AddU64(const std::string& name, uint64_t default_value,
+                        std::string help) {
+  Add(name, Type::kU64, StrFormat("%llu",
+                                  static_cast<unsigned long long>(
+                                      default_value)),
+      std::move(help));
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  Add(name, Type::kDouble, StrFormat("%g", default_value), std::move(help));
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Add(name, Type::kBool, default_value ? "true" : "false", std::move(help));
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag: --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      break;
+    case Type::kU64:
+      LOFKIT_RETURN_IF_ERROR(ParseU64(value).status());
+      break;
+    case Type::kDouble:
+      LOFKIT_RETURN_IF_ERROR(ParseDouble(value).status());
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true or false, got '" +
+                                       value + "'");
+      }
+      break;
+  }
+  flag.value = value;
+  flag.set = true;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  bool flags_done = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      LOFKIT_RETURN_IF_ERROR(
+          SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // --name value, or boolean --name / --no-name.
+    auto it = flags_.find(body);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      LOFKIT_RETURN_IF_ERROR(SetValue(body, "true"));
+      continue;
+    }
+    if (it == flags_.end() && body.rfind("no-", 0) == 0) {
+      auto neg = flags_.find(body.substr(3));
+      if (neg != flags_.end() && neg->second.type == Type::kBool) {
+        LOFKIT_RETURN_IF_ERROR(SetValue(body.substr(3), "false"));
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + body);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    LOFKIT_RETURN_IF_ERROR(SetValue(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetChecked(const std::string& name,
+                                               Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.type != type) {
+    std::fprintf(stderr, "FATAL: flag --%s not registered with this type\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).value;
+}
+
+uint64_t FlagParser::GetU64(const std::string& name) const {
+  return *ParseU64(GetChecked(name, Type::kU64).value);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return *ParseDouble(GetChecked(name, Type::kDouble).value);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).value == "true";
+}
+
+bool FlagParser::IsSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagParser::Help() const {
+  std::string out;
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace lofkit

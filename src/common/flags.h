@@ -1,0 +1,69 @@
+#ifndef LOFKIT_COMMON_FLAGS_H_
+#define LOFKIT_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// Minimal command-line flag parser for the lofkit tools.
+///
+/// Supported syntax: `--name=value`, `--name value`, and for booleans
+/// `--name` / `--no-name`. Everything that does not start with `--` is
+/// collected as a positional argument. `--` ends flag parsing. Unknown
+/// flags are an error (catching typos beats ignoring them).
+class FlagParser {
+ public:
+  /// Registration; `help` is shown by Help(). Names must be unique.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddU64(const std::string& name, uint64_t default_value,
+              std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv (excluding argv[0]). On error, no accessor may be used.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; the flag must have been registered with the matching
+  /// Add* or the process aborts (programming error, not user error).
+  const std::string& GetString(const std::string& name) const;
+  uint64_t GetU64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly.
+  bool IsSet(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every flag with default and help string.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kU64, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual form
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+
+  void Add(const std::string& name, Type type, std::string default_value,
+           std::string help);
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_FLAGS_H_

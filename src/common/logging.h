@@ -1,0 +1,46 @@
+#ifndef LOFKIT_COMMON_LOGGING_H_
+#define LOFKIT_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace lofkit {
+
+/// Severity for the minimal logger used by long-running experiment drivers.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo). Thread-compatible:
+/// call before spawning work.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction when its level
+/// passes the filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lofkit
+
+/// Usage: LOFKIT_LOG(Info) << "built index over " << n << " points";
+#define LOFKIT_LOG(severity)                                        \
+  ::lofkit::internal_logging::LogMessage(                           \
+      ::lofkit::LogLevel::k##severity, __FILE__, __LINE__)          \
+      .stream()
+
+#endif  // LOFKIT_COMMON_LOGGING_H_

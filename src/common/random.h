@@ -1,0 +1,70 @@
+#ifndef LOFKIT_COMMON_RANDOM_H_
+#define LOFKIT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lofkit {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with the
+/// sampling helpers the workload generators need.
+///
+/// lofkit never uses std::mt19937 directly: distribution implementations are
+/// not specified portably, and every experiment in the paper reproduction
+/// must emit the same dataset for the same seed on every platform.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformU64(uint64_t n);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential variate with the given rate (lambda > 0).
+  double Exponential(double lambda);
+
+  /// Gamma(shape, 1) variate, shape > 0 (Marsaglia-Tsang).
+  double Gamma(double shape);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// In-place Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_RANDOM_H_

@@ -1,0 +1,83 @@
+#ifndef LOFKIT_COMMON_RESULT_H_
+#define LOFKIT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lofkit {
+
+/// A value of type T or an error Status — the value-returning counterpart of
+/// Status, in the spirit of arrow::Result / absl::StatusOr.
+///
+/// Invariant: exactly one of {value, error status} is held. Accessing the
+/// value of an errored Result aborts in debug builds (assert) and is
+/// undefined otherwise; check ok() first or use LOFKIT_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors StatusOr.
+      : value_(std::move(value)) {}
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///
+///     LOFKIT_ASSIGN_OR_RETURN(auto neighbors, index.Query(q, k));
+#define LOFKIT_ASSIGN_OR_RETURN(lhs, expr)                             \
+  LOFKIT_ASSIGN_OR_RETURN_IMPL_(                                       \
+      LOFKIT_RESULT_CONCAT_(_lofkit_result, __LINE__), lhs, expr)
+
+#define LOFKIT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define LOFKIT_RESULT_CONCAT_(a, b) LOFKIT_RESULT_CONCAT_IMPL_(a, b)
+#define LOFKIT_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_RESULT_H_

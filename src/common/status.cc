@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace lofkit {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace lofkit

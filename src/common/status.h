@@ -1,0 +1,111 @@
+#ifndef LOFKIT_COMMON_STATUS_H_
+#define LOFKIT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lofkit {
+
+/// Machine-readable error category carried by a Status.
+///
+/// The set mirrors the categories used by database engines such as RocksDB
+/// and Arrow: it is intentionally small, and detail lives in the message.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed an argument that can never be valid (wrong dimension,
+  /// k == 0, negative percentage, ...).
+  kInvalidArgument = 1,
+  /// The requested entity does not exist (point index out of range, ...).
+  kNotFound = 2,
+  /// The operation is valid in general but not in the current state
+  /// (querying an index before Build(), sweeping an unmaterialized range).
+  kFailedPrecondition = 3,
+  /// A numeric argument fell outside its documented domain.
+  kOutOfRange = 4,
+  /// An invariant inside lofkit broke. Always a bug in lofkit itself.
+  kInternal = 5,
+  /// I/O failure (CSV file unreadable, ...).
+  kIoError = 6,
+};
+
+/// Returns the canonical lower-case name of a code, e.g. "invalid_argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Error-or-success result of an operation, the only error channel in the
+/// lofkit public API (the library never throws).
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a human-readable message otherwise. Functions producing a value
+/// return Result<T> (see result.h) instead.
+///
+/// Typical use:
+///
+///     LOFKIT_RETURN_IF_ERROR(index.Build(data, metric));
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor (or OK()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error Status out of the enclosing function.
+#define LOFKIT_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::lofkit::Status _lofkit_status = (expr);        \
+    if (!_lofkit_status.ok()) return _lofkit_status; \
+  } while (0)
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_STATUS_H_

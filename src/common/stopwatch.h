@@ -1,0 +1,35 @@
+#ifndef LOFKIT_COMMON_STOPWATCH_H_
+#define LOFKIT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lofkit {
+
+/// Wall-clock timer for the performance experiments (Figures 10 and 11).
+///
+/// The paper reports wall-clock times including CPU and I/O; steady_clock is
+/// the closest portable equivalent that is immune to system clock updates.
+class Stopwatch {
+ public:
+  /// Starts timing immediately.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_STOPWATCH_H_

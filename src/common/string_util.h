@@ -1,0 +1,30 @@
+#ifndef LOFKIT_COMMON_STRING_UTIL_H_
+#define LOFKIT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Parses a double, rejecting trailing garbage, empty input, and NaN text
+/// produced by accident ("nan" itself is accepted: some CSV exports use it).
+Result<double> ParseDouble(std::string_view input);
+
+/// Parses a non-negative integer.
+Result<uint64_t> ParseU64(std::string_view input);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_STRING_UTIL_H_

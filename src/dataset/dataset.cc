@@ -1,0 +1,165 @@
+#include "dataset/dataset.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<Dataset> Dataset::Create(size_t dimension) {
+  if (dimension == 0) {
+    return Status::InvalidArgument("dataset dimension must be >= 1");
+  }
+  return Dataset(dimension);
+}
+
+Result<Dataset> Dataset::FromRowMajor(size_t dimension,
+                                      std::vector<double> values) {
+  if (dimension == 0) {
+    return Status::InvalidArgument("dataset dimension must be >= 1");
+  }
+  if (values.empty() || values.size() % dimension != 0) {
+    return Status::InvalidArgument(
+        StrFormat("value count %zu is not a nonzero multiple of dimension %zu",
+                  values.size(), dimension));
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite coordinate in input");
+    }
+  }
+  Dataset ds(dimension);
+  ds.data_ = std::move(values);
+  ds.labels_.resize(ds.data_.size() / dimension);
+  return ds;
+}
+
+Status Dataset::Append(std::span<const double> coordinates) {
+  return Append(coordinates, std::string());
+}
+
+Status Dataset::Append(std::span<const double> coordinates,
+                       std::string label) {
+  if (coordinates.size() != dimension_) {
+    return Status::InvalidArgument(
+        StrFormat("point has dimension %zu, dataset has %zu",
+                  coordinates.size(), dimension_));
+  }
+  for (double v : coordinates) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite coordinate in point");
+    }
+  }
+  data_.insert(data_.end(), coordinates.begin(), coordinates.end());
+  labels_.push_back(std::move(label));
+  return Status::OK();
+}
+
+Status Dataset::AppendAll(const Dataset& other) {
+  if (other.dimension() != dimension_) {
+    return Status::InvalidArgument(
+        StrFormat("cannot append dimension-%zu dataset to dimension-%zu one",
+                  other.dimension(), dimension_));
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  return Status::OK();
+}
+
+std::vector<double> Dataset::Min() const {
+  if (empty()) return {};
+  std::vector<double> mins(point(0).begin(), point(0).end());
+  for (size_t i = 1; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) {
+      if (p[d] < mins[d]) mins[d] = p[d];
+    }
+  }
+  return mins;
+}
+
+std::vector<double> Dataset::Max() const {
+  if (empty()) return {};
+  std::vector<double> maxs(point(0).begin(), point(0).end());
+  for (size_t i = 1; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) {
+      if (p[d] > maxs[d]) maxs[d] = p[d];
+    }
+  }
+  return maxs;
+}
+
+Dataset Dataset::NormalizedToUnitBox() const {
+  Dataset out(dimension_);
+  out.labels_ = labels_;
+  if (empty()) return out;
+  std::vector<double> mins = Min();
+  std::vector<double> maxs = Max();
+  out.data_.reserve(data_.size());
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) {
+      const double range = maxs[d] - mins[d];
+      out.data_.push_back(range > 0.0 ? (p[d] - mins[d]) / range : 0.0);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::Project(std::span<const size_t> dimensions) const {
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("projection needs at least one dimension");
+  }
+  for (size_t d : dimensions) {
+    if (d >= dimension_) {
+      return Status::OutOfRange(
+          StrFormat("projection dimension %zu out of range (%zu)", d,
+                    dimension_));
+    }
+  }
+  Dataset out(dimensions.size());
+  out.labels_ = labels_;
+  out.data_.reserve(size() * dimensions.size());
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d : dimensions) {
+      out.data_.push_back(p[d]);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Standardized() const {
+  Dataset out(dimension_);
+  out.labels_ = labels_;
+  if (empty()) return out;
+  const double n = static_cast<double>(size());
+  std::vector<double> mean(dimension_, 0.0);
+  std::vector<double> variance(dimension_, 0.0);
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) mean[d] += p[d] / n;
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) {
+      const double delta = p[d] - mean[d];
+      variance[d] += delta * delta / n;
+    }
+  }
+  std::vector<double> scale(dimension_);
+  for (size_t d = 0; d < dimension_; ++d) {
+    scale[d] = variance[d] > 0.0 ? 1.0 / std::sqrt(variance[d]) : 0.0;
+  }
+  out.data_.reserve(data_.size());
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dimension_; ++d) {
+      out.data_.push_back((p[d] - mean[d]) * scale[d]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lofkit

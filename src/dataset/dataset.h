@@ -1,0 +1,101 @@
+#ifndef LOFKIT_DATASET_DATASET_H_
+#define LOFKIT_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// An immutable-by-convention collection of d-dimensional points stored
+/// row-major in one contiguous buffer.
+///
+/// Dataset is the input type of every index, baseline and LOF routine in
+/// lofkit. Points are addressed by their 0-based insertion index; all result
+/// types (neighbor lists, LOF scores, outlier rankings) refer back to these
+/// indices. Optional per-point labels carry ground-truth or display names for
+/// the experiment drivers and never influence any computation.
+class Dataset {
+ public:
+  /// Creates an empty dataset of the given dimensionality (>= 1).
+  static Result<Dataset> Create(size_t dimension);
+
+  /// Builds a dataset from row-major values. `values.size()` must be a
+  /// nonzero multiple of `dimension`; every coordinate must be finite.
+  static Result<Dataset> FromRowMajor(size_t dimension,
+                                      std::vector<double> values);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
+  /// Appends one point. Fails with InvalidArgument on dimension mismatch or
+  /// non-finite coordinates (NaN/inf would silently poison every distance).
+  Status Append(std::span<const double> coordinates);
+
+  /// Appends one point with a label (player name, cluster tag, ...).
+  Status Append(std::span<const double> coordinates, std::string label);
+
+  /// Appends every point of `other` (same dimension required).
+  Status AppendAll(const Dataset& other);
+
+  /// Number of points.
+  size_t size() const { return labels_.size(); }
+
+  /// True when the dataset holds no points.
+  bool empty() const { return size() == 0; }
+
+  /// Dimensionality of every point.
+  size_t dimension() const { return dimension_; }
+
+  /// Read-only view of point `i`. `i` must be < size().
+  std::span<const double> point(size_t i) const {
+    return {data_.data() + i * dimension_, dimension_};
+  }
+
+  /// Label of point `i` (empty string when none was provided).
+  const std::string& label(size_t i) const { return labels_[i]; }
+
+  /// Replaces the label of point `i`.
+  void set_label(size_t i, std::string label) { labels_[i] = std::move(label); }
+
+  /// The raw row-major buffer (n * dimension doubles).
+  std::span<const double> raw() const { return data_; }
+
+  /// Per-dimension minima over all points. Empty dataset -> empty vector.
+  std::vector<double> Min() const;
+
+  /// Per-dimension maxima over all points. Empty dataset -> empty vector.
+  std::vector<double> Max() const;
+
+  /// Returns a copy with every dimension independently rescaled to [0, 1]
+  /// (constant dimensions map to 0). Useful before mixing incommensurate
+  /// attributes, e.g. the sports experiments in the paper.
+  Dataset NormalizedToUnitBox() const;
+
+  /// Returns a copy with every dimension independently standardized to
+  /// zero mean and unit variance (constant dimensions map to 0). The
+  /// z-score alternative to NormalizedToUnitBox when outliers would
+  /// otherwise compress the inlier range.
+  Dataset Standardized() const;
+
+  /// Projects onto the given dimensions (in the given order; repeats
+  /// allowed). Labels are preserved. Fails when `dimensions` is empty or
+  /// contains an out-of-range index.
+  Result<Dataset> Project(std::span<const size_t> dimensions) const;
+
+ private:
+  explicit Dataset(size_t dimension) : dimension_(dimension) {}
+
+  size_t dimension_;
+  std::vector<double> data_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_DATASET_DATASET_H_

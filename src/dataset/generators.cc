@@ -1,0 +1,201 @@
+#include "dataset/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+namespace generators {
+
+namespace {
+
+Status CheckDimension(const Dataset& dataset, size_t expected,
+                      const char* what) {
+  if (dataset.dimension() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("%s has dimension %zu, dataset has %zu", what, expected,
+                  dataset.dimension()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AppendGaussianCluster(Dataset& dataset, Rng& rng,
+                             std::span<const double> center, double stddev,
+                             size_t count, const std::string& label) {
+  std::vector<double> stddevs(center.size(), stddev);
+  return AppendGaussianClusterAniso(dataset, rng, center, stddevs, count,
+                                    label);
+}
+
+Status AppendGaussianClusterAniso(Dataset& dataset, Rng& rng,
+                                  std::span<const double> center,
+                                  std::span<const double> stddevs,
+                                  size_t count, const std::string& label) {
+  LOFKIT_RETURN_IF_ERROR(CheckDimension(dataset, center.size(), "center"));
+  if (stddevs.size() != center.size()) {
+    return Status::InvalidArgument("stddevs/center dimension mismatch");
+  }
+  for (double s : stddevs) {
+    if (!(s >= 0.0)) {
+      return Status::InvalidArgument("stddev must be >= 0");
+    }
+  }
+  std::vector<double> p(center.size());
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t d = 0; d < center.size(); ++d) {
+      p[d] = rng.Gaussian(center[d], stddevs[d]);
+    }
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+Status AppendUniformBox(Dataset& dataset, Rng& rng,
+                        std::span<const double> lo,
+                        std::span<const double> hi, size_t count,
+                        const std::string& label) {
+  LOFKIT_RETURN_IF_ERROR(CheckDimension(dataset, lo.size(), "box"));
+  if (hi.size() != lo.size()) {
+    return Status::InvalidArgument("box lo/hi dimension mismatch");
+  }
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (lo[d] > hi[d]) {
+      return Status::InvalidArgument("box lo must be <= hi in every dimension");
+    }
+  }
+  std::vector<double> p(lo.size());
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t d = 0; d < lo.size(); ++d) {
+      p[d] = rng.Uniform(lo[d], hi[d]);
+    }
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+Status AppendUniformBall(Dataset& dataset, Rng& rng,
+                         std::span<const double> center, double radius,
+                         size_t count, const std::string& label) {
+  LOFKIT_RETURN_IF_ERROR(CheckDimension(dataset, center.size(), "center"));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  const size_t dim = center.size();
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < count; ++i) {
+    // Direction: normalized Gaussian vector; length: r * U^(1/dim).
+    double norm_sq = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      p[d] = rng.Gaussian();
+      norm_sq += p[d] * p[d];
+    }
+    const double norm = std::sqrt(norm_sq);
+    const double r =
+        radius * std::pow(rng.NextDouble(), 1.0 / static_cast<double>(dim));
+    const double scale = norm > 0.0 ? r / norm : 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      p[d] = center[d] + p[d] * scale;
+    }
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+Status AppendRing(Dataset& dataset, Rng& rng, double cx, double cy,
+                  double radius, double noise, size_t count,
+                  const std::string& label) {
+  LOFKIT_RETURN_IF_ERROR(CheckDimension(dataset, 2, "ring"));
+  for (size_t i = 0; i < count; ++i) {
+    const double angle = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+    const double r = radius + rng.Gaussian(0.0, noise);
+    const double p[2] = {cx + r * std::cos(angle), cy + r * std::sin(angle)};
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+Status AppendPoint(Dataset& dataset, std::span<const double> coordinates,
+                   const std::string& label) {
+  return dataset.Append(coordinates, label);
+}
+
+Status AppendDuplicates(Dataset& dataset, std::span<const double> coordinates,
+                        size_t copies, const std::string& label) {
+  for (size_t i = 0; i < copies; ++i) {
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(coordinates, label));
+  }
+  return Status::OK();
+}
+
+Status AppendHistogramCluster(Dataset& dataset, Rng& rng, size_t count,
+                              double concentration,
+                              const std::string& label) {
+  LOFKIT_RETURN_IF_ERROR(CheckDimension(dataset, 64, "histogram"));
+  if (!(concentration > 0.0)) {
+    return Status::InvalidArgument("concentration must be > 0");
+  }
+  // Cluster template: a sparse random histogram (few dominant bins), like a
+  // color histogram of one scene type.
+  std::vector<double> alpha(64, 0.05);
+  const size_t dominant = 3 + rng.UniformU64(5);
+  for (size_t i = 0; i < dominant; ++i) {
+    alpha[rng.UniformU64(64)] += rng.Uniform(1.0, 4.0);
+  }
+  std::vector<double> p(64);
+  for (size_t i = 0; i < count; ++i) {
+    // Dirichlet sample via normalized Gammas; `concentration` scales the
+    // parameters, so larger values give tighter clusters.
+    double sum = 0.0;
+    for (size_t d = 0; d < 64; ++d) {
+      p[d] = rng.Gamma(alpha[d] * concentration);
+      sum += p[d];
+    }
+    if (sum <= 0.0) sum = 1.0;
+    for (size_t d = 0; d < 64; ++d) p[d] /= sum;
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> MakeGaussianMixture(Rng& rng, size_t dimension,
+                                    std::span<const GaussianSpec> specs) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset dataset, Dataset::Create(dimension));
+  for (const GaussianSpec& spec : specs) {
+    if (spec.center.size() != dimension) {
+      return Status::InvalidArgument("cluster center dimension mismatch");
+    }
+    LOFKIT_RETURN_IF_ERROR(AppendGaussianCluster(
+        dataset, rng, spec.center, spec.stddev, spec.count, spec.label));
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("mixture produced an empty dataset");
+  }
+  return dataset;
+}
+
+Result<Dataset> MakePerformanceWorkload(Rng& rng, size_t dimension,
+                                        size_t total_points,
+                                        size_t clusters) {
+  if (clusters == 0 || total_points == 0) {
+    return Status::InvalidArgument("clusters and total_points must be > 0");
+  }
+  std::vector<GaussianSpec> specs(clusters);
+  const size_t base = total_points / clusters;
+  size_t remainder = total_points % clusters;
+  for (size_t c = 0; c < clusters; ++c) {
+    specs[c].center.resize(dimension);
+    for (size_t d = 0; d < dimension; ++d) {
+      specs[c].center[d] = rng.Uniform(0.0, 100.0);
+    }
+    specs[c].stddev = rng.Uniform(0.5, 5.0);
+    specs[c].count = base + (c < remainder ? 1 : 0);
+    specs[c].label = StrFormat("cluster_%zu", c);
+  }
+  return MakeGaussianMixture(rng, dimension, specs);
+}
+
+}  // namespace generators
+}  // namespace lofkit

@@ -1,0 +1,90 @@
+#ifndef LOFKIT_DATASET_GENERATORS_H_
+#define LOFKIT_DATASET_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace lofkit {
+
+/// Primitive synthetic-point generators. Every routine appends into an
+/// existing Dataset so scenario builders can compose clusters freely; all
+/// randomness flows through the caller's Rng, so a fixed seed reproduces a
+/// dataset exactly.
+namespace generators {
+
+/// Appends `count` points from an isotropic Gaussian centered at `center`
+/// with the given standard deviation. Points get `label`.
+Status AppendGaussianCluster(Dataset& dataset, Rng& rng,
+                             std::span<const double> center, double stddev,
+                             size_t count, const std::string& label = "");
+
+/// Appends `count` points from an axis-aligned anisotropic Gaussian.
+Status AppendGaussianClusterAniso(Dataset& dataset, Rng& rng,
+                                  std::span<const double> center,
+                                  std::span<const double> stddevs,
+                                  size_t count, const std::string& label = "");
+
+/// Appends `count` points uniform in the axis-aligned box [lo, hi].
+Status AppendUniformBox(Dataset& dataset, Rng& rng,
+                        std::span<const double> lo,
+                        std::span<const double> hi, size_t count,
+                        const std::string& label = "");
+
+/// Appends `count` points uniform inside the ball of radius `radius`
+/// centered at `center` (exact, via normalized Gaussian directions).
+Status AppendUniformBall(Dataset& dataset, Rng& rng,
+                         std::span<const double> center, double radius,
+                         size_t count, const std::string& label = "");
+
+/// Appends `count` 2-d points on a noisy ring (radius +- noise) centered at
+/// (cx, cy). Only valid for 2-d datasets.
+Status AppendRing(Dataset& dataset, Rng& rng, double cx, double cy,
+                  double radius, double noise, size_t count,
+                  const std::string& label = "");
+
+/// Appends a single point (convenience for planted outliers).
+Status AppendPoint(Dataset& dataset, std::span<const double> coordinates,
+                   const std::string& label = "");
+
+/// Appends `copies` exact duplicates of `coordinates` (duplicate-handling
+/// tests for the Def. 6 footnote).
+Status AppendDuplicates(Dataset& dataset, std::span<const double> coordinates,
+                        size_t copies, const std::string& label = "");
+
+/// Appends `count` normalized 64-bin histogram-like vectors clustered around
+/// a random template (stand-in for the paper's TV-snapshot color
+/// histograms). `concentration` controls cluster tightness; higher is
+/// tighter. The dataset must have dimension 64.
+Status AppendHistogramCluster(Dataset& dataset, Rng& rng, size_t count,
+                              double concentration,
+                              const std::string& label = "");
+
+/// Description of one Gaussian cluster for MakeGaussianMixture.
+struct GaussianSpec {
+  std::vector<double> center;
+  double stddev = 1.0;
+  size_t count = 0;
+  std::string label;
+};
+
+/// Builds a dataset as the union of Gaussian clusters; the workload type
+/// used by the paper's performance experiments ("generated randomly,
+/// containing different numbers of Gaussian clusters of different sizes and
+/// densities", section 7.4).
+Result<Dataset> MakeGaussianMixture(Rng& rng, size_t dimension,
+                                    std::span<const GaussianSpec> specs);
+
+/// Builds the random performance workload of section 7.4: `clusters`
+/// Gaussian clusters with random centers in [0, 100]^d, random stddev in
+/// [0.5, 5], sizes split evenly over `total_points`.
+Result<Dataset> MakePerformanceWorkload(Rng& rng, size_t dimension,
+                                        size_t total_points, size_t clusters);
+
+}  // namespace generators
+}  // namespace lofkit
+
+#endif  // LOFKIT_DATASET_GENERATORS_H_

@@ -1,0 +1,61 @@
+#include "dataset/loaders.h"
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<Dataset> DatasetFromCsvTable(const CsvTable& table,
+                                    const DatasetLoadOptions& options) {
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("CSV table has no data rows");
+  }
+  const size_t columns = table.num_columns();
+  std::vector<size_t> coords = options.coordinate_columns;
+  if (coords.empty()) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (options.label_column >= 0 &&
+          c == static_cast<size_t>(options.label_column)) {
+        continue;
+      }
+      coords.push_back(c);
+    }
+  }
+  if (coords.empty()) {
+    return Status::InvalidArgument("no coordinate columns selected");
+  }
+  for (size_t c : coords) {
+    if (c >= columns) {
+      return Status::OutOfRange(
+          StrFormat("coordinate column %zu out of range (%zu columns)", c,
+                    columns));
+    }
+  }
+  if (options.label_column >= 0 &&
+      static_cast<size_t>(options.label_column) >= columns) {
+    return Status::OutOfRange(
+        StrFormat("label column %d out of range (%zu columns)",
+                  options.label_column, columns));
+  }
+
+  LOFKIT_ASSIGN_OR_RETURN(Dataset dataset, Dataset::Create(coords.size()));
+  std::vector<double> point(coords.size());
+  for (const std::vector<double>& row : table.rows) {
+    for (size_t i = 0; i < coords.size(); ++i) {
+      point[i] = row[coords[i]];
+    }
+    std::string label;
+    if (options.label_column >= 0) {
+      label = StrFormat("%g", row[static_cast<size_t>(options.label_column)]);
+    }
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(point, std::move(label)));
+  }
+  return dataset;
+}
+
+Result<Dataset> DatasetFromCsvFile(const std::string& path,
+                                   const DatasetLoadOptions& options) {
+  LOFKIT_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, options.csv));
+  return DatasetFromCsvTable(table, options);
+}
+
+}  // namespace lofkit

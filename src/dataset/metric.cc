@@ -1,0 +1,277 @@
+#include "dataset/metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lofkit {
+
+namespace {
+
+// Clamps q[d] into [lo[d], hi[d]] and returns the residual |q[d] - clamp|.
+inline double BoxDelta(double q, double lo, double hi) {
+  if (q < lo) return lo - q;
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+
+// Distance from q[d] to the farther edge of [lo[d], hi[d]].
+inline double BoxMaxDelta(double q, double lo, double hi) {
+  const double to_lo = q > lo ? q - lo : lo - q;
+  const double to_hi = q > hi ? q - hi : hi - q;
+  return to_lo > to_hi ? to_lo : to_hi;
+}
+
+}  // namespace
+
+double EuclideanMetric::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double EuclideanMetric::MinDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxDelta(q[i], lo[i], hi[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+
+double EuclideanMetric::MaxDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxMaxDelta(q[i], lo[i], hi[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double ManhattanMetric::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum;
+}
+
+double ManhattanMetric::MinDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    sum += BoxDelta(q[i], lo[i], hi[i]);
+  }
+  return sum;
+}
+
+
+double ManhattanMetric::MaxDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    sum += BoxMaxDelta(q[i], lo[i], hi[i]);
+  }
+  return sum;
+}
+
+double ChebyshevMetric::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double max = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(a[i] - b[i]);
+    if (d > max) max = d;
+  }
+  return max;
+}
+
+double ChebyshevMetric::MinDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double max = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxDelta(q[i], lo[i], hi[i]);
+    if (d > max) max = d;
+  }
+  return max;
+}
+
+
+double ChebyshevMetric::MaxDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double max = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxMaxDelta(q[i], lo[i], hi[i]);
+    if (d > max) max = d;
+  }
+  return max;
+}
+
+Result<MinkowskiMetric> MinkowskiMetric::Create(double p) {
+  if (!(p >= 1.0) || !std::isfinite(p)) {
+    return Status::InvalidArgument("Minkowski p must be finite and >= 1");
+  }
+  return MinkowskiMetric(p);
+}
+
+double MinkowskiMetric::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::abs(a[i] - b[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+double MinkowskiMetric::MinDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    sum += std::pow(BoxDelta(q[i], lo[i], hi[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+
+double MinkowskiMetric::MaxDistanceToBox(std::span<const double> q,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    sum += std::pow(BoxMaxDelta(q[i], lo[i], hi[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+Result<WeightedEuclideanMetric> WeightedEuclideanMetric::Create(
+    std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight vector must be non-empty");
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w) || w <= 0.0) {
+      return Status::InvalidArgument("weights must be finite and > 0");
+    }
+  }
+  return WeightedEuclideanMetric(std::move(weights));
+}
+
+double WeightedEuclideanMetric::Distance(std::span<const double> a,
+                                         std::span<const double> b) const {
+  assert(a.size() == b.size());
+  assert(a.size() == weights_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += weights_[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double WeightedEuclideanMetric::MinDistanceToBox(
+    std::span<const double> q, std::span<const double> lo,
+    std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxDelta(q[i], lo[i], hi[i]);
+    sum += weights_[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+
+double WeightedEuclideanMetric::MaxDistanceToBox(
+    std::span<const double> q, std::span<const double> lo,
+    std::span<const double> hi) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const double d = BoxMaxDelta(q[i], lo[i], hi[i]);
+    sum += weights_[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double WeightedEuclideanMetric::CoordinateDistance(size_t dim,
+                                                   double delta) const {
+  const double d = delta < 0 ? -delta : delta;
+  return std::sqrt(weights_[dim]) * d;
+}
+
+double AngularMetric::Distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  if (denom <= 0.0) return 0.0;  // zero vector: no direction
+  const double cosine = std::clamp(dot / denom, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+double AngularMetric::MinDistanceToBox(std::span<const double>,
+                                       std::span<const double>,
+                                       std::span<const double>) const {
+  return 0.0;  // trivially valid; see class comment
+}
+
+double AngularMetric::MaxDistanceToBox(std::span<const double>,
+                                       std::span<const double>,
+                                       std::span<const double>) const {
+  return std::acos(-1.0);  // pi
+}
+
+double AngularMetric::CoordinateDistance(size_t, double) const {
+  return 0.0;  // no per-coordinate angle bound exists
+}
+
+const EuclideanMetric& Euclidean() {
+  static const EuclideanMetric kMetric;
+  return kMetric;
+}
+
+const ManhattanMetric& Manhattan() {
+  static const ManhattanMetric kMetric;
+  return kMetric;
+}
+
+const ChebyshevMetric& Chebyshev() {
+  static const ChebyshevMetric kMetric;
+  return kMetric;
+}
+
+const AngularMetric& Angular() {
+  static const AngularMetric kMetric;
+  return kMetric;
+}
+
+Result<const Metric*> MetricByName(std::string_view name) {
+  if (name == "euclidean") return static_cast<const Metric*>(&Euclidean());
+  if (name == "manhattan") return static_cast<const Metric*>(&Manhattan());
+  if (name == "chebyshev") return static_cast<const Metric*>(&Chebyshev());
+  if (name == "angular") return static_cast<const Metric*>(&Angular());
+  return Status::NotFound("unknown metric: " + std::string(name));
+}
+
+}  // namespace lofkit

@@ -1,0 +1,188 @@
+#ifndef LOFKIT_DATASET_METRIC_H_
+#define LOFKIT_DATASET_METRIC_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// A distance function d(p, q) over equal-dimension points.
+///
+/// All LOF definitions (Defs. 3-7 of the paper) are stated for an arbitrary
+/// metric; lofkit keeps that generality. Implementations must satisfy the
+/// metric axioms the indexes rely on for pruning: non-negativity, identity,
+/// symmetry and the triangle inequality.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// d(a, b). Both spans must have the same size.
+  virtual double Distance(std::span<const double> a,
+                          std::span<const double> b) const = 0;
+
+  /// Smallest possible distance from `q` to any point inside the axis-aligned
+  /// box [lo, hi]. Used by the tree and grid indexes for branch pruning.
+  virtual double MinDistanceToBox(std::span<const double> q,
+                                  std::span<const double> lo,
+                                  std::span<const double> hi) const = 0;
+
+  /// Largest possible distance from `q` to any point inside the box
+  /// [lo, hi]. Used by the VA-file for candidate upper bounds.
+  virtual double MaxDistanceToBox(std::span<const double> q,
+                                  std::span<const double> lo,
+                                  std::span<const double> hi) const = 0;
+
+  /// Lower bound on the distance contributed by a single coordinate
+  /// difference `delta` in dimension `dim`; used by the KD-tree
+  /// splitting-plane test. For unweighted Minkowski metrics this is
+  /// |delta|.
+  virtual double CoordinateDistance(size_t dim, double delta) const {
+    (void)dim;
+    return delta < 0 ? -delta : delta;
+  }
+
+  /// Short identifier, e.g. "euclidean".
+  virtual std::string_view name() const = 0;
+};
+
+/// L2 (Euclidean) metric — the metric of every experiment in the paper.
+class EuclideanMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  std::string_view name() const override { return "euclidean"; }
+};
+
+/// L1 (Manhattan) metric.
+class ManhattanMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  std::string_view name() const override { return "manhattan"; }
+};
+
+/// L-infinity (Chebyshev) metric.
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  std::string_view name() const override { return "chebyshev"; }
+};
+
+/// General Minkowski L_p metric, p >= 1.
+class MinkowskiMetric final : public Metric {
+ public:
+  /// Creates an L_p metric. Fails for p < 1 (not a metric below 1).
+  static Result<MinkowskiMetric> Create(double p);
+
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  std::string_view name() const override { return "minkowski"; }
+
+  double p() const { return p_; }
+
+ private:
+  explicit MinkowskiMetric(double p) : p_(p) {}
+  double p_;
+};
+
+/// Euclidean metric with per-dimension weights, for attribute spaces whose
+/// axes are incommensurate (the paper's sports subspaces mix games, goals
+/// and coded positions).
+class WeightedEuclideanMetric final : public Metric {
+ public:
+  /// All weights must be finite and > 0.
+  static Result<WeightedEuclideanMetric> Create(std::vector<double> weights);
+
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  /// Scales the per-coordinate bound by sqrt(weight[dim]) so KD-tree
+  /// pruning stays a valid lower bound for weights below 1.
+  double CoordinateDistance(size_t dim, double delta) const override;
+  std::string_view name() const override { return "weighted_euclidean"; }
+
+  std::span<const double> weights() const { return weights_; }
+
+ private:
+  explicit WeightedEuclideanMetric(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+  std::vector<double> weights_;
+};
+
+/// Angular (great-circle) distance: the arc cosine of the cosine
+/// similarity, a true metric on directions. Natural for normalized
+/// histogram data such as the paper's 64-d color histograms, where vector
+/// length is meaningless. The zero vector has no direction; Distance()
+/// treats it as at angle 0 from everything (callers should avoid it).
+///
+/// Axis-aligned boxes bound angles poorly, so the box bounds are the
+/// trivially valid [0, pi]: tree/grid engines remain exact but degrade to
+/// scans under this metric — use LinearScanIndex or VaFileIndex.
+class AngularMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  double MinDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double MaxDistanceToBox(std::span<const double> q,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override;
+  double CoordinateDistance(size_t dim, double delta) const override;
+  std::string_view name() const override { return "angular"; }
+};
+
+/// The process-wide Euclidean metric instance (stateless, safe to share).
+const EuclideanMetric& Euclidean();
+
+/// The process-wide Manhattan metric instance.
+const ManhattanMetric& Manhattan();
+
+/// The process-wide Chebyshev metric instance.
+const ChebyshevMetric& Chebyshev();
+
+/// The process-wide angular metric instance.
+const AngularMetric& Angular();
+
+/// Looks up a shared metric by name ("euclidean", "manhattan", "chebyshev",
+/// "angular").
+Result<const Metric*> MetricByName(std::string_view name);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_DATASET_METRIC_H_

@@ -1,0 +1,392 @@
+#include "dataset/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "dataset/generators.h"
+
+namespace lofkit {
+namespace scenarios {
+
+namespace {
+
+using generators::AppendGaussianCluster;
+using generators::AppendHistogramCluster;
+using generators::AppendPoint;
+using generators::AppendUniformBox;
+
+// Appends a Gaussian cluster whose samples are resampled until they fall
+// within `max_radius` of the center, so the cluster has a hard edge and
+// planted outliers can sit at a guaranteed distance from it.
+Status AppendTruncatedGaussian(Dataset& dataset, Rng& rng,
+                               std::span<const double> center, double stddev,
+                               double max_radius, size_t count,
+                               const std::string& label) {
+  std::vector<double> p(center.size());
+  for (size_t i = 0; i < count; ++i) {
+    for (;;) {
+      double dist_sq = 0.0;
+      for (size_t d = 0; d < center.size(); ++d) {
+        p[d] = rng.Gaussian(center[d], stddev);
+        const double delta = p[d] - center[d];
+        dist_sq += delta * delta;
+      }
+      if (dist_sq <= max_radius * max_radius) break;
+    }
+    LOFKIT_RETURN_IF_ERROR(dataset.Append(p, label));
+  }
+  return Status::OK();
+}
+
+// Index (within [begin, end)) of the point closest to `center`.
+size_t ClosestTo(const Dataset& data, size_t begin, size_t end,
+                 std::span<const double> center) {
+  size_t best = begin;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = begin; i < end; ++i) {
+    auto p = data.point(i);
+    double dist_sq = 0.0;
+    for (size_t d = 0; d < p.size(); ++d) {
+      const double delta = p[d] - center[d];
+      dist_sq += delta * delta;
+    }
+    if (dist_sq < best_dist) {
+      best_dist = dist_sq;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<size_t> Scenario::Find(const std::string& name) const {
+  auto it = named.find(name);
+  if (it == named.end()) {
+    return Status::NotFound("no named point '" + name + "' in scenario");
+  }
+  return it->second;
+}
+
+Result<Scenario> MakeDs1(Rng& rng) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(2));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // C1: 400 objects on a jittered 20x20 grid with spacing 5. The jitter is
+  // small relative to the spacing, so *every* object's nearest-neighbor
+  // distance is at least 5 - 2*0.8 = 3.4 — the property section 3 needs
+  // ("the distance between q and its nearest neighbor is greater than
+  // d(o2, C2)").
+  for (int gx = 0; gx < 20; ++gx) {
+    for (int gy = 0; gy < 20; ++gy) {
+      const double p[2] = {5.0 * gx + rng.Uniform(-0.8, 0.8),
+                           5.0 * gy + rng.Uniform(-0.8, 0.8)};
+      LOFKIT_RETURN_IF_ERROR(ds.Append(p, "C1"));
+    }
+  }
+
+  // C2: 100 objects, dense truncated Gaussian (hard radius 2.0) centered
+  // well to the right of C1.
+  const double c2_center[2] = {130.0, 47.5};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendTruncatedGaussian(ds, rng, c2_center, 0.8, 2.0, 100, "C2"));
+
+  // o2: 4.5 units from the C2 center, i.e. at most 2.5 from the nearest C2
+  // object — closer than any C1 nearest-neighbor pair (>= 3.4).
+  const double o2[2] = {134.5, 47.5};
+  scenario.named["o2"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(o2, "o2"));
+
+  // o1: far from everything.
+  const double o1[2] = {120.0, 110.0};
+  scenario.named["o1"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(o1, "o1"));
+
+  return scenario;
+}
+
+Result<Scenario> MakeGaussianBlob(Rng& rng, size_t count) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(2));
+  Scenario scenario{std::move(data), {}};
+  const double center[2] = {0.0, 0.0};
+  LOFKIT_RETURN_IF_ERROR(AppendGaussianCluster(scenario.data, rng, center,
+                                               1.0, count, "gauss"));
+  return scenario;
+}
+
+Result<Scenario> MakeFig8Clusters(Rng& rng) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(2));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // S3: the large background cluster — uniform ball, so its own fringe
+  // produces no competing outliers.
+  const double s3_center[2] = {0.0, 0.0};
+  LOFKIT_RETURN_IF_ERROR(
+      generators::AppendUniformBall(ds, rng, s3_center, 15.0, 500, "S3"));
+  scenario.named["s3_rep"] = ClosestTo(ds, 0, ds.size(), s3_center);
+
+  // S1: a tiny cluster sitting 10 units from the dense S2 — once MinPts
+  // reaches |S1| its objects' neighborhoods consist mostly of S2 members,
+  // whose local density is ~20x higher, making all of S1 strong outliers
+  // for MinPts in [10, 35], as in the paper's plot.
+  const size_t s1_begin = ds.size();
+  const double s1_center[2] = {40.0, 0.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendGaussianCluster(ds, rng, s1_center, 0.4, 10, "S1"));
+  scenario.named["s1_rep"] = ClosestTo(ds, s1_begin, ds.size(), s1_center);
+
+  // S2: the dense 35-object cluster. Its objects only become outlying
+  // once MinPts exceeds |S1 u S2| - 1 = 44 and their neighborhoods reach
+  // S3 — the staircase at MinPts = 45 the paper describes.
+  const size_t s2_begin = ds.size();
+  const double s2_center[2] = {50.0, 0.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendGaussianCluster(ds, rng, s2_center, 0.5, 35, "S2"));
+  scenario.named["s2_rep"] = ClosestTo(ds, s2_begin, ds.size(), s2_center);
+
+  return scenario;
+}
+
+Result<Scenario> MakeFig9Dataset(Rng& rng) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(2));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // One low-density Gaussian cluster of 200 objects...
+  const double sparse_center[2] = {25.0, 75.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendGaussianCluster(ds, rng, sparse_center, 6.0, 200, "gauss_sparse"));
+
+  // ... one dense Gaussian cluster of 500 ...
+  const double dense_center[2] = {75.0, 75.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendGaussianCluster(ds, rng, dense_center, 2.5, 500, "gauss_dense"));
+
+  // ... and two uniform clusters of 500 with clearly different densities.
+  const double boxa_lo[2] = {12.0, 12.0};
+  const double boxa_hi[2] = {32.0, 32.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendUniformBox(ds, rng, boxa_lo, boxa_hi, 500, "uniform_dense"));
+  const double boxb_lo[2] = {55.0, 5.0};
+  const double boxb_hi[2] = {95.0, 35.0};
+  LOFKIT_RETURN_IF_ERROR(
+      AppendUniformBox(ds, rng, boxb_lo, boxb_hi, 500, "uniform_sparse"));
+
+  // Seven planted outliers: between clusters, near the dense cluster, and
+  // in empty corners — the "remaining seven objects" of section 7.1.
+  const double outliers[7][2] = {
+      {50.0, 55.0},  // between everything
+      {84.0, 75.0},  // just outside the dense Gaussian
+      {5.0, 45.0},   // left edge
+      {45.0, 20.0},  // between the two uniform boxes
+      {95.0, 95.0},  // far corner
+      {25.0, 99.0},  // above the sparse Gaussian
+      {64.0, 49.0},  // between dense Gaussian and sparse box
+  };
+  for (int i = 0; i < 7; ++i) {
+    const std::string name = StrFormat("outlier_%d", i);
+    scenario.named[name] = ds.size();
+    LOFKIT_RETURN_IF_ERROR(ds.Append(outliers[i], name));
+  }
+  return scenario;
+}
+
+Result<Scenario> MakeHockeySubspace1(Rng& rng) {
+  // Attributes: (points scored, plus-minus, penalty minutes).
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(3));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // Regular skaters: points gamma-distributed (resampled below 70 so the
+  // scoring tail belongs to the star sub-population below), plus-minus
+  // roughly normal and bounded, penalty minutes exponential-ish.
+  for (int i = 0; i < 680; ++i) {
+    double points = 8.0 * rng.Gamma(1.8);
+    while (points > 70.0) points = 8.0 * rng.Gamma(1.8);
+    double plus_minus = rng.Gaussian(0.0, 9.0);
+    plus_minus = std::clamp(plus_minus, -32.0, 32.0);
+    const double pim = std::min(140.0, rng.Exponential(1.0 / 35.0));
+    const double p[3] = {std::round(points), std::round(plus_minus),
+                         std::round(pim)};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "skater"));
+  }
+
+  // Star scorers: a moderately dense sub-population covering the high-
+  // points region, as the real NHL has — without it, random scoring
+  // extremes would be stronger local outliers than the planted ones.
+  for (int i = 0; i < 60; ++i) {
+    const double points = rng.Uniform(55.0, 105.0);
+    double plus_minus = rng.Gaussian(8.0, 8.0);
+    plus_minus = std::clamp(plus_minus, -32.0, 32.0);
+    const double pim = std::min(120.0, rng.Exponential(1.0 / 30.0));
+    const double p[3] = {std::round(points), std::round(plus_minus),
+                         std::round(pim)};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "skater"));
+  }
+
+  // Enforcers: a denser sub-population with high penalty minutes, so the
+  // PIM tail is itself a (small) cluster and Barnaby is *locally* outlying
+  // with respect to it.
+  for (int i = 0; i < 90; ++i) {
+    const double points = rng.Uniform(2.0, 25.0);
+    const double plus_minus = rng.Gaussian(-4.0, 6.0);
+    const double pim = rng.Uniform(150.0, 215.0);
+    const double p[3] = {std::round(points), std::round(plus_minus),
+                         std::round(pim)};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "enforcer"));
+  }
+
+  // Konstantinov analogue: good points, *extreme* plus-minus, high PIM.
+  const double konstantinov[3] = {38.0, 60.0, 151.0};
+  scenario.named["konstantinov"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(konstantinov, "konstantinov"));
+
+  // Barnaby analogue: penalty minutes far beyond even the enforcers.
+  const double barnaby[3] = {19.0, -7.0, 310.0};
+  scenario.named["barnaby"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(barnaby, "barnaby"));
+
+  return scenario;
+}
+
+Result<Scenario> MakeHockeySubspace2(Rng& rng) {
+  // Attributes: (games played, goals scored, shooting percentage).
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(3));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // Skaters: shooting percentage concentrated in 4..22%.
+  for (int i = 0; i < 720; ++i) {
+    const double games = std::clamp(rng.Gaussian(55.0, 20.0), 1.0, 82.0);
+    const double rate = rng.Uniform(0.05, 0.55);  // goals per game
+    const double goals = std::min(54.0, std::round(games * rate * rng.Uniform(0.2, 1.0)));
+    const double pct = goals > 0 ? rng.Uniform(4.0, 22.0) : 0.0;
+    const double p[3] = {std::round(games), goals, pct};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "skater"));
+  }
+
+  // Goalies: a tight cluster at zero goals / zero shooting percentage.
+  for (int i = 0; i < 80; ++i) {
+    const double games = std::clamp(rng.Gaussian(35.0, 18.0), 1.0, 75.0);
+    const double p[3] = {std::round(games), 0.0, 0.0};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "goalie"));
+  }
+
+  // Osgood analogue: a goalie who scored — one goal on one shot, i.e. a
+  // shooting percentage no skater or goalie comes close to.
+  const double osgood[3] = {50.0, 1.0, 100.0};
+  scenario.named["osgood"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(osgood, "osgood"));
+
+  // Lemieux analogue: extreme scorer (goal total far beyond the field).
+  const double lemieux[3] = {70.0, 69.0, 20.4};
+  scenario.named["lemieux"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(lemieux, "lemieux"));
+
+  // Poapst analogue: three games, one goal, 50% shooting.
+  const double poapst[3] = {3.0, 1.0, 50.0};
+  scenario.named["poapst"] = ds.size();
+  LOFKIT_RETURN_IF_ERROR(ds.Append(poapst, "poapst"));
+
+  return scenario;
+}
+
+Result<Scenario> MakeSoccerLike(Rng& rng) {
+  // Attributes: (games played [0..34], goals per game, position code).
+  // Position codes 1..4 (goalie, defense, center, offense), as the paper
+  // coded position as an integer. Consumers should normalize to the unit
+  // box before computing distances (the benches and tests do).
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(3));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  auto games_sample = [&rng]() {
+    // Bimodal: regulars play most games, fringe players few.
+    if (rng.Bernoulli(0.62)) {
+      return std::round(std::clamp(rng.Gaussian(28.0, 5.0), 10.0, 34.0));
+    }
+    return std::round(rng.Uniform(0.0, 18.0));
+  };
+
+  // Goalies: 40 players, (almost) never score.
+  for (int i = 0; i < 40; ++i) {
+    const double p[3] = {games_sample(), 0.0, 1.0};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "goalie"));
+  }
+  // Defense: 120 players, low scoring averages.
+  for (int i = 0; i < 120; ++i) {
+    const double p[3] = {games_sample(), rng.Uniform(0.0, 0.14), 2.0};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "defense"));
+  }
+  // Center/midfield: 120 players, moderate averages.
+  for (int i = 0; i < 120; ++i) {
+    const double p[3] = {games_sample(), rng.Uniform(0.0, 0.30), 3.0};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "center"));
+  }
+  // Offense: 90 players, higher averages but well below the planted stars.
+  for (int i = 0; i < 90; ++i) {
+    const double p[3] = {games_sample(), rng.Uniform(0.05, 0.46), 4.0};
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, "offense"));
+  }
+
+  // The five Table-3 analogues (games, goals/game, position).
+  const struct {
+    const char* name;
+    double games, gpg, pos;
+  } planted[] = {
+      {"preetz", 34.0, 23.0 / 34.0, 4.0},       // top scorer, offense
+      {"schjoenberg", 15.0, 6.0 / 15.0, 2.0},   // penalty-shot defender
+      {"butt", 34.0, 7.0 / 34.0, 1.0},          // scoring goalie
+      {"kirsten", 31.0, 19.0 / 31.0, 4.0},      // high-average striker
+      {"elber", 21.0, 13.0 / 21.0, 4.0},        // high-average striker
+  };
+  for (const auto& player : planted) {
+    const double p[3] = {player.games, player.gpg, player.pos};
+    scenario.named[player.name] = ds.size();
+    LOFKIT_RETURN_IF_ERROR(ds.Append(p, player.name));
+  }
+  return scenario;
+}
+
+Result<Scenario> Make64DHistograms(Rng& rng) {
+  LOFKIT_ASSIGN_OR_RETURN(Dataset data, Dataset::Create(64));
+  Scenario scenario{std::move(data), {}};
+  Dataset& ds = scenario.data;
+
+  // Three scene-type clusters of different tightness.
+  LOFKIT_RETURN_IF_ERROR(AppendHistogramCluster(ds, rng, 200, 60.0, "tennis"));
+  const size_t news_begin = ds.size();
+  LOFKIT_RETURN_IF_ERROR(AppendHistogramCluster(ds, rng, 200, 30.0, "news"));
+  const size_t sports_begin = ds.size();
+  LOFKIT_RETURN_IF_ERROR(AppendHistogramCluster(ds, rng, 200, 90.0, "sports"));
+  const size_t sports_end = ds.size();
+
+  // Local outliers: blends of points from two different clusters, i.e.
+  // snapshots that are unlike any single scene type but not far from all.
+  std::vector<double> blend(64);
+  for (int i = 0; i < 5; ++i) {
+    const size_t a = rng.UniformU64(news_begin);  // from "tennis"
+    const size_t b =
+        sports_begin + rng.UniformU64(sports_end - sports_begin);  // "sports"
+    const double w = rng.Uniform(0.35, 0.65);
+    auto pa = ds.point(a);
+    auto pb = ds.point(b);
+    double sum = 0.0;
+    for (size_t d = 0; d < 64; ++d) {
+      blend[d] = w * pa[d] + (1.0 - w) * pb[d];
+      sum += blend[d];
+    }
+    for (size_t d = 0; d < 64; ++d) blend[d] /= sum;
+    const std::string name = StrFormat("hist_outlier_%d", i);
+    scenario.named[name] = ds.size();
+    LOFKIT_RETURN_IF_ERROR(ds.Append(blend, name));
+  }
+  return scenario;
+}
+
+}  // namespace scenarios
+}  // namespace lofkit

@@ -1,0 +1,90 @@
+#ifndef LOFKIT_DATASET_SCENARIOS_H_
+#define LOFKIT_DATASET_SCENARIOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace lofkit {
+
+/// Builders for the concrete datasets of the paper's figures and
+/// experiments. Each returns the points plus the indices of the named /
+/// planted objects the experiment talks about, so tests and benches can
+/// assert on exactly the objects the paper discusses.
+///
+/// Real-world inputs the paper used but that are not available (NHL96,
+/// Bundesliga 1998/99, TV-snapshot histograms) are replaced by synthetic
+/// equivalents that preserve the structural property each experiment
+/// exercises; see DESIGN.md section 4 for the substitution arguments.
+namespace scenarios {
+
+/// A dataset plus a name -> point-index map for the special objects.
+struct Scenario {
+  Dataset data;
+  std::map<std::string, size_t> named;
+
+  /// Index of a named object; the name must exist (CHECKed by callers via
+  /// named.at in tests, use Find for Status-based access).
+  Result<size_t> Find(const std::string& name) const;
+};
+
+/// Figure 1 / section 3, dataset DS1: 502 objects in 2-d.
+///  - "C1": 400 objects, sparse (uniform in a wide box),
+///  - "C2": 100 objects, dense Gaussian,
+///  - "o1": far from both clusters,
+///  - "o2": just outside C2, closer to C2 than any C1 object is to its own
+///          nearest neighbor — the configuration for which no DB(pct, dmin)
+///          setting flags o2 without also flagging all of C1.
+/// Named points: "o1", "o2". Labels carry the cluster names.
+Result<Scenario> MakeDs1(Rng& rng);
+
+/// Figure 7: a single 2-d Gaussian cluster (default 1000 points) used for
+/// the LOF-vs-MinPts fluctuation study.
+Result<Scenario> MakeGaussianBlob(Rng& rng, size_t count = 1000);
+
+/// Figure 8: three clusters S1 (10 points), S2 (35), S3 (500) with the
+/// spacing the paper describes (S1 and S2 near each other, S3 the large
+/// background cluster). Named points: "s1_rep", "s2_rep", "s3_rep" — one
+/// representative object per cluster (the paper plots one of each).
+Result<Scenario> MakeFig8Clusters(Rng& rng);
+
+/// Figure 9 / section 7.1: one low-density Gaussian cluster of 200 objects,
+/// one dense Gaussian cluster of 500, two uniform clusters of 500 with
+/// different densities, plus seven planted outliers "outlier_0".."outlier_6"
+/// at varying distances from the clusters.
+Result<Scenario> MakeFig9Dataset(Rng& rng);
+
+/// Section 7.2 (substituted): NHL-like 3-d subspace of (points scored,
+/// plus-minus, penalty minutes) for ~850 players, with planted analogues
+/// "konstantinov" (extreme plus-minus + high penalty minutes) and "barnaby"
+/// (extreme penalty minutes, modest points).
+Result<Scenario> MakeHockeySubspace1(Rng& rng);
+
+/// Section 7.2 second test (substituted): (games played, goals scored,
+/// shooting percentage) with planted "osgood" (goalie: full season, one
+/// goal, tiny shot count -> unusual shooting pct), "lemieux" (extreme
+/// scorer) and "poapst" (3 games, 1 goal, 50% shooting).
+Result<Scenario> MakeHockeySubspace2(Rng& rng);
+
+/// Section 7.3 / Table 3 (substituted): 375 Bundesliga-like players over
+/// (games played, goals per game, position code), four position clusters.
+/// Planted outliers named "preetz", "schjoenberg", "butt", "kirsten",
+/// "elber" mirror the five players of Table 3. Coordinates are in the raw
+/// units; position codes are spaced so the four clusters separate, as they
+/// do in the paper's dataset. Point labels carry the position names.
+Result<Scenario> MakeSoccerLike(Rng& rng);
+
+/// Section 7 (substituted): 64-dimensional normalized histogram clusters
+/// (stand-in for TV-snapshot color histograms) with planted local outliers
+/// "hist_outlier_0".."hist_outlier_4" formed by blending two cluster
+/// templates.
+Result<Scenario> Make64DHistograms(Rng& rng);
+
+}  // namespace scenarios
+}  // namespace lofkit
+
+#endif  // LOFKIT_DATASET_SCENARIOS_H_

@@ -1,0 +1,255 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+Status CheckQuery(const Dataset* data, std::span<const double> query) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (query.size() != data->dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("query has dimension %zu, index has %zu", query.size(),
+                  data->dimension()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GridIndex::Build(const Dataset& data, const Metric& metric) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build index over empty dataset");
+  }
+  data_ = &data;
+  metric_ = &metric;
+  buckets_.clear();
+
+  const size_t d = data.dimension();
+  box_lo_ = data.Min();
+  box_hi_ = data.Max();
+
+  // Aim for roughly one point per cell: n^(1/d) cells per dimension, capped
+  // so that packed cell keys fit into 64 bits. Beyond a handful of
+  // dimensions the shell enumeration of a query visits up to 3^d cells per
+  // shell, so the grid degenerates to a single cell there — a sequential
+  // scan, which is also what the paper prescribes for high dimensions.
+  constexpr size_t kMaxGridDimensions = 8;
+  const double target = std::pow(static_cast<double>(data.size()),
+                                 1.0 / static_cast<double>(d));
+  size_t cells = d <= kMaxGridDimensions
+                     ? static_cast<size_t>(std::max(1.0, std::floor(target)))
+                     : 1;
+  cells = std::min<size_t>(cells, 64);
+  size_t bits = 1;
+  while ((size_t{1} << bits) < cells) ++bits;
+  while (bits * d > 64) {
+    --bits;
+  }
+  if (bits == 0) {
+    bits = 1;
+    cells = 1;
+  }
+  cells = std::min<size_t>(cells, size_t{1} << bits);
+  cells_per_dim_ = std::max<size_t>(cells, 1);
+  bits_per_dim_ = bits;
+
+  cell_width_.assign(d, 1.0);
+  for (size_t i = 0; i < d; ++i) {
+    const double range = box_hi_[i] - box_lo_[i];
+    cell_width_[i] =
+        range > 0.0 ? range / static_cast<double>(cells_per_dim_) : 1.0;
+  }
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const std::vector<int64_t> cell = CellOf(data.point(i));
+    buckets_[PackCell(cell)].push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> GridIndex::CellOf(std::span<const double> point) const {
+  std::vector<int64_t> cell(point.size());
+  for (size_t i = 0; i < point.size(); ++i) {
+    const double offset = (point[i] - box_lo_[i]) / cell_width_[i];
+    int64_t c = static_cast<int64_t>(std::floor(offset));
+    c = std::clamp<int64_t>(c, 0, static_cast<int64_t>(cells_per_dim_) - 1);
+    cell[i] = c;
+  }
+  return cell;
+}
+
+uint64_t GridIndex::PackCell(std::span<const int64_t> cell) const {
+  uint64_t key = 0;
+  for (int64_t c : cell) {
+    key = (key << bits_per_dim_) | static_cast<uint64_t>(c);
+  }
+  return key;
+}
+
+void GridIndex::CellBounds(std::span<const int64_t> cell,
+                           std::vector<double>& lo,
+                           std::vector<double>& hi) const {
+  const size_t d = cell.size();
+  lo.resize(d);
+  hi.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    lo[i] = box_lo_[i] + static_cast<double>(cell[i]) * cell_width_[i];
+    hi[i] = lo[i] + cell_width_[i];
+  }
+}
+
+template <typename Fn>
+void GridIndex::VisitShell(std::span<const int64_t> center, int64_t shell,
+                           Fn&& fn) const {
+  const size_t d = center.size();
+  std::vector<int64_t> cell(d);
+  const int64_t max_cell = static_cast<int64_t>(cells_per_dim_) - 1;
+  // Odometer over offsets in [-shell, shell]^d keeping only cells with
+  // Chebyshev cell-distance exactly `shell`.
+  std::vector<int64_t> offset(d, -shell);
+  for (;;) {
+    bool on_shell = shell == 0;
+    bool in_range = true;
+    for (size_t i = 0; i < d; ++i) {
+      if (offset[i] == -shell || offset[i] == shell) on_shell = true;
+      const int64_t c = center[i] + offset[i];
+      if (c < 0 || c > max_cell) {
+        in_range = false;
+        break;
+      }
+      cell[i] = c;
+    }
+    if (on_shell && in_range) {
+      auto it = buckets_.find(PackCell(cell));
+      if (it != buckets_.end()) {
+        fn(it->second, std::span<const int64_t>(cell));
+      }
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < d) {
+      if (offset[pos] < shell) {
+        ++offset[pos];
+        break;
+      }
+      offset[pos] = -shell;
+      ++pos;
+    }
+    if (pos == d) break;
+  }
+}
+
+Result<std::vector<Neighbor>> GridIndex::Query(
+    std::span<const double> query, size_t k,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t d = query.size();
+  const std::vector<int64_t> center = CellOf(query);
+  internal_index::KnnCollector collector(k);
+  std::vector<double> cell_lo;
+  std::vector<double> cell_hi;
+
+  // No cell can be farther than cells_per_dim_ - 1 from the (clamped)
+  // center cell, so larger shells cannot contain any points.
+  const int64_t max_shell = static_cast<int64_t>(cells_per_dim_) - 1;
+  for (int64_t shell = 0; shell <= max_shell; ++shell) {
+    if (shell > 0) {
+      // Everything on this shell and beyond lies outside the box of cells
+      // with Chebyshev distance < shell; the gap from the query to that
+      // box's nearest face is a lower bound on all remaining distances.
+      double bound = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < d; ++i) {
+        const double lo_face =
+            box_lo_[i] +
+            static_cast<double>(center[i] - (shell - 1)) * cell_width_[i];
+        const double hi_face =
+            box_lo_[i] +
+            static_cast<double>(center[i] + shell) * cell_width_[i];
+        const double gap =
+            std::max(0.0, std::min(query[i] - lo_face, hi_face - query[i]));
+        bound = std::min(bound, metric_->CoordinateDistance(i, gap));
+      }
+      if (bound > collector.Tau()) break;
+    }
+    VisitShell(center, shell,
+               [&](const std::vector<uint32_t>& bucket,
+                   std::span<const int64_t> cell) {
+                 CellBounds(cell, cell_lo, cell_hi);
+                 if (metric_->MinDistanceToBox(query, cell_lo, cell_hi) >
+                     collector.Tau()) {
+                   return;
+                 }
+                 for (uint32_t id : bucket) {
+                   if (exclude.has_value() && *exclude == id) continue;
+                   collector.Offer(id,
+                                   metric_->Distance(query, data_->point(id)));
+                 }
+               });
+  }
+  return collector.Take();
+}
+
+Result<std::vector<Neighbor>> GridIndex::QueryRadius(
+    std::span<const double> query, double radius,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  const size_t d = query.size();
+  // Per-dimension cell range that can intersect the ball.
+  std::vector<int64_t> lo_cell(d);
+  std::vector<int64_t> hi_cell(d);
+  const int64_t max_cell = static_cast<int64_t>(cells_per_dim_) - 1;
+  for (size_t i = 0; i < d; ++i) {
+    lo_cell[i] = std::clamp<int64_t>(
+        static_cast<int64_t>(
+            std::floor((query[i] - radius - box_lo_[i]) / cell_width_[i])),
+        0, max_cell);
+    hi_cell[i] = std::clamp<int64_t>(
+        static_cast<int64_t>(
+            std::floor((query[i] + radius - box_lo_[i]) / cell_width_[i])),
+        0, max_cell);
+  }
+
+  std::vector<Neighbor> result;
+  std::vector<int64_t> cell = lo_cell;
+  std::vector<double> cell_lo;
+  std::vector<double> cell_hi;
+  for (;;) {
+    auto it = buckets_.find(PackCell(cell));
+    if (it != buckets_.end()) {
+      CellBounds(cell, cell_lo, cell_hi);
+      if (metric_->MinDistanceToBox(query, cell_lo, cell_hi) <= radius) {
+        for (uint32_t id : it->second) {
+          if (exclude.has_value() && *exclude == id) continue;
+          const double dist = metric_->Distance(query, data_->point(id));
+          if (dist <= radius) result.push_back(Neighbor{id, dist});
+        }
+      }
+    }
+    size_t pos = 0;
+    while (pos < d) {
+      if (cell[pos] < hi_cell[pos]) {
+        ++cell[pos];
+        break;
+      }
+      cell[pos] = lo_cell[pos];
+      ++pos;
+    }
+    if (pos == d) break;
+  }
+  internal_index::SortNeighbors(result);
+  return result;
+}
+
+}  // namespace lofkit

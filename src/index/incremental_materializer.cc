@@ -1,0 +1,87 @@
+#include "index/incremental_materializer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+
+Result<IncrementalMaterializer> IncrementalMaterializer::Create(
+    Dataset data, const Metric& metric, size_t k_max) {
+  if (k_max == 0) {
+    return Status::InvalidArgument("k_max must be >= 1");
+  }
+  if (data.size() <= k_max) {
+    return Status::InvalidArgument(
+        StrFormat("need at least k_max + 1 = %zu initial points, got %zu",
+                  k_max + 1, data.size()));
+  }
+  IncrementalMaterializer inc(std::move(data), metric, k_max);
+  LinearScanIndex index;
+  LOFKIT_RETURN_IF_ERROR(index.Build(inc.data_, metric));
+  inc.lists_.resize(inc.data_.size());
+  for (size_t i = 0; i < inc.data_.size(); ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(
+        inc.lists_[i],
+        index.Query(inc.data_.point(i), k_max, static_cast<uint32_t>(i)));
+  }
+  return inc;
+}
+
+void IncrementalMaterializer::Trim(std::vector<Neighbor>& list) const {
+  if (list.size() <= k_max_) return;
+  const double k_distance = list[k_max_ - 1].distance;
+  size_t end = k_max_;
+  while (end < list.size() && list[end].distance <= k_distance) ++end;
+  list.resize(end);
+}
+
+Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
+                                       const std::string& label) {
+  if (coordinates.size() != data_.dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("point has dimension %zu, dataset has %zu",
+                  coordinates.size(), data_.dimension()));
+  }
+  const uint32_t new_id = static_cast<uint32_t>(data_.size());
+  LOFKIT_RETURN_IF_ERROR(data_.Append(coordinates, label));
+  const auto new_point = data_.point(new_id);
+
+  // One distance pass serves both the new point's own neighborhood and the
+  // affected-list test.
+  last_affected_ = 0;
+  internal_index::KnnCollector collector(k_max_);
+  for (uint32_t q = 0; q < new_id; ++q) {
+    const double dist = metric_->Distance(new_point, data_.point(q));
+    collector.Offer(q, dist);
+
+    std::vector<Neighbor>& list = lists_[q];
+    // The stored list covers exactly the old k_max-distance neighborhood;
+    // its last entry's distance is that k-distance (ties included), except
+    // when fewer than k_max points existed (then everything is stored and
+    // the new point always joins).
+    const bool affected =
+        list.size() < k_max_ || dist <= list.back().distance;
+    if (!affected) continue;
+    ++last_affected_;
+    const Neighbor entry{new_id, dist};
+    const auto pos = std::upper_bound(
+        list.begin(), list.end(), entry, [](const Neighbor& a,
+                                            const Neighbor& b) {
+          if (a.distance != b.distance) return a.distance < b.distance;
+          return a.index < b.index;
+        });
+    list.insert(pos, entry);
+    Trim(list);
+  }
+  lists_.push_back(collector.Take());
+  return Status::OK();
+}
+
+Result<NeighborhoodMaterializer> IncrementalMaterializer::Snapshot() const {
+  return NeighborhoodMaterializer::FromLists(k_max_, /*distinct=*/false,
+                                             &data_, lists_);
+}
+
+}  // namespace lofkit

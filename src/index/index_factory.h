@@ -1,0 +1,42 @@
+#ifndef LOFKIT_INDEX_INDEX_FACTORY_H_
+#define LOFKIT_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// The kNN engines lofkit ships, mirroring the options of section 7.4.
+enum class IndexKind {
+  kLinearScan,  ///< sequential scan (exact, O(n) per query)
+  kGrid,        ///< uniform grid (low dimensions)
+  kKdTree,      ///< KD-tree (medium dimensions)
+  kRStarTree,   ///< R*-tree with X-tree supernodes (the paper's choice)
+  kVaFile,      ///< vector-approximation file (high dimensions)
+  kMTree,       ///< M-tree (general metric spaces, e.g. angular distance)
+};
+
+/// Creates an unbuilt index of the given kind.
+std::unique_ptr<KnnIndex> CreateIndex(IndexKind kind);
+
+/// Creates an index by name: "linear_scan", "grid", "kd_tree",
+/// "rstar_tree", "va_file" or "m_tree".
+Result<std::unique_ptr<KnnIndex>> CreateIndexByName(std::string_view name);
+
+/// All index kinds, for parameterized tests and ablation benches.
+std::vector<IndexKind> AllIndexKinds();
+
+/// Canonical name of an index kind.
+std::string_view IndexKindName(IndexKind kind);
+
+/// Picks the engine the paper's guidance suggests for a given
+/// dimensionality: grid for d <= 2, tree for medium d, VA-file beyond.
+IndexKind RecommendIndexKind(size_t dimension);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_INDEX_FACTORY_H_

@@ -1,0 +1,169 @@
+#include "index/kd_tree_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+Status CheckQuery(const Dataset* data, std::span<const double> query) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (query.size() != data->dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("query has dimension %zu, index has %zu", query.size(),
+                  data->dimension()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status KdTreeIndex::Build(const Dataset& data, const Metric& metric) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build index over empty dataset");
+  }
+  data_ = &data;
+  metric_ = &metric;
+  dim_ = data.dimension();
+  nodes_.clear();
+  boxes_.clear();
+  ids_.resize(data.size());
+  for (size_t i = 0; i < data.size(); ++i) ids_[i] = static_cast<uint32_t>(i);
+  nodes_.reserve(2 * data.size() / kLeafSize + 2);
+  root_ = BuildNode(0, static_cast<uint32_t>(data.size()));
+  return Status::OK();
+}
+
+uint32_t KdTreeIndex::BuildNode(uint32_t begin, uint32_t end) {
+  const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  // Compute the bounding box of [begin, end).
+  const size_t box_offset = boxes_.size();
+  boxes_.resize(box_offset + 2 * dim_);
+  double* lo = boxes_.data() + box_offset;
+  double* hi = lo + dim_;
+  for (size_t d = 0; d < dim_; ++d) {
+    lo[d] = std::numeric_limits<double>::infinity();
+    hi[d] = -std::numeric_limits<double>::infinity();
+  }
+  for (uint32_t i = begin; i < end; ++i) {
+    auto p = data_->point(ids_[i]);
+    for (size_t d = 0; d < dim_; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  nodes_[node_id].box_offset = box_offset;
+  nodes_[node_id].begin = begin;
+  nodes_[node_id].end = end;
+
+  // Split on the widest dimension; stop when small or degenerate.
+  size_t split_dim = 0;
+  double widest = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    const double extent = hi[d] - lo[d];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = d;
+    }
+  }
+  if (end - begin <= kLeafSize || widest <= 0.0) {
+    return node_id;  // leaf
+  }
+
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return data_->point(a)[split_dim] <
+                            data_->point(b)[split_dim];
+                   });
+  // boxes_ may reallocate during recursion, so do not hold lo/hi across it.
+  const uint32_t left = BuildNode(begin, mid);
+  const uint32_t right = BuildNode(mid, end);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
+                             std::optional<uint32_t> exclude,
+                             internal_index::KnnCollector& collector) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf()) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const uint32_t id = ids_[i];
+      if (exclude.has_value() && *exclude == id) continue;
+      collector.Offer(id, metric_->Distance(query, data_->point(id)));
+    }
+    return;
+  }
+  const Node& left = nodes_[node.left];
+  const Node& right = nodes_[node.right];
+  const double dist_left = metric_->MinDistanceToBox(query, BoxLo(left),
+                                                     BoxHi(left));
+  const double dist_right = metric_->MinDistanceToBox(query, BoxLo(right),
+                                                      BoxHi(right));
+  const uint32_t first = dist_left <= dist_right ? node.left : node.right;
+  const uint32_t second = dist_left <= dist_right ? node.right : node.left;
+  const double dist_first = std::min(dist_left, dist_right);
+  const double dist_second = std::max(dist_left, dist_right);
+  if (dist_first <= collector.Tau()) {
+    SearchNode(first, query, exclude, collector);
+  }
+  if (dist_second <= collector.Tau()) {
+    SearchNode(second, query, exclude, collector);
+  }
+}
+
+void KdTreeIndex::SearchRadius(uint32_t node_id,
+                               std::span<const double> query, double radius,
+                               std::optional<uint32_t> exclude,
+                               std::vector<Neighbor>& result) const {
+  const Node& node = nodes_[node_id];
+  if (metric_->MinDistanceToBox(query, BoxLo(node), BoxHi(node)) > radius) {
+    return;
+  }
+  if (node.is_leaf()) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const uint32_t id = ids_[i];
+      if (exclude.has_value() && *exclude == id) continue;
+      const double dist = metric_->Distance(query, data_->point(id));
+      if (dist <= radius) result.push_back(Neighbor{id, dist});
+    }
+    return;
+  }
+  SearchRadius(node.left, query, radius, exclude, result);
+  SearchRadius(node.right, query, radius, exclude, result);
+}
+
+Result<std::vector<Neighbor>> KdTreeIndex::Query(
+    std::span<const double> query, size_t k,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  internal_index::KnnCollector collector(k);
+  SearchNode(root_, query, exclude, collector);
+  return collector.Take();
+}
+
+Result<std::vector<Neighbor>> KdTreeIndex::QueryRadius(
+    std::span<const double> query, double radius,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  std::vector<Neighbor> result;
+  SearchRadius(root_, query, radius, exclude, result);
+  internal_index::SortNeighbors(result);
+  return result;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,75 @@
+#ifndef LOFKIT_INDEX_KD_TREE_INDEX_H_
+#define LOFKIT_INDEX_KD_TREE_INDEX_H_
+
+#include <vector>
+
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// Exact kNN via a bulk-loaded KD-tree with per-node bounding boxes — a
+/// standard main-memory engine for the paper's "medium dimensional" regime.
+///
+/// Build() recursively splits on the widest dimension at the median (leaf
+/// size 16) and stores each node's true bounding box, so pruning uses the
+/// metric's MinDistanceToBox and is valid for every Metric implementation.
+class KdTreeIndex final : public KnnIndex {
+ public:
+  KdTreeIndex() = default;
+
+  Status Build(const Dataset& data, const Metric& metric) override;
+  Result<std::vector<Neighbor>> Query(
+      std::span<const double> query, size_t k,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  Result<std::vector<Neighbor>> QueryRadius(
+      std::span<const double> query, double radius,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  std::string_view name() const override { return "kd_tree"; }
+
+  /// Number of tree nodes (for tests).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Bounding box of the points under this node, laid out in boxes_
+    // starting at box_offset (d mins followed by d maxs).
+    size_t box_offset = 0;
+    // Children; kNone for leaves.
+    uint32_t left = kNone;
+    uint32_t right = kNone;
+    // Point-id range [begin, end) in ids_ (leaves only).
+    uint32_t begin = 0;
+    uint32_t end = 0;
+
+    static constexpr uint32_t kNone = 0xffffffffu;
+    bool is_leaf() const { return left == kNone; }
+  };
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end);
+  void SearchNode(uint32_t node_id, std::span<const double> query,
+                  std::optional<uint32_t> exclude,
+                  internal_index::KnnCollector& collector) const;
+  void SearchRadius(uint32_t node_id, std::span<const double> query,
+                    double radius, std::optional<uint32_t> exclude,
+                    std::vector<Neighbor>& result) const;
+  std::span<const double> BoxLo(const Node& node) const {
+    return {boxes_.data() + node.box_offset, dim_};
+  }
+  std::span<const double> BoxHi(const Node& node) const {
+    return {boxes_.data() + node.box_offset + dim_, dim_};
+  }
+
+  static constexpr uint32_t kLeafSize = 16;
+
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+  size_t dim_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> boxes_;
+  std::vector<uint32_t> ids_;
+  uint32_t root_ = Node::kNone;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_KD_TREE_INDEX_H_

@@ -1,0 +1,28 @@
+#include "index/knn_index.h"
+
+namespace lofkit {
+namespace internal_index {
+
+std::vector<Neighbor> KnnCollector::Take() {
+  const double k_distance = Tau();
+  std::vector<Neighbor> result;
+  result.reserve(accepted_.size());
+  for (const Neighbor& n : accepted_) {
+    if (n.distance <= k_distance) result.push_back(n);
+  }
+  SortNeighbors(result);
+  accepted_.clear();
+  heap_.clear();
+  return result;
+}
+
+void SortNeighbors(std::vector<Neighbor>& neighbors) {
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+}
+
+}  // namespace internal_index
+}  // namespace lofkit

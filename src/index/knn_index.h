@@ -1,0 +1,116 @@
+#ifndef LOFKIT_INDEX_KNN_INDEX_H_
+#define LOFKIT_INDEX_KNN_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/metric.h"
+
+namespace lofkit {
+
+/// One element of a neighbor list: a point index and its distance to the
+/// query. Neighbor lists are always sorted by (distance, index) ascending.
+struct Neighbor {
+  uint32_t index = 0;
+  double distance = 0.0;
+};
+
+inline bool operator==(const Neighbor& a, const Neighbor& b) {
+  return a.index == b.index && a.distance == b.distance;
+}
+
+/// Interface of every k-nearest-neighbor query engine in lofkit.
+///
+/// The paper's two-step algorithm (section 7.4) is agnostic to how the kNN
+/// queries are answered and lists several options (grid, index tree,
+/// sequential scan / VA-file); lofkit implements each behind this interface.
+///
+/// Semantics follow Definitions 3 and 4 of the paper: Query(q, k) returns
+/// the *k-distance neighborhood* of q — every eligible point whose distance
+/// is <= the k-distance — so the result contains at least k entries and more
+/// when ties exist at the k-distance. If fewer than k eligible points exist,
+/// all of them are returned.
+class KnnIndex {
+ public:
+  virtual ~KnnIndex() = default;
+
+  /// Builds the index over `data` with `metric`. Both must outlive the
+  /// index. Fails on an empty dataset. Building again replaces the previous
+  /// content.
+  virtual Status Build(const Dataset& data, const Metric& metric) = 0;
+
+  /// k-distance neighborhood of `query` (ties included), sorted by
+  /// (distance, index). `exclude`, when set, removes that point index from
+  /// consideration — pass the query point's own index to realize the
+  /// D \ {p} of Definition 3. Requires k >= 1 and a prior successful
+  /// Build().
+  virtual Result<std::vector<Neighbor>> Query(
+      std::span<const double> query, size_t k,
+      std::optional<uint32_t> exclude = std::nullopt) const = 0;
+
+  /// All points within `radius` of `query` (inclusive), sorted by
+  /// (distance, index), `exclude` as in Query(). Used by DBSCAN/OPTICS and
+  /// the DB(pct, dmin) baseline.
+  virtual Result<std::vector<Neighbor>> QueryRadius(
+      std::span<const double> query, double radius,
+      std::optional<uint32_t> exclude = std::nullopt) const = 0;
+
+  /// Engine identifier, e.g. "linear_scan", "rstar_tree".
+  virtual std::string_view name() const = 0;
+};
+
+namespace internal_index {
+
+/// Accumulates candidates during a kNN search and produces the k-distance
+/// neighborhood (ties included).
+///
+/// Offer() every candidate; tau() is the current k-th smallest distance
+/// (+inf until k candidates were seen) and is the pruning bound: a search
+/// may skip any region whose minimum possible distance is *strictly greater*
+/// than tau (skipping at == tau would lose ties).
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k) : k_(k) {}
+
+  /// Considers one candidate.
+  void Offer(uint32_t index, double distance) {
+    if (distance > Tau()) return;
+    accepted_.push_back(Neighbor{index, distance});
+    heap_.push_back(distance);
+    std::push_heap(heap_.begin(), heap_.end());
+    if (heap_.size() > k_) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+  }
+
+  /// Current pruning bound (k-th smallest distance seen, or +inf).
+  double Tau() const {
+    return heap_.size() == k_ ? heap_.front()
+                              : std::numeric_limits<double>::infinity();
+  }
+
+  /// Finalizes: filters to distance <= k-distance, sorts by
+  /// (distance, index). The collector is left empty.
+  std::vector<Neighbor> Take();
+
+ private:
+  size_t k_;
+  std::vector<double> heap_;        // max-heap of the k smallest distances
+  std::vector<Neighbor> accepted_;  // superset of the final result
+};
+
+/// Sorts a neighbor list by (distance, index).
+void SortNeighbors(std::vector<Neighbor>& neighbors);
+
+}  // namespace internal_index
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_KNN_INDEX_H_

@@ -1,0 +1,67 @@
+#include "index/linear_scan_index.h"
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+Status CheckQuery(const Dataset* data, std::span<const double> query) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (query.size() != data->dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("query has dimension %zu, index has %zu", query.size(),
+                  data->dimension()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LinearScanIndex::Build(const Dataset& data, const Metric& metric) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build index over empty dataset");
+  }
+  data_ = &data;
+  metric_ = &metric;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> LinearScanIndex::Query(
+    std::span<const double> query, size_t k,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  internal_index::KnnCollector collector(k);
+  for (size_t i = 0; i < data_->size(); ++i) {
+    if (exclude.has_value() && *exclude == i) continue;
+    collector.Offer(static_cast<uint32_t>(i),
+                    metric_->Distance(query, data_->point(i)));
+  }
+  return collector.Take();
+}
+
+Result<std::vector<Neighbor>> LinearScanIndex::QueryRadius(
+    std::span<const double> query, double radius,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  std::vector<Neighbor> result;
+  for (size_t i = 0; i < data_->size(); ++i) {
+    if (exclude.has_value() && *exclude == i) continue;
+    const double dist = metric_->Distance(query, data_->point(i));
+    if (dist <= radius) {
+      result.push_back(Neighbor{static_cast<uint32_t>(i), dist});
+    }
+  }
+  internal_index::SortNeighbors(result);
+  return result;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,31 @@
+#ifndef LOFKIT_INDEX_LINEAR_SCAN_INDEX_H_
+#define LOFKIT_INDEX_LINEAR_SCAN_INDEX_H_
+
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// Exact kNN by sequential scan — the O(n)-per-query fallback the paper
+/// prescribes for extremely high-dimensional data (section 7.4), and the
+/// reference oracle against which every other engine is tested.
+class LinearScanIndex final : public KnnIndex {
+ public:
+  LinearScanIndex() = default;
+
+  Status Build(const Dataset& data, const Metric& metric) override;
+  Result<std::vector<Neighbor>> Query(
+      std::span<const double> query, size_t k,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  Result<std::vector<Neighbor>> QueryRadius(
+      std::span<const double> query, double radius,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  std::string_view name() const override { return "linear_scan"; }
+
+ private:
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_LINEAR_SCAN_INDEX_H_

@@ -1,0 +1,86 @@
+#ifndef LOFKIT_INDEX_M_TREE_INDEX_H_
+#define LOFKIT_INDEX_M_TREE_INDEX_H_
+
+#include <vector>
+
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// M-tree (Ciaccia/Patella/Zezula, VLDB'97): an exact index for *general*
+/// metric spaces, relying only on the triangle inequality — no coordinate
+/// boxes. This is the engine to use with metrics whose axis-aligned bounds
+/// are vacuous (e.g. AngularMetric, where the box-based engines all
+/// degenerate to scans): the LOF definitions are metric-general, and with
+/// the M-tree so is the whole lofkit pipeline.
+///
+/// Structure: every node stores routing objects with covering radii; each
+/// entry also caches its distance to the parent routing object, enabling
+/// the classic d(q,parent)-based pruning that skips distance computations
+/// entirely. Insertion descends by minimum radius enlargement; overflow
+/// splits promote the two farthest entries (mM_RAD-style) and partition by
+/// generalized hyperplane. kNN queries run best-first on
+/// dmin = max(0, d(q, routing) - radius) with the shared tie-preserving
+/// collector.
+class MTreeIndex final : public KnnIndex {
+ public:
+  MTreeIndex() = default;
+
+  Status Build(const Dataset& data, const Metric& metric) override;
+  Result<std::vector<Neighbor>> Query(
+      std::span<const double> query, size_t k,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  Result<std::vector<Neighbor>> QueryRadius(
+      std::span<const double> query, double radius,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  std::string_view name() const override { return "m_tree"; }
+
+  /// Statistics for tests.
+  size_t node_count() const { return nodes_.size(); }
+  size_t height() const;
+
+  /// Structural self-check for tests: covering radii really cover all
+  /// points beneath each routing object, parent-distance caches are exact,
+  /// and every point id appears in exactly one leaf.
+  Status CheckInvariants() const;
+
+ private:
+  static constexpr size_t kMaxEntries = 32;
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  struct Entry {
+    uint32_t object = 0;        // point id: routing object or leaf member
+    uint32_t child = kNone;     // subtree (internal entries only)
+    double radius = 0.0;        // covering radius (internal entries only)
+    double parent_distance = 0.0;  // d(object, parent routing object)
+  };
+
+  struct Node {
+    bool leaf = true;
+    uint32_t parent = kNone;        // parent node
+    uint32_t parent_slot = kNone;   // index of this node's entry in parent
+    std::vector<Entry> entries;
+  };
+
+  double Distance(uint32_t a, uint32_t b) const;
+  double DistanceToQuery(std::span<const double> q, uint32_t object) const;
+
+  /// Descends from the root to the leaf best suited for point `id`,
+  /// updating covering radii on the way down.
+  uint32_t ChooseLeaf(uint32_t id);
+
+  /// Handles an overfull node: split, promote, update parent (recursive).
+  void Split(uint32_t node_id);
+
+  /// Routing object of `node_id` as seen from its parent (kNone for root).
+  uint32_t RoutingObjectOf(uint32_t node_id) const;
+
+  std::vector<Node> nodes_;
+  uint32_t root_ = kNone;
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_M_TREE_INDEX_H_

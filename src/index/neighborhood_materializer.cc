@@ -1,0 +1,361 @@
+#include "index/neighborhood_materializer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+bool SameCoordinates(const Dataset& data, uint32_t a, uint32_t b) {
+  auto pa = data.point(a);
+  auto pb = data.point(b);
+  return std::equal(pa.begin(), pa.end(), pb.begin());
+}
+
+// Number of distinct-coordinate groups in a sorted neighbor list. Points
+// with identical coordinates necessarily have identical distances to the
+// query, so deduplication only needs to look inside equal-distance runs.
+size_t CountDistinctGroups(const Dataset& data,
+                           std::span<const Neighbor> list) {
+  size_t groups = 0;
+  size_t run_begin = 0;
+  while (run_begin < list.size()) {
+    size_t run_end = run_begin + 1;
+    while (run_end < list.size() &&
+           list[run_end].distance == list[run_begin].distance) {
+      ++run_end;
+    }
+    for (size_t i = run_begin; i < run_end; ++i) {
+      bool is_new = true;
+      for (size_t j = run_begin; j < i; ++j) {
+        if (SameCoordinates(data, list[i].index, list[j].index)) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) ++groups;
+    }
+    run_begin = run_end;
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
+    const Dataset& data, const KnnIndex& index, size_t k_max,
+    bool distinct_neighbors) {
+  if (k_max == 0) {
+    return Status::InvalidArgument("k_max must be >= 1");
+  }
+  if (k_max >= data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("k_max (%zu) must be smaller than the dataset size (%zu): "
+                  "every point needs k_max neighbors besides itself",
+                  k_max, data.size()));
+  }
+  NeighborhoodMaterializer m(k_max, distinct_neighbors);
+  m.data_ = &data;
+  m.offsets_.reserve(data.size() + 1);
+  m.offsets_.push_back(0);
+  m.flat_.reserve(data.size() * k_max);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const uint32_t self = static_cast<uint32_t>(i);
+    size_t query_k = k_max;
+    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> list,
+                            index.Query(data.point(i), query_k, self));
+    if (distinct_neighbors) {
+      // Grow the query until k_max distinct-coordinate neighbors are
+      // covered (or the whole dataset has been fetched).
+      while (CountDistinctGroups(data, list) < k_max &&
+             list.size() < data.size() - 1) {
+        query_k = std::min(query_k * 2, data.size() - 1);
+        LOFKIT_ASSIGN_OR_RETURN(list,
+                                index.Query(data.point(i), query_k, self));
+      }
+    }
+    m.flat_.insert(m.flat_.end(), list.begin(), list.end());
+    m.offsets_.push_back(m.flat_.size());
+  }
+  return m;
+}
+
+Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
+    const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
+    bool distinct_neighbors) {
+  if (threads <= 1) {
+    return Materialize(data, index, k_max, distinct_neighbors);
+  }
+  if (k_max == 0) {
+    return Status::InvalidArgument("k_max must be >= 1");
+  }
+  if (k_max >= data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("k_max (%zu) must be smaller than the dataset size (%zu)",
+                  k_max, data.size()));
+  }
+  const size_t n = data.size();
+  threads = std::min(threads, n);
+  std::vector<std::vector<Neighbor>> lists(n);
+  std::vector<Status> worker_status(threads);
+
+  auto worker = [&](size_t worker_id) {
+    const size_t begin = n * worker_id / threads;
+    const size_t end = n * (worker_id + 1) / threads;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t self = static_cast<uint32_t>(i);
+      size_t query_k = k_max;
+      auto list = index.Query(data.point(i), query_k, self);
+      if (!list.ok()) {
+        worker_status[worker_id] = list.status();
+        return;
+      }
+      if (distinct_neighbors) {
+        while (CountDistinctGroups(data, *list) < k_max &&
+               list->size() < n - 1) {
+          query_k = std::min(query_k * 2, n - 1);
+          list = index.Query(data.point(i), query_k, self);
+          if (!list.ok()) {
+            worker_status[worker_id] = list.status();
+            return;
+          }
+        }
+      }
+      lists[i] = std::move(list).value();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  for (std::thread& t : pool) t.join();
+  for (const Status& status : worker_status) {
+    LOFKIT_RETURN_IF_ERROR(status);
+  }
+
+  NeighborhoodMaterializer m(k_max, distinct_neighbors);
+  m.data_ = &data;
+  m.offsets_.reserve(n + 1);
+  m.offsets_.push_back(0);
+  m.flat_.reserve(n * k_max);
+  for (const auto& list : lists) {
+    m.flat_.insert(m.flat_.end(), list.begin(), list.end());
+    m.offsets_.push_back(m.flat_.size());
+  }
+  return m;
+}
+
+Result<NeighborhoodMaterializer::KView> NeighborhoodMaterializer::View(
+    size_t i, size_t k) const {
+  if (i >= size()) {
+    return Status::NotFound(StrFormat("point index %zu out of range", i));
+  }
+  if (k == 0 || k > k_max_) {
+    return Status::OutOfRange(
+        StrFormat("k (%zu) must be in [1, k_max=%zu]", k, k_max_));
+  }
+  const std::span<const Neighbor> list = neighbors(i);
+  if (!distinct_) {
+    if (k > list.size()) {
+      return Status::OutOfRange(
+          StrFormat("point %zu has only %zu materialized neighbors, need %zu",
+                    i, list.size(), k));
+    }
+    const double k_distance = list[k - 1].distance;
+    size_t end = k;
+    while (end < list.size() && list[end].distance <= k_distance) ++end;
+    return KView{k_distance, list.subspan(0, end)};
+  }
+
+  // Distinct mode: walk equal-distance runs, counting coordinate groups;
+  // the k-distinct-distance is the distance of the run in which the k-th
+  // group appears, and the neighborhood is everything through that run.
+  size_t groups = 0;
+  size_t run_begin = 0;
+  while (run_begin < list.size()) {
+    size_t run_end = run_begin + 1;
+    while (run_end < list.size() &&
+           list[run_end].distance == list[run_begin].distance) {
+      ++run_end;
+    }
+    for (size_t a = run_begin; a < run_end; ++a) {
+      bool is_new = true;
+      for (size_t b = run_begin; b < a; ++b) {
+        if (SameCoordinates(*data_, list[a].index, list[b].index)) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) ++groups;
+    }
+    if (groups >= k) {
+      return KView{list[run_begin].distance, list.subspan(0, run_end)};
+    }
+    run_begin = run_end;
+  }
+  return Status::OutOfRange(
+      StrFormat("point %zu has only %zu distinct neighbors, need %zu", i,
+                groups, k));
+}
+
+Result<NeighborhoodMaterializer> NeighborhoodMaterializer::FromLists(
+    size_t k_max, bool distinct_neighbors, const Dataset* data,
+    const std::vector<std::vector<Neighbor>>& lists) {
+  if (k_max == 0) {
+    return Status::InvalidArgument("k_max must be >= 1");
+  }
+  if (lists.empty()) {
+    return Status::InvalidArgument("no neighbor lists given");
+  }
+  if (distinct_neighbors && data == nullptr) {
+    return Status::InvalidArgument(
+        "distinct-neighbors mode needs the dataset");
+  }
+  NeighborhoodMaterializer m(k_max, distinct_neighbors);
+  m.data_ = data;
+  m.offsets_.reserve(lists.size() + 1);
+  m.offsets_.push_back(0);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const auto& list = lists[i];
+    if (!distinct_neighbors && list.size() < k_max &&
+        list.size() + 1 < lists.size()) {
+      return Status::InvalidArgument(
+          StrFormat("list %zu has %zu entries, expected >= k_max=%zu", i,
+                    list.size(), k_max));
+    }
+    for (size_t j = 0; j < list.size(); ++j) {
+      if (list[j].index >= lists.size()) {
+        return Status::InvalidArgument(
+            StrFormat("list %zu holds out-of-range index %u", i,
+                      list[j].index));
+      }
+      if (j > 0 && (list[j - 1].distance > list[j].distance ||
+                    (list[j - 1].distance == list[j].distance &&
+                     list[j - 1].index >= list[j].index))) {
+        return Status::InvalidArgument(
+            StrFormat("list %zu is not sorted by (distance, index)", i));
+      }
+    }
+    m.flat_.insert(m.flat_.end(), list.begin(), list.end());
+    m.offsets_.push_back(m.flat_.size());
+  }
+  return m;
+}
+
+namespace {
+
+// File layout (native little-endian):
+//   magic "LOFM" (4 bytes) | version u32 | k_max u64 | distinct u8 |
+//   n u64 | offsets (n+1) u64 | entries { index u32, distance f64 } ...
+constexpr char kMagic[4] = {'L', 'O', 'F', 'M'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status NeighborhoodMaterializer::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(k_max_));
+  WritePod(out, static_cast<uint8_t>(distinct_ ? 1 : 0));
+  WritePod(out, static_cast<uint64_t>(size()));
+  for (size_t offset : offsets_) {
+    WritePod(out, static_cast<uint64_t>(offset));
+  }
+  for (const Neighbor& n : flat_) {
+    WritePod(out, n.index);
+    WritePod(out, n.distance);
+  }
+  if (!out) {
+    return Status::IoError("write failure on file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<NeighborhoodMaterializer> NeighborhoodMaterializer::LoadFromFile(
+    const std::string& path, const Dataset* data) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a lofkit materialization file: " +
+                                   path);
+  }
+  uint32_t version = 0;
+  uint64_t k_max = 0;
+  uint8_t distinct = 0;
+  uint64_t n = 0;
+  if (!ReadPod(in, version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported materialization version");
+  }
+  if (!ReadPod(in, k_max) || !ReadPod(in, distinct) || !ReadPod(in, n)) {
+    return Status::IoError("truncated materialization header");
+  }
+  if (k_max == 0 || n == 0) {
+    return Status::InvalidArgument("corrupt materialization header");
+  }
+  if (distinct && data == nullptr) {
+    return Status::InvalidArgument(
+        "distinct-neighbors materialization needs the original dataset");
+  }
+  if (data != nullptr && data->size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("materialization has %llu points, dataset has %zu",
+                  static_cast<unsigned long long>(n), data->size()));
+  }
+  NeighborhoodMaterializer m(static_cast<size_t>(k_max), distinct != 0);
+  m.data_ = data;
+  m.offsets_.resize(n + 1);
+  for (auto& offset : m.offsets_) {
+    uint64_t value = 0;
+    if (!ReadPod(in, value)) {
+      return Status::IoError("truncated materialization offsets");
+    }
+    offset = static_cast<size_t>(value);
+  }
+  if (m.offsets_.front() != 0) {
+    return Status::InvalidArgument("corrupt materialization offsets");
+  }
+  for (size_t i = 1; i < m.offsets_.size(); ++i) {
+    if (m.offsets_[i] < m.offsets_[i - 1]) {
+      return Status::InvalidArgument("corrupt materialization offsets");
+    }
+  }
+  m.flat_.resize(m.offsets_.back());
+  for (Neighbor& neighbor : m.flat_) {
+    if (!ReadPod(in, neighbor.index) || !ReadPod(in, neighbor.distance)) {
+      return Status::IoError("truncated materialization entries");
+    }
+    if (neighbor.index >= n) {
+      return Status::InvalidArgument("corrupt neighbor index");
+    }
+  }
+  return m;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,111 @@
+#ifndef LOFKIT_INDEX_NEIGHBORHOOD_MATERIALIZER_H_
+#define LOFKIT_INDEX_NEIGHBORHOOD_MATERIALIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// The materialization database "M" of the paper's two-step algorithm
+/// (section 7.4): for every point, its k_max-distance neighborhood (ties
+/// included) with distances, stored flat and sorted by (distance, index).
+///
+/// Step 2 of the algorithm (LOF computation for any MinPts in
+/// [MinPtsLB, MinPtsUB] with MinPtsUB == k_max) needs only this structure,
+/// never the original coordinates — which is why its size is independent of
+/// the data dimensionality, exactly as the paper notes.
+///
+/// With `distinct_neighbors` (the k-distinct-distance refinement from the
+/// remark below Definition 6), only neighbors with pairwise-distinct
+/// coordinates count toward k, so a point with many duplicates still gets a
+/// positive k-distance; the neighborhood itself still contains every point
+/// within that distance, duplicates included.
+class NeighborhoodMaterializer {
+ public:
+  /// Runs step 1: one kNN query per point against `index` (which must
+  /// already be built over `data` — the same Dataset instance). Requires
+  /// 1 <= k_max < data.size().
+  static Result<NeighborhoodMaterializer> Materialize(
+      const Dataset& data, const KnnIndex& index, size_t k_max,
+      bool distinct_neighbors = false);
+
+  /// Parallel step 1: the n queries are embarrassingly parallel (every
+  /// KnnIndex implementation is stateless per query), so they are sharded
+  /// over `threads` workers. Produces bit-identical results to the serial
+  /// Materialize. threads == 0 or 1 falls back to the serial path.
+  static Result<NeighborhoodMaterializer> MaterializeParallel(
+      const Dataset& data, const KnnIndex& index, size_t k_max,
+      size_t threads, bool distinct_neighbors = false);
+
+  NeighborhoodMaterializer(NeighborhoodMaterializer&&) noexcept = default;
+  NeighborhoodMaterializer& operator=(NeighborhoodMaterializer&&) noexcept =
+      default;
+
+  /// Number of points.
+  size_t size() const { return offsets_.size() - 1; }
+
+  /// The k the neighborhoods were materialized for (== MinPtsUB).
+  size_t k_max() const { return k_max_; }
+
+  /// Whether k-distinct-distance counting is in effect.
+  bool distinct_neighbors() const { return distinct_; }
+
+  /// Full stored neighbor list of point i, sorted by (distance, index).
+  std::span<const Neighbor> neighbors(size_t i) const {
+    return {flat_.data() + offsets_[i],
+            offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// The k-distance of point i together with its k-distance neighborhood
+  /// N_k(i) (Definitions 3 and 4), as a prefix of neighbors(i).
+  struct KView {
+    double k_distance = 0.0;
+    std::span<const Neighbor> neighborhood;
+  };
+
+  /// Computes the view for 1 <= k <= k_max. Fails with OutOfRange when k
+  /// exceeds k_max or the number of (distinct, in distinct mode) neighbors.
+  Result<KView> View(size_t i, size_t k) const;
+
+  /// Total stored neighbor entries (the size of M; n * k_max plus ties).
+  size_t total_neighbor_count() const { return flat_.size(); }
+
+  /// Persists M to a binary file. The paper's step 2 works entirely from
+  /// this file-resident database ("the materialization database M ... The
+  /// original database D is not needed for this step"); saving and
+  /// reloading M lets the expensive step 1 be paid once per dataset.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a materialization database written by SaveToFile. A
+  /// distinct-neighbors M additionally needs the original dataset for its
+  /// coordinate comparisons; pass it via `data` (must be the same dataset,
+  /// checked by size).
+  static Result<NeighborhoodMaterializer> LoadFromFile(
+      const std::string& path, const Dataset* data = nullptr);
+
+  /// Assembles an M from externally maintained neighbor lists (used by the
+  /// incremental maintenance layer). Each list must be the full
+  /// k_max-distance neighborhood of its point, sorted by
+  /// (distance, index); this is validated structurally (sortedness, list
+  /// length, index range) but semantic correctness is the caller's
+  /// contract. `data` may be null in standard mode.
+  static Result<NeighborhoodMaterializer> FromLists(
+      size_t k_max, bool distinct_neighbors, const Dataset* data,
+      const std::vector<std::vector<Neighbor>>& lists);
+
+ private:
+  NeighborhoodMaterializer(size_t k_max, bool distinct)
+      : k_max_(k_max), distinct_(distinct) {}
+
+  size_t k_max_;
+  bool distinct_;
+  const Dataset* data_ = nullptr;  // needed for distinct-mode comparisons
+  std::vector<size_t> offsets_;
+  std::vector<Neighbor> flat_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_NEIGHBORHOOD_MATERIALIZER_H_

@@ -1,0 +1,138 @@
+#include "index/va_file_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+Status CheckQuery(const Dataset* data, std::span<const double> query) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (query.size() != data->dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("query has dimension %zu, index has %zu", query.size(),
+                  data->dimension()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VaFileIndex::Build(const Dataset& data, const Metric& metric) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build index over empty dataset");
+  }
+  if (bits_ < 1 || bits_ > 8) {
+    return Status::InvalidArgument("bits_per_dimension must be in [1, 8]");
+  }
+  data_ = &data;
+  metric_ = &metric;
+  dim_ = data.dimension();
+  box_lo_ = data.Min();
+  const std::vector<double> box_hi = data.Max();
+  const size_t cells = intervals();
+  step_.assign(dim_, 1.0);
+  for (size_t d = 0; d < dim_; ++d) {
+    const double range = box_hi[d] - box_lo_[d];
+    step_[d] = range > 0.0 ? range / static_cast<double>(cells) : 1.0;
+  }
+  approximation_.resize(data.size() * dim_);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto p = data.point(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      int64_t c = static_cast<int64_t>((p[d] - box_lo_[d]) / step_[d]);
+      c = std::clamp<int64_t>(c, 0, static_cast<int64_t>(cells) - 1);
+      approximation_[i * dim_ + d] = static_cast<uint8_t>(c);
+    }
+  }
+  return Status::OK();
+}
+
+void VaFileIndex::CellOf(size_t i, std::vector<double>& lo,
+                         std::vector<double>& hi) const {
+  lo.resize(dim_);
+  hi.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    const double cell = approximation_[i * dim_ + d];
+    lo[d] = box_lo_[d] + cell * step_[d];
+    hi[d] = lo[d] + step_[d];
+  }
+}
+
+Result<std::vector<Neighbor>> VaFileIndex::Query(
+    std::span<const double> query, size_t k,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t n = data_->size();
+
+  // Phase 1: filter on the approximations. rho is the k-th smallest upper
+  // bound seen so far; any point whose lower bound exceeds rho can never be
+  // among the k nearest.
+  struct Candidate {
+    uint32_t index;
+    double lower;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> upper_heap;  // max-heap of the k smallest upper bounds
+  std::vector<double> lo, hi;
+  double rho = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    if (exclude.has_value() && *exclude == i) continue;
+    CellOf(i, lo, hi);
+    const double lower = metric_->MinDistanceToBox(query, lo, hi);
+    if (lower > rho) continue;
+    const double upper = metric_->MaxDistanceToBox(query, lo, hi);
+    candidates.push_back(Candidate{static_cast<uint32_t>(i), lower});
+    upper_heap.push_back(upper);
+    std::push_heap(upper_heap.begin(), upper_heap.end());
+    if (upper_heap.size() > k) {
+      std::pop_heap(upper_heap.begin(), upper_heap.end());
+      upper_heap.pop_back();
+    }
+    if (upper_heap.size() == k) rho = upper_heap.front();
+  }
+
+  // Phase 2: refine candidates in ascending lower-bound order; stop once
+  // the next lower bound exceeds the exact k-distance found so far.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.lower < b.lower;
+            });
+  internal_index::KnnCollector collector(k);
+  for (const Candidate& candidate : candidates) {
+    if (candidate.lower > collector.Tau()) break;
+    collector.Offer(candidate.index,
+                    metric_->Distance(query, data_->point(candidate.index)));
+  }
+  return collector.Take();
+}
+
+Result<std::vector<Neighbor>> VaFileIndex::QueryRadius(
+    std::span<const double> query, double radius,
+    std::optional<uint32_t> exclude) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  std::vector<Neighbor> result;
+  std::vector<double> lo, hi;
+  for (size_t i = 0; i < data_->size(); ++i) {
+    if (exclude.has_value() && *exclude == i) continue;
+    CellOf(i, lo, hi);
+    if (metric_->MinDistanceToBox(query, lo, hi) > radius) continue;
+    const double dist = metric_->Distance(query, data_->point(i));
+    if (dist <= radius) result.push_back(Neighbor{static_cast<uint32_t>(i), dist});
+  }
+  internal_index::SortNeighbors(result);
+  return result;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,54 @@
+#ifndef LOFKIT_INDEX_VA_FILE_INDEX_H_
+#define LOFKIT_INDEX_VA_FILE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// Vector-approximation file (Weber/Schek/Blott, VLDB'98) — the engine the
+/// paper recommends for "extremely high-dimensional data" where tree
+/// indexes degenerate (section 7.4, reference [21]).
+///
+/// Build() quantizes every coordinate into 2^bits equally spaced intervals
+/// and stores only the compact approximation. A kNN query makes one filter
+/// pass over the approximations, computing per-point lower/upper distance
+/// bounds from the quantization cell, then refines the surviving candidates
+/// (ordered by lower bound) against the exact coordinates. The result is
+/// exact; only the candidate set is approximate.
+class VaFileIndex final : public KnnIndex {
+ public:
+  /// `bits_per_dimension` must be in [1, 8].
+  explicit VaFileIndex(size_t bits_per_dimension = 6)
+      : bits_(bits_per_dimension) {}
+
+  Status Build(const Dataset& data, const Metric& metric) override;
+  Result<std::vector<Neighbor>> Query(
+      std::span<const double> query, size_t k,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  Result<std::vector<Neighbor>> QueryRadius(
+      std::span<const double> query, double radius,
+      std::optional<uint32_t> exclude = std::nullopt) const override;
+  std::string_view name() const override { return "va_file"; }
+
+  /// Number of quantization intervals per dimension.
+  size_t intervals() const { return size_t{1} << bits_; }
+
+ private:
+  /// Fills `lo`/`hi` with the bounds of point i's quantization cell.
+  void CellOf(size_t i, std::vector<double>& lo, std::vector<double>& hi) const;
+
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+  size_t bits_ = 6;
+  size_t dim_ = 0;
+  std::vector<double> box_lo_;
+  std::vector<double> step_;          // interval width per dimension
+  std::vector<uint8_t> approximation_;  // n * d cell indices
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_VA_FILE_INDEX_H_

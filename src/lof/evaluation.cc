@@ -1,0 +1,102 @@
+#include "lof/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<DetectionQuality> EvaluateRanking(std::span<const double> scores,
+                                         const std::vector<bool>& is_outlier,
+                                         size_t n) {
+  if (scores.size() != is_outlier.size()) {
+    return Status::InvalidArgument(
+        StrFormat("scores (%zu) and labels (%zu) disagree in size",
+                  scores.size(), is_outlier.size()));
+  }
+  size_t positives = 0;
+  for (bool b : is_outlier) {
+    if (b) ++positives;
+  }
+  const size_t negatives = scores.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::InvalidArgument(
+        "evaluation needs at least one outlier and one inlier");
+  }
+  for (double s : scores) {
+    if (std::isnan(s)) {
+      return Status::InvalidArgument("scores must not contain NaN");
+    }
+  }
+  if (n == 0) n = positives;
+  n = std::min(n, scores.size());
+
+  // Order indices by score descending, ties by index (deterministic).
+  std::vector<uint32_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  DetectionQuality quality;
+
+  // precision@n / recall@n.
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (is_outlier[order[i]]) ++hits;
+  }
+  quality.precision_at_n = static_cast<double>(hits) / static_cast<double>(n);
+  quality.recall_at_n =
+      static_cast<double>(hits) / static_cast<double>(positives);
+
+  // ROC AUC via the rank statistic with midrank tie handling.
+  {
+    // Walk score groups from the top; within a tied group, each
+    // outlier-inlier pair contributes 1/2.
+    double auc_pairs = 0.0;
+    size_t inliers_above = 0;
+    size_t i = 0;
+    while (i < order.size()) {
+      size_t j = i;
+      size_t group_pos = 0, group_neg = 0;
+      while (j < order.size() && scores[order[j]] == scores[order[i]]) {
+        if (is_outlier[order[j]]) {
+          ++group_pos;
+        } else {
+          ++group_neg;
+        }
+        ++j;
+      }
+      // Pairs (outlier in this group, inlier strictly above): lost.
+      // Pairs (outlier in group, inlier below): counted when we pass the
+      // lower groups... accumulate directly instead:
+      auc_pairs += static_cast<double>(group_pos) *
+                   (static_cast<double>(negatives - inliers_above -
+                                        group_neg) +
+                    0.5 * static_cast<double>(group_neg));
+      inliers_above += group_neg;
+      i = j;
+    }
+    quality.roc_auc = auc_pairs / (static_cast<double>(positives) *
+                                   static_cast<double>(negatives));
+  }
+
+  // Average precision at each true-outlier rank.
+  {
+    double sum = 0.0;
+    size_t seen_outliers = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (is_outlier[order[i]]) {
+        ++seen_outliers;
+        sum += static_cast<double>(seen_outliers) /
+               static_cast<double>(i + 1);
+      }
+    }
+    quality.average_precision = sum / static_cast<double>(positives);
+  }
+  return quality;
+}
+
+}  // namespace lofkit

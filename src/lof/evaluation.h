@@ -1,0 +1,39 @@
+#ifndef LOFKIT_LOF_EVALUATION_H_
+#define LOFKIT_LOF_EVALUATION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// Detection-quality metrics of a ranked outlier scoring against
+/// ground-truth labels. The paper argues qualitatively that LOF finds local
+/// outliers the global methods cannot; these metrics make that comparison
+/// quantitative on the planted-outlier scenarios (see
+/// bench_detection_quality).
+struct DetectionQuality {
+  /// Fraction of the top-n scored points that are true outliers.
+  double precision_at_n = 0.0;
+  /// Fraction of true outliers inside the top n.
+  double recall_at_n = 0.0;
+  /// Area under the ROC curve (probability that a random outlier outranks
+  /// a random inlier; ties count half). 0.5 = chance, 1.0 = perfect.
+  double roc_auc = 0.0;
+  /// Average precision (area under the precision-recall curve, computed at
+  /// each true-outlier rank).
+  double average_precision = 0.0;
+};
+
+/// Evaluates `scores` (higher = more outlying) against `is_outlier`.
+/// `n` is the cutoff for the @n metrics; 0 means "number of true outliers"
+/// (the usual choice, making precision == recall there). Requires at least
+/// one outlier and one inlier.
+Result<DetectionQuality> EvaluateRanking(std::span<const double> scores,
+                                         const std::vector<bool>& is_outlier,
+                                         size_t n = 0);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_EVALUATION_H_

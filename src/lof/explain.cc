@@ -1,0 +1,78 @@
+#include "lof/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<OutlierExplanation> ExplainOutlier(const Dataset& data,
+                                          const NeighborhoodMaterializer& m,
+                                          size_t i, size_t min_pts) {
+  if (m.size() != data.size()) {
+    return Status::InvalidArgument(
+        "materializer and dataset have different sizes");
+  }
+  if (i >= data.size()) {
+    return Status::NotFound(StrFormat("point index %zu out of range", i));
+  }
+  LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+  const size_t dim = data.dimension();
+  const double count = static_cast<double>(view.neighborhood.size());
+
+  OutlierExplanation explanation;
+  explanation.neighbor_mean.assign(dim, 0.0);
+  explanation.neighbor_stddev.assign(dim, 0.0);
+  explanation.deviation.assign(dim, 0.0);
+  explanation.contribution.assign(dim, 0.0);
+
+  for (const Neighbor& q : view.neighborhood) {
+    auto p = data.point(q.index);
+    for (size_t d = 0; d < dim; ++d) {
+      explanation.neighbor_mean[d] += p[d] / count;
+    }
+  }
+  for (const Neighbor& q : view.neighborhood) {
+    auto p = data.point(q.index);
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = p[d] - explanation.neighbor_mean[d];
+      explanation.neighbor_stddev[d] += delta * delta / count;
+    }
+  }
+  // Scale floor: 1% of the global attribute spread keeps dimensions that
+  // are constant within the neighborhood from producing infinities.
+  const std::vector<double> global_min = data.Min();
+  const std::vector<double> global_max = data.Max();
+  auto point = data.point(i);
+  for (size_t d = 0; d < dim; ++d) {
+    explanation.neighbor_stddev[d] = std::sqrt(explanation.neighbor_stddev[d]);
+    const double global_range = global_max[d] - global_min[d];
+    const double scale =
+        std::max(explanation.neighbor_stddev[d], 0.01 * global_range);
+    const double delta = point[d] - explanation.neighbor_mean[d];
+    explanation.deviation[d] = scale > 0.0 ? std::abs(delta) / scale : 0.0;
+  }
+  const double total = std::accumulate(explanation.deviation.begin(),
+                                       explanation.deviation.end(), 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    explanation.contribution[d] =
+        total > 0.0 ? explanation.deviation[d] / total
+                    : 1.0 / static_cast<double>(dim);
+  }
+  explanation.ranked_dimensions.resize(dim);
+  std::iota(explanation.ranked_dimensions.begin(),
+            explanation.ranked_dimensions.end(), size_t{0});
+  std::sort(explanation.ranked_dimensions.begin(),
+            explanation.ranked_dimensions.end(), [&](size_t a, size_t b) {
+              if (explanation.contribution[a] != explanation.contribution[b]) {
+                return explanation.contribution[a] >
+                       explanation.contribution[b];
+              }
+              return a < b;
+            });
+  return explanation;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,42 @@
+#ifndef LOFKIT_LOF_EXPLAIN_H_
+#define LOFKIT_LOF_EXPLAIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "index/neighborhood_materializer.h"
+
+namespace lofkit {
+
+/// Why a point is locally outlying, attribute by attribute — the paper's
+/// first direction of ongoing work (section 8: "how to describe or explain
+/// why the identified local outliers are exceptional", important in high
+/// dimensions where an object "may be outlying only on some, but not on
+/// all, dimensions").
+struct OutlierExplanation {
+  /// Mean of each attribute over the MinPts-neighborhood.
+  std::vector<double> neighbor_mean;
+  /// Standard deviation of each attribute over the MinPts-neighborhood.
+  std::vector<double> neighbor_stddev;
+  /// The point's deviation from the neighborhood in stddev units per
+  /// attribute (a robust floor keeps degenerate attributes finite).
+  std::vector<double> deviation;
+  /// `deviation` normalized to sum to 1 — the fraction of the point's
+  /// outlyingness attributable to each dimension.
+  std::vector<double> contribution;
+  /// Dimensions ordered by descending contribution.
+  std::vector<size_t> ranked_dimensions;
+};
+
+/// Explains point `i` against its MinPts-nearest neighbors: per dimension,
+/// how far the point sits from the neighborhood's attribute distribution.
+/// Dimensions with zero spread in the neighborhood use the global attribute
+/// spread as the scale floor.
+Result<OutlierExplanation> ExplainOutlier(const Dataset& data,
+                                          const NeighborhoodMaterializer& m,
+                                          size_t i, size_t min_pts);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_EXPLAIN_H_

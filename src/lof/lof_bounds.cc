@@ -1,0 +1,196 @@
+#include "lof/lof_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+// k-distance of point `o` (Definition 3) read from the materialization.
+Result<double> KDistanceOf(const NeighborhoodMaterializer& m, size_t o,
+                           size_t min_pts) {
+  LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(o, min_pts));
+  return view.k_distance;
+}
+
+}  // namespace
+
+Result<NeighborhoodStats> ComputeNeighborhoodStats(
+    const NeighborhoodMaterializer& m, size_t i, size_t min_pts) {
+  LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+  NeighborhoodStats stats;
+  stats.direct_min = std::numeric_limits<double>::infinity();
+  stats.direct_max = -std::numeric_limits<double>::infinity();
+  stats.indirect_min = std::numeric_limits<double>::infinity();
+  stats.indirect_max = -std::numeric_limits<double>::infinity();
+  for (const Neighbor& q : view.neighborhood) {
+    LOFKIT_ASSIGN_OR_RETURN(const double q_kdist,
+                            KDistanceOf(m, q.index, min_pts));
+    const double reach = std::max(q_kdist, q.distance);
+    stats.direct_min = std::min(stats.direct_min, reach);
+    stats.direct_max = std::max(stats.direct_max, reach);
+
+    LOFKIT_ASSIGN_OR_RETURN(auto q_view, m.View(q.index, min_pts));
+    for (const Neighbor& o : q_view.neighborhood) {
+      LOFKIT_ASSIGN_OR_RETURN(const double o_kdist,
+                              KDistanceOf(m, o.index, min_pts));
+      const double indirect_reach = std::max(o_kdist, o.distance);
+      stats.indirect_min = std::min(stats.indirect_min, indirect_reach);
+      stats.indirect_max = std::max(stats.indirect_max, indirect_reach);
+    }
+  }
+  return stats;
+}
+
+LofBoundEstimate Theorem1Bounds(const NeighborhoodStats& stats) {
+  LofBoundEstimate bounds;
+  bounds.lower = stats.indirect_max > 0.0
+                     ? stats.direct_min / stats.indirect_max
+                     : std::numeric_limits<double>::infinity();
+  bounds.upper = stats.indirect_min > 0.0
+                     ? stats.direct_max / stats.indirect_min
+                     : std::numeric_limits<double>::infinity();
+  return bounds;
+}
+
+Result<LofBoundEstimate> Theorem2Bounds(
+    const NeighborhoodMaterializer& m, size_t i, size_t min_pts,
+    std::span<const int> point_partition) {
+  if (point_partition.size() != m.size()) {
+    return Status::InvalidArgument(
+        StrFormat("partition has %zu entries, dataset has %zu",
+                  point_partition.size(), m.size()));
+  }
+  LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+
+  // Per-group reachability extremes, keyed by the neighbor's group id.
+  struct GroupStats {
+    size_t cardinality = 0;
+    double direct_min = std::numeric_limits<double>::infinity();
+    double direct_max = -std::numeric_limits<double>::infinity();
+    double indirect_min = std::numeric_limits<double>::infinity();
+    double indirect_max = -std::numeric_limits<double>::infinity();
+  };
+  std::map<int, GroupStats> groups;
+
+  for (const Neighbor& q : view.neighborhood) {
+    const int group_id = point_partition[q.index];
+    if (group_id < 0) {
+      return Status::InvalidArgument(
+          StrFormat("neighbor %u of point %zu has negative partition id",
+                    q.index, i));
+    }
+    GroupStats& group = groups[group_id];
+    ++group.cardinality;
+    LOFKIT_ASSIGN_OR_RETURN(const double q_kdist,
+                            KDistanceOf(m, q.index, min_pts));
+    const double reach = std::max(q_kdist, q.distance);
+    group.direct_min = std::min(group.direct_min, reach);
+    group.direct_max = std::max(group.direct_max, reach);
+
+    LOFKIT_ASSIGN_OR_RETURN(auto q_view, m.View(q.index, min_pts));
+    for (const Neighbor& o : q_view.neighborhood) {
+      LOFKIT_ASSIGN_OR_RETURN(const double o_kdist,
+                              KDistanceOf(m, o.index, min_pts));
+      const double indirect_reach = std::max(o_kdist, o.distance);
+      group.indirect_min = std::min(group.indirect_min, indirect_reach);
+      group.indirect_max = std::max(group.indirect_max, indirect_reach);
+    }
+  }
+
+  const double total = static_cast<double>(view.neighborhood.size());
+  double lower_direct = 0.0;   // sum xi_i * direct^i_min
+  double lower_indirect = 0.0; // sum xi_i / indirect^i_max
+  double upper_direct = 0.0;   // sum xi_i * direct^i_max
+  double upper_indirect = 0.0; // sum xi_i / indirect^i_min
+  for (const auto& [group_id, group] : groups) {
+    const double xi = static_cast<double>(group.cardinality) / total;
+    lower_direct += xi * group.direct_min;
+    upper_direct += xi * group.direct_max;
+    lower_indirect +=
+        group.indirect_max > 0.0 ? xi / group.indirect_max : 0.0;
+    upper_indirect += group.indirect_min > 0.0
+                          ? xi / group.indirect_min
+                          : std::numeric_limits<double>::infinity();
+  }
+  LofBoundEstimate bounds;
+  bounds.lower = lower_direct * lower_indirect;
+  bounds.upper = upper_direct * upper_indirect;
+  return bounds;
+}
+
+Result<Lemma1Result> Lemma1Bounds(const Dataset& data, const Metric& metric,
+                                  const NeighborhoodMaterializer& m,
+                                  std::span<const uint32_t> cluster,
+                                  size_t min_pts) {
+  if (cluster.size() < 2) {
+    return Status::InvalidArgument(
+        "Lemma 1 needs a cluster of at least two objects");
+  }
+  double reach_min = std::numeric_limits<double>::infinity();
+  double reach_max = -std::numeric_limits<double>::infinity();
+  std::vector<double> k_distance(cluster.size());
+  for (size_t j = 0; j < cluster.size(); ++j) {
+    LOFKIT_ASSIGN_OR_RETURN(k_distance[j],
+                            KDistanceOf(m, cluster[j], min_pts));
+  }
+  for (size_t a = 0; a < cluster.size(); ++a) {
+    for (size_t b = 0; b < cluster.size(); ++b) {
+      if (a == b) continue;
+      const double dist =
+          metric.Distance(data.point(cluster[a]), data.point(cluster[b]));
+      const double reach = std::max(k_distance[b], dist);
+      reach_min = std::min(reach_min, reach);
+      reach_max = std::max(reach_max, reach);
+    }
+  }
+  Lemma1Result result;
+  result.reach_dist_min = reach_min;
+  result.reach_dist_max = reach_max;
+  if (reach_min <= 0.0) {
+    return Status::FailedPrecondition(
+        "Lemma 1 epsilon undefined: minimum reachability distance is zero");
+  }
+  result.epsilon = reach_max / reach_min - 1.0;
+  result.bounds.lower = 1.0 / (1.0 + result.epsilon);
+  result.bounds.upper = 1.0 + result.epsilon;
+  return result;
+}
+
+Result<bool> IsDeepInCluster(const NeighborhoodMaterializer& m, size_t i,
+                             size_t min_pts,
+                             const std::vector<bool>& in_cluster) {
+  if (in_cluster.size() != m.size()) {
+    return Status::InvalidArgument(
+        StrFormat("in_cluster has %zu entries, dataset has %zu",
+                  in_cluster.size(), m.size()));
+  }
+  LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+  for (const Neighbor& q : view.neighborhood) {
+    if (!in_cluster[q.index]) return false;
+    LOFKIT_ASSIGN_OR_RETURN(auto q_view, m.View(q.index, min_pts));
+    for (const Neighbor& o : q_view.neighborhood) {
+      if (!in_cluster[o.index]) return false;
+    }
+  }
+  return true;
+}
+
+LofBoundEstimate AnalyticBounds(double direct_over_indirect, double pct) {
+  const double x = pct / 100.0;
+  LofBoundEstimate bounds;
+  bounds.lower = direct_over_indirect * (1.0 - x) / (1.0 + x);
+  bounds.upper = direct_over_indirect * (1.0 + x) / (1.0 - x);
+  return bounds;
+}
+
+double AnalyticRelativeSpan(double pct) {
+  const double x = pct / 100.0;
+  return 4.0 * x / (1.0 - x * x);
+}
+
+}  // namespace lofkit

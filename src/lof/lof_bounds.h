@@ -1,0 +1,78 @@
+#ifndef LOFKIT_LOF_LOF_BOUNDS_H_
+#define LOFKIT_LOF_LOF_BOUNDS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/metric.h"
+#include "index/neighborhood_materializer.h"
+
+namespace lofkit {
+
+/// The four reachability statistics of section 5.2 for one object p:
+/// extremes of reach-dist(p, q) over p's direct MinPts-neighborhood, and of
+/// reach-dist(q, o) over its indirect neighborhood (the neighborhoods of
+/// p's neighbors).
+struct NeighborhoodStats {
+  double direct_min = 0.0;
+  double direct_max = 0.0;
+  double indirect_min = 0.0;
+  double indirect_max = 0.0;
+};
+
+/// A lower/upper estimate of a LOF value.
+struct LofBoundEstimate {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Computes direct/indirect reachability extremes for point `i`.
+Result<NeighborhoodStats> ComputeNeighborhoodStats(
+    const NeighborhoodMaterializer& m, size_t i, size_t min_pts);
+
+/// Theorem 1:  direct_min/indirect_max <= LOF(p) <= direct_max/indirect_min.
+LofBoundEstimate Theorem1Bounds(const NeighborhoodStats& stats);
+
+/// Theorem 2: the partition-aware bounds. `point_partition` assigns every
+/// dataset point a group id (>= 0); the partition of N_MinPts(p) is induced
+/// by these ids. With a single group this degenerates to Theorem 1
+/// (Corollary 1). Fails if a neighbor of `i` carries a negative id.
+Result<LofBoundEstimate> Theorem2Bounds(const NeighborhoodMaterializer& m,
+                                        size_t i, size_t min_pts,
+                                        std::span<const int> point_partition);
+
+/// Lemma 1 for a cluster C: epsilon = reach-dist-max/reach-dist-min - 1 over
+/// all ordered pairs in C, giving 1/(1+eps) <= LOF(p) <= 1+eps for objects
+/// deep in C.
+struct Lemma1Result {
+  double reach_dist_min = 0.0;
+  double reach_dist_max = 0.0;
+  double epsilon = 0.0;
+  LofBoundEstimate bounds;
+};
+Result<Lemma1Result> Lemma1Bounds(const Dataset& data, const Metric& metric,
+                                  const NeighborhoodMaterializer& m,
+                                  std::span<const uint32_t> cluster,
+                                  size_t min_pts);
+
+/// True when point `i` is "deep" in the sense of Lemma 1: all its MinPts
+/// nearest neighbors q lie in the cluster (in_cluster[q]) and so do all of
+/// the q's MinPts nearest neighbors.
+Result<bool> IsDeepInCluster(const NeighborhoodMaterializer& m, size_t i,
+                             size_t min_pts,
+                             const std::vector<bool>& in_cluster);
+
+/// The analytic model behind Figures 4 and 5 (section 5.3): with
+/// direct = ratio * indirect and a symmetric fluctuation of pct percent,
+///   LOF_min = ratio * (1 - x) / (1 + x),  LOF_max = ratio * (1 + x) / (1 - x)
+/// where x = pct / 100.
+LofBoundEstimate AnalyticBounds(double direct_over_indirect, double pct);
+
+/// The closed form of Figure 5:
+///   (LOF_max - LOF_min) / (direct/indirect) = 4 * x / (1 - x^2),  x = pct/100.
+double AnalyticRelativeSpan(double pct);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_LOF_BOUNDS_H_

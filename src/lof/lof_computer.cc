@@ -1,0 +1,103 @@
+#include "lof/lof_computer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
+                                       size_t min_pts,
+                                       const LofComputeOptions& options) {
+  if (min_pts == 0 || min_pts > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                  m.k_max()));
+  }
+  const size_t n = m.size();
+  LofScores scores;
+  scores.min_pts = min_pts;
+  scores.lrd.resize(n);
+  scores.lof.resize(n);
+
+  // Pass 0 (cheap): k-distances, needed for the reachability distances.
+  std::vector<double> k_distance(n);
+  for (size_t i = 0; i < n; ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+    k_distance[i] = view.k_distance;
+  }
+
+  // First scan of M: local reachability densities (Definition 6).
+  for (size_t i = 0; i < n; ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+    double sum = 0.0;
+    for (const Neighbor& o : view.neighborhood) {
+      // reach-dist(i, o) = max(k-distance(o), d(i, o))   (Definition 5);
+      // the simplified ablation variant uses the raw distance instead.
+      sum += options.use_reachability
+                 ? std::max(k_distance[o.index], o.distance)
+                 : o.distance;
+    }
+    if (sum > 0.0) {
+      scores.lrd[i] =
+          static_cast<double>(view.neighborhood.size()) / sum;
+    } else {
+      scores.lrd[i] = std::numeric_limits<double>::infinity();
+      scores.has_infinite_lrd = true;
+    }
+  }
+
+  // Second scan of M: LOF values (Definition 7).
+  for (size_t i = 0; i < n; ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+    const double lrd_i = scores.lrd[i];
+    double sum = 0.0;
+    for (const Neighbor& o : view.neighborhood) {
+      const double lrd_o = scores.lrd[o.index];
+      if (std::isinf(lrd_o) && std::isinf(lrd_i)) {
+        sum += 1.0;  // duplicate-degenerate convention: inf/inf := 1
+      } else {
+        sum += lrd_o / lrd_i;  // finite/inf -> 0, inf/finite -> inf
+      }
+    }
+    scores.lof[i] = sum / static_cast<double>(view.neighborhood.size());
+  }
+  return scores;
+}
+
+Result<LofScores> LofComputer::ComputeFromScratch(const Dataset& data,
+                                                  const Metric& metric,
+                                                  size_t min_pts,
+                                                  IndexKind index_kind,
+                                                  bool distinct_neighbors) {
+  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
+  if (index == nullptr) {
+    return Status::Internal("index factory returned null");
+  }
+  LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
+  LOFKIT_ASSIGN_OR_RETURN(
+      NeighborhoodMaterializer m,
+      NeighborhoodMaterializer::Materialize(data, *index, min_pts,
+                                            distinct_neighbors));
+  return Compute(m, min_pts);
+}
+
+std::vector<RankedOutlier> RankDescending(std::span<const double> scores,
+                                          size_t top_n) {
+  std::vector<RankedOutlier> ranked(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    ranked[i] = RankedOutlier{static_cast<uint32_t>(i), scores[i]};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedOutlier& a, const RankedOutlier& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+  if (top_n > 0 && top_n < ranked.size()) {
+    ranked.resize(top_n);
+  }
+  return ranked;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,91 @@
+#include "lof/lof_sweep.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+std::string_view LofAggregationName(LofAggregation aggregation) {
+  switch (aggregation) {
+    case LofAggregation::kMax:
+      return "max";
+    case LofAggregation::kMin:
+      return "min";
+    case LofAggregation::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
+                                     size_t min_pts_lb, size_t min_pts_ub,
+                                     LofAggregation aggregation,
+                                     bool keep_per_min_pts) {
+  if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
+    return Status::InvalidArgument(
+        StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
+                  min_pts_ub));
+  }
+  if (min_pts_ub > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("MinPtsUB (%zu) exceeds the materialized k_max (%zu)",
+                  min_pts_ub, m.k_max()));
+  }
+  const size_t n = m.size();
+  LofSweepResult result;
+  result.min_pts_lb = min_pts_lb;
+  result.min_pts_ub = min_pts_ub;
+  result.aggregation = aggregation;
+  const size_t steps = min_pts_ub - min_pts_lb + 1;
+
+  std::vector<double> aggregated(
+      n, aggregation == LofAggregation::kMin
+             ? std::numeric_limits<double>::infinity()
+             : 0.0);
+  if (aggregation == LofAggregation::kMax) {
+    aggregated.assign(n, -std::numeric_limits<double>::infinity());
+  }
+
+  for (size_t min_pts = min_pts_lb; min_pts <= min_pts_ub; ++min_pts) {
+    LOFKIT_ASSIGN_OR_RETURN(LofScores scores,
+                            LofComputer::Compute(m, min_pts));
+    for (size_t i = 0; i < n; ++i) {
+      switch (aggregation) {
+        case LofAggregation::kMax:
+          aggregated[i] = std::max(aggregated[i], scores.lof[i]);
+          break;
+        case LofAggregation::kMin:
+          aggregated[i] = std::min(aggregated[i], scores.lof[i]);
+          break;
+        case LofAggregation::kMean:
+          aggregated[i] += scores.lof[i] / static_cast<double>(steps);
+          break;
+      }
+    }
+    if (keep_per_min_pts) {
+      result.per_min_pts.push_back(std::move(scores));
+    }
+  }
+  result.aggregated = std::move(aggregated);
+  return result;
+}
+
+Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
+    const Dataset& data, const Metric& metric, size_t min_pts_lb,
+    size_t min_pts_ub, size_t top_n, IndexKind index_kind,
+    LofAggregation aggregation) {
+  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
+  if (index == nullptr) {
+    return Status::Internal("index factory returned null");
+  }
+  LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
+  LOFKIT_ASSIGN_OR_RETURN(
+      NeighborhoodMaterializer m,
+      NeighborhoodMaterializer::Materialize(data, *index, min_pts_ub));
+  LOFKIT_ASSIGN_OR_RETURN(LofSweepResult sweep,
+                          Run(m, min_pts_lb, min_pts_ub, aggregation));
+  return RankDescending(sweep.aggregated, top_n);
+}
+
+}  // namespace lofkit

@@ -1,0 +1,61 @@
+#ifndef LOFKIT_LOF_LOF_SWEEP_H_
+#define LOFKIT_LOF_LOF_SWEEP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+
+/// How to aggregate LOF values over a MinPts range (section 6.2). The paper
+/// proposes the maximum ("to highlight the instance at which the object is
+/// the most outlying") and argues the minimum can erase outliers and the
+/// mean can dilute them; all three are provided so that the ablation bench
+/// can demonstrate exactly that.
+enum class LofAggregation { kMax, kMin, kMean };
+
+/// Canonical name for an aggregation ("max", "min", "mean").
+std::string_view LofAggregationName(LofAggregation aggregation);
+
+/// Result of a MinPts-range sweep.
+struct LofSweepResult {
+  size_t min_pts_lb = 0;
+  size_t min_pts_ub = 0;
+  LofAggregation aggregation = LofAggregation::kMax;
+
+  /// Aggregated score per point — the paper's ranking key
+  /// max{ LOF_MinPts(p) : MinPtsLB <= MinPts <= MinPtsUB } for kMax.
+  std::vector<double> aggregated;
+
+  /// Per-MinPts scores (index 0 is MinPtsLB), kept only when requested.
+  std::vector<LofScores> per_min_pts;
+};
+
+/// The MinPts-range heuristic of section 6.2: computes LOF for every
+/// MinPts in [MinPtsLB, MinPtsUB] over one materialization database and
+/// aggregates per point.
+class LofSweep {
+ public:
+  /// Requires 1 <= min_pts_lb <= min_pts_ub <= m.k_max(). Set
+  /// `keep_per_min_pts` to retain each individual LofScores (needed by the
+  /// figure-7/8 experiments; costs (ub-lb+1) * n doubles).
+  static Result<LofSweepResult> Run(const NeighborhoodMaterializer& m,
+                                    size_t min_pts_lb, size_t min_pts_ub,
+                                    LofAggregation aggregation =
+                                        LofAggregation::kMax,
+                                    bool keep_per_min_pts = false);
+
+  /// Convenience single-call pipeline: index, materialize at min_pts_ub,
+  /// sweep, and return the ranking of the `top_n` strongest outliers
+  /// (top_n == 0 ranks everything).
+  static Result<std::vector<RankedOutlier>> RankOutliers(
+      const Dataset& data, const Metric& metric, size_t min_pts_lb,
+      size_t min_pts_ub, size_t top_n = 0,
+      IndexKind index_kind = IndexKind::kLinearScan,
+      LofAggregation aggregation = LofAggregation::kMax);
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_LOF_SWEEP_H_

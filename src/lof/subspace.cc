@@ -1,0 +1,95 @@
+#include "lof/subspace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+
+namespace {
+
+// Emits all ascending index subsets of {0..d-1} with size in [1, max_size].
+void EnumerateSubsets(size_t d, size_t max_size,
+                      std::vector<std::vector<size_t>>& out) {
+  std::vector<size_t> current;
+  auto recurse = [&](auto&& self, size_t start) -> void {
+    if (!current.empty()) out.push_back(current);
+    if (current.size() == max_size) return;
+    for (size_t dim = start; dim < d; ++dim) {
+      current.push_back(dim);
+      self(self, dim + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+}
+
+bool IsSubsetOf(const std::vector<size_t>& small,
+                const std::vector<size_t>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+Result<std::vector<SubspaceExplanation>> FindOutlyingSubspaces(
+    const Dataset& data, size_t point, const SubspaceSearchOptions& options) {
+  if (point >= data.size()) {
+    return Status::NotFound(StrFormat("point index %zu out of range", point));
+  }
+  if (options.max_dimensions == 0) {
+    return Status::InvalidArgument("max_dimensions must be >= 1");
+  }
+  if (data.dimension() > 30) {
+    return Status::InvalidArgument(
+        "subspace enumeration is capped at 30 dimensions");
+  }
+  if (options.min_pts == 0 || options.min_pts >= data.size()) {
+    return Status::InvalidArgument(
+        "min_pts must be in [1, n-1] for the projected LOF runs");
+  }
+
+  std::vector<std::vector<size_t>> subsets;
+  EnumerateSubsets(data.dimension(),
+                   std::min(options.max_dimensions, data.dimension()),
+                   subsets);
+
+  std::vector<SubspaceExplanation> outlying;
+  for (const std::vector<size_t>& dims : subsets) {
+    LOFKIT_ASSIGN_OR_RETURN(Dataset projected, data.Project(dims));
+    const Dataset working =
+        options.normalize ? projected.NormalizedToUnitBox() : projected;
+    LOFKIT_ASSIGN_OR_RETURN(
+        LofScores scores,
+        LofComputer::ComputeFromScratch(working, Euclidean(),
+                                        options.min_pts));
+    if (scores.lof[point] > options.lof_threshold) {
+      outlying.push_back(SubspaceExplanation{dims, scores.lof[point]});
+    }
+  }
+
+  // Keep only minimal subspaces: drop any whose strict subset already
+  // explains the point.
+  std::vector<SubspaceExplanation> minimal;
+  for (const SubspaceExplanation& candidate : outlying) {
+    bool dominated = false;
+    for (const SubspaceExplanation& other : outlying) {
+      if (other.dimensions.size() < candidate.dimensions.size() &&
+          IsSubsetOf(other.dimensions, candidate.dimensions)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(candidate);
+  }
+  std::sort(minimal.begin(), minimal.end(),
+            [](const SubspaceExplanation& a, const SubspaceExplanation& b) {
+              if (a.dimensions.size() != b.dimensions.size()) {
+                return a.dimensions.size() < b.dimensions.size();
+              }
+              return a.lof > b.lof;
+            });
+  return minimal;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,54 @@
+#ifndef LOFKIT_LOF_SUBSPACE_H_
+#define LOFKIT_LOF_SUBSPACE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/metric.h"
+
+namespace lofkit {
+
+/// A subspace in which a point is locally outlying, with the LOF it attains
+/// there.
+struct SubspaceExplanation {
+  /// Dimensions of the subspace, ascending.
+  std::vector<size_t> dimensions;
+  /// The point's LOF computed in that projection.
+  double lof = 0.0;
+};
+
+/// Options for the explanatory-subspace search.
+struct SubspaceSearchOptions {
+  /// MinPts used for the projected LOF computations.
+  size_t min_pts = 10;
+  /// Largest subspace cardinality to enumerate (the search is exhaustive
+  /// over subsets up to this size, so keep it small; 1..3 is the useful
+  /// range and matches the "intensional knowledge" notion of minimal
+  /// outlying attribute subsets).
+  size_t max_dimensions = 2;
+  /// A point counts as outlying in a projection when its LOF exceeds this.
+  double lof_threshold = 1.5;
+  /// Normalize each projection to the unit box before computing distances
+  /// (recommended whenever attributes carry different units).
+  bool normalize = true;
+};
+
+/// The "intensional knowledge" question of Knorr & Ng (reference [14]),
+/// which the paper's section 8 raises for LOF in high dimensions: *in which
+/// (minimal) attribute subspaces is this point outlying?* Enumerates all
+/// subspaces up to `max_dimensions`, computes the point's LOF in each
+/// projection, and returns every subspace whose LOF clears the threshold
+/// and that is *minimal* (no subset of it already explains the point).
+/// Results are sorted by (size, -lof).
+///
+/// Exhaustive enumeration costs O(sum_k C(d, k)) projected LOF runs of
+/// O(n^2) each (sequential scan), so this is meant for explaining a few
+/// reported outliers, not for scoring a whole dataset; dimension is capped
+/// at 30.
+Result<std::vector<SubspaceExplanation>> FindOutlyingSubspaces(
+    const Dataset& data, size_t point, const SubspaceSearchOptions& options);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_SUBSPACE_H_

@@ -1,0 +1,130 @@
+// Randomized cross-consistency suite: relationships that must hold between
+// *different* query paths of the same engine, fuzzed over random clustered
+// data with planted duplicates. These complement the oracle-based
+// conformance tests (engine vs linear scan) by checking internal
+// consistency that even a wrong-but-consistent oracle pair could miss.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/index_factory.h"
+#include "index/neighborhood_materializer.h"
+
+namespace lofkit {
+namespace {
+
+// Random clustered data with a sprinkle of exact duplicates — the nastiest
+// tie structure the definitions must survive.
+Dataset FuzzData(Rng& rng, size_t dim, size_t n) {
+  auto ds = generators::MakePerformanceWorkload(rng, dim, n, 4);
+  EXPECT_TRUE(ds.ok());
+  Dataset data = std::move(ds).value();
+  // Duplicate ~5% of the points.
+  const size_t dups = n / 20;
+  for (size_t i = 0; i < dups; ++i) {
+    const size_t victim = rng.UniformU64(data.size());
+    std::vector<double> copy(data.point(victim).begin(),
+                             data.point(victim).end());
+    EXPECT_TRUE(data.Append(copy, "dup").ok());
+  }
+  return data;
+}
+
+class ConsistencyFuzzTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(ConsistencyFuzzTest, RadiusAtKDistanceEqualsKnnNeighborhood) {
+  // Definition 4 in two ways: QueryRadius(q, k-distance) must return
+  // exactly the k-distance neighborhood Query(q, k) returns.
+  Rng rng(501);
+  Dataset data = FuzzData(rng, 3, 250);
+  auto engine = CreateIndex(GetParam());
+  ASSERT_TRUE(engine->Build(data, Euclidean()).ok());
+  for (int trial = 0; trial < 25; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    const size_t k = 1 + rng.UniformU64(15);
+    auto knn = engine->Query(data.point(q), k, q);
+    ASSERT_TRUE(knn.ok());
+    const double k_distance = knn->back().distance;
+    auto ball = engine->QueryRadius(data.point(q), k_distance, q);
+    ASSERT_TRUE(ball.ok());
+    ASSERT_EQ(ball->size(), knn->size())
+        << IndexKindName(GetParam()) << " trial " << trial;
+    for (size_t i = 0; i < ball->size(); ++i) {
+      EXPECT_EQ((*ball)[i].index, (*knn)[i].index);
+    }
+  }
+}
+
+TEST_P(ConsistencyFuzzTest, GrowingKGivesNestedNeighborhoods) {
+  Rng rng(502);
+  Dataset data = FuzzData(rng, 2, 200);
+  auto engine = CreateIndex(GetParam());
+  ASSERT_TRUE(engine->Build(data, Euclidean()).ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    std::set<uint32_t> previous;
+    for (size_t k = 1; k <= 12; k += 2) {
+      auto knn = engine->Query(data.point(q), k, q);
+      ASSERT_TRUE(knn.ok());
+      std::set<uint32_t> current;
+      for (const Neighbor& n : *knn) current.insert(n.index);
+      EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                                previous.begin(), previous.end()))
+          << IndexKindName(GetParam()) << " k=" << k;
+      previous = std::move(current);
+    }
+  }
+}
+
+TEST_P(ConsistencyFuzzTest, RadiusMonotoneInRadius) {
+  Rng rng(503);
+  Dataset data = FuzzData(rng, 3, 200);
+  auto engine = CreateIndex(GetParam());
+  ASSERT_TRUE(engine->Build(data, Euclidean()).ok());
+  std::vector<double> query(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (auto& x : query) x = rng.Uniform(-10, 110);
+    size_t previous = 0;
+    for (double radius : {1.0, 5.0, 20.0, 80.0, 500.0}) {
+      auto ball = engine->QueryRadius(query, radius);
+      ASSERT_TRUE(ball.ok());
+      EXPECT_GE(ball->size(), previous);
+      for (const Neighbor& n : *ball) {
+        EXPECT_LE(n.distance, radius);
+      }
+      previous = ball->size();
+    }
+    EXPECT_EQ(previous, data.size());  // radius 500 covers everything
+  }
+}
+
+TEST_P(ConsistencyFuzzTest, ExcludeRemovesExactlyOnePoint) {
+  Rng rng(504);
+  Dataset data = FuzzData(rng, 2, 150);
+  auto engine = CreateIndex(GetParam());
+  ASSERT_TRUE(engine->Build(data, Euclidean()).ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    auto with = engine->QueryRadius(data.point(q), 10.0);
+    auto without = engine->QueryRadius(data.point(q), 10.0, q);
+    ASSERT_TRUE(with.ok() && without.ok());
+    ASSERT_EQ(with->size(), without->size() + 1);
+    for (const Neighbor& n : *without) {
+      EXPECT_NE(n.index, q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ConsistencyFuzzTest,
+                         ::testing::ValuesIn(AllIndexKinds()),
+                         [](const auto& info) {
+                           return std::string(IndexKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace lofkit

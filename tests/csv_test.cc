@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<double>{1, 2}));
+  EXPECT_EQ(table->rows[1], (std::vector<double>{3, 4}));
+  EXPECT_TRUE(table->header.empty());
+}
+
+TEST(CsvTest, ParsesHeader) {
+  CsvReadOptions options;
+  options.has_header = true;
+  auto table = ParseCsv("x,y\n1,2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  auto table = ParseCsv("# comment\n\n1,2\n\n# more\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("1,2\n3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  auto table = ParseCsv("1,banana\n");
+  ASSERT_FALSE(table.ok());
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvReadOptions options;
+  options.separator = ';';
+  auto table = ParseCsv("1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<double>{1, 2}));
+}
+
+TEST(CsvTest, RoundTripsThroughWrite) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{1.25, -3.5}, {0.1, 1e9}};
+  const std::string text = WriteCsv(table);
+  CsvReadOptions options;
+  options.has_header = true;
+  auto parsed = ParseCsv(text, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lofkit_csv_test.csv";
+  CsvTable table;
+  table.rows = {{1, 2}, {3, 4}};
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto table = ReadCsvFile("/nonexistent/path/data.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace lofkit

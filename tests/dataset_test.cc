@@ -1,0 +1,140 @@
+#include "dataset/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+TEST(DatasetTest, CreateRejectsZeroDimension) {
+  EXPECT_FALSE(Dataset::Create(0).ok());
+  EXPECT_TRUE(Dataset::Create(1).ok());
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double a[2] = {1.0, 2.0};
+  const double b[2] = {3.0, 4.0};
+  ASSERT_TRUE(ds->Append(a, "first").ok());
+  ASSERT_TRUE(ds->Append(b).ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(ds->point(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(ds->point(1)[1], 4.0);
+  EXPECT_EQ(ds->label(0), "first");
+  EXPECT_EQ(ds->label(1), "");
+}
+
+TEST(DatasetTest, AppendRejectsWrongDimension) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double p[3] = {1, 2, 3};
+  EXPECT_EQ(ds->Append(p).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, AppendRejectsNonFinite) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double nan_p[2] = {1.0, std::nan("")};
+  const double inf_p[2] = {INFINITY, 0.0};
+  EXPECT_FALSE(ds->Append(nan_p).ok());
+  EXPECT_FALSE(ds->Append(inf_p).ok());
+  EXPECT_TRUE(ds->empty());
+}
+
+TEST(DatasetTest, FromRowMajor) {
+  auto ds = Dataset::FromRowMajor(2, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_DOUBLE_EQ(ds->point(2)[0], 5.0);
+}
+
+TEST(DatasetTest, FromRowMajorRejectsBadShapes) {
+  EXPECT_FALSE(Dataset::FromRowMajor(2, {1, 2, 3}).ok());
+  EXPECT_FALSE(Dataset::FromRowMajor(2, {}).ok());
+  EXPECT_FALSE(Dataset::FromRowMajor(0, {1, 2}).ok());
+  EXPECT_FALSE(Dataset::FromRowMajor(1, {std::nan("")}).ok());
+}
+
+TEST(DatasetTest, AppendAllRequiresSameDimension) {
+  auto a = Dataset::FromRowMajor(2, {1, 2});
+  auto b = Dataset::FromRowMajor(2, {3, 4});
+  auto c = Dataset::FromRowMajor(3, {1, 2, 3});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(a->AppendAll(*b).ok());
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_FALSE(a->AppendAll(*c).ok());
+}
+
+TEST(DatasetTest, MinMax) {
+  auto ds = Dataset::FromRowMajor(2, {1, 10, -3, 4, 5, 6});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->Min(), (std::vector<double>{-3, 4}));
+  EXPECT_EQ(ds->Max(), (std::vector<double>{5, 10}));
+}
+
+TEST(DatasetTest, MinMaxOfEmptyIsEmpty) {
+  auto ds = Dataset::Create(3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->Min().empty());
+  EXPECT_TRUE(ds->Max().empty());
+}
+
+TEST(DatasetTest, NormalizedToUnitBox) {
+  auto ds = Dataset::FromRowMajor(2, {0, 5, 10, 5, 5, 5});
+  ASSERT_TRUE(ds.ok());
+  Dataset norm = ds->NormalizedToUnitBox();
+  EXPECT_DOUBLE_EQ(norm.point(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm.point(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm.point(2)[0], 0.5);
+  // Constant dimension maps to 0.
+  EXPECT_DOUBLE_EQ(norm.point(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(norm.point(2)[1], 0.0);
+}
+
+TEST(DatasetTest, NormalizePreservesLabels) {
+  auto ds = Dataset::Create(1);
+  ASSERT_TRUE(ds.ok());
+  const double p[1] = {2.0};
+  ASSERT_TRUE(ds->Append(p, "tag").ok());
+  Dataset norm = ds->NormalizedToUnitBox();
+  EXPECT_EQ(norm.label(0), "tag");
+}
+
+TEST(DatasetTest, StandardizedHasZeroMeanUnitVariance) {
+  auto ds = Dataset::FromRowMajor(2, {0, 5, 2, 5, 4, 5, 6, 5});
+  ASSERT_TRUE(ds.ok());
+  Dataset z = ds->Standardized();
+  double mean0 = 0, var0 = 0;
+  for (size_t i = 0; i < z.size(); ++i) mean0 += z.point(i)[0] / 4.0;
+  for (size_t i = 0; i < z.size(); ++i) {
+    const double d = z.point(i)[0] - mean0;
+    var0 += d * d / 4.0;
+  }
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(var0, 1.0, 1e-12);
+  // Constant dimension maps to 0.
+  for (size_t i = 0; i < z.size(); ++i) {
+    EXPECT_DOUBLE_EQ(z.point(i)[1], 0.0);
+  }
+}
+
+TEST(DatasetTest, SetLabel) {
+  auto ds = Dataset::FromRowMajor(1, {1.0});
+  ASSERT_TRUE(ds.ok());
+  ds->set_label(0, "renamed");
+  EXPECT_EQ(ds->label(0), "renamed");
+}
+
+TEST(DatasetTest, RawBufferIsRowMajor) {
+  auto ds = Dataset::FromRowMajor(2, {1, 2, 3, 4});
+  ASSERT_TRUE(ds.ok());
+  auto raw = ds->raw();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw[2], 3.0);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,152 @@
+#include "baselines/db_outlier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "dataset/scenarios.h"
+#include "index/kd_tree_index.h"
+
+namespace lofkit {
+namespace {
+
+TEST(DbOutlierTest, HandComputedExample) {
+  // 1-d points {0, 1, 2, 10}, dmin = 3. In-ball counts (incl. self):
+  // p0:3, p1:3, p2:3, p3:1. With pct = 60, threshold = floor(0.4*4) = 1:
+  // only p3 qualifies.
+  auto ds = Dataset::FromRowMajor(1, {0, 1, 2, 10});
+  ASSERT_TRUE(ds.ok());
+  auto result = DbOutlierDetector::Detect(*ds, Euclidean(), 60.0, 3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->threshold_count, 1u);
+  EXPECT_EQ(result->outlier_count, 1u);
+  EXPECT_FALSE(result->is_outlier[0]);
+  EXPECT_FALSE(result->is_outlier[1]);
+  EXPECT_FALSE(result->is_outlier[2]);
+  EXPECT_TRUE(result->is_outlier[3]);
+}
+
+TEST(DbOutlierTest, RejectsBadParameters) {
+  auto ds = Dataset::FromRowMajor(1, {0, 1});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(DbOutlierDetector::Detect(*ds, Euclidean(), -1, 1).ok());
+  EXPECT_FALSE(DbOutlierDetector::Detect(*ds, Euclidean(), 101, 1).ok());
+  EXPECT_FALSE(DbOutlierDetector::Detect(*ds, Euclidean(), 50, -1).ok());
+  auto empty = Dataset::Create(1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(DbOutlierDetector::Detect(*empty, Euclidean(), 50, 1).ok());
+}
+
+TEST(DbOutlierTest, IndexVariantAgreesWithNestedLoop) {
+  Rng rng(41);
+  auto ds = generators::MakePerformanceWorkload(rng, 2, 300, 4);
+  ASSERT_TRUE(ds.ok());
+  KdTreeIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  for (double dmin : {1.0, 5.0, 20.0}) {
+    auto nested =
+        DbOutlierDetector::Detect(*ds, Euclidean(), 99.0, dmin);
+    auto indexed =
+        DbOutlierDetector::DetectWithIndex(*ds, index, 99.0, dmin);
+    ASSERT_TRUE(nested.ok() && indexed.ok());
+    EXPECT_EQ(nested->outlier_count, indexed->outlier_count) << dmin;
+    for (size_t i = 0; i < ds->size(); ++i) {
+      ASSERT_EQ(nested->is_outlier[i], indexed->is_outlier[i])
+          << "dmin " << dmin << " point " << i;
+    }
+  }
+}
+
+TEST(DbOutlierTest, CellBasedAgreesWithNestedLoop2D) {
+  Rng rng(44);
+  auto ds = generators::MakePerformanceWorkload(rng, 2, 400, 4);
+  ASSERT_TRUE(ds.ok());
+  for (double dmin : {0.5, 2.0, 8.0, 25.0}) {
+    for (double pct : {90.0, 99.0, 99.8}) {
+      auto nested = DbOutlierDetector::Detect(*ds, Euclidean(), pct, dmin);
+      auto cells = DbOutlierDetector::DetectCellBased(*ds, pct, dmin);
+      ASSERT_TRUE(nested.ok());
+      ASSERT_TRUE(cells.ok()) << cells.status();
+      EXPECT_EQ(nested->outlier_count, cells->outlier_count)
+          << "pct=" << pct << " dmin=" << dmin;
+      for (size_t i = 0; i < ds->size(); ++i) {
+        ASSERT_EQ(nested->is_outlier[i], cells->is_outlier[i])
+            << "pct=" << pct << " dmin=" << dmin << " point " << i;
+      }
+    }
+  }
+}
+
+TEST(DbOutlierTest, CellBasedAgreesWithNestedLoop3D) {
+  Rng rng(45);
+  auto ds = generators::MakePerformanceWorkload(rng, 3, 300, 3);
+  ASSERT_TRUE(ds.ok());
+  auto nested = DbOutlierDetector::Detect(*ds, Euclidean(), 99.0, 6.0);
+  auto cells = DbOutlierDetector::DetectCellBased(*ds, 99.0, 6.0);
+  ASSERT_TRUE(nested.ok() && cells.ok());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    ASSERT_EQ(nested->is_outlier[i], cells->is_outlier[i]) << i;
+  }
+}
+
+TEST(DbOutlierTest, CellBasedRejectsHighDimensionsAndZeroDmin) {
+  Rng rng(46);
+  auto ds5 = generators::MakePerformanceWorkload(rng, 5, 50, 2);
+  ASSERT_TRUE(ds5.ok());
+  EXPECT_EQ(DbOutlierDetector::DetectCellBased(*ds5, 99.0, 1.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto ds2 = generators::MakePerformanceWorkload(rng, 2, 50, 2);
+  ASSERT_TRUE(ds2.ok());
+  EXPECT_FALSE(DbOutlierDetector::DetectCellBased(*ds2, 99.0, 0.0).ok());
+}
+
+TEST(DbOutlierTest, FlagsGlobalOutlier) {
+  Rng rng(42);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 200).ok());
+  const double far_away[2] = {50, 50};
+  ASSERT_TRUE(ds->Append(far_away).ok());
+  auto result = DbOutlierDetector::Detect(*ds, Euclidean(), 99.0, 10.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_outlier[200]);
+  EXPECT_EQ(result->outlier_count, 1u);
+}
+
+TEST(DbOutlierTest, Section3ArgumentHoldsOnDs1) {
+  // The core claim of section 3: there is no (pct, dmin) for which o2 is a
+  // DB outlier while the C1 objects are not. We sweep dmin over the full
+  // relevant range at high pct resolution and verify that whenever o2 is
+  // flagged, a large part of C1 is flagged too.
+  Rng rng(43);
+  auto scenario = scenarios::MakeDs1(rng);
+  ASSERT_TRUE(scenario.ok());
+  const Dataset& ds = scenario->data;
+  const size_t o2 = scenario->named.at("o2");
+
+  for (double dmin = 0.5; dmin <= 6.0; dmin += 0.5) {
+    for (double pct : {90.0, 95.0, 99.0, 99.8}) {
+      auto result = DbOutlierDetector::Detect(ds, Euclidean(), pct, dmin);
+      ASSERT_TRUE(result.ok());
+      if (!result->is_outlier[o2]) continue;
+      size_t c1_flagged = 0;
+      size_t c1_total = 0;
+      for (size_t i = 0; i < ds.size(); ++i) {
+        if (ds.label(i) != "C1") continue;
+        ++c1_total;
+        if (result->is_outlier[i]) ++c1_flagged;
+      }
+      // o2 flagged => (nearly) all of C1 flagged as well.
+      EXPECT_GT(c1_flagged, c1_total * 9 / 10)
+          << "pct=" << pct << " dmin=" << dmin;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,111 @@
+#include "clustering/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+namespace {
+
+Dataset TwoBlobsAndNoise(Rng& rng) {
+  auto ds = Dataset::Create(2);
+  EXPECT_TRUE(ds.ok());
+  const double c1[2] = {0, 0};
+  const double c2[2] = {20, 0};
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c1, 0.5, 100, "a").ok());
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c2, 0.5, 100, "b").ok());
+  const double noise[2] = {10, 10};
+  EXPECT_TRUE(ds->Append(noise, "noise").ok());
+  return std::move(ds).value();
+}
+
+TEST(DbscanTest, FindsTwoClustersAndNoise) {
+  Rng rng(61);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Dbscan::Run(data, index, {.eps = 1.0, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2u);
+  EXPECT_EQ(result->cluster_of[200], DbscanResult::kNoise);
+  EXPECT_EQ(result->noise_count, 1u);
+  // All of blob a shares one id; blob b another.
+  for (size_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(result->cluster_of[i], result->cluster_of[0]);
+  }
+  for (size_t i = 101; i < 200; ++i) {
+    EXPECT_EQ(result->cluster_of[i], result->cluster_of[100]);
+  }
+  EXPECT_NE(result->cluster_of[0], result->cluster_of[100]);
+}
+
+TEST(DbscanTest, CorePointsAreDenseInteriors) {
+  Rng rng(62);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Dbscan::Run(data, index, {.eps = 1.0, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  size_t core = 0;
+  for (bool c : result->is_core) {
+    if (c) ++core;
+  }
+  EXPECT_GT(core, 150u);
+  EXPECT_FALSE(result->is_core[200]);
+}
+
+TEST(DbscanTest, EverythingNoiseWhenEpsTiny) {
+  Rng rng(63);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Dbscan::Run(data, index, {.eps = 1e-9, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  EXPECT_EQ(result->noise_count, data.size());
+}
+
+TEST(DbscanTest, SingleClusterWhenEpsHuge) {
+  Rng rng(64);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Dbscan::Run(data, index, {.eps = 100.0, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+  EXPECT_EQ(result->noise_count, 0u);
+}
+
+TEST(DbscanTest, IndexChoiceDoesNotChangeClustering) {
+  Rng rng(65);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex scan;
+  KdTreeIndex tree;
+  ASSERT_TRUE(scan.Build(data, Euclidean()).ok());
+  ASSERT_TRUE(tree.Build(data, Euclidean()).ok());
+  auto a = Dbscan::Run(data, scan, {.eps = 1.0, .min_pts = 5});
+  auto b = Dbscan::Run(data, tree, {.eps = 1.0, .min_pts = 5});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->cluster_of, b->cluster_of);
+}
+
+TEST(DbscanTest, RejectsBadParameters) {
+  Rng rng(66);
+  Dataset data = TwoBlobsAndNoise(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_FALSE(Dbscan::Run(data, index, {.eps = -1.0, .min_pts = 5}).ok());
+  EXPECT_FALSE(Dbscan::Run(data, index, {.eps = 1.0, .min_pts = 0}).ok());
+  auto empty = Dataset::Create(2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(Dbscan::Run(*empty, index, {.eps = 1.0, .min_pts = 5}).ok());
+}
+
+}  // namespace
+}  // namespace lofkit

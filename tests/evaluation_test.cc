@@ -1,0 +1,92 @@
+#include "lof/evaluation.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+TEST(EvaluationTest, PerfectRanking) {
+  const std::vector<double> scores = {9.0, 8.0, 1.0, 0.5, 0.2};
+  const std::vector<bool> labels = {true, true, false, false, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->precision_at_n, 1.0);
+  EXPECT_DOUBLE_EQ(q->recall_at_n, 1.0);
+  EXPECT_DOUBLE_EQ(q->roc_auc, 1.0);
+  EXPECT_DOUBLE_EQ(q->average_precision, 1.0);
+}
+
+TEST(EvaluationTest, InvertedRanking) {
+  const std::vector<double> scores = {0.1, 0.2, 5.0, 6.0};
+  const std::vector<bool> labels = {true, true, false, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->precision_at_n, 0.0);
+  EXPECT_DOUBLE_EQ(q->roc_auc, 0.0);
+}
+
+TEST(EvaluationTest, HandComputedMixedRanking) {
+  // Order by score: [o, i, o, i] -> AUC pairs: first o beats both i (2),
+  // second o beats one i (1) => 3 of 4 pairs => 0.75.
+  const std::vector<double> scores = {4.0, 3.0, 2.0, 1.0};
+  const std::vector<bool> labels = {true, false, true, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->roc_auc, 0.75);
+  // precision@2 (n defaults to #positives = 2): top-2 = {o, i} -> 0.5.
+  EXPECT_DOUBLE_EQ(q->precision_at_n, 0.5);
+  EXPECT_DOUBLE_EQ(q->recall_at_n, 0.5);
+  // AP: outlier ranks 1 and 3 -> (1/1 + 2/3)/2 = 5/6.
+  EXPECT_NEAR(q->average_precision, 5.0 / 6.0, 1e-12);
+}
+
+TEST(EvaluationTest, TiesCountHalfInAuc) {
+  // One outlier tied with one inlier, one inlier below.
+  const std::vector<double> scores = {2.0, 2.0, 1.0};
+  const std::vector<bool> labels = {true, false, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  // Pairs: (o, tied i) = 0.5, (o, lower i) = 1 -> 1.5/2 = 0.75.
+  EXPECT_DOUBLE_EQ(q->roc_auc, 0.75);
+}
+
+TEST(EvaluationTest, AllTiedIsChance) {
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<bool> labels = {true, false, true, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->roc_auc, 0.5);
+}
+
+TEST(EvaluationTest, ExplicitCutoff) {
+  const std::vector<double> scores = {5, 4, 3, 2, 1};
+  const std::vector<bool> labels = {true, false, true, false, false};
+  auto q = EvaluateRanking(scores, labels, 4);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->precision_at_n, 0.5);  // 2 of top 4
+  EXPECT_DOUBLE_EQ(q->recall_at_n, 1.0);
+}
+
+TEST(EvaluationTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(EvaluateRanking({{1.0, 2.0}}, {true, true}).ok());
+  EXPECT_FALSE(EvaluateRanking({{1.0, 2.0}}, {false, false}).ok());
+  EXPECT_FALSE(EvaluateRanking({{1.0}}, {true, false}).ok());
+  const std::vector<double> with_nan = {1.0, std::nan("")};
+  EXPECT_FALSE(EvaluateRanking(with_nan, {true, false}).ok());
+}
+
+TEST(EvaluationTest, InfiniteScoresRankHighest) {
+  // Duplicate-degenerate LOF can be +inf; the ranking must remain sane.
+  const std::vector<double> scores = {std::numeric_limits<double>::infinity(),
+                                      1.0, 0.5};
+  const std::vector<bool> labels = {true, false, false};
+  auto q = EvaluateRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->roc_auc, 1.0);
+}
+
+}  // namespace
+}  // namespace lofkit

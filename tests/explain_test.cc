@@ -1,0 +1,79 @@
+#include "lof/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+namespace {
+
+TEST(ExplainTest, SingleDeviantDimensionDominatesContribution) {
+  Rng rng(31);
+  auto ds = Dataset::Create(3);
+  ASSERT_TRUE(ds.ok());
+  const double center[3] = {0, 0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 200).ok());
+  // Outlier deviating only in dimension 2.
+  const double outlier[3] = {0.0, 0.0, 9.0};
+  ASSERT_TRUE(ds->Append(outlier).ok());
+
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 10);
+  ASSERT_TRUE(m.ok());
+  auto explanation = ExplainOutlier(*ds, *m, 200, 10);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->ranked_dimensions[0], 2u);
+  EXPECT_GT(explanation->contribution[2], 0.5);
+  // Contributions are a distribution.
+  double total = 0;
+  for (double c : explanation->contribution) {
+    EXPECT_GE(c, 0.0);
+    total += c;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExplainTest, InlierHasDiffuseContributions) {
+  Rng rng(32);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 200).ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 10);
+  ASSERT_TRUE(m.ok());
+  auto explanation = ExplainOutlier(*ds, *m, 0, 10);
+  ASSERT_TRUE(explanation.ok());
+  // For an inlier, no dimension should completely dominate.
+  EXPECT_LT(explanation->contribution[explanation->ranked_dimensions[0]],
+            0.999);
+  EXPECT_EQ(explanation->neighbor_mean.size(), 2u);
+  EXPECT_EQ(explanation->neighbor_stddev.size(), 2u);
+}
+
+TEST(ExplainTest, ErrorsOnBadInput) {
+  Rng rng(33);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 50).ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(ExplainOutlier(*ds, *m, 999, 5).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ExplainOutlier(*ds, *m, 0, 50).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace lofkit

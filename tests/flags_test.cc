@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddU64("count", 7, "a count");
+  flags.AddDouble("ratio", 1.5, "a ratio");
+  flags.AddBool("verbose", false, "a switch");
+  return flags;
+}
+
+Status ParseArgs(FlagParser& flags, std::vector<const char*> args) {
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArguments) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetU64("count"), 7u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 1.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.IsSet("count"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(flags, {"--name=abc", "--count=42", "--ratio=0.25"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetU64("count"), 42u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(flags.IsSet("count"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--name", "xyz", "--count", "3"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_EQ(flags.GetU64("count"), 3u);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+
+  FlagParser negated = MakeParser();
+  ASSERT_TRUE(ParseArgs(negated, {"--verbose", "--no-verbose"}).ok());
+  EXPECT_FALSE(negated.GetBool("verbose"));
+
+  FlagParser explicit_value = MakeParser();
+  ASSERT_TRUE(ParseArgs(explicit_value, {"--verbose=true"}).ok());
+  EXPECT_TRUE(explicit_value.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalArgumentsAndDoubleDash) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(flags, {"file1", "--count", "9", "--", "--not-a-flag"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"file1", "--not-a-flag"}));
+  EXPECT_EQ(flags.GetU64("count"), 9u);
+}
+
+TEST(FlagsTest, ErrorsOnUnknownFlag) {
+  FlagParser flags = MakeParser();
+  EXPECT_EQ(ParseArgs(flags, {"--bogus=1"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, ErrorsOnTypeMismatch) {
+  FlagParser bad_int = MakeParser();
+  EXPECT_FALSE(ParseArgs(bad_int, {"--count=-3"}).ok());
+  FlagParser bad_double = MakeParser();
+  EXPECT_FALSE(ParseArgs(bad_double, {"--ratio=abc"}).ok());
+  FlagParser bad_bool = MakeParser();
+  EXPECT_FALSE(ParseArgs(bad_bool, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, ErrorsOnMissingValue) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count"}).ok());
+}
+
+TEST(FlagsTest, HelpListsFlagsWithDefaults) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 7"), std::string::npos);
+  EXPECT_NE(help.find("a ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lofkit

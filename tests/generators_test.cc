@@ -1,0 +1,197 @@
+#include "dataset/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+using namespace generators;  // NOLINT: test-local convenience
+
+TEST(GeneratorsTest, GaussianClusterCountAndLabel) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(1);
+  const double center[2] = {5, 5};
+  ASSERT_TRUE(AppendGaussianCluster(*ds, rng, center, 1.0, 100, "c").ok());
+  EXPECT_EQ(ds->size(), 100u);
+  EXPECT_EQ(ds->label(0), "c");
+  EXPECT_EQ(ds->label(99), "c");
+}
+
+TEST(GeneratorsTest, GaussianClusterCentersNearRequested) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(2);
+  const double center[2] = {10, -4};
+  ASSERT_TRUE(AppendGaussianCluster(*ds, rng, center, 0.5, 2000).ok());
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    mx += ds->point(i)[0];
+    my += ds->point(i)[1];
+  }
+  EXPECT_NEAR(mx / 2000, 10.0, 0.1);
+  EXPECT_NEAR(my / 2000, -4.0, 0.1);
+}
+
+TEST(GeneratorsTest, GaussianClusterRejectsDimensionMismatch) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(3);
+  const double center[3] = {0, 0, 0};
+  EXPECT_FALSE(AppendGaussianCluster(*ds, rng, center, 1.0, 10).ok());
+}
+
+TEST(GeneratorsTest, AnisoRejectsNegativeStddev) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(3);
+  const double center[2] = {0, 0};
+  const double stddevs[2] = {1.0, -1.0};
+  EXPECT_FALSE(
+      AppendGaussianClusterAniso(*ds, rng, center, stddevs, 10).ok());
+}
+
+TEST(GeneratorsTest, UniformBoxStaysInBox) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(4);
+  const double lo[2] = {-1, 2};
+  const double hi[2] = {1, 3};
+  ASSERT_TRUE(AppendUniformBox(*ds, rng, lo, hi, 500).ok());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    EXPECT_GE(ds->point(i)[0], -1.0);
+    EXPECT_LT(ds->point(i)[0], 1.0);
+    EXPECT_GE(ds->point(i)[1], 2.0);
+    EXPECT_LT(ds->point(i)[1], 3.0);
+  }
+}
+
+TEST(GeneratorsTest, UniformBoxRejectsInvertedBounds) {
+  auto ds = Dataset::Create(1);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(4);
+  const double lo[1] = {1};
+  const double hi[1] = {0};
+  EXPECT_FALSE(AppendUniformBox(*ds, rng, lo, hi, 5).ok());
+}
+
+TEST(GeneratorsTest, UniformBallStaysInBall) {
+  auto ds = Dataset::Create(3);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(5);
+  const double center[3] = {1, 2, 3};
+  ASSERT_TRUE(AppendUniformBall(*ds, rng, center, 2.0, 500).ok());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    double dist_sq = 0;
+    for (size_t d = 0; d < 3; ++d) {
+      const double delta = ds->point(i)[d] - center[d];
+      dist_sq += delta * delta;
+    }
+    EXPECT_LE(std::sqrt(dist_sq), 2.0 + 1e-12);
+  }
+}
+
+TEST(GeneratorsTest, RingRadiusApproximatelyHolds) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(6);
+  ASSERT_TRUE(AppendRing(*ds, rng, 0, 0, 5.0, 0.1, 400).ok());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const double r = std::hypot(ds->point(i)[0], ds->point(i)[1]);
+    EXPECT_NEAR(r, 5.0, 1.0);  // 10 sigma
+  }
+}
+
+TEST(GeneratorsTest, RingRequires2D) {
+  auto ds = Dataset::Create(3);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(6);
+  EXPECT_FALSE(AppendRing(*ds, rng, 0, 0, 5.0, 0.1, 10).ok());
+}
+
+TEST(GeneratorsTest, DuplicatesAreExact) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double p[2] = {3.25, -1.5};
+  ASSERT_TRUE(AppendDuplicates(*ds, p, 5, "dup").ok());
+  EXPECT_EQ(ds->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(ds->point(i)[0], 3.25);
+    EXPECT_DOUBLE_EQ(ds->point(i)[1], -1.5);
+  }
+}
+
+TEST(GeneratorsTest, HistogramClusterIsNormalized) {
+  auto ds = Dataset::Create(64);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(7);
+  ASSERT_TRUE(AppendHistogramCluster(*ds, rng, 50, 40.0).ok());
+  EXPECT_EQ(ds->size(), 50u);
+  for (size_t i = 0; i < ds->size(); ++i) {
+    double sum = 0;
+    for (size_t d = 0; d < 64; ++d) {
+      EXPECT_GE(ds->point(i)[d], 0.0);
+      sum += ds->point(i)[d];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, HistogramClusterRequires64Dims) {
+  auto ds = Dataset::Create(32);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(7);
+  EXPECT_FALSE(AppendHistogramCluster(*ds, rng, 10, 40.0).ok());
+}
+
+TEST(GeneratorsTest, GaussianMixtureRespectsSpecs) {
+  Rng rng(8);
+  std::vector<GaussianSpec> specs(2);
+  specs[0] = {{0.0, 0.0}, 1.0, 30, "a"};
+  specs[1] = {{50.0, 50.0}, 2.0, 70, "b"};
+  auto ds = MakeGaussianMixture(rng, 2, specs);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 100u);
+  EXPECT_EQ(ds->label(0), "a");
+  EXPECT_EQ(ds->label(99), "b");
+}
+
+TEST(GeneratorsTest, GaussianMixtureRejectsBadCenter) {
+  Rng rng(8);
+  std::vector<GaussianSpec> specs(1);
+  specs[0] = {{0.0}, 1.0, 5, "a"};  // 1-d center, 2-d dataset
+  EXPECT_FALSE(MakeGaussianMixture(rng, 2, specs).ok());
+}
+
+TEST(GeneratorsTest, PerformanceWorkloadSizeAndDimension) {
+  Rng rng(9);
+  auto ds = MakePerformanceWorkload(rng, 5, 1003, 7);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 1003u);
+  EXPECT_EQ(ds->dimension(), 5u);
+}
+
+TEST(GeneratorsTest, PerformanceWorkloadRejectsZeroClusters) {
+  Rng rng(9);
+  EXPECT_FALSE(MakePerformanceWorkload(rng, 2, 100, 0).ok());
+  EXPECT_FALSE(MakePerformanceWorkload(rng, 2, 0, 3).ok());
+}
+
+TEST(GeneratorsTest, SameSeedSameData) {
+  Rng rng1(31337);
+  Rng rng2(31337);
+  auto a = MakePerformanceWorkload(rng1, 3, 200, 4);
+  auto b = MakePerformanceWorkload(rng2, 3, 200, 4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(a->point(i)[d], b->point(i)[d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,135 @@
+#include "index/incremental_materializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+namespace {
+
+// Batch-materializes `data` for comparison.
+NeighborhoodMaterializer BatchMaterialize(const Dataset& data, size_t k) {
+  LinearScanIndex index;
+  EXPECT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, k);
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+void ExpectListsEqual(const IncrementalMaterializer& incremental,
+                      const NeighborhoodMaterializer& batch) {
+  ASSERT_EQ(incremental.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& inc_list = incremental.neighbors(i);
+    const auto batch_list = batch.neighbors(i);
+    ASSERT_EQ(inc_list.size(), batch_list.size()) << "point " << i;
+    for (size_t j = 0; j < batch_list.size(); ++j) {
+      EXPECT_EQ(inc_list[j].index, batch_list[j].index)
+          << "point " << i << " entry " << j;
+      EXPECT_DOUBLE_EQ(inc_list[j].distance, batch_list[j].distance);
+    }
+  }
+}
+
+TEST(IncrementalMaterializerTest, CreateRequiresEnoughPoints) {
+  Rng rng(1);
+  auto small = generators::MakePerformanceWorkload(rng, 2, 5, 1);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(
+      IncrementalMaterializer::Create(*small, Euclidean(), 5).ok());
+  EXPECT_FALSE(
+      IncrementalMaterializer::Create(*small, Euclidean(), 0).ok());
+  EXPECT_TRUE(IncrementalMaterializer::Create(*small, Euclidean(), 4).ok());
+}
+
+TEST(IncrementalMaterializerTest, InitialStateMatchesBatch) {
+  Rng rng(2);
+  auto data = generators::MakePerformanceWorkload(rng, 2, 100, 3);
+  ASSERT_TRUE(data.ok());
+  auto incremental = IncrementalMaterializer::Create(*data, Euclidean(), 8);
+  ASSERT_TRUE(incremental.ok());
+  ExpectListsEqual(*incremental, BatchMaterialize(*data, 8));
+}
+
+TEST(IncrementalMaterializerTest, InsertsMatchBatchRematerialization) {
+  Rng rng(3);
+  auto initial = generators::MakePerformanceWorkload(rng, 2, 80, 3);
+  ASSERT_TRUE(initial.ok());
+  auto incremental =
+      IncrementalMaterializer::Create(*initial, Euclidean(), 6);
+  ASSERT_TRUE(incremental.ok());
+
+  // Insert a mix of in-cluster points, outliers, and an exact duplicate.
+  std::vector<std::vector<double>> inserts;
+  for (int i = 0; i < 30; ++i) {
+    inserts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  inserts.push_back({500.0, 500.0});  // far outlier
+  inserts.push_back({initial->point(0)[0], initial->point(0)[1]});  // dup
+
+  for (const auto& point : inserts) {
+    ASSERT_TRUE(incremental->Insert(point).ok());
+    ExpectListsEqual(*incremental,
+                     BatchMaterialize(incremental->data(), 6));
+  }
+}
+
+TEST(IncrementalMaterializerTest, AffectedSetIsLocal) {
+  // A far-away insert should touch almost no neighborhood.
+  Rng rng(4);
+  auto data = Dataset::Create(2);
+  ASSERT_TRUE(data.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*data, rng, center, 1.0, 500).ok());
+  auto incremental = IncrementalMaterializer::Create(*data, Euclidean(), 10);
+  ASSERT_TRUE(incremental.ok());
+  const double far_away[2] = {100.0, 100.0};
+  ASSERT_TRUE(incremental->Insert(far_away).ok());
+  EXPECT_EQ(incremental->last_affected_count(), 0u);
+  const double inside[2] = {0.0, 0.1};
+  ASSERT_TRUE(incremental->Insert(inside).ok());
+  EXPECT_GT(incremental->last_affected_count(), 0u);
+  EXPECT_LT(incremental->last_affected_count(), 100u);  // local, not global
+}
+
+TEST(IncrementalMaterializerTest, SnapshotDrivesLofIdentically) {
+  Rng rng(5);
+  auto initial = generators::MakePerformanceWorkload(rng, 3, 120, 4);
+  ASSERT_TRUE(initial.ok());
+  auto incremental =
+      IncrementalMaterializer::Create(*initial, Euclidean(), 10);
+  ASSERT_TRUE(incremental.ok());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> p = {rng.Uniform(0, 100), rng.Uniform(0, 100),
+                                   rng.Uniform(0, 100)};
+    ASSERT_TRUE(incremental->Insert(p).ok());
+  }
+  auto snapshot = incremental->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto incremental_scores = LofComputer::Compute(*snapshot, 10);
+  auto batch_scores = LofComputer::Compute(
+      BatchMaterialize(incremental->data(), 10), 10);
+  ASSERT_TRUE(incremental_scores.ok() && batch_scores.ok());
+  for (size_t i = 0; i < batch_scores->lof.size(); ++i) {
+    ASSERT_DOUBLE_EQ(incremental_scores->lof[i], batch_scores->lof[i]);
+  }
+}
+
+TEST(IncrementalMaterializerTest, RejectsDimensionMismatch) {
+  Rng rng(6);
+  auto data = generators::MakePerformanceWorkload(rng, 2, 50, 2);
+  ASSERT_TRUE(data.ok());
+  auto incremental = IncrementalMaterializer::Create(*data, Euclidean(), 5);
+  ASSERT_TRUE(incremental.ok());
+  const std::vector<double> wrong = {1.0, 2.0, 3.0};
+  EXPECT_EQ(incremental->Insert(wrong).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lofkit

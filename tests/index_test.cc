@@ -1,0 +1,466 @@
+#include "index/index_factory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "index/grid_index.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/m_tree_index.h"
+#include "index/rstar_tree_index.h"
+#include "index/va_file_index.h"
+
+namespace lofkit {
+namespace {
+
+Dataset MakeRandomClustered(Rng& rng, size_t dim, size_t n) {
+  auto ds = generators::MakePerformanceWorkload(rng, dim, n, 5);
+  EXPECT_TRUE(ds.ok()) << ds.status();
+  return std::move(ds).value();
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+TEST(IndexFactoryTest, CreatesEveryKind) {
+  for (IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->name(), IndexKindName(kind));
+  }
+}
+
+TEST(IndexFactoryTest, CreateByName) {
+  auto index = CreateIndexByName("kd_tree");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->name(), "kd_tree");
+  EXPECT_FALSE(CreateIndexByName("btree").ok());
+}
+
+TEST(IndexFactoryTest, RecommendationCoversAllRegimes) {
+  EXPECT_EQ(RecommendIndexKind(2), IndexKind::kGrid);
+  EXPECT_EQ(RecommendIndexKind(5), IndexKind::kRStarTree);
+  EXPECT_EQ(RecommendIndexKind(20), IndexKind::kKdTree);
+  EXPECT_EQ(RecommendIndexKind(64), IndexKind::kVaFile);
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine conformance suite: every engine must agree exactly with the
+// linear scan on k-distance neighborhoods (ties included) and radius
+// queries, per Definitions 3 and 4.
+// ---------------------------------------------------------------------------
+
+struct EngineCase {
+  IndexKind kind;
+  size_t dim;
+  const Metric* metric;
+};
+
+std::string EngineCaseName(
+    const ::testing::TestParamInfo<EngineCase>& info) {
+  return std::string(IndexKindName(info.param.kind)) + "_d" +
+         std::to_string(info.param.dim) + "_" +
+         std::string(info.param.metric->name());
+}
+
+class IndexConformanceTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(IndexConformanceTest, KnnMatchesLinearScan) {
+  const EngineCase& param = GetParam();
+  Rng rng(1000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 400);
+
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, *param.metric).ok());
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  for (size_t trial = 0; trial < 30; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    const size_t k = 1 + rng.UniformU64(20);
+    auto expected = reference.Query(data.point(q), k,
+                                    static_cast<uint32_t>(q));
+    auto actual = engine->Query(data.point(q), k, static_cast<uint32_t>(q));
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    ASSERT_EQ(actual->size(), expected->size())
+        << "engine " << engine->name() << " k=" << k;
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+      EXPECT_DOUBLE_EQ((*actual)[i].distance, (*expected)[i].distance);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, RadiusMatchesLinearScan) {
+  const EngineCase& param = GetParam();
+  Rng rng(2000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 300);
+
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, *param.metric).ok());
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  for (size_t trial = 0; trial < 20; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    const double radius = rng.Uniform(0.0, 30.0);
+    auto expected = reference.QueryRadius(data.point(q), radius);
+    auto actual = engine->QueryRadius(data.point(q), radius);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, ExternalQueryPointWorks) {
+  // Query coordinates that are not part of the dataset (and no exclusion).
+  const EngineCase& param = GetParam();
+  Rng rng(3000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 200);
+
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, *param.metric).ok());
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  std::vector<double> q(param.dim);
+  for (size_t trial = 0; trial < 10; ++trial) {
+    for (size_t d = 0; d < param.dim; ++d) q[d] = rng.Uniform(-20, 120);
+    auto expected = reference.Query(q, 7);
+    auto actual = engine->Query(q, 7);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, TiesAreAllReturned) {
+  // A regular integer grid has massive distance ties; Definition 4 says the
+  // k-distance neighborhood contains every tied point.
+  const EngineCase& param = GetParam();
+  if (param.dim != 2) GTEST_SKIP() << "tie dataset is 2-d";
+  auto data_or = Dataset::Create(2);
+  ASSERT_TRUE(data_or.ok());
+  Dataset data = std::move(data_or).value();
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      const double p[2] = {static_cast<double>(x), static_cast<double>(y)};
+      ASSERT_TRUE(data.Append(p).ok());
+    }
+  }
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+  // The four axis neighbors of an interior point are all at distance 1:
+  // querying k=2 must return all 4 (|N_k| > k).
+  const size_t center = 5 * 10 + 5;
+  auto result = engine->Query(data.point(center), 2,
+                              static_cast<uint32_t>(center));
+  ASSERT_TRUE(result.ok());
+  size_t at_k_distance = 0;
+  const double k_distance = (*result)[1].distance;
+  for (const Neighbor& n : *result) {
+    EXPECT_LE(n.distance, k_distance);
+    if (n.distance == k_distance) ++at_k_distance;
+  }
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_EQ(at_k_distance, 4u);
+}
+
+TEST_P(IndexConformanceTest, LargeKReturnsAllEligible) {
+  const EngineCase& param = GetParam();
+  Rng rng(4000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 50);
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+  auto result = engine->Query(data.point(0), 100, uint32_t{0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 49u);  // everything but the excluded point
+}
+
+TEST_P(IndexConformanceTest, ErrorsOnMisuse) {
+  const EngineCase& param = GetParam();
+  auto engine = CreateIndex(param.kind);
+  std::vector<double> q(param.dim, 0.0);
+  // Query before build.
+  EXPECT_EQ(engine->Query(q, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Empty dataset.
+  auto empty = Dataset::Create(param.dim);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(engine->Build(*empty, *param.metric).code(),
+            StatusCode::kInvalidArgument);
+  // Build properly, then misuse queries.
+  Rng rng(1);
+  Dataset data = MakeRandomClustered(rng, param.dim, 60);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+  EXPECT_EQ(engine->Query(q, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> wrong_dim(param.dim + 1, 0.0);
+  EXPECT_EQ(engine->Query(wrong_dim, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->QueryRadius(q, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, IndexConformanceTest,
+    ::testing::Values(
+        EngineCase{IndexKind::kGrid, 2, &Euclidean()},
+        EngineCase{IndexKind::kGrid, 2, &Manhattan()},
+        EngineCase{IndexKind::kGrid, 5, &Euclidean()},
+        EngineCase{IndexKind::kKdTree, 2, &Euclidean()},
+        EngineCase{IndexKind::kKdTree, 5, &Euclidean()},
+        EngineCase{IndexKind::kKdTree, 5, &Chebyshev()},
+        EngineCase{IndexKind::kKdTree, 10, &Euclidean()},
+        EngineCase{IndexKind::kRStarTree, 2, &Euclidean()},
+        EngineCase{IndexKind::kRStarTree, 5, &Euclidean()},
+        EngineCase{IndexKind::kRStarTree, 5, &Manhattan()},
+        EngineCase{IndexKind::kRStarTree, 10, &Euclidean()},
+        EngineCase{IndexKind::kVaFile, 2, &Euclidean()},
+        EngineCase{IndexKind::kVaFile, 10, &Euclidean()},
+        EngineCase{IndexKind::kVaFile, 20, &Chebyshev()},
+        EngineCase{IndexKind::kMTree, 2, &Euclidean()},
+        EngineCase{IndexKind::kMTree, 5, &Manhattan()},
+        EngineCase{IndexKind::kMTree, 5, &Angular()},
+        EngineCase{IndexKind::kMTree, 10, &Euclidean()},
+        EngineCase{IndexKind::kLinearScan, 3, &Euclidean()}),
+    EngineCaseName);
+
+// ---------------------------------------------------------------------------
+// Engine-specific structure checks
+// ---------------------------------------------------------------------------
+
+TEST(GridIndexTest, ChoosesReasonableResolution) {
+  Rng rng(55);
+  Dataset data = MakeRandomClustered(rng, 2, 400);
+  GridIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_GE(index.cells_per_dimension(), 2u);
+  EXPECT_LE(index.cells_per_dimension(), 64u);
+}
+
+TEST(GridIndexTest, DegeneratesGracefullyInHighDimensions) {
+  Rng rng(56);
+  Dataset data = MakeRandomClustered(rng, 40, 100);
+  GridIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = index.Query(data.point(0), 5, uint32_t{0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->size(), 5u);
+}
+
+TEST(KdTreeIndexTest, BuildsBalancedTree) {
+  Rng rng(57);
+  Dataset data = MakeRandomClustered(rng, 3, 1000);
+  KdTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_GT(index.node_count(), 60u);  // 1000/16 leaves plus internals
+}
+
+TEST(RStarTreeIndexTest, TreeStructureIsSane) {
+  Rng rng(58);
+  Dataset data = MakeRandomClustered(rng, 4, 2000);
+  RStarTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_GE(index.height(), 2u);
+  EXPECT_GT(index.node_count(), 10u);
+}
+
+TEST(RStarTreeIndexTest, HighDimensionalDataGrowsSupernodes) {
+  // In 30-d, directory splits become overlap-heavy; the X-tree rule should
+  // kick in at least occasionally on clustered data.
+  Rng rng(59);
+  Dataset data = MakeRandomClustered(rng, 30, 3000);
+  RStarTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  // The structure stays queryable either way; supernodes are expected but
+  // we only assert the tree did not degenerate into an error.
+  auto result = index.Query(data.point(0), 10, uint32_t{0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->size(), 10u);
+}
+
+TEST(RStarTreeIndexTest, RebuildReplacesContent) {
+  Rng rng(60);
+  Dataset small = MakeRandomClustered(rng, 2, 50);
+  Dataset large = MakeRandomClustered(rng, 2, 500);
+  RStarTreeIndex index;
+  ASSERT_TRUE(index.Build(small, Euclidean()).ok());
+  ASSERT_TRUE(index.Build(large, Euclidean()).ok());
+  auto all = index.QueryRadius(large.point(0), 1e9);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 500u);
+}
+
+TEST(RStarTreeIndexTest, InvariantsHoldAfterInsertionBuild) {
+  Rng rng(160);
+  Dataset data = MakeRandomClustered(rng, 3, 3000);
+  RStarTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_TRUE(index.CheckInvariants().ok()) << index.CheckInvariants();
+}
+
+TEST(RStarTreeIndexTest, InvariantsHoldAfterBulkLoad) {
+  Rng rng(161);
+  Dataset data = MakeRandomClustered(rng, 3, 3000);
+  RStarTreeIndex index(RStarTreeIndex::BuildMode::kBulkLoadStr);
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_TRUE(index.CheckInvariants().ok()) << index.CheckInvariants();
+  EXPECT_EQ(index.supernode_count(), 0u);  // STR packing never overflows
+}
+
+TEST(RStarTreeIndexTest, BulkLoadMatchesLinearScan) {
+  Rng rng(162);
+  Dataset data = MakeRandomClustered(rng, 4, 800);
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  RStarTreeIndex bulk(RStarTreeIndex::BuildMode::kBulkLoadStr);
+  ASSERT_TRUE(bulk.Build(data, Euclidean()).ok());
+  for (size_t trial = 0; trial < 25; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    auto expected = reference.Query(data.point(q), 15,
+                                    static_cast<uint32_t>(q));
+    auto actual = bulk.Query(data.point(q), 15, static_cast<uint32_t>(q));
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+TEST(RStarTreeIndexTest, BulkLoadUsesFewerNodes) {
+  // STR packs nodes nearly full, so it needs no more (usually far fewer)
+  // nodes than one-by-one insertion.
+  Rng rng(163);
+  Dataset data = MakeRandomClustered(rng, 2, 4000);
+  RStarTreeIndex inserted;
+  RStarTreeIndex bulk(RStarTreeIndex::BuildMode::kBulkLoadStr);
+  ASSERT_TRUE(inserted.Build(data, Euclidean()).ok());
+  ASSERT_TRUE(bulk.Build(data, Euclidean()).ok());
+  EXPECT_LE(bulk.node_count(), inserted.node_count());
+}
+
+TEST(VaFileIndexTest, RejectsBadBitWidth) {
+  Rng rng(61);
+  Dataset data = MakeRandomClustered(rng, 2, 50);
+  VaFileIndex index(0);
+  EXPECT_FALSE(index.Build(data, Euclidean()).ok());
+  VaFileIndex index9(9);
+  EXPECT_FALSE(index9.Build(data, Euclidean()).ok());
+}
+
+class VaFileBitsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VaFileBitsTest, ExactAtEveryBitWidth) {
+  // The approximation granularity changes the candidate set, never the
+  // result: every bit width must reproduce the linear scan exactly.
+  Rng rng(180);
+  Dataset data = MakeRandomClustered(rng, 6, 300);
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  VaFileIndex va(GetParam());
+  ASSERT_TRUE(va.Build(data, Euclidean()).ok());
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    auto expected = reference.Query(data.point(q), 12,
+                                    static_cast<uint32_t>(q));
+    auto actual = va.Query(data.point(q), 12, static_cast<uint32_t>(q));
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size()) << "bits " << GetParam();
+    for (size_t i = 0; i < expected->size(); ++i) {
+      ASSERT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, VaFileBitsTest,
+                         ::testing::Values(1, 2, 4, 6, 8),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(VaFileIndexTest, IntervalsMatchBits) {
+  VaFileIndex index(4);
+  EXPECT_EQ(index.intervals(), 16u);
+}
+
+TEST(MTreeIndexTest, InvariantsHoldOnClusteredData) {
+  Rng rng(170);
+  Dataset data = MakeRandomClustered(rng, 3, 2500);
+  MTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_TRUE(index.CheckInvariants().ok()) << index.CheckInvariants();
+  EXPECT_GE(index.height(), 2u);
+}
+
+TEST(MTreeIndexTest, InvariantsHoldUnderAngularMetric) {
+  // The M-tree is the only engine whose pruning works natively for
+  // non-coordinate metrics; verify its structure under one.
+  Rng rng(171);
+  auto data_or = Dataset::Create(8);
+  ASSERT_TRUE(data_or.ok());
+  Dataset data = std::move(data_or).value();
+  std::vector<double> p(8);
+  for (int i = 0; i < 800; ++i) {
+    for (auto& x : p) x = rng.Uniform(0.01, 1.0);
+    ASSERT_TRUE(data.Append(p).ok());
+  }
+  MTreeIndex index;
+  ASSERT_TRUE(index.Build(data, Angular()).ok());
+  EXPECT_TRUE(index.CheckInvariants().ok()) << index.CheckInvariants();
+}
+
+TEST(MTreeIndexTest, AngularKnnMatchesLinearScan) {
+  Rng rng(172);
+  auto data_or = Dataset::Create(16);
+  ASSERT_TRUE(data_or.ok());
+  Dataset data = std::move(data_or).value();
+  std::vector<double> p(16);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& x : p) x = rng.Uniform(0.01, 1.0);
+    ASSERT_TRUE(data.Append(p).ok());
+  }
+  LinearScanIndex reference;
+  MTreeIndex tree;
+  ASSERT_TRUE(reference.Build(data, Angular()).ok());
+  ASSERT_TRUE(tree.Build(data, Angular()).ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    auto expected = reference.Query(data.point(q), 10,
+                                    static_cast<uint32_t>(q));
+    auto actual = tree.Query(data.point(q), 10, static_cast<uint32_t>(q));
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+TEST(KnnCollectorTest, KeepsTiesAndFiltersStaleAccepts) {
+  internal_index::KnnCollector collector(2);
+  collector.Offer(0, 5.0);
+  collector.Offer(1, 4.0);
+  collector.Offer(2, 1.0);  // pushes tau down to 4.0
+  collector.Offer(3, 4.0);  // tie at tau stays
+  collector.Offer(4, 6.0);  // above tau, rejected
+  auto result = collector.Take();
+  ASSERT_EQ(result.size(), 3u);  // 1.0, 4.0, 4.0 — 5.0 filtered as stale
+  EXPECT_EQ(result[0].index, 2u);
+  EXPECT_EQ(result[1].index, 1u);
+  EXPECT_EQ(result[2].index, 3u);
+}
+
+}  // namespace
+}  // namespace lofkit

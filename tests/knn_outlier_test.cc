@@ -1,0 +1,114 @@
+#include "baselines/knn_outlier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+namespace {
+
+TEST(KnnOutlierTest, HandComputedRanking) {
+  // 1-d {0, 1, 2, 10}, k = 2: k-distances are [2, 1, 2, 9];
+  // ranking: p3 (9), then p0/p2 tie (2), then p1 (1).
+  auto ds = Dataset::FromRowMajor(1, {0, 1, 2, 10});
+  ASSERT_TRUE(ds.ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto ranked = KnnDistanceOutlierDetector::Rank(*ds, index, 2);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 4u);
+  EXPECT_EQ((*ranked)[0].index, 3u);
+  EXPECT_DOUBLE_EQ((*ranked)[0].score, 9.0);
+  EXPECT_EQ((*ranked)[1].index, 0u);
+  EXPECT_EQ((*ranked)[2].index, 2u);
+  EXPECT_EQ((*ranked)[3].index, 1u);
+}
+
+TEST(KnnOutlierTest, TopNTruncates) {
+  auto ds = Dataset::FromRowMajor(1, {0, 1, 2, 10});
+  ASSERT_TRUE(ds.ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto top1 = KnnDistanceOutlierDetector::Rank(*ds, index, 2, 1);
+  ASSERT_TRUE(top1.ok());
+  EXPECT_EQ(top1->size(), 1u);
+  EXPECT_EQ((*top1)[0].index, 3u);
+}
+
+TEST(KnnOutlierTest, MaterializerVariantAgrees) {
+  Rng rng(51);
+  auto ds = generators::MakePerformanceWorkload(rng, 3, 200, 3);
+  ASSERT_TRUE(ds.ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto direct = KnnDistanceOutlierDetector::Rank(*ds, index, 8);
+  ASSERT_TRUE(direct.ok());
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 8);
+  ASSERT_TRUE(m.ok());
+  auto shared = KnnDistanceOutlierDetector::RankFromMaterializer(*m, 8);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_EQ(direct->size(), shared->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*direct)[i].index, (*shared)[i].index);
+    EXPECT_DOUBLE_EQ((*direct)[i].score, (*shared)[i].score);
+  }
+}
+
+TEST(KnnOutlierTest, RejectsBadK) {
+  auto ds = Dataset::FromRowMajor(1, {0, 1, 2});
+  ASSERT_TRUE(ds.ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  EXPECT_FALSE(KnnDistanceOutlierDetector::Rank(*ds, index, 0).ok());
+  EXPECT_FALSE(KnnDistanceOutlierDetector::Rank(*ds, index, 3).ok());
+}
+
+TEST(KnnOutlierTest, GlobalMethodMissesLocalOutlierThatLofFinds) {
+  // The structural difference the paper is about: a point just outside a
+  // dense cluster (local outlier) has a *small* k-distance compared to the
+  // sparse cluster's inliers, so the global kNN ranking cannot place it on
+  // top, while LOF does.
+  Rng rng(52);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double dense_center[2] = {0, 0};
+  ASSERT_TRUE(generators::AppendGaussianCluster(*ds, rng, dense_center, 0.2,
+                                                200, "dense")
+                  .ok());
+  const double sparse_lo[2] = {20, -10};
+  const double sparse_hi[2] = {40, 10};
+  ASSERT_TRUE(
+      generators::AppendUniformBox(*ds, rng, sparse_lo, sparse_hi, 200,
+                                   "sparse")
+          .ok());
+  const double local_outlier[2] = {1.5, 0.0};  // just outside the dense blob
+  const size_t outlier_index = ds->size();
+  ASSERT_TRUE(ds->Append(local_outlier, "local_outlier").ok());
+
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto knn_ranked = KnnDistanceOutlierDetector::Rank(*ds, index, 10);
+  ASSERT_TRUE(knn_ranked.ok());
+  size_t knn_position = 0;
+  for (size_t i = 0; i < knn_ranked->size(); ++i) {
+    if ((*knn_ranked)[i].index == outlier_index) {
+      knn_position = i;
+      break;
+    }
+  }
+  // Dozens of sparse-cluster inliers outrank the local outlier globally.
+  EXPECT_GT(knn_position, 50u);
+
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 10);
+  ASSERT_TRUE(m.ok());
+  auto scores = LofComputer::Compute(*m, 10);
+  ASSERT_TRUE(scores.ok());
+  auto lof_ranked = RankDescending(scores->lof, 1);
+  EXPECT_EQ(lof_ranked[0].index, outlier_index);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,79 @@
+#include "dataset/loaders.h"
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+CsvTable MakeTable() {
+  CsvTable table;
+  table.header = {"x", "y", "cls"};
+  table.rows = {{1.0, 2.0, 0.0}, {3.0, 4.0, 1.0}, {5.0, 6.0, 1.0}};
+  return table;
+}
+
+TEST(LoadersTest, AllColumnsByDefault) {
+  auto ds = DatasetFromCsvTable(MakeTable());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dimension(), 3u);
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_DOUBLE_EQ(ds->point(1)[2], 1.0);
+}
+
+TEST(LoadersTest, SelectedCoordinateColumns) {
+  DatasetLoadOptions options;
+  options.coordinate_columns = {2, 0};
+  auto ds = DatasetFromCsvTable(MakeTable(), options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(ds->point(1)[0], 1.0);  // column 2
+  EXPECT_DOUBLE_EQ(ds->point(1)[1], 3.0);  // column 0
+}
+
+TEST(LoadersTest, LabelColumnExcludedFromCoordinates) {
+  DatasetLoadOptions options;
+  options.label_column = 2;
+  auto ds = DatasetFromCsvTable(MakeTable(), options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dimension(), 2u);
+  EXPECT_EQ(ds->label(0), "0");
+  EXPECT_EQ(ds->label(1), "1");
+}
+
+TEST(LoadersTest, RejectsBadColumnSelections) {
+  DatasetLoadOptions options;
+  options.coordinate_columns = {7};
+  EXPECT_EQ(DatasetFromCsvTable(MakeTable(), options).status().code(),
+            StatusCode::kOutOfRange);
+  DatasetLoadOptions bad_label;
+  bad_label.label_column = 9;
+  EXPECT_EQ(DatasetFromCsvTable(MakeTable(), bad_label).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LoadersTest, RejectsEmptyTable) {
+  CsvTable empty;
+  EXPECT_FALSE(DatasetFromCsvTable(empty).ok());
+}
+
+TEST(LoadersTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lofkit_loader_test.csv";
+  CsvTable table = MakeTable();
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  DatasetLoadOptions options;
+  options.csv.has_header = true;
+  options.label_column = 2;
+  auto ds = DatasetFromCsvFile(path, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_EQ(ds->dimension(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadersTest, MissingFileIsIoError) {
+  EXPECT_EQ(DatasetFromCsvFile("/does/not/exist.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,258 @@
+#include "lof/lof_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+namespace {
+
+struct Pipeline {
+  Dataset data;
+  LinearScanIndex index;
+  std::optional<NeighborhoodMaterializer> m;
+};
+
+std::unique_ptr<Pipeline> MakePipeline(Dataset data, size_t k_max) {
+  auto pipeline = std::make_unique<Pipeline>(Pipeline{std::move(data), {}, {}});
+  EXPECT_TRUE(pipeline->index.Build(pipeline->data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(pipeline->data,
+                                                 pipeline->index, k_max);
+  EXPECT_TRUE(m.ok());
+  pipeline->m.emplace(std::move(m).value());
+  return pipeline;
+}
+
+Dataset TwoClustersAndOutlier(Rng& rng) {
+  auto ds = Dataset::Create(2);
+  EXPECT_TRUE(ds.ok());
+  const double c1[2] = {0, 0};
+  const double c2[2] = {30, 0};
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c1, 1.0, 150, "c1").ok());
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c2, 3.0, 150, "c2").ok());
+  const double outlier[2] = {15, 10};
+  EXPECT_TRUE(ds->Append(outlier, "outlier").ok());
+  return std::move(ds).value();
+}
+
+TEST(Theorem1Test, BoundsHoldForEveryPoint) {
+  Rng rng(21);
+  auto pipeline = MakePipeline(TwoClustersAndOutlier(rng), 12);
+  const size_t min_pts = 10;
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto stats = ComputeNeighborhoodStats(*pipeline->m, i, min_pts);
+    ASSERT_TRUE(stats.ok());
+    const LofBoundEstimate bounds = Theorem1Bounds(*stats);
+    EXPECT_LE(bounds.lower, scores->lof[i] + 1e-9) << "point " << i;
+    EXPECT_GE(bounds.upper, scores->lof[i] - 1e-9) << "point " << i;
+  }
+}
+
+TEST(Theorem1Test, BoundsAreTightForSingleClusterNeighborhoods) {
+  // Second bullet of section 5.3: for a point whose neighbors all belong
+  // to one homogeneous cluster, the theorem-1 bounds are close together.
+  Rng rng(22);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 200).ok());
+  const double p[2] = {6.0, 0.0};  // outside, neighbors all in the cluster
+  ASSERT_TRUE(ds->Append(p).ok());
+  auto pipeline = MakePipeline(std::move(ds).value(), 12);
+  auto stats = ComputeNeighborhoodStats(*pipeline->m, 200, 10);
+  ASSERT_TRUE(stats.ok());
+  const LofBoundEstimate bounds = Theorem1Bounds(*stats);
+  auto scores = LofComputer::Compute(*pipeline->m, 10);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->lof[200], 2.0);              // clearly outlying
+  EXPECT_LT(bounds.upper / bounds.lower, 6.0);   // bounds usable
+}
+
+TEST(Theorem2Test, BoundsHoldWithLabelPartition) {
+  Rng rng(23);
+  Dataset data = TwoClustersAndOutlier(rng);
+  // Partition: by generator label (c1 = 0, c2 = 1, outlier = 2).
+  std::vector<int> partition(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    partition[i] = data.label(i) == "c1" ? 0 : (data.label(i) == "c2" ? 1 : 2);
+  }
+  auto pipeline = MakePipeline(std::move(data), 12);
+  const size_t min_pts = 10;
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto bounds = Theorem2Bounds(*pipeline->m, i, min_pts, partition);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_LE(bounds->lower, scores->lof[i] + 1e-9) << "point " << i;
+    EXPECT_GE(bounds->upper, scores->lof[i] - 1e-9) << "point " << i;
+  }
+}
+
+TEST(Theorem2Test, Corollary1SinglePartitionEqualsTheorem1) {
+  Rng rng(24);
+  auto pipeline = MakePipeline(TwoClustersAndOutlier(rng), 12);
+  const std::vector<int> one_group(pipeline->data.size(), 0);
+  const size_t min_pts = 10;
+  for (size_t i : {0u, 77u, 200u, 300u}) {
+    auto stats = ComputeNeighborhoodStats(*pipeline->m, i, min_pts);
+    auto thm2 = Theorem2Bounds(*pipeline->m, i, min_pts, one_group);
+    ASSERT_TRUE(stats.ok() && thm2.ok());
+    const LofBoundEstimate thm1 = Theorem1Bounds(*stats);
+    EXPECT_NEAR(thm2->lower, thm1.lower, 1e-12) << "point " << i;
+    EXPECT_NEAR(thm2->upper, thm1.upper, 1e-12) << "point " << i;
+  }
+}
+
+TEST(Theorem2Test, TightensTheorem1ForMixedNeighborhoods) {
+  // Section 5.4 / figure 6: when p's neighborhood draws from two clusters
+  // of different densities, the partition-aware bounds are narrower.
+  Rng rng(29);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double c1[2] = {-4.0, 0.0};
+  const double c2[2] = {4.0, 0.0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c1, 0.5, 200, "c1").ok());
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c2, 0.2, 200, "c2").ok());
+  double c1_edge = -1e9, c2_edge = 1e9;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    if (ds->label(i) == "c1") {
+      c1_edge = std::max(c1_edge, ds->point(i)[0]);
+    } else {
+      c2_edge = std::min(c2_edge, ds->point(i)[0]);
+    }
+  }
+  const double p[2] = {0.5 * (c1_edge + c2_edge), 0.0};
+  const size_t p_index = ds->size();
+  ASSERT_TRUE(ds->Append(p, "p").ok());
+  std::vector<int> partition(ds->size());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    partition[i] = ds->label(i) == "c2" ? 1 : 0;
+  }
+  auto pipeline = MakePipeline(std::move(ds).value(), 6);
+  const size_t min_pts = 6;
+  auto stats = ComputeNeighborhoodStats(*pipeline->m, p_index, min_pts);
+  auto thm2 = Theorem2Bounds(*pipeline->m, p_index, min_pts, partition);
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(stats.ok() && thm2.ok() && scores.ok());
+  const LofBoundEstimate thm1 = Theorem1Bounds(*stats);
+  // Both bracket the true value...
+  EXPECT_LE(thm1.lower, scores->lof[p_index] + 1e-9);
+  EXPECT_GE(thm1.upper, scores->lof[p_index] - 1e-9);
+  EXPECT_LE(thm2->lower, scores->lof[p_index] + 1e-9);
+  EXPECT_GE(thm2->upper, scores->lof[p_index] - 1e-9);
+  // ... and the partitioned spread is no wider.
+  EXPECT_LE(thm2->upper - thm2->lower,
+            (thm1.upper - thm1.lower) * (1 + 1e-9));
+}
+
+TEST(Theorem2Test, RejectsBadPartitions) {
+  Rng rng(25);
+  auto pipeline = MakePipeline(TwoClustersAndOutlier(rng), 12);
+  std::vector<int> wrong_size(3, 0);
+  EXPECT_FALSE(
+      Theorem2Bounds(*pipeline->m, 0, 10, wrong_size).ok());
+  std::vector<int> negative(pipeline->data.size(), -1);
+  EXPECT_FALSE(Theorem2Bounds(*pipeline->m, 0, 10, negative).ok());
+}
+
+TEST(Lemma1Test, DeepClusterPointsRespectEpsilonBounds) {
+  Rng rng(26);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 300).ok());
+  auto pipeline = MakePipeline(std::move(ds).value(), 12);
+  const size_t min_pts = 10;
+
+  std::vector<uint32_t> cluster(pipeline->data.size());
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster[i] = static_cast<uint32_t>(i);
+  }
+  auto lemma = Lemma1Bounds(pipeline->data, Euclidean(), *pipeline->m,
+                            cluster, min_pts);
+  ASSERT_TRUE(lemma.ok());
+  EXPECT_GT(lemma->epsilon, 0.0);
+  EXPECT_LT(lemma->bounds.lower, 1.0);
+  EXPECT_GT(lemma->bounds.upper, 1.0);
+
+  // Every point is in C here, so "deep" holds for all; LOF must respect
+  // the lemma's bounds.
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(scores.ok());
+  const std::vector<bool> in_cluster(pipeline->data.size(), true);
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto deep = IsDeepInCluster(*pipeline->m, i, min_pts, in_cluster);
+    ASSERT_TRUE(deep.ok());
+    ASSERT_TRUE(*deep);
+    EXPECT_GE(scores->lof[i], lemma->bounds.lower - 1e-9);
+    EXPECT_LE(scores->lof[i], lemma->bounds.upper + 1e-9);
+  }
+}
+
+TEST(Lemma1Test, DetectsNonDeepPoints) {
+  Rng rng(27);
+  Dataset data = TwoClustersAndOutlier(rng);
+  std::vector<bool> in_c1(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    in_c1[i] = data.label(i) == "c1";
+  }
+  auto pipeline = MakePipeline(std::move(data), 12);
+  // The planted outlier (last point) cannot be deep in C1.
+  auto deep = IsDeepInCluster(*pipeline->m, pipeline->data.size() - 1, 10,
+                              in_c1);
+  ASSERT_TRUE(deep.ok());
+  EXPECT_FALSE(*deep);
+}
+
+TEST(Lemma1Test, RejectsDegenerateClusters) {
+  Rng rng(28);
+  auto pipeline = MakePipeline(TwoClustersAndOutlier(rng), 12);
+  const std::vector<uint32_t> tiny = {0};
+  EXPECT_FALSE(Lemma1Bounds(pipeline->data, Euclidean(), *pipeline->m, tiny,
+                            10)
+                   .ok());
+}
+
+TEST(AnalyticModelTest, RelativeSpanMatchesClosedForm) {
+  // Figure 5's formula, and its consistency with the figure-4 curves:
+  // (LOFmax - LOFmin) / ratio must equal 4x/(1-x^2) for every ratio.
+  for (double pct : {1.0, 5.0, 10.0, 25.0, 50.0, 90.0}) {
+    const double span = AnalyticRelativeSpan(pct);
+    const double x = pct / 100.0;
+    EXPECT_NEAR(span, 4 * x / (1 - x * x), 1e-12);
+    for (double ratio : {0.5, 1.0, 2.0, 7.5}) {
+      const LofBoundEstimate bounds = AnalyticBounds(ratio, pct);
+      EXPECT_NEAR((bounds.upper - bounds.lower) / ratio, span, 1e-9);
+    }
+  }
+}
+
+TEST(AnalyticModelTest, SpanGrowsWithPctAndDivergesNear100) {
+  EXPECT_LT(AnalyticRelativeSpan(1), AnalyticRelativeSpan(5));
+  EXPECT_LT(AnalyticRelativeSpan(5), AnalyticRelativeSpan(10));
+  EXPECT_GT(AnalyticRelativeSpan(99), 100.0);
+}
+
+TEST(AnalyticModelTest, ZeroFluctuationCollapsesBounds) {
+  const LofBoundEstimate bounds = AnalyticBounds(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.lower, 3.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 3.0);
+}
+
+}  // namespace
+}  // namespace lofkit

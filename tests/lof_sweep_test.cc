@@ -1,0 +1,112 @@
+#include "lof/lof_sweep.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+namespace {
+
+class LofSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    auto ds = generators::MakePerformanceWorkload(rng, 2, 250, 3);
+    ASSERT_TRUE(ds.ok());
+    data_.emplace(std::move(ds).value());
+    ASSERT_TRUE(index_.Build(*data_, Euclidean()).ok());
+    auto m = NeighborhoodMaterializer::Materialize(*data_, index_, 20);
+    ASSERT_TRUE(m.ok());
+    m_.emplace(std::move(m).value());
+  }
+
+  std::optional<Dataset> data_;
+  LinearScanIndex index_;
+  std::optional<NeighborhoodMaterializer> m_;
+};
+
+TEST_F(LofSweepTest, MaxAggregationIsPointwiseMaximum) {
+  auto sweep = LofSweep::Run(*m_, 10, 15, LofAggregation::kMax,
+                             /*keep_per_min_pts=*/true);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->per_min_pts.size(), 6u);
+  for (size_t i = 0; i < data_->size(); ++i) {
+    double expected = -INFINITY;
+    for (const LofScores& scores : sweep->per_min_pts) {
+      expected = std::max(expected, scores.lof[i]);
+    }
+    EXPECT_DOUBLE_EQ(sweep->aggregated[i], expected);
+  }
+}
+
+TEST_F(LofSweepTest, MinAndMeanAggregations) {
+  auto min_sweep = LofSweep::Run(*m_, 10, 15, LofAggregation::kMin, true);
+  auto mean_sweep = LofSweep::Run(*m_, 10, 15, LofAggregation::kMean, true);
+  ASSERT_TRUE(min_sweep.ok() && mean_sweep.ok());
+  for (size_t i = 0; i < data_->size(); ++i) {
+    double expected_min = INFINITY;
+    double expected_mean = 0.0;
+    for (const LofScores& scores : min_sweep->per_min_pts) {
+      expected_min = std::min(expected_min, scores.lof[i]);
+      expected_mean += scores.lof[i] / 6.0;
+    }
+    EXPECT_DOUBLE_EQ(min_sweep->aggregated[i], expected_min);
+    EXPECT_NEAR(mean_sweep->aggregated[i], expected_mean, 1e-12);
+    // min <= mean <= max always.
+    EXPECT_LE(min_sweep->aggregated[i], mean_sweep->aggregated[i] + 1e-12);
+  }
+}
+
+TEST_F(LofSweepTest, SingleValueRangeEqualsPlainCompute) {
+  auto sweep = LofSweep::Run(*m_, 12, 12);
+  auto scores = LofComputer::Compute(*m_, 12);
+  ASSERT_TRUE(sweep.ok() && scores.ok());
+  for (size_t i = 0; i < data_->size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep->aggregated[i], scores->lof[i]);
+  }
+}
+
+TEST_F(LofSweepTest, PerMinPtsOmittedByDefault) {
+  auto sweep = LofSweep::Run(*m_, 10, 12);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_TRUE(sweep->per_min_pts.empty());
+}
+
+TEST_F(LofSweepTest, RejectsBadRanges) {
+  EXPECT_EQ(LofSweep::Run(*m_, 0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LofSweep::Run(*m_, 8, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LofSweep::Run(*m_, 10, 21).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LofSweepPipelineTest, RankOutliersFindsPlantedPoint) {
+  Rng rng(12);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double center[2] = {0, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 400).ok());
+  const double planted[2] = {7.0, -7.0};
+  ASSERT_TRUE(ds->Append(planted, "planted").ok());
+  auto ranked = LofSweep::RankOutliers(*ds, Euclidean(), 10, 20, 3);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].index, 400u);
+  EXPECT_GT((*ranked)[0].score, (*ranked)[1].score);
+}
+
+TEST(LofSweepPipelineTest, AggregationNames) {
+  EXPECT_EQ(LofAggregationName(LofAggregation::kMax), "max");
+  EXPECT_EQ(LofAggregationName(LofAggregation::kMin), "min");
+  EXPECT_EQ(LofAggregationName(LofAggregation::kMean), "mean");
+}
+
+}  // namespace
+}  // namespace lofkit

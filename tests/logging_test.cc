@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace lofkit {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittingDoesNotCrashAtAnyLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // filter the test output away
+  LOFKIT_LOG(Debug) << "debug " << 1;
+  LOFKIT_LOG(Info) << "info " << 2.5;
+  LOFKIT_LOG(Warning) << "warning " << "text";
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little CPU.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 50);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), second + 1.0);
+}
+
+}  // namespace
+}  // namespace lofkit

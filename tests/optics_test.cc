@@ -1,0 +1,251 @@
+#include "clustering/optics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "clustering/optics_lof_bridge.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+
+namespace lofkit {
+namespace {
+
+Dataset TwoBlobs(Rng& rng) {
+  auto ds = Dataset::Create(2);
+  EXPECT_TRUE(ds.ok());
+  const double c1[2] = {0, 0};
+  const double c2[2] = {20, 0};
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c1, 0.5, 80, "a").ok());
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, c2, 0.5, 80, "b").ok());
+  return std::move(ds).value();
+}
+
+TEST(OpticsTest, OrderingIsAPermutation) {
+  Rng rng(71);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Optics::Run(data, index, {.eps = 5.0, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->ordering.size(), data.size());
+  std::vector<uint32_t> sorted = result->ordering;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], i);
+  }
+}
+
+TEST(OpticsTest, ReachabilityJumpSeparatesClusters) {
+  Rng rng(72);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Optics::Run(data, index,
+                            {.eps = std::numeric_limits<double>::infinity(),
+                             .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  // Walking the ordering, there must be exactly one within-run reachability
+  // jump above 10 (the inter-cluster gap), plus the undefined start.
+  size_t jumps = 0;
+  for (size_t pos = 1; pos < result->ordering.size(); ++pos) {
+    const double reach = result->reachability[result->ordering[pos]];
+    if (!std::isfinite(reach) || reach > 10.0) ++jumps;
+  }
+  EXPECT_EQ(jumps, 1u);
+}
+
+TEST(OpticsTest, ExtractClusteringMatchesBlobStructure) {
+  Rng rng(73);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Optics::Run(data, index, {.eps = 50.0, .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  std::vector<int> clusters = ExtractClustering(*result, 2.0);
+  // Blob membership must map 1:1 to extracted clusters.
+  int id_a = clusters[0];
+  int id_b = clusters[100];
+  EXPECT_GE(id_a, 0);
+  EXPECT_GE(id_b, 0);
+  EXPECT_NE(id_a, id_b);
+  size_t mismatches = 0;
+  for (size_t i = 0; i < 80; ++i) {
+    if (clusters[i] != id_a) ++mismatches;
+  }
+  for (size_t i = 80; i < 160; ++i) {
+    if (clusters[i] != id_b) ++mismatches;
+  }
+  EXPECT_LT(mismatches, 4u);  // border points may drop to noise
+}
+
+TEST(OpticsTest, CoreDistanceMatchesKDistance) {
+  Rng rng(74);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto result = Optics::Run(data, index,
+                            {.eps = std::numeric_limits<double>::infinity(),
+                             .min_pts = 5});
+  ASSERT_TRUE(result.ok());
+  // core-distance(p) is the (min_pts-1)-distance of p (the neighborhood
+  // includes p itself).
+  auto knn = index.Query(data.point(0), 4, uint32_t{0});
+  ASSERT_TRUE(knn.ok());
+  EXPECT_DOUBLE_EQ(result->core_distance[0], (*knn)[3].distance);
+}
+
+TEST(OpticsTest, RejectsBadParameters) {
+  Rng rng(75);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  EXPECT_FALSE(Optics::Run(data, index, {.eps = -1.0, .min_pts = 5}).ok());
+  EXPECT_FALSE(Optics::Run(data, index, {.eps = 1.0, .min_pts = 0}).ok());
+}
+
+TEST(HierarchicalExtractionTest, FindsNestedStructure) {
+  // A dense core inside a looser cluster, plus a separate cluster: the
+  // hierarchy should contain the loose region with the core nested inside.
+  Rng rng(79);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double loose[2] = {0, 0};
+  const double core[2] = {0, 0};
+  const double other[2] = {40, 0};
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, loose, 3.0, 150).ok());
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, core, 0.3, 100).ok());
+  ASSERT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, other, 1.0, 100).ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto optics = Optics::Run(*ds, index,
+                            {.eps = std::numeric_limits<double>::infinity(),
+                             .min_pts = 8});
+  ASSERT_TRUE(optics.ok());
+  auto clusters = ExtractHierarchicalClusters(*optics, 5.0, 10, 20);
+  ASSERT_GE(clusters.size(), 2u);
+  // At least one nested cluster (depth >= 1) strictly inside another.
+  bool has_nested = false;
+  for (const auto& c : clusters) {
+    if (c.depth >= 1) has_nested = true;
+  }
+  EXPECT_TRUE(has_nested);
+  // Every cluster is a sane span.
+  for (const auto& c : clusters) {
+    EXPECT_LT(c.begin, c.end);
+    EXPECT_LE(c.end, ds->size());
+    EXPECT_GE(c.size(), 20u);
+    EXPECT_GT(c.level, 0.0);
+  }
+}
+
+TEST(HierarchicalExtractionTest, EmptyAndDegenerateInputs) {
+  OpticsResult empty;
+  EXPECT_TRUE(ExtractHierarchicalClusters(empty, 1.0).empty());
+  Rng rng(80);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto optics = Optics::Run(data, index, {.eps = 50.0, .min_pts = 5});
+  ASSERT_TRUE(optics.ok());
+  EXPECT_TRUE(ExtractHierarchicalClusters(*optics, 0.0).empty());
+  EXPECT_TRUE(ExtractHierarchicalClusters(*optics, 1.0, 0).empty());
+  // Huge min size -> nothing qualifies.
+  EXPECT_TRUE(
+      ExtractHierarchicalClusters(*optics, 5.0, 8, 10000).empty());
+}
+
+TEST(HierarchicalExtractionTest, TwoBlobsGiveTwoTopLevelClusters) {
+  Rng rng(81);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto optics = Optics::Run(data, index,
+                            {.eps = std::numeric_limits<double>::infinity(),
+                             .min_pts = 5});
+  ASSERT_TRUE(optics.ok());
+  auto clusters = ExtractHierarchicalClusters(*optics, 3.0, 6, 30);
+  size_t top_level = 0;
+  for (const auto& c : clusters) {
+    if (c.depth == 0) ++top_level;
+  }
+  EXPECT_EQ(top_level, 2u);
+}
+
+TEST(OpticsLofBridgeTest, MaterializerDrivenOpticsMatchesDirectRun) {
+  Rng rng(76);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 20);
+  ASSERT_TRUE(m.ok());
+  auto bridged = OpticsLofBridge::RunFromMaterializer(*m, 5);
+  ASSERT_TRUE(bridged.ok());
+  // Same permutation property and the same cluster-gap structure.
+  ASSERT_EQ(bridged->ordering.size(), data.size());
+  std::vector<int> clusters = ExtractClustering(*bridged, 2.0);
+  EXPECT_NE(clusters[0], -1);
+  int distinct = 0;
+  std::vector<int> seen;
+  for (int c : clusters) {
+    if (c >= 0 && std::find(seen.begin(), seen.end(), c) == seen.end()) {
+      seen.push_back(c);
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(distinct, 2);
+}
+
+TEST(OpticsLofBridgeTest, ExplainsOutlierAgainstItsCluster) {
+  Rng rng(77);
+  Dataset data = TwoBlobs(rng);
+  const double outlier[2] = {2.5, 0.0};  // near blob a
+  const size_t outlier_index = data.size();
+  ASSERT_TRUE(data.Append(outlier, "outlier").ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 20);
+  ASSERT_TRUE(m.ok());
+  auto scores = LofComputer::Compute(*m, 10);
+  ASSERT_TRUE(scores.ok());
+  auto optics = OpticsLofBridge::RunFromMaterializer(*m, 5);
+  ASSERT_TRUE(optics.ok());
+  std::vector<int> clusters = ExtractClustering(*optics, 2.0);
+  auto contexts =
+      OpticsLofBridge::ExplainTopOutliers(*m, *scores, clusters, 1);
+  ASSERT_TRUE(contexts.ok());
+  ASSERT_EQ(contexts->size(), 1u);
+  const OutlierClusterContext& context = (*contexts)[0];
+  EXPECT_EQ(context.point, outlier_index);
+  // The outlier is explained relative to blob a's cluster.
+  EXPECT_EQ(context.cluster, clusters[0]);
+  EXPECT_GT(context.neighbor_fraction, 0.9);
+  EXPECT_NEAR(context.cluster_mean_lof, 1.0, 0.2);  // Lemma 1
+  EXPECT_GT(context.lof, 2.0);
+}
+
+TEST(OpticsLofBridgeTest, RejectsMismatchedSizes) {
+  Rng rng(78);
+  Dataset data = TwoBlobs(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 10);
+  ASSERT_TRUE(m.ok());
+  LofScores scores;  // empty
+  std::vector<int> clusters(data.size(), 0);
+  EXPECT_FALSE(
+      OpticsLofBridge::ExplainTopOutliers(*m, scores, clusters, 1).ok());
+  EXPECT_FALSE(OpticsLofBridge::RunFromMaterializer(*m, 0).ok());
+  EXPECT_FALSE(OpticsLofBridge::RunFromMaterializer(*m, 11).ok());
+}
+
+}  // namespace
+}  // namespace lofkit

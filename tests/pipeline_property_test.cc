@@ -1,0 +1,223 @@
+// Property sweeps over the full LOF pipeline: for combinations of
+// dimension, metric and MinPts, the definitional invariants of sections 4
+// and 5 must hold on randomized clustered workloads.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_bounds.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+namespace {
+
+struct PipelineCase {
+  size_t dim;
+  const Metric* metric;
+  size_t min_pts;
+};
+
+std::string PipelineCaseName(
+    const ::testing::TestParamInfo<PipelineCase>& info) {
+  std::string name = "d";
+  name += std::to_string(info.param.dim);
+  name += "_";
+  name += std::string(info.param.metric->name());
+  name += "_k";
+  name += std::to_string(info.param.min_pts);
+  return name;
+}
+
+class LofPipelinePropertyTest
+    : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  void SetUp() override {
+    const PipelineCase& param = GetParam();
+    Rng rng(9000 + param.dim * 31 + param.min_pts);
+    auto data = generators::MakePerformanceWorkload(rng, param.dim, 300, 4);
+    ASSERT_TRUE(data.ok());
+    data_.emplace(std::move(data).value());
+    ASSERT_TRUE(index_.Build(*data_, *param.metric).ok());
+    auto m = NeighborhoodMaterializer::Materialize(*data_, index_,
+                                                   param.min_pts);
+    ASSERT_TRUE(m.ok());
+    m_.emplace(std::move(m).value());
+    auto scores = LofComputer::Compute(*m_, param.min_pts);
+    ASSERT_TRUE(scores.ok());
+    scores_.emplace(std::move(scores).value());
+  }
+
+  std::optional<Dataset> data_;
+  LinearScanIndex index_;
+  std::optional<NeighborhoodMaterializer> m_;
+  std::optional<LofScores> scores_;
+};
+
+TEST_P(LofPipelinePropertyTest, ScoresArePositiveAndFinite) {
+  // Continuous random data has no duplicates, so no degeneracy can occur.
+  EXPECT_FALSE(scores_->has_infinite_lrd);
+  for (size_t i = 0; i < scores_->lof.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores_->lof[i])) << i;
+    EXPECT_GT(scores_->lof[i], 0.0) << i;
+    EXPECT_TRUE(std::isfinite(scores_->lrd[i])) << i;
+    EXPECT_GT(scores_->lrd[i], 0.0) << i;
+  }
+}
+
+TEST_P(LofPipelinePropertyTest, LrdIsInverseMeanReachability) {
+  // Definition 6 re-derived from the raw materialization, independent of
+  // the LofComputer implementation path.
+  const size_t min_pts = GetParam().min_pts;
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t i = rng.UniformU64(data_->size());
+    auto view = m_->View(i, min_pts);
+    ASSERT_TRUE(view.ok());
+    double sum = 0.0;
+    for (const Neighbor& o : view->neighborhood) {
+      auto o_view = m_->View(o.index, min_pts);
+      ASSERT_TRUE(o_view.ok());
+      sum += std::max(o_view->k_distance, o.distance);
+    }
+    const double expected =
+        static_cast<double>(view->neighborhood.size()) / sum;
+    EXPECT_NEAR(scores_->lrd[i], expected, 1e-12 * expected);
+  }
+}
+
+TEST_P(LofPipelinePropertyTest, Theorem1BoundsBracketEveryScore) {
+  const size_t min_pts = GetParam().min_pts;
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t i = rng.UniformU64(data_->size());
+    auto stats = ComputeNeighborhoodStats(*m_, i, min_pts);
+    ASSERT_TRUE(stats.ok());
+    const LofBoundEstimate bounds = Theorem1Bounds(*stats);
+    EXPECT_LE(bounds.lower, scores_->lof[i] * (1 + 1e-9)) << "point " << i;
+    EXPECT_GE(bounds.upper, scores_->lof[i] * (1 - 1e-9)) << "point " << i;
+  }
+}
+
+TEST_P(LofPipelinePropertyTest, ReachDistanceIsAtLeastKDistanceOfNeighbor) {
+  // Definition 5 lower bound, and monotonicity of k-distance in k.
+  const size_t min_pts = GetParam().min_pts;
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t i = rng.UniformU64(data_->size());
+    if (min_pts >= 2) {
+      auto lower = m_->View(i, min_pts - 1);
+      auto upper = m_->View(i, min_pts);
+      ASSERT_TRUE(lower.ok() && upper.ok());
+      EXPECT_LE(lower->k_distance, upper->k_distance);
+      EXPECT_LE(lower->neighborhood.size(), upper->neighborhood.size());
+    }
+    auto view = m_->View(i, min_pts);
+    ASSERT_TRUE(view.ok());
+    // The k-distance equals the distance of the farthest neighborhood
+    // member (Definition 3/4 consistency).
+    EXPECT_DOUBLE_EQ(view->k_distance, view->neighborhood.back().distance);
+    EXPECT_GE(view->neighborhood.size(), min_pts);
+  }
+}
+
+TEST_P(LofPipelinePropertyTest, DistinctModeIsIdentityWithoutDuplicates) {
+  const PipelineCase& param = GetParam();
+  auto distinct_m = NeighborhoodMaterializer::Materialize(
+      *data_, index_, param.min_pts, /*distinct=*/true);
+  ASSERT_TRUE(distinct_m.ok());
+  auto distinct_scores = LofComputer::Compute(*distinct_m, param.min_pts);
+  ASSERT_TRUE(distinct_scores.ok());
+  for (size_t i = 0; i < scores_->lof.size(); ++i) {
+    ASSERT_DOUBLE_EQ(distinct_scores->lof[i], scores_->lof[i]) << i;
+  }
+}
+
+TEST_P(LofPipelinePropertyTest, TreeEngineReproducesScores) {
+  const PipelineCase& param = GetParam();
+  KdTreeIndex tree;
+  ASSERT_TRUE(tree.Build(*data_, *param.metric).ok());
+  auto m = NeighborhoodMaterializer::Materialize(*data_, tree,
+                                                 param.min_pts);
+  ASSERT_TRUE(m.ok());
+  auto scores = LofComputer::Compute(*m, param.min_pts);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < scores->lof.size(); ++i) {
+    ASSERT_DOUBLE_EQ(scores->lof[i], scores_->lof[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LofPipelinePropertyTest,
+    ::testing::Values(PipelineCase{2, &Euclidean(), 5},
+                      PipelineCase{2, &Euclidean(), 20},
+                      PipelineCase{2, &Manhattan(), 10},
+                      PipelineCase{3, &Euclidean(), 10},
+                      PipelineCase{3, &Chebyshev(), 10},
+                      PipelineCase{5, &Euclidean(), 15},
+                      PipelineCase{8, &Euclidean(), 10},
+                      PipelineCase{8, &Manhattan(), 25}),
+    PipelineCaseName);
+
+// Degenerate-but-legal inputs must stay well defined.
+TEST(LofPipelineEdgeTest, TwoPointDataset) {
+  auto ds = Dataset::FromRowMajor(1, {0.0, 1.0});
+  ASSERT_TRUE(ds.ok());
+  auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 1);
+  ASSERT_TRUE(scores.ok());
+  // Each point's only neighbor is the other: perfectly symmetric, LOF 1.
+  EXPECT_DOUBLE_EQ(scores->lof[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores->lof[1], 1.0);
+}
+
+TEST(LofPipelineEdgeTest, MinPtsEqualsNMinusOne) {
+  Rng rng(10);
+  auto ds = generators::MakePerformanceWorkload(rng, 2, 30, 2);
+  ASSERT_TRUE(ds.ok());
+  auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 29);
+  ASSERT_TRUE(scores.ok());
+  for (double lof : scores->lof) {
+    EXPECT_TRUE(std::isfinite(lof));
+  }
+}
+
+TEST(LofPipelineEdgeTest, AllPointsIdentical) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double p[2] = {3.0, 3.0};
+  ASSERT_TRUE(generators::AppendDuplicates(*ds, p, 10).ok());
+  auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 3);
+  ASSERT_TRUE(scores.ok());
+  // Everyone infinitely dense, everyone LOF 1 by the inf/inf convention.
+  EXPECT_TRUE(scores->has_infinite_lrd);
+  for (double lof : scores->lof) {
+    EXPECT_DOUBLE_EQ(lof, 1.0);
+  }
+}
+
+TEST(LofPipelineEdgeTest, CollinearPoints) {
+  // Degenerate geometry (zero-area bounding boxes) must not break any
+  // engine.
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(static_cast<double>(i));
+    values.push_back(0.0);
+  }
+  auto ds = Dataset::FromRowMajor(2, std::move(values));
+  ASSERT_TRUE(ds.ok());
+  for (IndexKind kind : AllIndexKinds()) {
+    auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 5, kind);
+    ASSERT_TRUE(scores.ok()) << IndexKindName(kind);
+    for (double lof : scores->lof) {
+      EXPECT_TRUE(std::isfinite(lof)) << IndexKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

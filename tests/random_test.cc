@@ -1,0 +1,131 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformU64IsUnbiasedAcrossBuckets) {
+  Rng rng(99);
+  const int kBuckets = 10;
+  const int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformU64(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 600);  // ~6 sigma
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(5);
+  const int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(5);
+  const int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(11);
+  const int kSamples = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Exponential(0.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(13);
+  const int kSamples = 100000;
+  for (double shape : {0.5, 1.0, 3.0}) {
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double x = rng.Gamma(shape);
+      ASSERT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kSamples, shape, 0.05 * std::max(1.0, shape));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+  EXPECT_NE(shuffled, values);  // overwhelmingly likely for 10 elements
+}
+
+}  // namespace
+}  // namespace lofkit

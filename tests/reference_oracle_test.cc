@@ -1,0 +1,171 @@
+// Clean-room cross-check: a second, independent implementation of
+// Definitions 3-7 written directly from the paper text — no materializer,
+// no index, no shared helpers — compared against the production pipeline.
+// If both agree on tie-heavy and duplicate-heavy data, a bug would have to
+// exist twice, in two structurally different codebases.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The reference implementation (deliberately naive, O(n^2 log n) per call).
+// ---------------------------------------------------------------------------
+
+double Dist(const Dataset& ds, size_t a, size_t b) {
+  double sum = 0;
+  for (size_t d = 0; d < ds.dimension(); ++d) {
+    const double delta = ds.point(a)[d] - ds.point(b)[d];
+    sum += delta * delta;
+  }
+  return std::sqrt(sum);
+}
+
+// Definition 3: the k-distance of p.
+double RefKDistance(const Dataset& ds, size_t p, size_t k) {
+  std::vector<double> dists;
+  for (size_t o = 0; o < ds.size(); ++o) {
+    if (o != p) dists.push_back(Dist(ds, p, o));
+  }
+  std::sort(dists.begin(), dists.end());
+  return dists[k - 1];
+}
+
+// Definition 4: every o != p with d(p, o) <= k-distance(p).
+std::vector<size_t> RefNeighborhood(const Dataset& ds, size_t p, size_t k) {
+  const double k_distance = RefKDistance(ds, p, k);
+  std::vector<size_t> neighborhood;
+  for (size_t o = 0; o < ds.size(); ++o) {
+    if (o != p && Dist(ds, p, o) <= k_distance) neighborhood.push_back(o);
+  }
+  return neighborhood;
+}
+
+// Definition 6 via Definition 5.
+double RefLrd(const Dataset& ds, size_t p, size_t k) {
+  const std::vector<size_t> neighborhood = RefNeighborhood(ds, p, k);
+  double sum = 0;
+  for (size_t o : neighborhood) {
+    sum += std::max(RefKDistance(ds, o, k), Dist(ds, p, o));
+  }
+  if (sum == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(neighborhood.size()) / sum;
+}
+
+// Definition 7 (with the library's documented inf/inf := 1 convention).
+double RefLof(const Dataset& ds, size_t p, size_t k) {
+  const std::vector<size_t> neighborhood = RefNeighborhood(ds, p, k);
+  const double lrd_p = RefLrd(ds, p, k);
+  double sum = 0;
+  for (size_t o : neighborhood) {
+    const double lrd_o = RefLrd(ds, o, k);
+    if (std::isinf(lrd_o) && std::isinf(lrd_p)) {
+      sum += 1.0;
+    } else {
+      sum += lrd_o / lrd_p;
+    }
+  }
+  return sum / static_cast<double>(neighborhood.size());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checks
+// ---------------------------------------------------------------------------
+
+Dataset TieHeavyData(Rng& rng) {
+  // Integer grid (massive exact ties) + a random cloud + duplicates.
+  auto ds = Dataset::Create(2);
+  EXPECT_TRUE(ds.ok());
+  Dataset data = std::move(ds).value();
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 6; ++y) {
+      const double p[2] = {static_cast<double>(x), static_cast<double>(y)};
+      EXPECT_TRUE(data.Append(p).ok());
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    const double p[2] = {rng.Uniform(10, 20), rng.Uniform(0, 10)};
+    EXPECT_TRUE(data.Append(p).ok());
+  }
+  const double dup[2] = {2.0, 3.0};  // duplicates of a grid point
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(data.Append(dup).ok());
+  }
+  return data;
+}
+
+TEST(ReferenceOracleTest, KDistanceAndNeighborhoodAgree) {
+  Rng rng(601);
+  Dataset data = TieHeavyData(rng);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 8);
+  ASSERT_TRUE(m.ok());
+  for (size_t p = 0; p < data.size(); ++p) {
+    for (size_t k = 1; k <= 8; ++k) {
+      auto view = m->View(p, k);
+      ASSERT_TRUE(view.ok());
+      ASSERT_DOUBLE_EQ(view->k_distance, RefKDistance(data, p, k))
+          << "p=" << p << " k=" << k;
+      const std::vector<size_t> expected = RefNeighborhood(data, p, k);
+      ASSERT_EQ(view->neighborhood.size(), expected.size())
+          << "p=" << p << " k=" << k;
+      std::vector<size_t> actual;
+      for (const Neighbor& n : view->neighborhood) actual.push_back(n.index);
+      std::sort(actual.begin(), actual.end());
+      ASSERT_EQ(actual, expected) << "p=" << p << " k=" << k;
+    }
+  }
+}
+
+TEST(ReferenceOracleTest, LrdAndLofAgreeOnTieHeavyData) {
+  Rng rng(602);
+  Dataset data = TieHeavyData(rng);
+  for (size_t k : {2u, 4u, 7u}) {
+    auto scores = LofComputer::ComputeFromScratch(data, Euclidean(), k);
+    ASSERT_TRUE(scores.ok());
+    for (size_t p = 0; p < data.size(); ++p) {
+      const double ref_lrd = RefLrd(data, p, k);
+      const double ref_lof = RefLof(data, p, k);
+      if (std::isinf(ref_lrd)) {
+        EXPECT_TRUE(std::isinf(scores->lrd[p])) << "p=" << p << " k=" << k;
+      } else {
+        ASSERT_NEAR(scores->lrd[p], ref_lrd, 1e-12 * ref_lrd)
+            << "p=" << p << " k=" << k;
+      }
+      if (std::isinf(ref_lof)) {
+        EXPECT_TRUE(std::isinf(scores->lof[p])) << "p=" << p << " k=" << k;
+      } else {
+        ASSERT_NEAR(scores->lof[p], ref_lof, 1e-9 * std::max(1.0, ref_lof))
+            << "p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ReferenceOracleTest, LofAgreesOnContinuousRandomData) {
+  Rng rng(603);
+  auto ds = generators::MakePerformanceWorkload(rng, 3, 120, 3);
+  ASSERT_TRUE(ds.ok());
+  auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 10);
+  ASSERT_TRUE(scores.ok());
+  // Spot-check a sample (the reference is O(n^2) per point).
+  for (size_t p = 0; p < ds->size(); p += 7) {
+    const double ref = RefLof(*ds, p, 10);
+    ASSERT_NEAR(scores->lof[p], ref, 1e-9 * std::max(1.0, ref)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,120 @@
+#include "lof/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+
+namespace lofkit {
+namespace {
+
+// Dataset where the last point is outlying ONLY in dimension 2: the other
+// dimensions are a uniform crowd everywhere.
+Dataset SingleDimensionOutlier(Rng& rng) {
+  auto ds = Dataset::Create(3);
+  EXPECT_TRUE(ds.ok());
+  std::vector<double> p(3);
+  for (int i = 0; i < 300; ++i) {
+    p = {rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Gaussian(0.5, 0.02)};
+    EXPECT_TRUE(ds->Append(p).ok());
+  }
+  p = {0.5, 0.5, 0.9};  // unremarkable in dims 0/1, far out in dim 2
+  EXPECT_TRUE(ds->Append(p, "planted").ok());
+  return std::move(ds).value();
+}
+
+TEST(SubspaceTest, FindsTheSingleExplanatoryDimension) {
+  Rng rng(91);
+  Dataset data = SingleDimensionOutlier(rng);
+  auto result = FindOutlyingSubspaces(
+      data, 300, {.min_pts = 10, .max_dimensions = 2, .lof_threshold = 2.0});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  // The smallest explanation is exactly {2}; all minimal subspaces listed
+  // must contain dimension 2 (the others cannot explain anything alone).
+  EXPECT_EQ((*result)[0].dimensions, (std::vector<size_t>{2}));
+  EXPECT_GT((*result)[0].lof, 2.0);
+  for (const SubspaceExplanation& e : *result) {
+    EXPECT_NE(std::find(e.dimensions.begin(), e.dimensions.end(), size_t{2}),
+              e.dimensions.end());
+  }
+}
+
+TEST(SubspaceTest, MinimalityPrunesSupersets) {
+  Rng rng(92);
+  Dataset data = SingleDimensionOutlier(rng);
+  auto result = FindOutlyingSubspaces(
+      data, 300, {.min_pts = 10, .max_dimensions = 3, .lof_threshold = 2.0});
+  ASSERT_TRUE(result.ok());
+  // {2} explains the point, so {0,2}, {1,2}, {0,1,2} must be pruned.
+  for (const SubspaceExplanation& e : *result) {
+    if (e.dimensions.size() > 1) {
+      EXPECT_EQ(std::find(e.dimensions.begin(), e.dimensions.end(),
+                          size_t{2}),
+                e.dimensions.end())
+          << "superset of {2} not pruned";
+    }
+  }
+}
+
+TEST(SubspaceTest, InlierHasNoExplanation) {
+  Rng rng(93);
+  Dataset data = SingleDimensionOutlier(rng);
+  auto result = FindOutlyingSubspaces(
+      data, 5, {.min_pts = 10, .max_dimensions = 2, .lof_threshold = 2.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(SubspaceTest, TwoDimensionalJointOutlier) {
+  // A point outlying only in the JOINT space of dims (0,1): marginally it
+  // hides inside both 1-d distributions (a correlation-breaking point).
+  Rng rng(94);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> p(2);
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.Uniform(0, 1);
+    p = {t + rng.Gaussian(0, 0.01), t + rng.Gaussian(0, 0.01)};  // x ~ y
+    ASSERT_TRUE(ds->Append(p).ok());
+  }
+  p = {0.2, 0.8};  // each coordinate common, the combination is not
+  const size_t planted = ds->size();
+  ASSERT_TRUE(ds->Append(p, "planted").ok());
+  auto result = FindOutlyingSubspaces(
+      *ds, planted,
+      {.min_pts = 10, .max_dimensions = 2, .lof_threshold = 2.0});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  EXPECT_EQ((*result)[0].dimensions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SubspaceTest, RejectsBadArguments) {
+  Rng rng(95);
+  Dataset data = SingleDimensionOutlier(rng);
+  EXPECT_FALSE(FindOutlyingSubspaces(data, 9999, {}).ok());
+  EXPECT_FALSE(
+      FindOutlyingSubspaces(data, 0, {.min_pts = 0}).ok());
+  EXPECT_FALSE(
+      FindOutlyingSubspaces(data, 0, {.min_pts = 10, .max_dimensions = 0})
+          .ok());
+}
+
+TEST(ProjectTest, ExtractsAndReordersColumns) {
+  auto ds = Dataset::FromRowMajor(3, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(ds.ok());
+  const std::vector<size_t> dims = {2, 0};
+  auto projected = ds->Project(dims);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(projected->point(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(projected->point(0)[1], 1.0);
+  EXPECT_DOUBLE_EQ(projected->point(1)[0], 6.0);
+  const std::vector<size_t> bad = {7};
+  EXPECT_FALSE(ds->Project(bad).ok());
+  const std::vector<size_t> empty;
+  EXPECT_FALSE(ds->Project(empty).ok());
+}
+
+}  // namespace
+}  // namespace lofkit

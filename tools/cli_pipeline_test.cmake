@@ -1,0 +1,22 @@
+# End-to-end smoke: generate DS1, score it, check the two planted outliers
+# (points 500 and 501) lead the ranking.
+execute_process(
+  COMMAND ${DATAGEN} --scenario ds1 --output ${WORKDIR}/ds1_smoke.csv
+  RESULT_VARIABLE datagen_result)
+if(NOT datagen_result EQUAL 0)
+  message(FATAL_ERROR "datagen failed: ${datagen_result}")
+endif()
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/ds1_smoke.csv --has-header
+          --minpts-lb 10 --minpts-ub 30 --top 2
+  OUTPUT_VARIABLE cli_output
+  RESULT_VARIABLE cli_result)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR "cli failed: ${cli_result}")
+endif()
+string(FIND "${cli_output}" "500" found_o2)
+string(FIND "${cli_output}" "501" found_o1)
+if(found_o2 EQUAL -1 OR found_o1 EQUAL -1)
+  message(FATAL_ERROR "planted outliers not on top:\n${cli_output}")
+endif()
+file(REMOVE ${WORKDIR}/ds1_smoke.csv)

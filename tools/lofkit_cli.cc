@@ -1,0 +1,219 @@
+// lofkit_cli — score a CSV dataset with LOF from the command line.
+//
+// The tool drives the full paper pipeline: load -> (optionally normalize)
+// -> choose a kNN engine -> materialize neighborhoods (step 1, optionally
+// persisted/reloaded) -> LOF sweep over a MinPts range (step 2) -> rank by
+// the section-6.2 aggregate -> print the top outliers, optionally with
+// per-dimension explanations, and optionally dump all scores as CSV.
+//
+// Examples:
+//   lofkit_cli --input points.csv --top 10
+//   lofkit_cli --input games.csv --has-header --label-column 0
+//       --normalize --minpts-lb 30 --minpts-ub 50 --explain
+//   lofkit_cli --input big.csv --save-materialization m.bin
+//   lofkit_cli --input big.csv --load-materialization m.bin --top 20
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "dataset/loaders.h"
+#include "dataset/metric.h"
+#include "index/index_factory.h"
+#include "lof/explain.h"
+#include "lof/subspace.h"
+#include "lof/lof_sweep.h"
+
+using namespace lofkit;  // NOLINT
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<LofAggregation> AggregationByName(const std::string& name) {
+  if (name == "max") return LofAggregation::kMax;
+  if (name == "min") return LofAggregation::kMin;
+  if (name == "mean") return LofAggregation::kMean;
+  return Status::InvalidArgument("unknown aggregation: " + name +
+                                 " (use max, min or mean)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("input", "", "input CSV file of numeric columns (required)");
+  flags.AddBool("has-header", false, "first CSV line is a header");
+  flags.AddU64("label-column", 0, "0-based column used as point label");
+  flags.AddBool("use-label-column", false,
+                "treat --label-column as labels, not coordinates");
+  flags.AddBool("normalize", false,
+                "rescale every dimension to [0,1] before computing "
+                "distances (recommended for mixed units)");
+  flags.AddString("metric", "euclidean",
+                  "distance: euclidean, manhattan, chebyshev or angular");
+  flags.AddString("index", "auto",
+                  "knn engine: auto, linear_scan, grid, kd_tree, "
+                  "rstar_tree, va_file or m_tree");
+  flags.AddU64("minpts-lb", 10, "lower bound of the MinPts range");
+  flags.AddU64("minpts-ub", 20, "upper bound of the MinPts range");
+  flags.AddString("aggregation", "max",
+                  "score aggregation over the range: max, min or mean");
+  flags.AddBool("distinct", false,
+                "use k-distinct-distance neighborhoods (duplicate-safe)");
+  flags.AddU64("top", 10, "number of outliers to print (0 = all)");
+  flags.AddBool("explain", false,
+                "print the dominant deviating attribute per outlier");
+  flags.AddBool("subspaces", false,
+                "search minimal outlying attribute subspaces per printed "
+                "outlier (exhaustive up to 2 dims; d <= 30)");
+  flags.AddString("output", "", "write per-point aggregated scores as CSV");
+  flags.AddString("save-materialization", "",
+                  "persist the neighborhood database (step 1) to this file");
+  flags.AddString("load-materialization", "",
+                  "reuse a previously saved neighborhood database");
+  flags.AddBool("help", false, "show this help");
+
+  if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
+    std::fprintf(stderr, "%s\n\nusage: %s --input data.csv [flags]\n%s",
+                 status.ToString().c_str(), argv[0], flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help") || flags.GetString("input").empty()) {
+    std::printf("usage: %s --input data.csv [flags]\n%s", argv[0],
+                flags.Help().c_str());
+    return flags.GetBool("help") ? 0 : 2;
+  }
+
+  // Load.
+  DatasetLoadOptions load_options;
+  load_options.csv.has_header = flags.GetBool("has-header");
+  if (flags.GetBool("use-label-column")) {
+    load_options.label_column =
+        static_cast<int>(flags.GetU64("label-column"));
+  }
+  auto data_or = DatasetFromCsvFile(flags.GetString("input"), load_options);
+  if (!data_or.ok()) return Fail(data_or.status());
+  Dataset data = std::move(data_or).value();
+  const Dataset* working = &data;
+  std::optional<Dataset> normalized;
+  if (flags.GetBool("normalize")) {
+    normalized.emplace(data.NormalizedToUnitBox());
+    working = &*normalized;
+  }
+  std::fprintf(stderr, "loaded %zu points of dimension %zu\n", data.size(),
+               data.dimension());
+
+  auto metric_or = MetricByName(flags.GetString("metric"));
+  if (!metric_or.ok()) return Fail(metric_or.status());
+  const Metric& metric = **metric_or;
+
+  const size_t lb = flags.GetU64("minpts-lb");
+  const size_t ub = flags.GetU64("minpts-ub");
+
+  // Step 1: materialize (or reload).
+  Stopwatch watch;
+  std::unique_ptr<NeighborhoodMaterializer> m;
+  if (!flags.GetString("load-materialization").empty()) {
+    auto loaded = NeighborhoodMaterializer::LoadFromFile(
+        flags.GetString("load-materialization"), working);
+    if (!loaded.ok()) return Fail(loaded.status());
+    m = std::make_unique<NeighborhoodMaterializer>(std::move(loaded).value());
+    std::fprintf(stderr, "reloaded materialization (k_max=%zu) in %.3fs\n",
+                 m->k_max(), watch.ElapsedSeconds());
+  } else {
+    std::unique_ptr<KnnIndex> index;
+    if (flags.GetString("index") == "auto") {
+      index = CreateIndex(RecommendIndexKind(working->dimension()));
+    } else {
+      auto by_name = CreateIndexByName(flags.GetString("index"));
+      if (!by_name.ok()) return Fail(by_name.status());
+      index = std::move(by_name).value();
+    }
+    if (Status status = index->Build(*working, metric); !status.ok()) {
+      return Fail(status);
+    }
+    auto built = NeighborhoodMaterializer::Materialize(
+        *working, *index, ub, flags.GetBool("distinct"));
+    if (!built.ok()) return Fail(built.status());
+    m = std::make_unique<NeighborhoodMaterializer>(std::move(built).value());
+    std::fprintf(stderr, "materialized %zu neighborhoods (%s index) in %.3fs\n",
+                 m->size(), index->name().data(), watch.ElapsedSeconds());
+  }
+  if (!flags.GetString("save-materialization").empty()) {
+    if (Status status =
+            m->SaveToFile(flags.GetString("save-materialization"));
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+
+  // Step 2: sweep and rank.
+  auto aggregation = AggregationByName(flags.GetString("aggregation"));
+  if (!aggregation.ok()) return Fail(aggregation.status());
+  watch.Reset();
+  auto sweep = LofSweep::Run(*m, lb, ub, *aggregation);
+  if (!sweep.ok()) return Fail(sweep.status());
+  std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
+               lb, ub, watch.ElapsedSeconds());
+
+  const size_t top_n = flags.GetU64("top");
+  auto ranked = RankDescending(sweep->aggregated, top_n);
+  std::printf("%-6s %-10s %-10s %s\n", "rank", "point", "score", "label");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("%-6zu %-10u %-10.4f %s", i + 1, ranked[i].index,
+                ranked[i].score, data.label(ranked[i].index).c_str());
+    if (flags.GetBool("explain")) {
+      auto explanation =
+          ExplainOutlier(*working, *m, ranked[i].index, lb);
+      if (explanation.ok()) {
+        const size_t dim = explanation->ranked_dimensions[0];
+        std::printf("  [dim %zu: %.0f%% of deviation]", dim,
+                    100.0 * explanation->contribution[dim]);
+      }
+    }
+    if (flags.GetBool("subspaces")) {
+      auto subspaces = FindOutlyingSubspaces(
+          *working, ranked[i].index,
+          {.min_pts = lb, .max_dimensions = 2, .lof_threshold = 1.5,
+           .normalize = true});
+      if (subspaces.ok() && !subspaces->empty()) {
+        std::printf("  [outlying in:");
+        for (size_t s = 0; s < std::min<size_t>(3, subspaces->size()); ++s) {
+          std::printf(" {");
+          for (size_t d = 0; d < (*subspaces)[s].dimensions.size(); ++d) {
+            std::printf("%s%zu", d ? "," : "",
+                        (*subspaces)[s].dimensions[d]);
+          }
+          std::printf("}");
+        }
+        std::printf("]");
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!flags.GetString("output").empty()) {
+    CsvTable table;
+    table.header = {"point", "score"};
+    for (size_t i = 0; i < sweep->aggregated.size(); ++i) {
+      table.rows.push_back(
+          {static_cast<double>(i), sweep->aggregated[i]});
+    }
+    if (Status status = WriteCsvFile(flags.GetString("output"), table);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::fprintf(stderr, "wrote scores to %s\n",
+                 flags.GetString("output").c_str());
+  }
+  return 0;
+}

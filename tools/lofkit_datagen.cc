@@ -1,0 +1,129 @@
+// lofkit_datagen — export lofkit's paper-scenario workloads as CSV.
+//
+// Useful for driving lofkit_cli (or any other tool) with exactly the
+// datasets of the paper's figures and experiments, and for plotting them
+// externally. All scenarios are seed-deterministic.
+//
+// Examples:
+//   lofkit_datagen --scenario ds1 --output ds1.csv
+//   lofkit_datagen --scenario fig9 --seed 7 --output fig9.csv
+//   lofkit_datagen --scenario gaussians --dim 5 --points 10000 \
+//       --clusters 10 --output perf.csv
+//   lofkit_datagen --list
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "dataset/generators.h"
+#include "dataset/scenarios.h"
+
+using namespace lofkit;  // NOLINT
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+const char* const kScenarios[] = {
+    "ds1",       // figure 1 / section 3
+    "blob",      // figure 7 Gaussian cluster
+    "fig8",      // S1/S2/S3 clusters
+    "fig9",      // section 7.1 synthetic dataset
+    "hockey1",   // section 7.2, (points, plus-minus, penalty minutes)
+    "hockey2",   // section 7.2, (games, goals, shooting pct)
+    "soccer",    // table 3
+    "hist64",    // 64-d histogram stand-in
+    "gaussians", // section 7.4 performance workload (use --dim/--points/...)
+};
+
+Result<scenarios::Scenario> MakeScenario(const std::string& name, Rng& rng,
+                                         const FlagParser& flags) {
+  if (name == "ds1") return scenarios::MakeDs1(rng);
+  if (name == "blob") {
+    return scenarios::MakeGaussianBlob(rng, flags.GetU64("points"));
+  }
+  if (name == "fig8") return scenarios::MakeFig8Clusters(rng);
+  if (name == "fig9") return scenarios::MakeFig9Dataset(rng);
+  if (name == "hockey1") return scenarios::MakeHockeySubspace1(rng);
+  if (name == "hockey2") return scenarios::MakeHockeySubspace2(rng);
+  if (name == "soccer") return scenarios::MakeSoccerLike(rng);
+  if (name == "hist64") return scenarios::Make64DHistograms(rng);
+  if (name == "gaussians") {
+    LOFKIT_ASSIGN_OR_RETURN(
+        Dataset data,
+        generators::MakePerformanceWorkload(rng, flags.GetU64("dim"),
+                                            flags.GetU64("points"),
+                                            flags.GetU64("clusters")));
+    return scenarios::Scenario{std::move(data), {}};
+  }
+  return Status::NotFound("unknown scenario: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("scenario", "", "which dataset to generate (see --list)");
+  flags.AddString("output", "", "output CSV path (default: stdout)");
+  flags.AddU64("seed", 42, "RNG seed (same seed -> same data)");
+  flags.AddU64("points", 1000, "point count (blob / gaussians)");
+  flags.AddU64("dim", 2, "dimension (gaussians)");
+  flags.AddU64("clusters", 10, "cluster count (gaussians)");
+  flags.AddBool("named-points", false,
+                "print the scenario's named points to stderr");
+  flags.AddBool("list", false, "list available scenarios");
+  flags.AddBool("help", false, "show this help");
+
+  if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("usage: %s --scenario NAME [flags]\n%s", argv[0],
+                flags.Help().c_str());
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    for (const char* name : kScenarios) std::printf("%s\n", name);
+    return 0;
+  }
+  if (flags.GetString("scenario").empty()) {
+    std::fprintf(stderr, "usage: %s --scenario NAME [flags]\n%s", argv[0],
+                 flags.Help().c_str());
+    return 2;
+  }
+
+  Rng rng(flags.GetU64("seed"));
+  auto scenario = MakeScenario(flags.GetString("scenario"), rng, flags);
+  if (!scenario.ok()) return Fail(scenario.status());
+  const Dataset& data = scenario->data;
+
+  CsvTable table;
+  for (size_t d = 0; d < data.dimension(); ++d) {
+    table.header.push_back("x" + std::to_string(d));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto p = data.point(i);
+    table.rows.emplace_back(p.begin(), p.end());
+  }
+
+  if (flags.GetString("output").empty()) {
+    std::fputs(WriteCsv(table).c_str(), stdout);
+  } else if (Status status = WriteCsvFile(flags.GetString("output"), table);
+             !status.ok()) {
+    return Fail(status);
+  }
+  std::fprintf(stderr, "generated %zu points, dimension %zu\n", data.size(),
+               data.dimension());
+  if (flags.GetBool("named-points")) {
+    for (const auto& [name, index] : scenario->named) {
+      std::fprintf(stderr, "  %-16s -> point %zu\n", name.c_str(), index);
+    }
+  }
+  return 0;
+}
