@@ -67,5 +67,30 @@ int main() {
               "(near-linear, paper's low-d\nbehavior); higher dimensions "
               "degrade toward the sequential scan, as in figure 10.\n",
               first_d2 > 0 ? last_d2 / first_d2 : 0.0);
+
+  // Threads axis: the n queries of step 1 are embarrassingly parallel, so
+  // MaterializeParallel should scale with the worker count while producing
+  // bit-identical neighborhoods (property-tested in parallel_test.cc).
+  PrintHeader("Figure 10 / threads axis",
+              "materialization time vs threads, Gaussian workload, "
+              "d=5, n=8000, MinPtsUB=50");
+  Rng rng(1005);
+  auto data = CheckOk(generators::MakePerformanceWorkload(rng, 5, 8000, 10),
+                      "workload");
+  RStarTreeIndex tree;
+  CheckOk(tree.Build(data, Euclidean()), "Build");
+  std::printf("%-8s %-10s %s\n", "threads", "time (s)", "speedup");
+  double serial_seconds = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    Stopwatch watch;
+    auto m = CheckOk(NeighborhoodMaterializer::MaterializeParallel(
+                         data, tree, 50, threads),
+                     "MaterializeParallel");
+    (void)m;
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("%-8zu %-10.3f %.2fx\n", threads, seconds,
+                seconds > 0 ? serial_seconds / seconds : 0.0);
+  }
   return 0;
 }

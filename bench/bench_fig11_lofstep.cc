@@ -50,5 +50,42 @@ int main() {
               "linear => 8x), and the\nd=10 column tracks d=2 — step 2 is "
               "dimension-independent because it reads only M.\n",
               first > 0 ? last / first : 0.0);
+
+  // Threads axis: the sweep shards its independent per-MinPts computations
+  // over the workers; scores are bit-identical at every thread count
+  // (property-tested in parallel_test.cc). The phase columns come from the
+  // LofPhaseTimes a single MinPts=50 computation records.
+  PrintHeader("Figure 11 / threads axis",
+              "sweep time vs threads, Gaussian workload, d=2, n=16000, "
+              "MinPts in [10, 50]");
+  Rng rng(22);
+  auto data = CheckOk(generators::MakePerformanceWorkload(rng, 2, 16000, 10),
+                      "workload");
+  KdTreeIndex index;
+  CheckOk(index.Build(data, Euclidean()), "Build");
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, 50),
+                   "Materialize");
+  std::printf("%-8s %-10s %-9s %-12s %s\n", "threads", "time (s)", "speedup",
+              "lrd@50 (s)", "lof@50 (s)");
+  double serial_seconds = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    Stopwatch watch;
+    auto sweep = CheckOk(LofSweep::Run(m, 10, 50, LofAggregation::kMax,
+                                       /*keep_per_min_pts=*/false, threads),
+                         "Sweep");
+    (void)sweep;
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) serial_seconds = seconds;
+    auto single = CheckOk(
+        LofComputer::Compute(m, 50, {.use_reachability = true,
+                                     .threads = threads}),
+        "Compute");
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  seconds > 0 ? serial_seconds / seconds : 0.0);
+    std::printf("%-8zu %-10.3f %-9s %-12.4f %.4f\n", threads, seconds,
+                speedup, single.phase_times.lrd_seconds,
+                single.phase_times.lof_seconds);
+  }
   return 0;
 }

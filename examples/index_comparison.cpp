@@ -3,7 +3,9 @@
 // The LOF result is engine-independent (every engine in lofkit is exact);
 // only the materialization cost differs. This example measures all five
 // engines on the same workload at two dimensionalities and prints what
-// RecommendIndexKind would have picked.
+// RecommendIndexKind would have picked. The whole pipeline runs on every
+// hardware thread (threads = 0) — the scores are bit-identical to a
+// single-threaded run, so parallelism is purely a speed knob.
 
 #include <cstdio>
 
@@ -28,8 +30,9 @@ int main() {
       auto data = generators::MakePerformanceWorkload(rng, dim, 3000, 8);
       if (!data.ok()) return 1;
       Stopwatch watch;
-      auto scores = LofComputer::ComputeFromScratch(*data, Euclidean(), 20,
-                                                    kind);
+      auto scores = LofComputer::ComputeFromScratch(
+          *data, Euclidean(), 20, kind, /*distinct_neighbors=*/false,
+          {.use_reachability = true, .threads = 0});
       if (!scores.ok()) {
         std::printf("  %s\n", scores.status().ToString().c_str());
         return 1;

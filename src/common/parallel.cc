@@ -1,0 +1,11 @@
+#include "common/parallel.h"
+
+namespace lofkit {
+
+size_t ResolveThreadCount(size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<size_t>(hardware);
+}
+
+}  // namespace lofkit

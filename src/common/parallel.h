@@ -1,0 +1,77 @@
+#ifndef LOFKIT_COMMON_PARALLEL_H_
+#define LOFKIT_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lofkit {
+
+/// Resolves a user-facing thread-count knob: 0 means "one worker per
+/// hardware thread" (never less than 1); any other value passes through
+/// unchanged. Every `threads` parameter in lofkit follows this convention.
+size_t ResolveThreadCount(size_t threads);
+
+/// Runs body(i) for every i in [0, n) sharded over `threads` workers.
+///
+/// Chunking is deterministic and contiguous: worker t owns
+/// [n*t/T, n*(t+1)/T), the same split for every run with the same (n, T).
+/// `threads` is resolved via ResolveThreadCount and clamped to n; a resolved
+/// count of 1 runs inline on the calling thread with no pool at all, so the
+/// sequential path stays allocation- and synchronization-free.
+///
+/// `body` must return Status and be safe to invoke concurrently for
+/// distinct i (the usual shape: read shared state, write only slot i).
+/// On the first error the other workers stop at their next index boundary
+/// (early abort) instead of running their chunks to completion, and an
+/// error some body actually returned is propagated — the lowest-numbered
+/// worker's when several fail concurrently before noticing the abort flag,
+/// which makes the returned error fully deterministic whenever at most one
+/// index can fail. Workers never see an index twice and the calling thread
+/// always participates as worker 0.
+template <typename Body>
+Status ParallelFor(size_t n, size_t threads, const Body& body) {
+  threads = std::min(ResolveThreadCount(threads), n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      LOFKIT_RETURN_IF_ERROR(body(i));
+    }
+    return Status::OK();
+  }
+
+  std::atomic<bool> abort{false};
+  std::vector<Status> worker_status(threads);
+  auto worker = [&](size_t t) {
+    const size_t begin = n * t / threads;
+    const size_t end = n * (t + 1) / threads;
+    for (size_t i = begin; i < end; ++i) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      Status status = body(i);
+      if (!status.ok()) {
+        worker_status[t] = std::move(status);
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (size_t t = 1; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  for (Status& status : worker_status) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_PARALLEL_H_

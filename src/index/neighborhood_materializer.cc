@@ -1,11 +1,12 @@
 #include "index/neighborhood_materializer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <thread>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -46,11 +47,59 @@ size_t CountDistinctGroups(const Dataset& data,
   return groups;
 }
 
-}  // namespace
+// The full neighborhood query for one point, shared by the serial and the
+// parallel materialization paths. In distinct mode the query grows until
+// k_max distinct-coordinate neighbors are covered (or the whole dataset has
+// been fetched).
+Result<std::vector<Neighbor>> QueryNeighborhood(const Dataset& data,
+                                                const KnnIndex& index,
+                                                size_t k_max,
+                                                bool distinct_neighbors,
+                                                size_t i) {
+  const uint32_t self = static_cast<uint32_t>(i);
+  size_t query_k = k_max;
+  LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> list,
+                          index.Query(data.point(i), query_k, self));
+  if (distinct_neighbors) {
+    while (CountDistinctGroups(data, list) < k_max &&
+           list.size() < data.size() - 1) {
+      query_k = std::min(query_k * 2, data.size() - 1);
+      LOFKIT_ASSIGN_OR_RETURN(list,
+                              index.Query(data.point(i), query_k, self));
+    }
+  }
+  return list;
+}
 
-Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
-    const Dataset& data, const KnnIndex& index, size_t k_max,
-    bool distinct_neighbors) {
+// Structural validation of one externally supplied neighbor list: indexes
+// in range, distances finite and non-negative, sorted by (distance, index).
+// Shared by FromLists and LoadFromFile so a corrupt or hand-built M can
+// never break View()'s equal-distance-run walk later.
+Status ValidateNeighborList(size_t list_index, std::span<const Neighbor> list,
+                            size_t n) {
+  for (size_t j = 0; j < list.size(); ++j) {
+    if (list[j].index >= n) {
+      return Status::InvalidArgument(
+          StrFormat("list %zu holds out-of-range index %u", list_index,
+                    list[j].index));
+    }
+    if (!std::isfinite(list[j].distance) || list[j].distance < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("list %zu holds a non-finite or negative distance",
+                    list_index));
+    }
+    if (j > 0 && (list[j - 1].distance > list[j].distance ||
+                  (list[j - 1].distance == list[j].distance &&
+                   list[j - 1].index >= list[j].index))) {
+      return Status::InvalidArgument(
+          StrFormat("list %zu is not sorted by (distance, index)",
+                    list_index));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateMaterializationArgs(const Dataset& data, size_t k_max) {
   if (k_max == 0) {
     return Status::InvalidArgument("k_max must be >= 1");
   }
@@ -60,26 +109,24 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
                   "every point needs k_max neighbors besides itself",
                   k_max, data.size()));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
+    const Dataset& data, const KnnIndex& index, size_t k_max,
+    bool distinct_neighbors) {
+  LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;
   m.offsets_.reserve(data.size() + 1);
   m.offsets_.push_back(0);
   m.flat_.reserve(data.size() * k_max);
   for (size_t i = 0; i < data.size(); ++i) {
-    const uint32_t self = static_cast<uint32_t>(i);
-    size_t query_k = k_max;
-    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> list,
-                            index.Query(data.point(i), query_k, self));
-    if (distinct_neighbors) {
-      // Grow the query until k_max distinct-coordinate neighbors are
-      // covered (or the whole dataset has been fetched).
-      while (CountDistinctGroups(data, list) < k_max &&
-             list.size() < data.size() - 1) {
-        query_k = std::min(query_k * 2, data.size() - 1);
-        LOFKIT_ASSIGN_OR_RETURN(list,
-                                index.Query(data.point(i), query_k, self));
-      }
-    }
+    LOFKIT_ASSIGN_OR_RETURN(
+        std::vector<Neighbor> list,
+        QueryNeighborhood(data, index, k_max, distinct_neighbors, i));
     m.flat_.insert(m.flat_.end(), list.begin(), list.end());
     m.offsets_.push_back(m.flat_.size());
   }
@@ -89,57 +136,19 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
     const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
     bool distinct_neighbors) {
-  if (threads <= 1) {
+  if (ResolveThreadCount(threads) <= 1) {
     return Materialize(data, index, k_max, distinct_neighbors);
   }
-  if (k_max == 0) {
-    return Status::InvalidArgument("k_max must be >= 1");
-  }
-  if (k_max >= data.size()) {
-    return Status::InvalidArgument(
-        StrFormat("k_max (%zu) must be smaller than the dataset size (%zu)",
-                  k_max, data.size()));
-  }
+  LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   const size_t n = data.size();
-  threads = std::min(threads, n);
   std::vector<std::vector<Neighbor>> lists(n);
-  std::vector<Status> worker_status(threads);
-
-  auto worker = [&](size_t worker_id) {
-    const size_t begin = n * worker_id / threads;
-    const size_t end = n * (worker_id + 1) / threads;
-    for (size_t i = begin; i < end; ++i) {
-      const uint32_t self = static_cast<uint32_t>(i);
-      size_t query_k = k_max;
-      auto list = index.Query(data.point(i), query_k, self);
-      if (!list.ok()) {
-        worker_status[worker_id] = list.status();
-        return;
-      }
-      if (distinct_neighbors) {
-        while (CountDistinctGroups(data, *list) < k_max &&
-               list->size() < n - 1) {
-          query_k = std::min(query_k * 2, n - 1);
-          list = index.Query(data.point(i), query_k, self);
-          if (!list.ok()) {
-            worker_status[worker_id] = list.status();
-            return;
-          }
-        }
-      }
-      lists[i] = std::move(list).value();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    pool.emplace_back(worker, t);
-  }
-  for (std::thread& t : pool) t.join();
-  for (const Status& status : worker_status) {
-    LOFKIT_RETURN_IF_ERROR(status);
-  }
+  // ParallelFor aborts the other workers at their next point once any
+  // query fails, instead of letting them run their chunks to completion.
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
+    LOFKIT_ASSIGN_OR_RETURN(
+        lists[i], QueryNeighborhood(data, index, k_max, distinct_neighbors, i));
+    return Status::OK();
+  }));
 
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;
@@ -231,19 +240,8 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::FromLists(
           StrFormat("list %zu has %zu entries, expected >= k_max=%zu", i,
                     list.size(), k_max));
     }
-    for (size_t j = 0; j < list.size(); ++j) {
-      if (list[j].index >= lists.size()) {
-        return Status::InvalidArgument(
-            StrFormat("list %zu holds out-of-range index %u", i,
-                      list[j].index));
-      }
-      if (j > 0 && (list[j - 1].distance > list[j].distance ||
-                    (list[j - 1].distance == list[j].distance &&
-                     list[j - 1].index >= list[j].index))) {
-        return Status::InvalidArgument(
-            StrFormat("list %zu is not sorted by (distance, index)", i));
-      }
-    }
+    LOFKIT_RETURN_IF_ERROR(
+        ValidateNeighborList(i, {list.data(), list.size()}, lists.size()));
     m.flat_.insert(m.flat_.end(), list.begin(), list.end());
     m.offsets_.push_back(m.flat_.size());
   }
@@ -351,9 +349,14 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::LoadFromFile(
     if (!ReadPod(in, neighbor.index) || !ReadPod(in, neighbor.distance)) {
       return Status::IoError("truncated materialization entries");
     }
-    if (neighbor.index >= n) {
-      return Status::InvalidArgument("corrupt neighbor index");
-    }
+  }
+  // A file that decodes cleanly can still be semantically corrupt (bit rot,
+  // truncated-then-padded writes, foreign tools): enforce the same
+  // structural invariants FromLists demands, since View()'s
+  // equal-distance-run walk silently misbehaves on unsorted or non-finite
+  // neighbor lists.
+  for (size_t i = 0; i + 1 < m.offsets_.size(); ++i) {
+    LOFKIT_RETURN_IF_ERROR(ValidateNeighborList(i, m.neighbors(i), n));
   }
   return m;
 }

@@ -33,8 +33,11 @@ class NeighborhoodMaterializer {
 
   /// Parallel step 1: the n queries are embarrassingly parallel (every
   /// KnnIndex implementation is stateless per query), so they are sharded
-  /// over `threads` workers. Produces bit-identical results to the serial
-  /// Materialize. threads == 0 or 1 falls back to the serial path.
+  /// over `threads` workers with ParallelFor's deterministic chunking.
+  /// Produces bit-identical results to the serial Materialize. threads == 0
+  /// means one worker per hardware thread; 1 falls back to the serial path.
+  /// A failed query aborts the other workers early (at their next point)
+  /// and its error is propagated instead of being swallowed.
   static Result<NeighborhoodMaterializer> MaterializeParallel(
       const Dataset& data, const KnnIndex& index, size_t k_max,
       size_t threads, bool distinct_neighbors = false);
@@ -81,7 +84,10 @@ class NeighborhoodMaterializer {
   /// Loads a materialization database written by SaveToFile. A
   /// distinct-neighbors M additionally needs the original dataset for its
   /// coordinate comparisons; pass it via `data` (must be the same dataset,
-  /// checked by size).
+  /// checked by size). Neighbor lists are structurally validated on load
+  /// (index range, finite non-negative distances, (distance, index)
+  /// sortedness — the same invariants FromLists enforces), so a corrupt
+  /// file is rejected instead of silently mis-scoring later.
   static Result<NeighborhoodMaterializer> LoadFromFile(
       const std::string& path, const Dataset* data = nullptr);
 

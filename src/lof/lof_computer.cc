@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -16,20 +18,27 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
                   m.k_max()));
   }
   const size_t n = m.size();
+  const size_t threads = options.threads;
   LofScores scores;
   scores.min_pts = min_pts;
   scores.lrd.resize(n);
   scores.lof.resize(n);
 
+  // All three passes are embarrassingly parallel: point i only reads M (and
+  // in the LOF pass the completed lrd array) and writes its own slot, so
+  // any thread count produces bit-identical results.
+  Stopwatch watch;
+
   // Pass 0 (cheap): k-distances, needed for the reachability distances.
   std::vector<double> k_distance(n);
-  for (size_t i = 0; i < n; ++i) {
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     k_distance[i] = view.k_distance;
-  }
+    return Status::OK();
+  }));
 
   // First scan of M: local reachability densities (Definition 6).
-  for (size_t i = 0; i < n; ++i) {
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     double sum = 0.0;
     for (const Neighbor& o : view.neighborhood) {
@@ -44,12 +53,19 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
           static_cast<double>(view.neighborhood.size()) / sum;
     } else {
       scores.lrd[i] = std::numeric_limits<double>::infinity();
-      scores.has_infinite_lrd = true;
     }
-  }
+    return Status::OK();
+  }));
+  // Derived after the scan rather than inside it so workers never contend
+  // on a shared flag.
+  scores.has_infinite_lrd =
+      std::any_of(scores.lrd.begin(), scores.lrd.end(),
+                  [](double lrd) { return std::isinf(lrd); });
+  scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
+  watch.Reset();
 
   // Second scan of M: LOF values (Definition 7).
-  for (size_t i = 0; i < n; ++i) {
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     const double lrd_i = scores.lrd[i];
     double sum = 0.0;
@@ -62,25 +78,30 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
       }
     }
     scores.lof[i] = sum / static_cast<double>(view.neighborhood.size());
-  }
+    return Status::OK();
+  }));
+  scores.phase_times.lof_seconds = watch.ElapsedSeconds();
   return scores;
 }
 
-Result<LofScores> LofComputer::ComputeFromScratch(const Dataset& data,
-                                                  const Metric& metric,
-                                                  size_t min_pts,
-                                                  IndexKind index_kind,
-                                                  bool distinct_neighbors) {
+Result<LofScores> LofComputer::ComputeFromScratch(
+    const Dataset& data, const Metric& metric, size_t min_pts,
+    IndexKind index_kind, bool distinct_neighbors,
+    const LofComputeOptions& options) {
   std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
   if (index == nullptr) {
     return Status::Internal("index factory returned null");
   }
+  Stopwatch watch;
   LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
   LOFKIT_ASSIGN_OR_RETURN(
       NeighborhoodMaterializer m,
-      NeighborhoodMaterializer::Materialize(data, *index, min_pts,
-                                            distinct_neighbors));
-  return Compute(m, min_pts);
+      NeighborhoodMaterializer::MaterializeParallel(
+          data, *index, min_pts, options.threads, distinct_neighbors));
+  const double materialize_seconds = watch.ElapsedSeconds();
+  LOFKIT_ASSIGN_OR_RETURN(LofScores scores, Compute(m, min_pts, options));
+  scores.phase_times.materialize_seconds = materialize_seconds;
+  return scores;
 }
 
 std::vector<RankedOutlier> RankDescending(std::span<const double> scores,
@@ -89,9 +110,16 @@ std::vector<RankedOutlier> RankDescending(std::span<const double> scores,
   for (size_t i = 0; i < scores.size(); ++i) {
     ranked[i] = RankedOutlier{static_cast<uint32_t>(i), scores[i]};
   }
+  // NaN-aware comparator: `a.score != b.score` alone is not a strict weak
+  // ordering when NaNs are present (NaN != x but neither sorts before the
+  // other), which is undefined behavior in std::sort. NaNs go last, then
+  // by index, making the order total and deterministic.
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedOutlier& a, const RankedOutlier& b) {
-              if (a.score != b.score) return a.score > b.score;
+              const bool a_nan = std::isnan(a.score);
+              const bool b_nan = std::isnan(b.score);
+              if (a_nan != b_nan) return b_nan;
+              if (!a_nan && a.score != b.score) return a.score > b.score;
               return a.index < b.index;
             });
   if (top_n > 0 && top_n < ranked.size()) {

@@ -11,6 +11,17 @@
 
 namespace lofkit {
 
+/// Wall-clock seconds spent in each phase of the pipeline, recorded for the
+/// figure-10/11 performance experiments. `materialize_seconds` covers step 1
+/// (index build + kNN queries) and is only filled by ComputeFromScratch;
+/// Compute alone fills the step-2 scans (`lrd_seconds` includes the cheap
+/// k-distance pre-pass).
+struct LofPhaseTimes {
+  double materialize_seconds = 0.0;
+  double lrd_seconds = 0.0;
+  double lof_seconds = 0.0;
+};
+
 /// The LOF scores of every point for one MinPts value.
 struct LofScores {
   size_t min_pts = 0;
@@ -30,6 +41,9 @@ struct LofScores {
 
   /// True when any lrd is infinite (duplicate degeneracy occurred).
   bool has_infinite_lrd = false;
+
+  /// Per-phase wall times of the computation that produced these scores.
+  LofPhaseTimes phase_times;
 };
 
 /// Step 2 of the paper's two-step algorithm (section 7.4): computes LOF
@@ -45,6 +59,14 @@ struct LofComputeOptions {
   /// ... can be significantly reduced"); the smoothing ablation bench
   /// measures exactly that. Production use should leave this true.
   bool use_reachability = true;
+
+  /// Worker threads for the k-distance / LRD / LOF scans (and, from
+  /// ComputeFromScratch, the materialization step). 0 means one worker per
+  /// hardware thread; 1 (the default) keeps the sequential path. Every
+  /// thread count produces bit-identical scores: each point's slot is
+  /// written by exactly one worker and the summation order inside a
+  /// neighborhood never changes.
+  size_t threads = 1;
 };
 
 class LofComputer {
@@ -55,11 +77,12 @@ class LofComputer {
                                    const LofComputeOptions& options = {});
 
   /// Convenience single-call pipeline: build the given index over `data`,
-  /// materialize min_pts neighborhoods, and compute LOF.
+  /// materialize min_pts neighborhoods (in parallel when options.threads
+  /// asks for it), and compute LOF with the given options.
   static Result<LofScores> ComputeFromScratch(
       const Dataset& data, const Metric& metric, size_t min_pts,
       IndexKind index_kind = IndexKind::kLinearScan,
-      bool distinct_neighbors = false);
+      bool distinct_neighbors = false, const LofComputeOptions& options = {});
 };
 
 /// A point index with its outlier score, for rankings.
@@ -68,8 +91,11 @@ struct RankedOutlier {
   double score = 0.0;
 };
 
-/// Ranks points by descending score (ties by ascending index). Returns the
-/// `top_n` strongest outliers, or all points when top_n == 0.
+/// Ranks points by descending score (ties by ascending index). NaN scores
+/// sort after every real score (including -infinity), again by ascending
+/// index — a deterministic total order, so NaNs can never trip std::sort's
+/// strict-weak-ordering requirement. Returns the `top_n` strongest
+/// outliers, or all points when top_n == 0.
 std::vector<RankedOutlier> RankDescending(std::span<const double> scores,
                                           size_t top_n = 0);
 

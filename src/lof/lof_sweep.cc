@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -21,7 +22,7 @@ std::string_view LofAggregationName(LofAggregation aggregation) {
 Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
                                      size_t min_pts_lb, size_t min_pts_ub,
                                      LofAggregation aggregation,
-                                     bool keep_per_min_pts) {
+                                     bool keep_per_min_pts, size_t threads) {
   if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
     return Status::InvalidArgument(
         StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
@@ -39,6 +40,23 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   result.aggregation = aggregation;
   const size_t steps = min_pts_ub - min_pts_lb + 1;
 
+  // The per-MinPts computations are independent (each reads only M), so
+  // they shard over the step axis; a single-step sweep has no step
+  // parallelism, so the threads go into the LOF scans instead. Aggregating
+  // afterwards in ascending MinPts order keeps the floating-point
+  // accumulation order — and thus the result bits — identical to the
+  // sequential path.
+  std::vector<LofScores> per_step(steps);
+  LofComputeOptions step_options;
+  step_options.threads = steps == 1 ? threads : 1;
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(steps, threads, [&](size_t step) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(
+            per_step[step],
+            LofComputer::Compute(m, min_pts_lb + step, step_options));
+        return Status::OK();
+      }));
+
   std::vector<double> aggregated(
       n, aggregation == LofAggregation::kMin
              ? std::numeric_limits<double>::infinity()
@@ -46,10 +64,7 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   if (aggregation == LofAggregation::kMax) {
     aggregated.assign(n, -std::numeric_limits<double>::infinity());
   }
-
-  for (size_t min_pts = min_pts_lb; min_pts <= min_pts_ub; ++min_pts) {
-    LOFKIT_ASSIGN_OR_RETURN(LofScores scores,
-                            LofComputer::Compute(m, min_pts));
+  for (LofScores& scores : per_step) {
     for (size_t i = 0; i < n; ++i) {
       switch (aggregation) {
         case LofAggregation::kMax:
@@ -74,7 +89,7 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
 Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
     const Dataset& data, const Metric& metric, size_t min_pts_lb,
     size_t min_pts_ub, size_t top_n, IndexKind index_kind,
-    LofAggregation aggregation) {
+    LofAggregation aggregation, size_t threads) {
   std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
   if (index == nullptr) {
     return Status::Internal("index factory returned null");
@@ -82,9 +97,12 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
   LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
   LOFKIT_ASSIGN_OR_RETURN(
       NeighborhoodMaterializer m,
-      NeighborhoodMaterializer::Materialize(data, *index, min_pts_ub));
-  LOFKIT_ASSIGN_OR_RETURN(LofSweepResult sweep,
-                          Run(m, min_pts_lb, min_pts_ub, aggregation));
+      NeighborhoodMaterializer::MaterializeParallel(data, *index, min_pts_ub,
+                                                    threads));
+  LOFKIT_ASSIGN_OR_RETURN(
+      LofSweepResult sweep,
+      Run(m, min_pts_lb, min_pts_ub, aggregation,
+          /*keep_per_min_pts=*/false, threads));
   return RankDescending(sweep.aggregated, top_n);
 }
 

@@ -40,20 +40,29 @@ class LofSweep {
   /// Requires 1 <= min_pts_lb <= min_pts_ub <= m.k_max(). Set
   /// `keep_per_min_pts` to retain each individual LofScores (needed by the
   /// figure-7/8 experiments; costs (ub-lb+1) * n doubles).
+  ///
+  /// `threads` shards the independent per-MinPts computations (0 = one
+  /// worker per hardware thread, 1 = sequential); a single-step sweep
+  /// instead forwards the threads into the LOF scans themselves.
+  /// Aggregation always runs in ascending MinPts order afterwards, so every
+  /// thread count produces bit-identical results.
   static Result<LofSweepResult> Run(const NeighborhoodMaterializer& m,
                                     size_t min_pts_lb, size_t min_pts_ub,
                                     LofAggregation aggregation =
                                         LofAggregation::kMax,
-                                    bool keep_per_min_pts = false);
+                                    bool keep_per_min_pts = false,
+                                    size_t threads = 1);
 
   /// Convenience single-call pipeline: index, materialize at min_pts_ub,
   /// sweep, and return the ranking of the `top_n` strongest outliers
-  /// (top_n == 0 ranks everything).
+  /// (top_n == 0 ranks everything). `threads` drives both the
+  /// materialization queries and the sweep, with the same determinism
+  /// guarantee as Run.
   static Result<std::vector<RankedOutlier>> RankOutliers(
       const Dataset& data, const Metric& metric, size_t min_pts_lb,
       size_t min_pts_ub, size_t top_n = 0,
       IndexKind index_kind = IndexKind::kLinearScan,
-      LofAggregation aggregation = LofAggregation::kMax);
+      LofAggregation aggregation = LofAggregation::kMax, size_t threads = 1);
 };
 
 }  // namespace lofkit

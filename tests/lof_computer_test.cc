@@ -227,6 +227,86 @@ TEST(LofComputerTest, RankDescendingBreaksTiesByIndex) {
   EXPECT_EQ(top2.size(), 2u);
 }
 
+TEST(LofComputerTest, RankDescendingOrdersNaNScoresLastDeterministically) {
+  // Regression: the old comparator used `a.score != b.score` then `>`,
+  // which is not a strict weak ordering once NaNs are present (undefined
+  // behavior in std::sort). NaNs must sort after every real score,
+  // including -infinity, tie-broken by ascending index.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> scores = {nan, 2.0, nan, -inf, inf, 0.5};
+  auto ranked = RankDescending(scores);
+  ASSERT_EQ(ranked.size(), 6u);
+  EXPECT_EQ(ranked[0].index, 4u);  // +inf
+  EXPECT_EQ(ranked[1].index, 1u);  // 2.0
+  EXPECT_EQ(ranked[2].index, 5u);  // 0.5
+  EXPECT_EQ(ranked[3].index, 3u);  // -inf
+  EXPECT_EQ(ranked[4].index, 0u);  // first NaN, by index
+  EXPECT_EQ(ranked[5].index, 2u);  // second NaN
+  EXPECT_TRUE(std::isnan(ranked[4].score));
+  EXPECT_TRUE(std::isnan(ranked[5].score));
+
+  // A large alternating NaN/value vector exercises enough comparisons for
+  // libstdc++'s debug-free std::sort to go off the rails under the old
+  // comparator; with the fix it must sort every NaN after every number.
+  std::vector<double> many(501);
+  for (size_t i = 0; i < many.size(); ++i) {
+    many[i] = (i % 3 == 0) ? nan : static_cast<double>(i % 17);
+  }
+  auto many_ranked = RankDescending(many);
+  ASSERT_EQ(many_ranked.size(), many.size());
+  bool seen_nan = false;
+  uint32_t previous_nan_index = 0;
+  for (const RankedOutlier& r : many_ranked) {
+    if (std::isnan(r.score)) {
+      if (seen_nan) {
+        EXPECT_GT(r.index, previous_nan_index);
+      }
+      seen_nan = true;
+      previous_nan_index = r.index;
+    } else {
+      EXPECT_FALSE(seen_nan) << "real score after a NaN";
+    }
+  }
+  EXPECT_TRUE(seen_nan);
+}
+
+TEST(LofComputerTest, ComputeFromScratchForwardsOptions) {
+  // Regression: ComputeFromScratch used to drop LofComputeOptions and
+  // always compute with defaults, making the use_reachability ablation
+  // unreachable from this entry point.
+  Rng rng(8);
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double lo[2] = {0, 0};
+  const double hi[2] = {30, 30};
+  ASSERT_TRUE(generators::AppendUniformBox(*ds, rng, lo, hi, 300).ok());
+  auto smoothed = LofComputer::ComputeFromScratch(
+      *ds, Euclidean(), 10, IndexKind::kLinearScan, false,
+      {.use_reachability = true});
+  auto raw = LofComputer::ComputeFromScratch(
+      *ds, Euclidean(), 10, IndexKind::kLinearScan, false,
+      {.use_reachability = false});
+  ASSERT_TRUE(smoothed.ok() && raw.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < smoothed->lof.size(); ++i) {
+    if (smoothed->lof[i] != raw->lof[i]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference)
+      << "the simplified variant must be reachable from ComputeFromScratch";
+}
+
+TEST(LofComputerTest, ComputeFromScratchRecordsPhaseTimes) {
+  Rng rng(9);
+  auto ds = generators::MakePerformanceWorkload(rng, 2, 300, 3);
+  ASSERT_TRUE(ds.ok());
+  auto scores = LofComputer::ComputeFromScratch(*ds, Euclidean(), 10);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->phase_times.materialize_seconds, 0.0);
+  EXPECT_GT(scores->phase_times.lrd_seconds, 0.0);
+  EXPECT_GT(scores->phase_times.lof_seconds, 0.0);
+}
+
 TEST(LofComputerTest, MinPtsOneIsDegenerateButDefined) {
   // MinPts = 1 reduces reach-dist to nearest-neighbor distances; LOF is
   // still well defined per the definitions.

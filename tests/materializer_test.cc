@@ -276,6 +276,85 @@ TEST(MaterializerTest, LoadRejectsGarbageAndMismatches) {
   std::remove(distinct_path.c_str());
 }
 
+// Writes a materialization file with the on-disk layout of SaveToFile but
+// arbitrary (possibly invalid) neighbor lists, to exercise load validation.
+void WriteRawMaterialization(const std::string& path, uint64_t k_max,
+                             const std::vector<std::vector<Neighbor>>& lists) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write("LOFM", 4);
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&k_max), sizeof(k_max));
+  const uint8_t distinct = 0;
+  out.write(reinterpret_cast<const char*>(&distinct), sizeof(distinct));
+  const uint64_t n = lists.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  uint64_t offset = 0;
+  out.write(reinterpret_cast<const char*>(&offset), sizeof(offset));
+  for (const auto& list : lists) {
+    offset += list.size();
+    out.write(reinterpret_cast<const char*>(&offset), sizeof(offset));
+  }
+  for (const auto& list : lists) {
+    for (const Neighbor& neighbor : list) {
+      out.write(reinterpret_cast<const char*>(&neighbor.index),
+                sizeof(neighbor.index));
+      out.write(reinterpret_cast<const char*>(&neighbor.distance),
+                sizeof(neighbor.distance));
+    }
+  }
+}
+
+TEST(MaterializerTest, LoadRejectsUnsortedNeighborLists) {
+  // Regression: a structurally decodable file with an unsorted list used to
+  // load fine and then silently break View()'s equal-distance-run walk.
+  const std::string path = ::testing::TempDir() + "/lofkit_m_unsorted.bin";
+  WriteRawMaterialization(path, 2,
+                          {{{1, 2.0}, {2, 1.0}},    // distances out of order
+                           {{0, 1.0}, {2, 2.0}},
+                           {{0, 1.0}, {1, 2.0}}});
+  auto loaded = NeighborhoodMaterializer::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("not sorted"), std::string::npos);
+
+  // Equal distances must also be ordered by ascending index.
+  WriteRawMaterialization(path, 2,
+                          {{{2, 1.0}, {1, 1.0}},
+                           {{0, 1.0}, {2, 2.0}},
+                           {{0, 1.0}, {1, 2.0}}});
+  EXPECT_FALSE(NeighborhoodMaterializer::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MaterializerTest, LoadRejectsNonFiniteDistances) {
+  const std::string path = ::testing::TempDir() + "/lofkit_m_nonfinite.bin";
+  const double kBad[] = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(), -1.0};
+  for (double bad : kBad) {
+    WriteRawMaterialization(path, 2,
+                            {{{1, 1.0}, {2, bad}},
+                             {{0, 1.0}, {2, 2.0}},
+                             {{0, 1.0}, {1, 2.0}}});
+    auto loaded = NeighborhoodMaterializer::LoadFromFile(path);
+    ASSERT_FALSE(loaded.ok()) << bad;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MaterializerTest, LoadStillRejectsOutOfRangeNeighborIndexes) {
+  const std::string path = ::testing::TempDir() + "/lofkit_m_badindex.bin";
+  WriteRawMaterialization(path, 2,
+                          {{{1, 1.0}, {9, 2.0}},    // index 9 of n=3
+                           {{0, 1.0}, {2, 2.0}},
+                           {{0, 1.0}, {1, 2.0}}});
+  auto loaded = NeighborhoodMaterializer::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(MaterializerTest, SizeOfMIsDimensionIndependent) {
   // Section 7.4: |M| = n * MinPtsUB entries regardless of dimension.
   for (size_t dim : {2u, 8u}) {

@@ -69,6 +69,10 @@ int main(int argc, char** argv) {
                   "score aggregation over the range: max, min or mean");
   flags.AddBool("distinct", false,
                 "use k-distinct-distance neighborhoods (duplicate-safe)");
+  flags.AddU64("threads", 0,
+               "worker threads for materialization and the LOF sweep "
+               "(0 = one per hardware thread, 1 = sequential; the scores "
+               "are identical for every value)");
   flags.AddU64("top", 10, "number of outliers to print (0 = all)");
   flags.AddBool("explain", false,
                 "print the dominant deviating attribute per outlier");
@@ -118,6 +122,7 @@ int main(int argc, char** argv) {
 
   const size_t lb = flags.GetU64("minpts-lb");
   const size_t ub = flags.GetU64("minpts-ub");
+  const size_t threads = flags.GetU64("threads");
 
   // Step 1: materialize (or reload).
   Stopwatch watch;
@@ -141,8 +146,8 @@ int main(int argc, char** argv) {
     if (Status status = index->Build(*working, metric); !status.ok()) {
       return Fail(status);
     }
-    auto built = NeighborhoodMaterializer::Materialize(
-        *working, *index, ub, flags.GetBool("distinct"));
+    auto built = NeighborhoodMaterializer::MaterializeParallel(
+        *working, *index, ub, threads, flags.GetBool("distinct"));
     if (!built.ok()) return Fail(built.status());
     m = std::make_unique<NeighborhoodMaterializer>(std::move(built).value());
     std::fprintf(stderr, "materialized %zu neighborhoods (%s index) in %.3fs\n",
@@ -160,7 +165,8 @@ int main(int argc, char** argv) {
   auto aggregation = AggregationByName(flags.GetString("aggregation"));
   if (!aggregation.ok()) return Fail(aggregation.status());
   watch.Reset();
-  auto sweep = LofSweep::Run(*m, lb, ub, *aggregation);
+  auto sweep = LofSweep::Run(*m, lb, ub, *aggregation,
+                             /*keep_per_min_pts=*/false, threads);
   if (!sweep.ok()) return Fail(sweep.status());
   std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
                lb, ub, watch.ElapsedSeconds());
