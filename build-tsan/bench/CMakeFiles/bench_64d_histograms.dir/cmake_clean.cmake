@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_64d_histograms.dir/bench_64d_histograms.cc.o"
+  "CMakeFiles/bench_64d_histograms.dir/bench_64d_histograms.cc.o.d"
+  "bench_64d_histograms"
+  "bench_64d_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_64d_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

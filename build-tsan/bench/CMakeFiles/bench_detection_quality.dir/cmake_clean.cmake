@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_quality.dir/bench_detection_quality.cc.o"
+  "CMakeFiles/bench_detection_quality.dir/bench_detection_quality.cc.o.d"
+  "bench_detection_quality"
+  "bench_detection_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

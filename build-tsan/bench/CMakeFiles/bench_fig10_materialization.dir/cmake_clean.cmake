@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_materialization.dir/bench_fig10_materialization.cc.o"
+  "CMakeFiles/bench_fig10_materialization.dir/bench_fig10_materialization.cc.o.d"
+  "bench_fig10_materialization"
+  "bench_fig10_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_lofstep.dir/bench_fig11_lofstep.cc.o"
+  "CMakeFiles/bench_fig11_lofstep.dir/bench_fig11_lofstep.cc.o.d"
+  "bench_fig11_lofstep"
+  "bench_fig11_lofstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_lofstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_span.dir/bench_fig5_span.cc.o"
+  "CMakeFiles/bench_fig5_span.dir/bench_fig5_span.cc.o.d"
+  "bench_fig5_span"
+  "bench_fig5_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partition.dir/bench_fig6_partition.cc.o"
+  "CMakeFiles/bench_fig6_partition.dir/bench_fig6_partition.cc.o.d"
+  "bench_fig6_partition"
+  "bench_fig6_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

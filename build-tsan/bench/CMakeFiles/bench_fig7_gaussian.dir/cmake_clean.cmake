@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gaussian.dir/bench_fig7_gaussian.cc.o"
+  "CMakeFiles/bench_fig7_gaussian.dir/bench_fig7_gaussian.cc.o.d"
+  "bench_fig7_gaussian"
+  "bench_fig7_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_clusters.dir/bench_fig8_clusters.cc.o"
+  "CMakeFiles/bench_fig8_clusters.dir/bench_fig8_clusters.cc.o.d"
+  "bench_fig8_clusters"
+  "bench_fig8_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

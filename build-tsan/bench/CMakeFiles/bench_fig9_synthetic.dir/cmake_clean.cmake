@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_synthetic.dir/bench_fig9_synthetic.cc.o"
+  "CMakeFiles/bench_fig9_synthetic.dir/bench_fig9_synthetic.cc.o.d"
+  "bench_fig9_synthetic"
+  "bench_fig9_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hockey.dir/bench_hockey.cc.o"
+  "CMakeFiles/bench_hockey.dir/bench_hockey.cc.o.d"
+  "bench_hockey"
+  "bench_hockey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hockey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

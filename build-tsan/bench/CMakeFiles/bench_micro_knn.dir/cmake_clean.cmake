@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_knn.dir/bench_micro_knn.cc.o"
+  "CMakeFiles/bench_micro_knn.dir/bench_micro_knn.cc.o.d"
+  "bench_micro_knn"
+  "bench_micro_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

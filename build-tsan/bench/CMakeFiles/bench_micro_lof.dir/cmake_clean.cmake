@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lof.dir/bench_micro_lof.cc.o"
+  "CMakeFiles/bench_micro_lof.dir/bench_micro_lof.cc.o.d"
+  "bench_micro_lof"
+  "bench_micro_lof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

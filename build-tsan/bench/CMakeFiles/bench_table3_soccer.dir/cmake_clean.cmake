@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_soccer.dir/bench_table3_soccer.cc.o"
+  "CMakeFiles/bench_table3_soccer.dir/bench_table3_soccer.cc.o.d"
+  "bench_table3_soccer"
+  "bench_table3_soccer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_soccer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

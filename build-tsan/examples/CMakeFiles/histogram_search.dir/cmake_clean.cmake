@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_search.dir/histogram_search.cpp.o"
+  "CMakeFiles/histogram_search.dir/histogram_search.cpp.o.d"
+  "histogram_search"
+  "histogram_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

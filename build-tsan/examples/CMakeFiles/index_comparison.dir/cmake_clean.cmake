@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_comparison.dir/index_comparison.cpp.o"
+  "CMakeFiles/index_comparison.dir/index_comparison.cpp.o.d"
+  "index_comparison"
+  "index_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minpts_tuning.dir/minpts_tuning.cpp.o"
+  "CMakeFiles/minpts_tuning.dir/minpts_tuning.cpp.o.d"
+  "minpts_tuning"
+  "minpts_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minpts_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for minpts_tuning.
+# This may be replaced when dependencies are built.

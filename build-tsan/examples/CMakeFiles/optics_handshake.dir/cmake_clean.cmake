@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_handshake.dir/optics_handshake.cpp.o"
+  "CMakeFiles/optics_handshake.dir/optics_handshake.cpp.o.d"
+  "optics_handshake"
+  "optics_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

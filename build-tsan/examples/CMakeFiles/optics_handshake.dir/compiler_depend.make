@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optics_handshake.
+# This may be replaced when dependencies are built.

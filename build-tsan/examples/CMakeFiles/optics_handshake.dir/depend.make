@@ -1,0 +1,2 @@
+# Empty dependencies file for optics_handshake.
+# This may be replaced when dependencies are built.

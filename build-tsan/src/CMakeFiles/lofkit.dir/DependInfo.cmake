@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/db_outlier.cc" "src/CMakeFiles/lofkit.dir/baselines/db_outlier.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/baselines/db_outlier.cc.o.d"
+  "/root/repo/src/baselines/knn_outlier.cc" "src/CMakeFiles/lofkit.dir/baselines/knn_outlier.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/baselines/knn_outlier.cc.o.d"
+  "/root/repo/src/clustering/dbscan.cc" "src/CMakeFiles/lofkit.dir/clustering/dbscan.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/clustering/dbscan.cc.o.d"
+  "/root/repo/src/clustering/optics.cc" "src/CMakeFiles/lofkit.dir/clustering/optics.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/clustering/optics.cc.o.d"
+  "/root/repo/src/clustering/optics_lof_bridge.cc" "src/CMakeFiles/lofkit.dir/clustering/optics_lof_bridge.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/clustering/optics_lof_bridge.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/lofkit.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/lofkit.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/lofkit.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/lofkit.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lofkit.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lofkit.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/lofkit.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/common/string_util.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/CMakeFiles/lofkit.dir/dataset/dataset.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/dataset/dataset.cc.o.d"
+  "/root/repo/src/dataset/generators.cc" "src/CMakeFiles/lofkit.dir/dataset/generators.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/dataset/generators.cc.o.d"
+  "/root/repo/src/dataset/loaders.cc" "src/CMakeFiles/lofkit.dir/dataset/loaders.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/dataset/loaders.cc.o.d"
+  "/root/repo/src/dataset/metric.cc" "src/CMakeFiles/lofkit.dir/dataset/metric.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/dataset/metric.cc.o.d"
+  "/root/repo/src/dataset/scenarios.cc" "src/CMakeFiles/lofkit.dir/dataset/scenarios.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/dataset/scenarios.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/lofkit.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/incremental_materializer.cc" "src/CMakeFiles/lofkit.dir/index/incremental_materializer.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/incremental_materializer.cc.o.d"
+  "/root/repo/src/index/index_factory.cc" "src/CMakeFiles/lofkit.dir/index/index_factory.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/index_factory.cc.o.d"
+  "/root/repo/src/index/kd_tree_index.cc" "src/CMakeFiles/lofkit.dir/index/kd_tree_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/kd_tree_index.cc.o.d"
+  "/root/repo/src/index/knn_index.cc" "src/CMakeFiles/lofkit.dir/index/knn_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/knn_index.cc.o.d"
+  "/root/repo/src/index/linear_scan_index.cc" "src/CMakeFiles/lofkit.dir/index/linear_scan_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/linear_scan_index.cc.o.d"
+  "/root/repo/src/index/m_tree_index.cc" "src/CMakeFiles/lofkit.dir/index/m_tree_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/m_tree_index.cc.o.d"
+  "/root/repo/src/index/neighborhood_materializer.cc" "src/CMakeFiles/lofkit.dir/index/neighborhood_materializer.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/neighborhood_materializer.cc.o.d"
+  "/root/repo/src/index/rstar_tree_index.cc" "src/CMakeFiles/lofkit.dir/index/rstar_tree_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/rstar_tree_index.cc.o.d"
+  "/root/repo/src/index/va_file_index.cc" "src/CMakeFiles/lofkit.dir/index/va_file_index.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/index/va_file_index.cc.o.d"
+  "/root/repo/src/lof/evaluation.cc" "src/CMakeFiles/lofkit.dir/lof/evaluation.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/evaluation.cc.o.d"
+  "/root/repo/src/lof/explain.cc" "src/CMakeFiles/lofkit.dir/lof/explain.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/explain.cc.o.d"
+  "/root/repo/src/lof/lof_bounds.cc" "src/CMakeFiles/lofkit.dir/lof/lof_bounds.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/lof_bounds.cc.o.d"
+  "/root/repo/src/lof/lof_computer.cc" "src/CMakeFiles/lofkit.dir/lof/lof_computer.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/lof_computer.cc.o.d"
+  "/root/repo/src/lof/lof_sweep.cc" "src/CMakeFiles/lofkit.dir/lof/lof_sweep.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/lof_sweep.cc.o.d"
+  "/root/repo/src/lof/subspace.cc" "src/CMakeFiles/lofkit.dir/lof/subspace.cc.o" "gcc" "src/CMakeFiles/lofkit.dir/lof/subspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consistency_fuzz_test.cc" "tests/CMakeFiles/lofkit_tests.dir/consistency_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/consistency_fuzz_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/lofkit_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/lofkit_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/db_outlier_test.cc" "tests/CMakeFiles/lofkit_tests.dir/db_outlier_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/db_outlier_test.cc.o.d"
+  "/root/repo/tests/dbscan_test.cc" "tests/CMakeFiles/lofkit_tests.dir/dbscan_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/dbscan_test.cc.o.d"
+  "/root/repo/tests/evaluation_test.cc" "tests/CMakeFiles/lofkit_tests.dir/evaluation_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/evaluation_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/lofkit_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/lofkit_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/lofkit_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/lofkit_tests.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/incremental_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/lofkit_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/lofkit_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/knn_outlier_test.cc" "tests/CMakeFiles/lofkit_tests.dir/knn_outlier_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/knn_outlier_test.cc.o.d"
+  "/root/repo/tests/loaders_test.cc" "tests/CMakeFiles/lofkit_tests.dir/loaders_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/loaders_test.cc.o.d"
+  "/root/repo/tests/lof_bounds_test.cc" "tests/CMakeFiles/lofkit_tests.dir/lof_bounds_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/lof_bounds_test.cc.o.d"
+  "/root/repo/tests/lof_computer_test.cc" "tests/CMakeFiles/lofkit_tests.dir/lof_computer_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/lof_computer_test.cc.o.d"
+  "/root/repo/tests/lof_sweep_test.cc" "tests/CMakeFiles/lofkit_tests.dir/lof_sweep_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/lof_sweep_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/lofkit_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/materializer_test.cc" "tests/CMakeFiles/lofkit_tests.dir/materializer_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/materializer_test.cc.o.d"
+  "/root/repo/tests/metric_test.cc" "tests/CMakeFiles/lofkit_tests.dir/metric_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/metric_test.cc.o.d"
+  "/root/repo/tests/optics_test.cc" "tests/CMakeFiles/lofkit_tests.dir/optics_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/optics_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/lofkit_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/pipeline_property_test.cc" "tests/CMakeFiles/lofkit_tests.dir/pipeline_property_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/pipeline_property_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/lofkit_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/reference_oracle_test.cc" "tests/CMakeFiles/lofkit_tests.dir/reference_oracle_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/reference_oracle_test.cc.o.d"
+  "/root/repo/tests/scenarios_test.cc" "tests/CMakeFiles/lofkit_tests.dir/scenarios_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/scenarios_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/lofkit_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/lofkit_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/subspace_test.cc" "tests/CMakeFiles/lofkit_tests.dir/subspace_test.cc.o" "gcc" "tests/CMakeFiles/lofkit_tests.dir/subspace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/lofkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

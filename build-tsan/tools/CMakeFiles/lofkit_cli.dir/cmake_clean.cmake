@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lofkit_cli.dir/lofkit_cli.cc.o"
+  "CMakeFiles/lofkit_cli.dir/lofkit_cli.cc.o.d"
+  "lofkit_cli"
+  "lofkit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lofkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

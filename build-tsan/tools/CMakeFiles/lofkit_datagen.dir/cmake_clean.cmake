@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lofkit_datagen.dir/lofkit_datagen.cc.o"
+  "CMakeFiles/lofkit_datagen.dir/lofkit_datagen.cc.o.d"
+  "lofkit_datagen"
+  "lofkit_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lofkit_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build-tsan/tools/lofkit_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(datagen_list "/root/repo/build-tsan/tools/lofkit_datagen" "--list")
+set_tests_properties(datagen_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "/usr/bin/cmake" "-DDATAGEN=/root/repo/build-tsan/tools/lofkit_datagen" "-DCLI=/root/repo/build-tsan/tools/lofkit_cli" "-DWORKDIR=/root/repo/build-tsan/tools" "-P" "/root/repo/tools/cli_pipeline_test.cmake")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
