@@ -1,0 +1,160 @@
+// Microbench for the distance-kernel layer: one full n-point scan per
+// measurement, comparing
+//   virtual   — per-pair Metric::Distance through a runtime-selected
+//               Metric* (the pre-kernel hot loop of every index),
+//   rank_one  — the devirtualized scalar kernel,
+//   block     — the blocked SoA kernel over a PointBlockView (the loop the
+//               linear scan and the kd-tree leaves actually run).
+//
+// The block row is what the tentpole optimization buys: contiguous lanes,
+// no virtual dispatch, and (for the L2 family) no sqrt per pair. Writes
+// BENCH_kernels.json; LOFKIT_BENCH_SMOKE=1 runs one tiny repetition.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/bench_report.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dataset/dataset.h"
+#include "dataset/metric.h"
+#include "dataset/point_block.h"
+
+using namespace lofkit;          // NOLINT
+using namespace lofkit::bench;   // NOLINT
+
+namespace {
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+// Seconds per call of `fn`, measured over enough calls to fill ~0.2s
+// (smoke mode: a single call).
+template <typename Fn>
+double Measure(bool smoke, Fn&& fn) {
+  fn();  // warm-up
+  if (smoke) {
+    Stopwatch watch;
+    fn();
+    return watch.ElapsedSeconds();
+  }
+  size_t calls = 0;
+  Stopwatch watch;
+  double elapsed = 0.0;
+  while (elapsed < 0.2) {
+    fn();
+    ++calls;
+    elapsed = watch.ElapsedSeconds();
+  }
+  return elapsed / static_cast<double>(calls);
+}
+
+struct NamedMetric {
+  std::string name;
+  const Metric* metric;
+};
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const size_t n = smoke ? 256 : 4096;
+  const std::vector<size_t> dims = {8, 64};
+  BenchReport report("kernels");
+
+  PrintHeader("Distance kernels",
+              "one n-point scan: virtual Metric::Distance vs devirtualized "
+              "scalar vs blocked SoA kernel");
+  std::printf("n = %zu points per scan\n\n", n);
+  std::printf("%-22s %-6s %12s %12s %12s %9s\n", "metric", "dim",
+              "virtual ns/p", "rank_one ns/p", "block ns/p", "speedup");
+
+  double euclid64_speedup = 0.0;
+  for (size_t dim : dims) {
+    auto data_or = Dataset::Create(dim);
+    CheckOk(data_or.status(), "Dataset::Create");
+    Dataset& data = *data_or;
+    Rng rng(42 + dim);
+    std::vector<double> point(dim);
+    for (size_t i = 0; i < n; ++i) {
+      for (double& c : point) c = rng.Uniform(-10.0, 10.0);
+      CheckOk(data.Append(point), "Append");
+    }
+    std::vector<double> query(dim);
+    for (double& c : query) c = rng.Uniform(-10.0, 10.0);
+
+    auto minkowski = MinkowskiMetric::Create(2.5);
+    CheckOk(minkowski.status(), "MinkowskiMetric::Create");
+    std::vector<double> weights(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      weights[i] = 0.25 + static_cast<double>(i % 7) * 0.5;
+    }
+    auto weighted = WeightedEuclideanMetric::Create(weights);
+    CheckOk(weighted.status(), "WeightedEuclideanMetric::Create");
+    const std::vector<NamedMetric> metrics = {
+        {"euclidean", &Euclidean()},
+        {"manhattan", &Manhattan()},
+        {"chebyshev", &Chebyshev()},
+        {"minkowski_p2.5", &*minkowski},
+        {"weighted_euclidean", &*weighted},
+    };
+
+    const auto view = data.blocks();
+    for (const NamedMetric& nm : metrics) {
+      // Runtime-selected pointer: the compiler cannot devirtualize the
+      // baseline's Distance calls.
+      const Metric* metric = nm.metric;
+      g_sink = 0.0;
+
+      const double virtual_seconds = Measure(smoke, [&] {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          sum += metric->Distance(query, data.point(i));
+        }
+        g_sink += sum;
+      });
+
+      const DistanceKernels kern = metric->kernels();
+      const double* raw = data.raw().data();
+      const double scalar_seconds = Measure(smoke, [&] {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          sum += kern.rank_one(kern.ctx, query.data(), raw + i * dim, dim);
+        }
+        g_sink += sum;
+      });
+
+      std::vector<double> out(PointBlockView::kLanes);
+      const double block_seconds = Measure(smoke, [&] {
+        double sum = 0.0;
+        for (size_t b = 0; b < view->num_blocks(); ++b) {
+          kern.rank_block(kern.ctx, query.data(), view->block(b), dim,
+                          out.data());
+          for (double r : out) sum += r;
+        }
+        g_sink += sum;
+      });
+
+      const double per_pair = 1e9 / static_cast<double>(n);
+      const double speedup =
+          block_seconds > 0 ? virtual_seconds / block_seconds : 0.0;
+      if (nm.name == "euclidean" && dim == 64) euclid64_speedup = speedup;
+      std::printf("%-22s %-6zu %12.2f %12.2f %12.2f %8.2fx\n",
+                  nm.name.c_str(), dim, virtual_seconds * per_pair,
+                  scalar_seconds * per_pair, block_seconds * per_pair,
+                  speedup);
+      report.Add(nm.name + "_d" + std::to_string(dim),
+                 {{"virtual_ns_per_pair", virtual_seconds * per_pair},
+                  {"rank_one_ns_per_pair", scalar_seconds * per_pair},
+                  {"block_ns_per_pair", block_seconds * per_pair},
+                  {"speedup_block_vs_virtual", speedup}});
+    }
+  }
+
+  std::printf("\n64-d Euclidean blocked kernel vs virtual baseline: %.2fx "
+              "(target: >= 2x).\n", euclid64_speedup);
+  CheckOk(report.Write(), "BenchReport::Write");
+  return 0;
+}

@@ -5,10 +5,16 @@
 // growth for d in {2, 5}, visible degradation for d in {10, 20} — the
 // classic index-effectivity decay with dimension. A sequential-scan column
 // shows the O(n^2) alternative for reference.
+//
+// Besides the stdout table, the run writes BENCH_fig10.json (see
+// common/bench_report.h). LOFKIT_BENCH_SMOKE=1 shrinks everything to one
+// tiny repetition for CI.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/bench_report.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "dataset/generators.h"
@@ -22,50 +28,65 @@ using namespace lofkit::bench;   // NOLINT
 
 namespace {
 
-double MaterializeSeconds(const Dataset& data, KnnIndex& index) {
+double MaterializeSeconds(const Dataset& data, KnnIndex& index, size_t k) {
   Stopwatch watch;
   CheckOk(index.Build(data, Euclidean()), "Build");
-  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, 50),
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, k),
                    "Materialize");
   (void)m;
   return watch.ElapsedSeconds();
 }
 
+std::string Case(size_t n, size_t d) {
+  return "n=" + std::to_string(n) + "_d=" + std::to_string(d);
+}
+
 }  // namespace
 
 int main() {
+  const bool smoke = SmokeMode();
+  const size_t k = smoke ? 5 : 50;
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{200} : std::vector<size_t>{1000, 2000, 4000, 8000};
+  const std::vector<size_t> dims = smoke ? std::vector<size_t>{2, 5}
+                                         : std::vector<size_t>{2, 5, 10, 20};
+  BenchReport report("fig10");
+
   PrintHeader("Figure 10",
               "materialization time vs n, MinPtsUB = 50, per dimension");
-  const size_t sizes[] = {1000, 2000, 4000, 8000};
   std::printf("%-8s", "n");
-  for (size_t d : {2, 5, 10, 20}) std::printf("  d=%-2zu (s) ", d);
+  for (size_t d : dims) std::printf("  d=%-2zu (s) ", d);
   std::printf("  scan d=5 (s)\n");
 
   double first_d2 = 0.0, last_d2 = 0.0;
   for (size_t n : sizes) {
     std::printf("%-8zu", n);
-    for (size_t d : {2, 5, 10, 20}) {
+    for (size_t d : dims) {
       Rng rng(1000 + d);
       auto data = CheckOk(generators::MakePerformanceWorkload(rng, d, n, 10),
                           "workload");
       RStarTreeIndex tree;
-      const double seconds = MaterializeSeconds(data, tree);
+      const double seconds = MaterializeSeconds(data, tree, k);
+      report.Add(Case(n, d), {{"seconds", seconds}});
       std::printf("  %-9.3f", seconds);
-      if (d == 2 && n == sizes[0]) first_d2 = seconds;
-      if (d == 2 && n == sizes[3]) last_d2 = seconds;
+      if (d == 2 && n == sizes.front()) first_d2 = seconds;
+      if (d == 2 && n == sizes.back()) last_d2 = seconds;
     }
     {
       Rng rng(1005);
       auto data = CheckOk(generators::MakePerformanceWorkload(rng, 5, n, 10),
                           "workload");
       LinearScanIndex scan;
-      std::printf("  %-9.3f", MaterializeSeconds(data, scan));
+      const double seconds = MaterializeSeconds(data, scan, k);
+      report.Add(Case(n, 5) + "_scan", {{"seconds", seconds}});
+      std::printf("  %-9.3f", seconds);
     }
     std::printf("\n");
   }
-  std::printf("\nShape check: 8x the points cost %.1fx the time at d=2 "
+  std::printf("\nShape check: %zux the points cost %.1fx the time at d=2 "
               "(near-linear, paper's low-d\nbehavior); higher dimensions "
               "degrade toward the sequential scan, as in figure 10.\n",
+              sizes.back() / sizes.front(),
               first_d2 > 0 ? last_d2 / first_d2 : 0.0);
 
   // Threads axis: the n queries of step 1 are embarrassingly parallel, so
@@ -74,23 +95,30 @@ int main() {
   PrintHeader("Figure 10 / threads axis",
               "materialization time vs threads, Gaussian workload, "
               "d=5, n=8000, MinPtsUB=50");
+  const size_t thread_n = smoke ? 200 : 8000;
   Rng rng(1005);
-  auto data = CheckOk(generators::MakePerformanceWorkload(rng, 5, 8000, 10),
+  auto data = CheckOk(generators::MakePerformanceWorkload(rng, 5, thread_n, 10),
                       "workload");
   RStarTreeIndex tree;
   CheckOk(tree.Build(data, Euclidean()), "Build");
   std::printf("%-8s %-10s %s\n", "threads", "time (s)", "speedup");
   double serial_seconds = 0.0;
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  for (unsigned threads : thread_counts) {
     Stopwatch watch;
     auto m = CheckOk(NeighborhoodMaterializer::MaterializeParallel(
-                         data, tree, 50, threads),
+                         data, tree, k, threads),
                      "MaterializeParallel");
     (void)m;
     const double seconds = watch.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
-    std::printf("%-8zu %-10.3f %.2fx\n", threads, seconds,
+    report.Add("threads=" + std::to_string(threads),
+               {{"seconds", seconds},
+                {"speedup", seconds > 0 ? serial_seconds / seconds : 0.0}});
+    std::printf("%-8u %-10.3f %.2fx\n", threads, seconds,
                 seconds > 0 ? serial_seconds / seconds : 0.0);
   }
+  CheckOk(report.Write(), "BenchReport::Write");
   return 0;
 }

@@ -4,10 +4,16 @@
 // touches only M, never the original (arbitrary-dimensional) data; the
 // expected shape is a straight line through the origin, independent of the
 // data's dimensionality.
+//
+// Besides the stdout table, the run writes BENCH_fig11.json (see
+// common/bench_report.h). LOFKIT_BENCH_SMOKE=1 shrinks everything to one
+// tiny repetition for CI.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/bench_report.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "dataset/generators.h"
@@ -19,12 +25,19 @@ using namespace lofkit;          // NOLINT
 using namespace lofkit::bench;   // NOLINT
 
 int main() {
+  const bool smoke = SmokeMode();
+  const size_t lb = smoke ? 2 : 10;
+  const size_t ub = smoke ? 5 : 50;
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{200}
+            : std::vector<size_t>{2000, 4000, 8000, 16000};
+  BenchReport report("fig11");
+
   PrintHeader("Figure 11",
               "LOF-computation (step 2) time vs n, MinPts in [10, 50]");
   std::printf("%-8s %-14s %-14s %-16s\n", "n", "d=2 time (s)",
               "d=10 time (s)", "us per point (d=2)");
   double first = 0.0, last = 0.0;
-  const size_t sizes[] = {2000, 4000, 8000, 16000};
   for (size_t n : sizes) {
     double seconds_by_dim[2] = {0, 0};
     int slot = 0;
@@ -34,22 +47,25 @@ int main() {
                           "workload");
       KdTreeIndex index;
       CheckOk(index.Build(data, Euclidean()), "Build");
-      auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, 50),
+      auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, ub),
                        "Materialize");
       Stopwatch watch;
-      auto sweep = CheckOk(LofSweep::Run(m, 10, 50), "Sweep");
+      auto sweep = CheckOk(LofSweep::Run(m, lb, ub), "Sweep");
       (void)sweep;
-      seconds_by_dim[slot++] = watch.ElapsedSeconds();
+      const double seconds = watch.ElapsedSeconds();
+      seconds_by_dim[slot++] = seconds;
+      report.Add("n=" + std::to_string(n) + "_d=" + std::to_string(d),
+                 {{"seconds", seconds}});
     }
     std::printf("%-8zu %-14.3f %-14.3f %-16.2f\n", n, seconds_by_dim[0],
                 seconds_by_dim[1], 1e6 * seconds_by_dim[0] / n);
-    if (n == sizes[0]) first = seconds_by_dim[0];
-    if (n == sizes[3]) last = seconds_by_dim[0];
+    if (n == sizes.front()) first = seconds_by_dim[0];
+    if (n == sizes.back()) last = seconds_by_dim[0];
   }
-  std::printf("\nShape check: 8x the points cost %.1fx the time (paper: "
-              "linear => 8x), and the\nd=10 column tracks d=2 — step 2 is "
+  std::printf("\nShape check: %zux the points cost %.1fx the time (paper: "
+              "linear), and the\nd=10 column tracks d=2 — step 2 is "
               "dimension-independent because it reads only M.\n",
-              first > 0 ? last / first : 0.0);
+              sizes.back() / sizes.front(), first > 0 ? last / first : 0.0);
 
   // Threads axis: the sweep shards its independent per-MinPts computations
   // over the workers; scores are bit-identical at every thread count
@@ -58,34 +74,41 @@ int main() {
   PrintHeader("Figure 11 / threads axis",
               "sweep time vs threads, Gaussian workload, d=2, n=16000, "
               "MinPts in [10, 50]");
+  const size_t thread_n = smoke ? 200 : 16000;
   Rng rng(22);
-  auto data = CheckOk(generators::MakePerformanceWorkload(rng, 2, 16000, 10),
-                      "workload");
+  auto data = CheckOk(
+      generators::MakePerformanceWorkload(rng, 2, thread_n, 10), "workload");
   KdTreeIndex index;
   CheckOk(index.Build(data, Euclidean()), "Build");
-  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, 50),
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, ub),
                    "Materialize");
   std::printf("%-8s %-10s %-9s %-12s %s\n", "threads", "time (s)", "speedup",
               "lrd@50 (s)", "lof@50 (s)");
   double serial_seconds = 0.0;
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  for (unsigned threads : thread_counts) {
     Stopwatch watch;
-    auto sweep = CheckOk(LofSweep::Run(m, 10, 50, LofAggregation::kMax,
+    auto sweep = CheckOk(LofSweep::Run(m, lb, ub, LofAggregation::kMax,
                                        /*keep_per_min_pts=*/false, threads),
                          "Sweep");
     (void)sweep;
     const double seconds = watch.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
     auto single = CheckOk(
-        LofComputer::Compute(m, 50, {.use_reachability = true,
+        LofComputer::Compute(m, ub, {.use_reachability = true,
                                      .threads = threads}),
         "Compute");
+    report.Add("threads=" + std::to_string(threads),
+               {{"seconds", seconds},
+                {"speedup", seconds > 0 ? serial_seconds / seconds : 0.0}});
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
                   seconds > 0 ? serial_seconds / seconds : 0.0);
-    std::printf("%-8zu %-10.3f %-9s %-12.4f %.4f\n", threads, seconds,
+    std::printf("%-8u %-10.3f %-9s %-12.4f %.4f\n", threads, seconds,
                 speedup, single.phase_times.lrd_seconds,
                 single.phase_times.lof_seconds);
   }
+  CheckOk(report.Write(), "BenchReport::Write");
   return 0;
 }

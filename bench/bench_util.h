@@ -34,6 +34,14 @@ T CheckOk(Result<T> result, const char* what) {
   return std::move(result).value();
 }
 
+/// True when $LOFKIT_BENCH_SMOKE is set (to anything but "0"): benches
+/// shrink to one tiny repetition so CI can prove they still build, run and
+/// emit their JSON without paying for real measurements.
+inline bool SmokeMode() {
+  const char* value = std::getenv("LOFKIT_BENCH_SMOKE");
+  return value != nullptr && std::string(value) != "0";
+}
+
 }  // namespace lofkit::bench
 
 #endif  // LOFKIT_BENCH_BENCH_UTIL_H_

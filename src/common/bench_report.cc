@@ -1,0 +1,71 @@
+#include "common/bench_report.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace lofkit {
+
+namespace {
+
+// Escapes the two characters worth escaping in code-controlled names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os.precision(17);
+  os << v;
+}
+
+}  // namespace
+
+void BenchReport::Add(const std::string& case_name,
+                      std::vector<std::pair<std::string, double>> metrics) {
+  rows_.push_back(Row{case_name, std::move(metrics)});
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"bench\": \"" << JsonEscape(name_) << "\", \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"case\": \"" << JsonEscape(rows_[i].case_name)
+       << "\", \"metrics\": {";
+    for (size_t m = 0; m < rows_[i].metrics.size(); ++m) {
+      if (m > 0) os << ", ";
+      os << "\"" << JsonEscape(rows_[i].metrics[m].first) << "\": ";
+      AppendNumber(os, rows_[i].metrics[m].second);
+    }
+    os << "}}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Status BenchReport::Write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("LOFKIT_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace lofkit

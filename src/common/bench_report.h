@@ -1,0 +1,50 @@
+#ifndef LOFKIT_COMMON_BENCH_REPORT_H_
+#define LOFKIT_COMMON_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// Machine-readable sidecar output for the benches: collects named rows of
+/// numeric metrics and writes them as one JSON document
+/// (`BENCH_<name>.json`) next to the human-readable stdout tables, so CI
+/// and tracking scripts can diff runs without parsing printf output.
+///
+/// Format:
+///   {"bench": "<name>",
+///    "rows": [{"case": "<case>", "metrics": {"<key>": <value>, ...}}, ...]}
+///
+/// Non-finite metric values are serialized as null (JSON has no inf/nan).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Appends one row. Keys and case names must not contain characters
+  /// needing JSON escaping beyond `"` and `\` (they are code-controlled).
+  void Add(const std::string& case_name,
+           std::vector<std::pair<std::string, double>> metrics);
+
+  /// Serializes the report to a JSON string.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `BENCH_<name>.json` in the current directory, or
+  /// under $LOFKIT_BENCH_JSON_DIR when that is set.
+  Status Write() const;
+
+ private:
+  struct Row {
+    std::string case_name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_BENCH_REPORT_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "dataset/point_block.h"
 
 namespace lofkit {
 
@@ -52,6 +53,7 @@ Status Dataset::Append(std::span<const double> coordinates,
   }
   data_.insert(data_.end(), coordinates.begin(), coordinates.end());
   labels_.push_back(std::move(label));
+  blocks_.reset();
   return Status::OK();
 }
 
@@ -63,7 +65,15 @@ Status Dataset::AppendAll(const Dataset& other) {
   }
   data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  blocks_.reset();
   return Status::OK();
+}
+
+std::shared_ptr<const PointBlockView> Dataset::blocks() const {
+  if (!blocks_) {
+    blocks_ = std::make_shared<const PointBlockView>(PointBlockView::Create(*this));
+  }
+  return blocks_;
 }
 
 std::vector<double> Dataset::Min() const {

@@ -2,6 +2,7 @@
 #define LOFKIT_DATASET_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "common/result.h"
 
 namespace lofkit {
+
+class PointBlockView;
 
 /// An immutable-by-convention collection of d-dimensional points stored
 /// row-major in one contiguous buffer.
@@ -66,6 +69,16 @@ class Dataset {
   /// The raw row-major buffer (n * dimension doubles).
   std::span<const double> raw() const { return data_; }
 
+  /// Blocked SoA copy of the points for the batch distance kernels (see
+  /// PointBlockView), built lazily on first call and shared by every
+  /// caller until the next Append invalidates it. The snapshot is
+  /// returned by shared_ptr so an index that captured it stays valid even
+  /// if the dataset grows afterwards. The first call materializes the
+  /// blocks and is not thread-safe against concurrent calls; index
+  /// Build() runs single-threaded and triggers it before any parallel
+  /// queries run.
+  std::shared_ptr<const PointBlockView> blocks() const;
+
   /// Per-dimension minima over all points. Empty dataset -> empty vector.
   std::vector<double> Min() const;
 
@@ -94,6 +107,9 @@ class Dataset {
   size_t dimension_;
   std::vector<double> data_;
   std::vector<std::string> labels_;
+  // Lazy blocks() cache. Copies share the (immutable) snapshot; mutation
+  // resets only the mutated instance's pointer.
+  mutable std::shared_ptr<const PointBlockView> blocks_;
 };
 
 }  // namespace lofkit

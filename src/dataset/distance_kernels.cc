@@ -1,0 +1,310 @@
+#include "dataset/distance_kernels.h"
+
+#include <cmath>
+
+namespace lofkit {
+namespace kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dimensions accumulated between bound checks in the early-exit loops:
+// large enough that the check cost vanishes, small enough that an
+// abandoned 64-d candidate still skips most of its work.
+constexpr size_t kBoundStride = 16;
+
+inline double Abs(double x) { return x < 0 ? -x : x; }
+
+// The blocked kernels want one specific shape: kKernelLanes independent
+// accumulator chains, vectorized *across* lanes, each lane's own chain kept
+// in scalar program order (that is what makes the results bit-identical to
+// the one-pair loops). Auto-vectorizers tend to pick a different and much
+// worse shape here (outer-loop vectorization over the dimensions, paying a
+// transpose of every block), so on GCC/Clang the lane arithmetic is written
+// with vector extensions: element-wise IEEE operations with exactly the
+// per-lane semantics of the scalar loop, lowered to whatever SIMD width the
+// target has. Other compilers get the equivalent scalar loops.
+#if defined(__GNUC__) || defined(__clang__)
+#define LOFKIT_KERNEL_VECTOR_EXT 1
+
+typedef double V4
+    __attribute__((vector_size(32), aligned(8), may_alias));
+typedef long long VI4 __attribute__((vector_size(32), aligned(8)));
+
+static_assert(kKernelLanes == 8, "block kernels assume two 4-lane vectors");
+
+inline V4 VLoad(const double* p) { return *reinterpret_cast<const V4*>(p); }
+
+inline void VStore(double* p, V4 v) { *reinterpret_cast<V4*>(p) = v; }
+
+inline V4 VBroadcast(double x) { return V4{x, x, x, x}; }
+
+// fabs: clears the sign bit, exactly as the scalar Abs above behaves on
+// the finite inputs Dataset::Append admits.
+inline V4 VAbs(V4 x) {
+  const VI4 mask = {0x7fffffffffffffffLL, 0x7fffffffffffffffLL,
+                    0x7fffffffffffffffLL, 0x7fffffffffffffffLL};
+  return (V4)((VI4)x & mask);
+}
+
+inline V4 VMax(V4 a, V4 b) { return a > b ? a : b; }
+#endif  // __GNUC__ || __clang__
+
+}  // namespace
+
+double L2Squared(const double* __restrict a, const double* __restrict b,
+                 size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = a[d] - b[d];
+    sum += t * t;
+  }
+  return sum;
+}
+
+double L2SquaredBounded(const double* __restrict a, const double* __restrict b,
+                        size_t dim, double bound) {
+  // Same accumulation order as L2Squared, so a non-abandoned result is
+  // bit-identical; partial sums are nondecreasing, so abandoning once a
+  // partial sum exceeds `bound` can only drop candidates whose final rank
+  // also exceeds it.
+  double sum = 0.0;
+  size_t d = 0;
+  while (dim - d >= kBoundStride) {
+    const size_t stop = d + kBoundStride;
+    for (; d < stop; ++d) {
+      const double t = a[d] - b[d];
+      sum += t * t;
+    }
+    if (sum > bound) return kInf;
+  }
+  for (; d < dim; ++d) {
+    const double t = a[d] - b[d];
+    sum += t * t;
+  }
+  return sum;
+}
+
+void L2SquaredBlock(const double* __restrict q, const double* __restrict block,
+                    size_t dim, double* __restrict out) {
+  // Coordinate-major over the block: each lane's accumulation chain is the
+  // same sequential sum as L2Squared (bit-identical per point); the SIMD
+  // runs *across* the kKernelLanes independent lanes.
+#ifdef LOFKIT_KERNEL_VECTOR_EXT
+  V4 acc0 = VBroadcast(0.0);
+  V4 acc1 = VBroadcast(0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const V4 qd = VBroadcast(q[d]);
+    const double* row = block + d * kKernelLanes;
+    const V4 t0 = qd - VLoad(row);
+    const V4 t1 = qd - VLoad(row + 4);
+    acc0 += t0 * t0;
+    acc1 += t1 * t1;
+  }
+  VStore(out, acc0);
+  VStore(out + 4, acc1);
+#else
+  double acc[kKernelLanes] = {0.0};
+  for (size_t d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* __restrict row = block + d * kKernelLanes;
+    for (size_t j = 0; j < kKernelLanes; ++j) {
+      const double t = qd - row[j];
+      acc[j] += t * t;
+    }
+  }
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
+#endif
+}
+
+double L1(const double* __restrict a, const double* __restrict b, size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) sum += Abs(a[d] - b[d]);
+  return sum;
+}
+
+double L1Bounded(const double* __restrict a, const double* __restrict b,
+                 size_t dim, double bound) {
+  double sum = 0.0;
+  size_t d = 0;
+  while (dim - d >= kBoundStride) {
+    const size_t stop = d + kBoundStride;
+    for (; d < stop; ++d) sum += Abs(a[d] - b[d]);
+    if (sum > bound) return kInf;
+  }
+  for (; d < dim; ++d) sum += Abs(a[d] - b[d]);
+  return sum;
+}
+
+void L1Block(const double* __restrict q, const double* __restrict block,
+             size_t dim, double* __restrict out) {
+#ifdef LOFKIT_KERNEL_VECTOR_EXT
+  V4 acc0 = VBroadcast(0.0);
+  V4 acc1 = VBroadcast(0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const V4 qd = VBroadcast(q[d]);
+    const double* row = block + d * kKernelLanes;
+    acc0 += VAbs(qd - VLoad(row));
+    acc1 += VAbs(qd - VLoad(row + 4));
+  }
+  VStore(out, acc0);
+  VStore(out + 4, acc1);
+#else
+  double acc[kKernelLanes] = {0.0};
+  for (size_t d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* __restrict row = block + d * kKernelLanes;
+    for (size_t j = 0; j < kKernelLanes; ++j) acc[j] += Abs(qd - row[j]);
+  }
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
+#endif
+}
+
+double Linf(const double* __restrict a, const double* __restrict b,
+            size_t dim) {
+  double max = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = Abs(a[d] - b[d]);
+    if (t > max) max = t;
+  }
+  return max;
+}
+
+double LinfBounded(const double* __restrict a, const double* __restrict b,
+                   size_t dim, double bound) {
+  // The running max is exact and nondecreasing, so abandonment is safe and
+  // a non-abandoned result equals Linf exactly.
+  double max = 0.0;
+  size_t d = 0;
+  while (dim - d >= kBoundStride) {
+    const size_t stop = d + kBoundStride;
+    for (; d < stop; ++d) {
+      const double t = Abs(a[d] - b[d]);
+      if (t > max) max = t;
+    }
+    if (max > bound) return kInf;
+  }
+  for (; d < dim; ++d) {
+    const double t = Abs(a[d] - b[d]);
+    if (t > max) max = t;
+  }
+  return max;
+}
+
+void LinfBlock(const double* __restrict q, const double* __restrict block,
+               size_t dim, double* __restrict out) {
+#ifdef LOFKIT_KERNEL_VECTOR_EXT
+  V4 acc0 = VBroadcast(0.0);
+  V4 acc1 = VBroadcast(0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const V4 qd = VBroadcast(q[d]);
+    const double* row = block + d * kKernelLanes;
+    acc0 = VMax(acc0, VAbs(qd - VLoad(row)));
+    acc1 = VMax(acc1, VAbs(qd - VLoad(row + 4)));
+  }
+  VStore(out, acc0);
+  VStore(out + 4, acc1);
+#else
+  double acc[kKernelLanes] = {0.0};
+  for (size_t d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* __restrict row = block + d * kKernelLanes;
+    for (size_t j = 0; j < kKernelLanes; ++j) {
+      const double t = Abs(qd - row[j]);
+      if (t > acc[j]) acc[j] = t;
+    }
+  }
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
+#endif
+}
+
+double Lp(double p, const double* __restrict a, const double* __restrict b,
+          size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) sum += std::pow(Abs(a[d] - b[d]), p);
+  return std::pow(sum, 1.0 / p);
+}
+
+void LpBlock(double p, const double* __restrict q,
+             const double* __restrict block, size_t dim,
+             double* __restrict out) {
+  double acc[kKernelLanes] = {0.0};
+  for (size_t d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double* __restrict row = block + d * kKernelLanes;
+    for (size_t j = 0; j < kKernelLanes; ++j) {
+      acc[j] += std::pow(Abs(qd - row[j]), p);
+    }
+  }
+  const double inv_p = 1.0 / p;
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = std::pow(acc[j], inv_p);
+}
+
+double WeightedL2Squared(const double* __restrict w,
+                         const double* __restrict a,
+                         const double* __restrict b, size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = a[d] - b[d];
+    sum += w[d] * t * t;
+  }
+  return sum;
+}
+
+double WeightedL2SquaredBounded(const double* __restrict w,
+                                const double* __restrict a,
+                                const double* __restrict b, size_t dim,
+                                double bound) {
+  double sum = 0.0;
+  size_t d = 0;
+  while (dim - d >= kBoundStride) {
+    const size_t stop = d + kBoundStride;
+    for (; d < stop; ++d) {
+      const double t = a[d] - b[d];
+      sum += w[d] * t * t;
+    }
+    if (sum > bound) return kInf;
+  }
+  for (; d < dim; ++d) {
+    const double t = a[d] - b[d];
+    sum += w[d] * t * t;
+  }
+  return sum;
+}
+
+void WeightedL2SquaredBlock(const double* __restrict w,
+                            const double* __restrict q,
+                            const double* __restrict block, size_t dim,
+                            double* __restrict out) {
+#ifdef LOFKIT_KERNEL_VECTOR_EXT
+  V4 acc0 = VBroadcast(0.0);
+  V4 acc1 = VBroadcast(0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const V4 qd = VBroadcast(q[d]);
+    const V4 wd = VBroadcast(w[d]);
+    const double* row = block + d * kKernelLanes;
+    const V4 t0 = qd - VLoad(row);
+    const V4 t1 = qd - VLoad(row + 4);
+    acc0 += wd * t0 * t0;
+    acc1 += wd * t1 * t1;
+  }
+  VStore(out, acc0);
+  VStore(out + 4, acc1);
+#else
+  double acc[kKernelLanes] = {0.0};
+  for (size_t d = 0; d < dim; ++d) {
+    const double qd = q[d];
+    const double wd = w[d];
+    const double* __restrict row = block + d * kKernelLanes;
+    for (size_t j = 0; j < kKernelLanes; ++j) {
+      const double t = qd - row[j];
+      acc[j] += wd * t * t;
+    }
+  }
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
+#endif
+}
+
+}  // namespace kernels
+}  // namespace lofkit

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "dataset/point_block.h"
 
 namespace lofkit {
 
@@ -22,50 +25,264 @@ inline double BoxMaxDelta(double q, double lo, double hi) {
   return to_lo > to_hi ? to_lo : to_hi;
 }
 
+// --- DistanceKernels adapters -----------------------------------------
+//
+// Non-capturing functions binding the raw loops of distance_kernels.cc to
+// the DistanceKernels signature. ctx conventions: unused for the
+// stateless metrics, the metric instance for Minkowski and weighted L2.
+
+double EuclidRankOne(const void*, const double* a, const double* b,
+                     size_t dim) {
+  return kernels::L2Squared(a, b, dim);
+}
+double EuclidRankBounded(const void*, const double* a, const double* b,
+                         size_t dim, double bound) {
+  return kernels::L2SquaredBounded(a, b, dim, bound);
+}
+void EuclidRankBlock(const void*, const double* q, const double* block,
+                     size_t dim, double* out) {
+  kernels::L2SquaredBlock(q, block, dim, out);
+}
+void EuclidRankGather(const void*, const double* q, const double* raw,
+                      const uint32_t* ids, size_t count, size_t dim,
+                      double bound, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = kernels::L2SquaredBounded(q, raw + size_t{ids[i]} * dim, dim,
+                                       bound);
+  }
+}
+
+double L1RankOne(const void*, const double* a, const double* b, size_t dim) {
+  return kernels::L1(a, b, dim);
+}
+double L1RankBounded(const void*, const double* a, const double* b,
+                     size_t dim, double bound) {
+  return kernels::L1Bounded(a, b, dim, bound);
+}
+void L1RankBlock(const void*, const double* q, const double* block,
+                 size_t dim, double* out) {
+  kernels::L1Block(q, block, dim, out);
+}
+void L1RankGather(const void*, const double* q, const double* raw,
+                  const uint32_t* ids, size_t count, size_t dim, double bound,
+                  double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = kernels::L1Bounded(q, raw + size_t{ids[i]} * dim, dim, bound);
+  }
+}
+
+double LinfRankOne(const void*, const double* a, const double* b,
+                   size_t dim) {
+  return kernels::Linf(a, b, dim);
+}
+double LinfRankBounded(const void*, const double* a, const double* b,
+                       size_t dim, double bound) {
+  return kernels::LinfBounded(a, b, dim, bound);
+}
+void LinfRankBlock(const void*, const double* q, const double* block,
+                   size_t dim, double* out) {
+  kernels::LinfBlock(q, block, dim, out);
+}
+void LinfRankGather(const void*, const double* q, const double* raw,
+                    const uint32_t* ids, size_t count, size_t dim,
+                    double bound, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = kernels::LinfBounded(q, raw + size_t{ids[i]} * dim, dim, bound);
+  }
+}
+
+double LpRankOne(const void* ctx, const double* a, const double* b,
+                 size_t dim) {
+  return kernels::Lp(static_cast<const MinkowskiMetric*>(ctx)->p(), a, b, dim);
+}
+double LpRankBounded(const void* ctx, const double* a, const double* b,
+                     size_t dim, double) {
+  return LpRankOne(ctx, a, b, dim);  // no exactly-safe partial bound for L_p
+}
+void LpRankBlock(const void* ctx, const double* q, const double* block,
+                 size_t dim, double* out) {
+  kernels::LpBlock(static_cast<const MinkowskiMetric*>(ctx)->p(), q, block,
+                   dim, out);
+}
+void LpRankGather(const void* ctx, const double* q, const double* raw,
+                  const uint32_t* ids, size_t count, size_t dim, double,
+                  double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = LpRankOne(ctx, q, raw + size_t{ids[i]} * dim, dim);
+  }
+}
+
+const double* WeightsOf(const void* ctx) {
+  return static_cast<const WeightedEuclideanMetric*>(ctx)->weights().data();
+}
+double WL2RankOne(const void* ctx, const double* a, const double* b,
+                  size_t dim) {
+  return kernels::WeightedL2Squared(WeightsOf(ctx), a, b, dim);
+}
+double WL2RankBounded(const void* ctx, const double* a, const double* b,
+                      size_t dim, double bound) {
+  return kernels::WeightedL2SquaredBounded(WeightsOf(ctx), a, b, dim, bound);
+}
+void WL2RankBlock(const void* ctx, const double* q, const double* block,
+                  size_t dim, double* out) {
+  kernels::WeightedL2SquaredBlock(WeightsOf(ctx), q, block, dim, out);
+}
+void WL2RankGather(const void* ctx, const double* q, const double* raw,
+                   const uint32_t* ids, size_t count, size_t dim,
+                   double bound, double* out) {
+  const double* w = WeightsOf(ctx);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = kernels::WeightedL2SquaredBounded(w, q, raw + size_t{ids[i]} * dim,
+                                               dim, bound);
+  }
+}
+
+// Fallback trampolines routing through the virtual interface, for metrics
+// (including external subclasses) without tight loops of their own.
+double TrampRankOne(const void* ctx, const double* a, const double* b,
+                    size_t dim) {
+  return static_cast<const Metric*>(ctx)->RankDistance({a, dim}, {b, dim});
+}
+double TrampRankBounded(const void* ctx, const double* a, const double* b,
+                        size_t dim, double) {
+  return TrampRankOne(ctx, a, b, dim);
+}
+void TrampRankBlock(const void* ctx, const double* q, const double* block,
+                    size_t dim, double* out) {
+  std::vector<double> lane(dim);
+  for (size_t j = 0; j < kKernelLanes; ++j) {
+    for (size_t d = 0; d < dim; ++d) lane[d] = block[d * kKernelLanes + j];
+    out[j] = TrampRankOne(ctx, q, lane.data(), dim);
+  }
+}
+void TrampRankGather(const void* ctx, const double* q, const double* raw,
+                     const uint32_t* ids, size_t count, size_t dim, double,
+                     double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = TrampRankOne(ctx, q, raw + size_t{ids[i]} * dim, dim);
+  }
+}
+
+DistanceKernels MakeKernels(const void* ctx, bool squared,
+                            double (*one)(const void*, const double*,
+                                          const double*, size_t),
+                            double (*bounded)(const void*, const double*,
+                                              const double*, size_t, double),
+                            void (*block)(const void*, const double*,
+                                          const double*, size_t, double*),
+                            void (*gather)(const void*, const double*,
+                                           const double*, const uint32_t*,
+                                           size_t, size_t, double, double*)) {
+  DistanceKernels k;
+  k.ctx = ctx;
+  k.squared = squared;
+  k.rank_one = one;
+  k.rank_bounded = bounded;
+  k.rank_block = block;
+  k.rank_gather = gather;
+  return k;
+}
+
 }  // namespace
+
+void Metric::BatchDistance(std::span<const double> query,
+                           const PointBlockView& view, size_t b,
+                           std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  const size_t dim = view.dimension();
+  std::vector<double> lane(dim);
+  const double* block = view.block(b);
+  for (size_t j = 0; j < kKernelLanes; ++j) {
+    for (size_t d = 0; d < dim; ++d) lane[d] = block[d * kKernelLanes + j];
+    out[j] = Distance(query, lane);
+  }
+}
+
+DistanceKernels Metric::kernels() const {
+  return MakeKernels(this, squared_rank(), TrampRankOne, TrampRankBounded,
+                     TrampRankBlock, TrampRankGather);
+}
 
 double EuclideanMetric::Distance(std::span<const double> a,
                                  std::span<const double> b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  // sqrt of the kernel's squared sum: same accumulation order as before
+  // the kernel layer, so results are bit-identical.
+  return std::sqrt(lofkit::kernels::L2Squared(a.data(), b.data(), a.size()));
+}
+
+double EuclideanMetric::RankDistance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  return lofkit::kernels::L2Squared(a.data(), b.data(), a.size());
 }
 
 double EuclideanMetric::MinDistanceToBox(std::span<const double> q,
                                          std::span<const double> lo,
                                          std::span<const double> hi) const {
+  return std::sqrt(MinRankToBox(q, lo, hi));
+}
+
+double EuclideanMetric::MinRankToBox(std::span<const double> q,
+                                     std::span<const double> lo,
+                                     std::span<const double> hi) const {
   double sum = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     const double d = BoxDelta(q[i], lo[i], hi[i]);
     sum += d * d;
   }
-  return std::sqrt(sum);
+  return sum;
 }
-
 
 double EuclideanMetric::MaxDistanceToBox(std::span<const double> q,
                                          std::span<const double> lo,
                                          std::span<const double> hi) const {
+  return std::sqrt(MaxRankToBox(q, lo, hi));
+}
+
+double EuclideanMetric::MaxRankToBox(std::span<const double> q,
+                                     std::span<const double> lo,
+                                     std::span<const double> hi) const {
   double sum = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     const double d = BoxMaxDelta(q[i], lo[i], hi[i]);
     sum += d * d;
   }
-  return std::sqrt(sum);
+  return sum;
+}
+
+void EuclideanMetric::BatchDistance(std::span<const double> query,
+                                    const PointBlockView& view, size_t b,
+                                    std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  double rank[kKernelLanes];
+  lofkit::kernels::L2SquaredBlock(query.data(), view.block(b),
+                                  view.dimension(), rank);
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = std::sqrt(rank[j]);
+}
+
+DistanceKernels EuclideanMetric::kernels() const {
+  return MakeKernels(this, /*squared=*/true, EuclidRankOne, EuclidRankBounded,
+                     EuclidRankBlock, EuclidRankGather);
 }
 
 double ManhattanMetric::Distance(std::span<const double> a,
                                  std::span<const double> b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += std::abs(a[i] - b[i]);
-  }
-  return sum;
+  return lofkit::kernels::L1(a.data(), b.data(), a.size());
+}
+
+void ManhattanMetric::BatchDistance(std::span<const double> query,
+                                    const PointBlockView& view, size_t b,
+                                    std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  lofkit::kernels::L1Block(query.data(), view.block(b), view.dimension(),
+                           out.data());
+}
+
+DistanceKernels ManhattanMetric::kernels() const {
+  return MakeKernels(this, /*squared=*/false, L1RankOne, L1RankBounded,
+                     L1RankBlock, L1RankGather);
 }
 
 double ManhattanMetric::MinDistanceToBox(std::span<const double> q,
@@ -92,12 +309,20 @@ double ManhattanMetric::MaxDistanceToBox(std::span<const double> q,
 double ChebyshevMetric::Distance(std::span<const double> a,
                                  std::span<const double> b) const {
   assert(a.size() == b.size());
-  double max = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = std::abs(a[i] - b[i]);
-    if (d > max) max = d;
-  }
-  return max;
+  return lofkit::kernels::Linf(a.data(), b.data(), a.size());
+}
+
+void ChebyshevMetric::BatchDistance(std::span<const double> query,
+                                    const PointBlockView& view, size_t b,
+                                    std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  lofkit::kernels::LinfBlock(query.data(), view.block(b), view.dimension(),
+                             out.data());
+}
+
+DistanceKernels ChebyshevMetric::kernels() const {
+  return MakeKernels(this, /*squared=*/false, LinfRankOne, LinfRankBounded,
+                     LinfRankBlock, LinfRankGather);
 }
 
 double ChebyshevMetric::MinDistanceToBox(std::span<const double> q,
@@ -133,11 +358,20 @@ Result<MinkowskiMetric> MinkowskiMetric::Create(double p) {
 double MinkowskiMetric::Distance(std::span<const double> a,
                                  std::span<const double> b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += std::pow(std::abs(a[i] - b[i]), p_);
-  }
-  return std::pow(sum, 1.0 / p_);
+  return lofkit::kernels::Lp(p_, a.data(), b.data(), a.size());
+}
+
+void MinkowskiMetric::BatchDistance(std::span<const double> query,
+                                    const PointBlockView& view, size_t b,
+                                    std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  lofkit::kernels::LpBlock(p_, query.data(), view.block(b), view.dimension(),
+                           out.data());
+}
+
+DistanceKernels MinkowskiMetric::kernels() const {
+  return MakeKernels(this, /*squared=*/false, LpRankOne, LpRankBounded,
+                     LpRankBlock, LpRankGather);
 }
 
 double MinkowskiMetric::MinDistanceToBox(std::span<const double> q,
@@ -178,35 +412,68 @@ double WeightedEuclideanMetric::Distance(std::span<const double> a,
                                          std::span<const double> b) const {
   assert(a.size() == b.size());
   assert(a.size() == weights_.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += weights_[i] * d * d;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(
+      lofkit::kernels::WeightedL2Squared(weights_.data(), a.data(), b.data(),
+                                         a.size()));
+}
+
+double WeightedEuclideanMetric::RankDistance(std::span<const double> a,
+                                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  assert(a.size() == weights_.size());
+  return lofkit::kernels::WeightedL2Squared(weights_.data(), a.data(),
+                                            b.data(), a.size());
 }
 
 double WeightedEuclideanMetric::MinDistanceToBox(
     std::span<const double> q, std::span<const double> lo,
     std::span<const double> hi) const {
+  return std::sqrt(MinRankToBox(q, lo, hi));
+}
+
+double WeightedEuclideanMetric::MinRankToBox(std::span<const double> q,
+                                             std::span<const double> lo,
+                                             std::span<const double> hi) const {
   double sum = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     const double d = BoxDelta(q[i], lo[i], hi[i]);
     sum += weights_[i] * d * d;
   }
-  return std::sqrt(sum);
+  return sum;
 }
-
 
 double WeightedEuclideanMetric::MaxDistanceToBox(
     std::span<const double> q, std::span<const double> lo,
     std::span<const double> hi) const {
+  return std::sqrt(MaxRankToBox(q, lo, hi));
+}
+
+double WeightedEuclideanMetric::MaxRankToBox(std::span<const double> q,
+                                             std::span<const double> lo,
+                                             std::span<const double> hi) const {
   double sum = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     const double d = BoxMaxDelta(q[i], lo[i], hi[i]);
     sum += weights_[i] * d * d;
   }
-  return std::sqrt(sum);
+  return sum;
+}
+
+void WeightedEuclideanMetric::BatchDistance(std::span<const double> query,
+                                            const PointBlockView& view,
+                                            size_t b,
+                                            std::span<double> out) const {
+  assert(out.size() >= kKernelLanes);
+  double rank[kKernelLanes];
+  lofkit::kernels::WeightedL2SquaredBlock(weights_.data(), query.data(),
+                                          view.block(b), view.dimension(),
+                                          rank);
+  for (size_t j = 0; j < kKernelLanes; ++j) out[j] = std::sqrt(rank[j]);
+}
+
+DistanceKernels WeightedEuclideanMetric::kernels() const {
+  return MakeKernels(this, /*squared=*/true, WL2RankOne, WL2RankBounded,
+                     WL2RankBlock, WL2RankGather);
 }
 
 double WeightedEuclideanMetric::CoordinateDistance(size_t dim,

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dataset/distance_kernels.h"
 
 namespace lofkit {
+
+class PointBlockView;
 
 /// A distance function d(p, q) over equal-dimension points.
 ///
@@ -48,6 +51,60 @@ class Metric {
 
   /// Short identifier, e.g. "euclidean".
   virtual std::string_view name() const = 0;
+
+  // --- Distance-kernel layer -------------------------------------------
+  //
+  // Indexes compare and prune in *rank space*, a strictly monotone
+  // transform of the distance (see DistanceKernels). Every method below
+  // has a correct default, so external Metric subclasses keep working:
+  // they simply rank in plain distance space through the virtual calls.
+
+  /// True when this metric ranks in squared-distance space (L2 family):
+  /// RankDistance returns the squared distance and indexes take one sqrt
+  /// per reported neighbor instead of one per candidate pair.
+  virtual bool squared_rank() const { return false; }
+
+  /// Rank of d(a, b): the squared distance for squared_rank() metrics,
+  /// the distance itself otherwise.
+  virtual double RankDistance(std::span<const double> a,
+                              std::span<const double> b) const {
+    return Distance(a, b);
+  }
+
+  /// MinDistanceToBox in rank space (squared for squared_rank metrics),
+  /// computed directly — not by squaring the rooted bound — so box
+  /// pruning against a rank-space threshold stays exact.
+  virtual double MinRankToBox(std::span<const double> q,
+                              std::span<const double> lo,
+                              std::span<const double> hi) const {
+    return MinDistanceToBox(q, lo, hi);
+  }
+
+  /// MaxDistanceToBox in rank space.
+  virtual double MaxRankToBox(std::span<const double> q,
+                              std::span<const double> lo,
+                              std::span<const double> hi) const {
+    return MaxDistanceToBox(q, lo, hi);
+  }
+
+  /// Distances from `query` to all kKernelLanes points of block `b` of
+  /// `view`, written to `out[0..kKernelLanes)`. Results for padding lanes
+  /// are unspecified. The default gathers each lane and calls Distance;
+  /// the bundled metrics override it with tight blocked loops.
+  virtual void BatchDistance(std::span<const double> query,
+                             const PointBlockView& view, size_t b,
+                             std::span<double> out) const;
+
+  /// The non-virtual kernel bundle for this metric's hot loops. Fetch
+  /// once per index Build(); the metric must outlive the returned struct
+  /// (its ctx points into the metric). The default trampolines to the
+  /// virtuals above, so any subclass gets a working (if slower) bundle.
+  virtual DistanceKernels kernels() const;
+
+  /// Maps a rank back to a distance (non-virtual convenience).
+  double RankToDistance(double rank) const {
+    return DistanceFromRank(squared_rank(), rank);
+  }
 };
 
 /// L2 (Euclidean) metric — the metric of every experiment in the paper.
@@ -62,6 +119,17 @@ class EuclideanMetric final : public Metric {
                           std::span<const double> lo,
                           std::span<const double> hi) const override;
   std::string_view name() const override { return "euclidean"; }
+
+  bool squared_rank() const override { return true; }
+  double RankDistance(std::span<const double> a,
+                      std::span<const double> b) const override;
+  double MinRankToBox(std::span<const double> q, std::span<const double> lo,
+                      std::span<const double> hi) const override;
+  double MaxRankToBox(std::span<const double> q, std::span<const double> lo,
+                      std::span<const double> hi) const override;
+  void BatchDistance(std::span<const double> query, const PointBlockView& view,
+                     size_t b, std::span<double> out) const override;
+  DistanceKernels kernels() const override;
 };
 
 /// L1 (Manhattan) metric.
@@ -76,6 +144,10 @@ class ManhattanMetric final : public Metric {
                           std::span<const double> lo,
                           std::span<const double> hi) const override;
   std::string_view name() const override { return "manhattan"; }
+
+  void BatchDistance(std::span<const double> query, const PointBlockView& view,
+                     size_t b, std::span<double> out) const override;
+  DistanceKernels kernels() const override;
 };
 
 /// L-infinity (Chebyshev) metric.
@@ -90,6 +162,10 @@ class ChebyshevMetric final : public Metric {
                           std::span<const double> lo,
                           std::span<const double> hi) const override;
   std::string_view name() const override { return "chebyshev"; }
+
+  void BatchDistance(std::span<const double> query, const PointBlockView& view,
+                     size_t b, std::span<double> out) const override;
+  DistanceKernels kernels() const override;
 };
 
 /// General Minkowski L_p metric, p >= 1.
@@ -107,6 +183,10 @@ class MinkowskiMetric final : public Metric {
                           std::span<const double> lo,
                           std::span<const double> hi) const override;
   std::string_view name() const override { return "minkowski"; }
+
+  void BatchDistance(std::span<const double> query, const PointBlockView& view,
+                     size_t b, std::span<double> out) const override;
+  DistanceKernels kernels() const override;
 
   double p() const { return p_; }
 
@@ -135,6 +215,17 @@ class WeightedEuclideanMetric final : public Metric {
   /// pruning stays a valid lower bound for weights below 1.
   double CoordinateDistance(size_t dim, double delta) const override;
   std::string_view name() const override { return "weighted_euclidean"; }
+
+  bool squared_rank() const override { return true; }
+  double RankDistance(std::span<const double> a,
+                      std::span<const double> b) const override;
+  double MinRankToBox(std::span<const double> q, std::span<const double> lo,
+                      std::span<const double> hi) const override;
+  double MaxRankToBox(std::span<const double> q, std::span<const double> lo,
+                      std::span<const double> hi) const override;
+  void BatchDistance(std::span<const double> query, const PointBlockView& view,
+                     size_t b, std::span<double> out) const override;
+  DistanceKernels kernels() const override;
 
   std::span<const double> weights() const { return weights_; }
 

@@ -1,0 +1,53 @@
+#include "dataset/point_block.h"
+
+#include <cassert>
+
+#include "dataset/dataset.h"
+
+namespace lofkit {
+
+PointBlockView PointBlockView::Create(const Dataset& data) {
+  PointBlockBuilder builder(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    builder.Append(static_cast<uint32_t>(i));
+  }
+  return std::move(builder).Build();
+}
+
+PointBlockBuilder::PointBlockBuilder(const Dataset& data) : data_(data) {
+  view_.dim_ = data.dimension();
+}
+
+void PointBlockBuilder::PadToBlockBoundary() {
+  while (view_.ids_.size() % PointBlockView::kLanes != 0) {
+    view_.ids_.push_back(PointBlockView::kPaddingId);
+  }
+  view_.soa_.resize(view_.ids_.size() * view_.dim_, 0.0);
+}
+
+size_t PointBlockBuilder::BeginGroup() {
+  PadToBlockBoundary();
+  return view_.ids_.size();
+}
+
+void PointBlockBuilder::Append(uint32_t id) {
+  assert(id < data_.size());
+  constexpr size_t kLanes = PointBlockView::kLanes;
+  const size_t pos = view_.ids_.size();
+  const size_t block = pos / kLanes;
+  const size_t lane = pos % kLanes;
+  const size_t dim = view_.dim_;
+  if (lane == 0) view_.soa_.resize((block + 1) * kLanes * dim, 0.0);
+  double* base = view_.soa_.data() + block * kLanes * dim;
+  const auto point = data_.point(id);
+  for (size_t d = 0; d < dim; ++d) base[d * kLanes + lane] = point[d];
+  view_.ids_.push_back(id);
+  ++view_.size_;
+}
+
+PointBlockView PointBlockBuilder::Build() && {
+  PadToBlockBoundary();
+  return std::move(view_);
+}
+
+}  // namespace lofkit

@@ -1,0 +1,87 @@
+#ifndef LOFKIT_DATASET_POINT_BLOCK_H_
+#define LOFKIT_DATASET_POINT_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/distance_kernels.h"
+
+namespace lofkit {
+
+class Dataset;
+
+/// Blocked structure-of-arrays copy of a point set for the batch distance
+/// kernels: points are packed kKernelLanes at a time, coordinate-major
+/// within a block, so `block(b)[d * kKernelLanes + j]` is coordinate `d`
+/// of the block's lane-`j` point. A scan touches the block's memory once,
+/// front to back, and the inner kernel loop runs over contiguous lanes —
+/// cache-resident and auto-vectorizable where the row-major layout forces
+/// a strided or gathered access per pair.
+///
+/// Positions (lane slots) beyond size() are zero padding: kernels compute
+/// ranks for them too, and callers discard them via id() ==
+/// kPaddingId. The view stores its own copy of the coordinates; it stays
+/// valid independent of the source Dataset's lifetime.
+class PointBlockView {
+ public:
+  static constexpr size_t kLanes = kKernelLanes;
+  static constexpr uint32_t kPaddingId = 0xffffffffu;
+
+  PointBlockView() = default;
+
+  /// Blocks the whole dataset in point order: position i holds point i.
+  static PointBlockView Create(const Dataset& data);
+
+  /// Number of real (non-padding) points stored.
+  size_t size() const { return size_; }
+
+  size_t dimension() const { return dim_; }
+
+  /// Total lane slots, padding included: num_blocks() * kLanes.
+  size_t positions() const { return ids_.size(); }
+
+  size_t num_blocks() const { return ids_.size() / kLanes; }
+
+  /// Coordinate-major storage of block `b` (kLanes * dimension doubles).
+  const double* block(size_t b) const { return soa_.data() + b * kLanes * dim_; }
+
+  /// Dataset index of the point at lane position `pos`, or kPaddingId.
+  uint32_t id(size_t pos) const { return ids_[pos]; }
+
+ private:
+  friend class PointBlockBuilder;
+
+  size_t size_ = 0;
+  size_t dim_ = 0;
+  std::vector<double> soa_;       // num_blocks * kLanes * dim_
+  std::vector<uint32_t> ids_;     // num_blocks * kLanes
+};
+
+/// Builds a PointBlockView over an arbitrary subset/permutation of a
+/// dataset's points, with optional block-aligned groups: the kd-tree packs
+/// each leaf as its own group so a leaf scan covers whole blocks and never
+/// mixes points from a neighboring leaf.
+class PointBlockBuilder {
+ public:
+  explicit PointBlockBuilder(const Dataset& data);
+
+  /// Pads the pending block and starts a new block-aligned group; returns
+  /// the lane position the next Append() will occupy.
+  size_t BeginGroup();
+
+  /// Appends dataset point `id` at the next lane position.
+  void Append(uint32_t id);
+
+  /// Finalizes (pads the last block) and returns the view.
+  PointBlockView Build() &&;
+
+ private:
+  void PadToBlockBoundary();
+
+  const Dataset& data_;
+  PointBlockView view_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_DATASET_POINT_BLOCK_H_

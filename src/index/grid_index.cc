@@ -28,6 +28,7 @@ Status GridIndex::Build(const Dataset& data, const Metric& metric) {
   }
   data_ = &data;
   metric_ = &metric;
+  kern_ = metric.kernels();
   buckets_.clear();
 
   const size_t d = data.dimension();
@@ -157,15 +158,22 @@ Result<std::vector<Neighbor>> GridIndex::Query(
   internal_index::KnnCollector collector(k);
   std::vector<double> cell_lo;
   std::vector<double> cell_hi;
+  std::vector<double> rank;
+  const double* raw = data_->raw().data();
+  const uint32_t skip =
+      exclude.has_value() ? *exclude : 0xffffffffu;
 
   // No cell can be farther than cells_per_dim_ - 1 from the (clamped)
-  // center cell, so larger shells cannot contain any points.
+  // center cell, so larger shells cannot contain any points. The collector
+  // holds rank-space values throughout (squared distances for L2).
   const int64_t max_shell = static_cast<int64_t>(cells_per_dim_) - 1;
   for (int64_t shell = 0; shell <= max_shell; ++shell) {
     if (shell > 0) {
       // Everything on this shell and beyond lies outside the box of cells
       // with Chebyshev distance < shell; the gap from the query to that
       // box's nearest face is a lower bound on all remaining distances.
+      // The bound originates in distance space, so compare through the
+      // conservative (downward-widened) rank transform.
       double bound = std::numeric_limits<double>::infinity();
       for (size_t i = 0; i < d; ++i) {
         const double lo_face =
@@ -178,24 +186,29 @@ Result<std::vector<Neighbor>> GridIndex::Query(
             std::max(0.0, std::min(query[i] - lo_face, hi_face - query[i]));
         bound = std::min(bound, metric_->CoordinateDistance(i, gap));
       }
-      if (bound > collector.Tau()) break;
+      if (PruneRankLowerBound(kern_.squared, bound) > collector.Tau()) break;
     }
     VisitShell(center, shell,
                [&](const std::vector<uint32_t>& bucket,
                    std::span<const int64_t> cell) {
                  CellBounds(cell, cell_lo, cell_hi);
-                 if (metric_->MinDistanceToBox(query, cell_lo, cell_hi) >
+                 if (metric_->MinRankToBox(query, cell_lo, cell_hi) >
                      collector.Tau()) {
                    return;
                  }
-                 for (uint32_t id : bucket) {
-                   if (exclude.has_value() && *exclude == id) continue;
-                   collector.Offer(id,
-                                   metric_->Distance(query, data_->point(id)));
+                 rank.resize(bucket.size());
+                 kern_.rank_gather(kern_.ctx, query.data(), raw, bucket.data(),
+                                   bucket.size(), d, collector.Tau(),
+                                   rank.data());
+                 for (size_t i = 0; i < bucket.size(); ++i) {
+                   if (bucket[i] == skip) continue;
+                   collector.Offer(bucket[i], rank[i]);
                  }
                });
   }
-  return collector.Take();
+  auto result = collector.Take();
+  internal_index::RanksToDistances(kern_, result);
+  return result;
 }
 
 Result<std::vector<Neighbor>> GridIndex::QueryRadius(
@@ -225,15 +238,24 @@ Result<std::vector<Neighbor>> GridIndex::QueryRadius(
   std::vector<int64_t> cell = lo_cell;
   std::vector<double> cell_lo;
   std::vector<double> cell_hi;
+  std::vector<double> rank;
+  const double* raw = data_->raw().data();
+  const uint32_t skip = exclude.has_value() ? *exclude : 0xffffffffu;
+  const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
   for (;;) {
     auto it = buckets_.find(PackCell(cell));
     if (it != buckets_.end()) {
       CellBounds(cell, cell_lo, cell_hi);
-      if (metric_->MinDistanceToBox(query, cell_lo, cell_hi) <= radius) {
-        for (uint32_t id : it->second) {
-          if (exclude.has_value() && *exclude == id) continue;
-          const double dist = metric_->Distance(query, data_->point(id));
-          if (dist <= radius) result.push_back(Neighbor{id, dist});
+      if (metric_->MinRankToBox(query, cell_lo, cell_hi) <= rank_hi) {
+        const std::vector<uint32_t>& bucket = it->second;
+        rank.resize(bucket.size());
+        kern_.rank_gather(kern_.ctx, query.data(), raw, bucket.data(),
+                          bucket.size(), d, rank_hi, rank.data());
+        for (size_t i = 0; i < bucket.size(); ++i) {
+          if (bucket[i] == skip) continue;
+          if (rank[i] > rank_hi) continue;
+          const double dist = DistanceFromRank(kern_.squared, rank[i]);
+          if (dist <= radius) result.push_back(Neighbor{bucket[i], dist});
         }
       }
     }

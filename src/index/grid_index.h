@@ -53,6 +53,7 @@ class GridIndex final : public KnnIndex {
 
   const Dataset* data_ = nullptr;
   const Metric* metric_ = nullptr;
+  DistanceKernels kern_;
   size_t cells_per_dim_ = 1;
   size_t bits_per_dim_ = 1;
   std::vector<double> box_lo_;

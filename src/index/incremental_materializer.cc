@@ -49,11 +49,15 @@ Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
   const auto new_point = data_.point(new_id);
 
   // One distance pass serves both the new point's own neighborhood and the
-  // affected-list test.
+  // affected-list test. The exact one-pair kernel matches Metric::Distance
+  // bit for bit, so stored lists stay identical to batch materialization.
   last_affected_ = 0;
+  const size_t dim = data_.dimension();
   internal_index::KnnCollector collector(k_max_);
   for (uint32_t q = 0; q < new_id; ++q) {
-    const double dist = metric_->Distance(new_point, data_.point(q));
+    const double dist = DistanceFromRank(
+        kern_.squared, kern_.rank_one(kern_.ctx, new_point.data(),
+                                      data_.point(q).data(), dim));
     collector.Offer(q, dist);
 
     std::vector<Neighbor>& list = lists_[q];

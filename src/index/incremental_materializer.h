@@ -65,7 +65,10 @@ class IncrementalMaterializer {
 
  private:
   IncrementalMaterializer(Dataset data, const Metric& metric, size_t k_max)
-      : data_(std::move(data)), metric_(&metric), k_max_(k_max) {}
+      : data_(std::move(data)),
+        metric_(&metric),
+        kern_(metric.kernels()),
+        k_max_(k_max) {}
 
   /// Trims `list` to the k_max-distance neighborhood (prefix through the
   /// k_max-th distance, ties kept).
@@ -73,6 +76,7 @@ class IncrementalMaterializer {
 
   Dataset data_;
   const Metric* metric_;
+  DistanceKernels kern_;
   size_t k_max_;
   std::vector<std::vector<Neighbor>> lists_;
   size_t last_affected_ = 0;

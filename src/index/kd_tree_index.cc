@@ -36,6 +36,16 @@ Status KdTreeIndex::Build(const Dataset& data, const Metric& metric) {
   for (size_t i = 0; i < data.size(); ++i) ids_[i] = static_cast<uint32_t>(i);
   nodes_.reserve(2 * data.size() / kLeafSize + 2);
   root_ = BuildNode(0, static_cast<uint32_t>(data.size()));
+  // Pack each leaf as its own block-aligned group so a leaf scan covers
+  // whole blocks of its own points only.
+  PointBlockBuilder builder(data);
+  for (Node& node : nodes_) {
+    if (!node.is_leaf()) continue;
+    node.view_begin = static_cast<uint32_t>(builder.BeginGroup());
+    for (uint32_t i = node.begin; i < node.end; ++i) builder.Append(ids_[i]);
+  }
+  view_ = std::move(builder).Build();
+  kern_ = metric.kernels();
   return Status::OK();
 }
 
@@ -95,50 +105,75 @@ void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
                              internal_index::KnnCollector& collector) const {
   const Node& node = nodes_[node_id];
   if (node.is_leaf()) {
-    for (uint32_t i = node.begin; i < node.end; ++i) {
-      const uint32_t id = ids_[i];
-      if (exclude.has_value() && *exclude == id) continue;
-      collector.Offer(id, metric_->Distance(query, data_->point(id)));
+    const uint32_t skip =
+        exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
+    const uint32_t count = node.end - node.begin;
+    double rank[PointBlockView::kLanes];
+    for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
+      const size_t pos = node.view_begin + off;
+      kern_.rank_block(kern_.ctx, query.data(),
+                       view_.block(pos / PointBlockView::kLanes), dim_, rank);
+      const uint32_t lanes = std::min<uint32_t>(PointBlockView::kLanes,
+                                                count - off);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        const uint32_t id = view_.id(pos + j);
+        if (id == skip) continue;
+        collector.Offer(id, rank[j]);
+      }
     }
     return;
   }
   const Node& left = nodes_[node.left];
   const Node& right = nodes_[node.right];
-  const double dist_left = metric_->MinDistanceToBox(query, BoxLo(left),
-                                                     BoxHi(left));
-  const double dist_right = metric_->MinDistanceToBox(query, BoxLo(right),
-                                                      BoxHi(right));
-  const uint32_t first = dist_left <= dist_right ? node.left : node.right;
-  const uint32_t second = dist_left <= dist_right ? node.right : node.left;
-  const double dist_first = std::min(dist_left, dist_right);
-  const double dist_second = std::max(dist_left, dist_right);
-  if (dist_first <= collector.Tau()) {
+  const double rank_left = metric_->MinRankToBox(query, BoxLo(left),
+                                                 BoxHi(left));
+  const double rank_right = metric_->MinRankToBox(query, BoxLo(right),
+                                                  BoxHi(right));
+  const uint32_t first = rank_left <= rank_right ? node.left : node.right;
+  const uint32_t second = rank_left <= rank_right ? node.right : node.left;
+  const double rank_first = std::min(rank_left, rank_right);
+  const double rank_second = std::max(rank_left, rank_right);
+  if (rank_first <= collector.Tau()) {
     SearchNode(first, query, exclude, collector);
   }
-  if (dist_second <= collector.Tau()) {
+  if (rank_second <= collector.Tau()) {
     SearchNode(second, query, exclude, collector);
   }
 }
 
 void KdTreeIndex::SearchRadius(uint32_t node_id,
                                std::span<const double> query, double radius,
+                               double radius_rank_hi,
                                std::optional<uint32_t> exclude,
                                std::vector<Neighbor>& result) const {
   const Node& node = nodes_[node_id];
-  if (metric_->MinDistanceToBox(query, BoxLo(node), BoxHi(node)) > radius) {
+  if (metric_->MinRankToBox(query, BoxLo(node), BoxHi(node)) >
+      radius_rank_hi) {
     return;
   }
   if (node.is_leaf()) {
-    for (uint32_t i = node.begin; i < node.end; ++i) {
-      const uint32_t id = ids_[i];
-      if (exclude.has_value() && *exclude == id) continue;
-      const double dist = metric_->Distance(query, data_->point(id));
-      if (dist <= radius) result.push_back(Neighbor{id, dist});
+    const uint32_t skip =
+        exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
+    const uint32_t count = node.end - node.begin;
+    double rank[PointBlockView::kLanes];
+    for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
+      const size_t pos = node.view_begin + off;
+      kern_.rank_block(kern_.ctx, query.data(),
+                       view_.block(pos / PointBlockView::kLanes), dim_, rank);
+      const uint32_t lanes = std::min<uint32_t>(PointBlockView::kLanes,
+                                                count - off);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        const uint32_t id = view_.id(pos + j);
+        if (id == skip) continue;
+        if (rank[j] > radius_rank_hi) continue;
+        const double dist = DistanceFromRank(kern_.squared, rank[j]);
+        if (dist <= radius) result.push_back(Neighbor{id, dist});
+      }
     }
     return;
   }
-  SearchRadius(node.left, query, radius, exclude, result);
-  SearchRadius(node.right, query, radius, exclude, result);
+  SearchRadius(node.left, query, radius, radius_rank_hi, exclude, result);
+  SearchRadius(node.right, query, radius, radius_rank_hi, exclude, result);
 }
 
 Result<std::vector<Neighbor>> KdTreeIndex::Query(
@@ -150,7 +185,9 @@ Result<std::vector<Neighbor>> KdTreeIndex::Query(
   }
   internal_index::KnnCollector collector(k);
   SearchNode(root_, query, exclude, collector);
-  return collector.Take();
+  auto result = collector.Take();
+  internal_index::RanksToDistances(kern_, result);
+  return result;
 }
 
 Result<std::vector<Neighbor>> KdTreeIndex::QueryRadius(
@@ -161,7 +198,8 @@ Result<std::vector<Neighbor>> KdTreeIndex::QueryRadius(
     return Status::InvalidArgument("radius must be >= 0");
   }
   std::vector<Neighbor> result;
-  SearchRadius(root_, query, radius, exclude, result);
+  SearchRadius(root_, query, radius, PruneRankUpperBound(kern_.squared, radius),
+               exclude, result);
   internal_index::SortNeighbors(result);
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "dataset/point_block.h"
 #include "index/knn_index.h"
 
 namespace lofkit {
@@ -12,7 +13,11 @@ namespace lofkit {
 ///
 /// Build() recursively splits on the widest dimension at the median (leaf
 /// size 16) and stores each node's true bounding box, so pruning uses the
-/// metric's MinDistanceToBox and is valid for every Metric implementation.
+/// metric's MinRankToBox and is valid for every Metric implementation.
+/// Traversal runs entirely in rank space (squared distances for the L2
+/// family); leaves are packed into a block-aligned PointBlockView and
+/// scanned with the metric's batch rank kernel instead of per-pair
+/// virtual calls.
 class KdTreeIndex final : public KnnIndex {
  public:
   KdTreeIndex() = default;
@@ -40,6 +45,8 @@ class KdTreeIndex final : public KnnIndex {
     // Point-id range [begin, end) in ids_ (leaves only).
     uint32_t begin = 0;
     uint32_t end = 0;
+    // First lane position of this leaf's block-aligned group in view_.
+    uint32_t view_begin = 0;
 
     static constexpr uint32_t kNone = 0xffffffffu;
     bool is_leaf() const { return left == kNone; }
@@ -50,7 +57,8 @@ class KdTreeIndex final : public KnnIndex {
                   std::optional<uint32_t> exclude,
                   internal_index::KnnCollector& collector) const;
   void SearchRadius(uint32_t node_id, std::span<const double> query,
-                    double radius, std::optional<uint32_t> exclude,
+                    double radius, double radius_rank_hi,
+                    std::optional<uint32_t> exclude,
                     std::vector<Neighbor>& result) const;
   std::span<const double> BoxLo(const Node& node) const {
     return {boxes_.data() + node.box_offset, dim_};
@@ -68,6 +76,10 @@ class KdTreeIndex final : public KnnIndex {
   std::vector<double> boxes_;
   std::vector<uint32_t> ids_;
   uint32_t root_ = Node::kNone;
+  // Leaf points packed one block-aligned group per leaf, plus the
+  // non-virtual kernels fetched at Build().
+  PointBlockView view_;
+  DistanceKernels kern_;
 };
 
 }  // namespace lofkit

@@ -16,6 +16,14 @@ std::vector<Neighbor> KnnCollector::Take() {
   return result;
 }
 
+void RanksToDistances(const DistanceKernels& kernels,
+                      std::vector<Neighbor>& neighbors) {
+  if (!kernels.squared) return;
+  for (Neighbor& n : neighbors) {
+    n.distance = DistanceFromRank(kernels.squared, n.distance);
+  }
+}
+
 void SortNeighbors(std::vector<Neighbor>& neighbors) {
   std::sort(neighbors.begin(), neighbors.end(),
             [](const Neighbor& a, const Neighbor& b) {

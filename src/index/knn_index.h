@@ -110,6 +110,13 @@ class KnnCollector {
 /// Sorts a neighbor list by (distance, index).
 void SortNeighbors(std::vector<Neighbor>& neighbors);
 
+/// Converts a neighbor list whose `distance` fields hold rank-space values
+/// (as produced by DistanceKernels) back to metric distances, in place.
+/// The rank transform is monotone, so (distance, index) order and tie
+/// structure are preserved.
+void RanksToDistances(const DistanceKernels& kernels,
+                      std::vector<Neighbor>& neighbors);
+
 }  // namespace internal_index
 }  // namespace lofkit
 

@@ -26,6 +26,8 @@ Status LinearScanIndex::Build(const Dataset& data, const Metric& metric) {
   }
   data_ = &data;
   metric_ = &metric;
+  view_ = data.blocks();
+  kern_ = metric.kernels();
   return Status::OK();
 }
 
@@ -37,12 +39,26 @@ Result<std::vector<Neighbor>> LinearScanIndex::Query(
     return Status::InvalidArgument("k must be >= 1");
   }
   internal_index::KnnCollector collector(k);
-  for (size_t i = 0; i < data_->size(); ++i) {
-    if (exclude.has_value() && *exclude == i) continue;
-    collector.Offer(static_cast<uint32_t>(i),
-                    metric_->Distance(query, data_->point(i)));
+  const size_t n = data_->size();
+  const size_t dim = data_->dimension();
+  const double* q = query.data();
+  const size_t num_blocks = view_->num_blocks();
+  const uint32_t skip =
+      exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
+  double rank[PointBlockView::kLanes];
+  for (size_t b = 0; b < num_blocks; ++b) {
+    kern_.rank_block(kern_.ctx, q, view_->block(b), dim, rank);
+    const size_t base = b * PointBlockView::kLanes;
+    const size_t lanes = std::min(PointBlockView::kLanes, n - base);
+    for (size_t j = 0; j < lanes; ++j) {
+      const uint32_t i = static_cast<uint32_t>(base + j);
+      if (i == skip) continue;
+      collector.Offer(i, rank[j]);
+    }
   }
-  return collector.Take();
+  auto result = collector.Take();
+  internal_index::RanksToDistances(kern_, result);
+  return result;
 }
 
 Result<std::vector<Neighbor>> LinearScanIndex::QueryRadius(
@@ -53,11 +69,26 @@ Result<std::vector<Neighbor>> LinearScanIndex::QueryRadius(
     return Status::InvalidArgument("radius must be >= 0");
   }
   std::vector<Neighbor> result;
-  for (size_t i = 0; i < data_->size(); ++i) {
-    if (exclude.has_value() && *exclude == i) continue;
-    const double dist = metric_->Distance(query, data_->point(i));
-    if (dist <= radius) {
-      result.push_back(Neighbor{static_cast<uint32_t>(i), dist});
+  const size_t n = data_->size();
+  const size_t dim = data_->dimension();
+  const double* q = query.data();
+  const size_t num_blocks = view_->num_blocks();
+  const uint32_t skip =
+      exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
+  // Cheap rank-space pre-filter, conservatively widened so the exact
+  // distance-space test below never loses an inclusive boundary hit.
+  const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
+  double rank[PointBlockView::kLanes];
+  for (size_t b = 0; b < num_blocks; ++b) {
+    kern_.rank_block(kern_.ctx, q, view_->block(b), dim, rank);
+    const size_t base = b * PointBlockView::kLanes;
+    const size_t lanes = std::min(PointBlockView::kLanes, n - base);
+    for (size_t j = 0; j < lanes; ++j) {
+      const uint32_t i = static_cast<uint32_t>(base + j);
+      if (i == skip) continue;
+      if (rank[j] > rank_hi) continue;
+      const double dist = DistanceFromRank(kern_.squared, rank[j]);
+      if (dist <= radius) result.push_back(Neighbor{i, dist});
     }
   }
   internal_index::SortNeighbors(result);

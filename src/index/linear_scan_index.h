@@ -1,6 +1,9 @@
 #ifndef LOFKIT_INDEX_LINEAR_SCAN_INDEX_H_
 #define LOFKIT_INDEX_LINEAR_SCAN_INDEX_H_
 
+#include <memory>
+
+#include "dataset/point_block.h"
 #include "index/knn_index.h"
 
 namespace lofkit {
@@ -8,6 +11,11 @@ namespace lofkit {
 /// Exact kNN by sequential scan — the O(n)-per-query fallback the paper
 /// prescribes for extremely high-dimensional data (section 7.4), and the
 /// reference oracle against which every other engine is tested.
+///
+/// The scan iterates the dataset's blocked SoA layout (PointBlockView)
+/// with the metric's batch rank kernel: no per-pair virtual call, no
+/// per-pair span construction, and one sqrt per *reported* neighbor for
+/// squared-rank metrics instead of one per candidate.
 class LinearScanIndex final : public KnnIndex {
  public:
   LinearScanIndex() = default;
@@ -24,6 +32,8 @@ class LinearScanIndex final : public KnnIndex {
  private:
   const Dataset* data_ = nullptr;
   const Metric* metric_ = nullptr;
+  std::shared_ptr<const PointBlockView> view_;
+  DistanceKernels kern_;
 };
 
 }  // namespace lofkit

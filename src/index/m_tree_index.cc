@@ -25,12 +25,18 @@ Status CheckQuery(const Dataset* data, std::span<const double> query) {
 }  // namespace
 
 double MTreeIndex::Distance(uint32_t a, uint32_t b) const {
-  return metric_->Distance(data_->point(a), data_->point(b));
+  return DistanceFromRank(
+      kern_.squared, kern_.rank_one(kern_.ctx, data_->point(a).data(),
+                                    data_->point(b).data(),
+                                    data_->dimension()));
 }
 
 double MTreeIndex::DistanceToQuery(std::span<const double> q,
                                    uint32_t object) const {
-  return metric_->Distance(q, data_->point(object));
+  return DistanceFromRank(
+      kern_.squared, kern_.rank_one(kern_.ctx, q.data(),
+                                    data_->point(object).data(),
+                                    data_->dimension()));
 }
 
 uint32_t MTreeIndex::RoutingObjectOf(uint32_t node_id) const {
@@ -45,6 +51,7 @@ Status MTreeIndex::Build(const Dataset& data, const Metric& metric) {
   }
   data_ = &data;
   metric_ = &metric;
+  kern_ = metric.kernels();
   nodes_.clear();
   nodes_.push_back(Node{});  // leaf root
   root_ = 0;
@@ -258,8 +265,15 @@ Result<std::vector<Neighbor>> MTreeIndex::Query(
       }
       if (node.leaf) {
         if (exclude.has_value() && *exclude == entry.object) continue;
-        collector.Offer(entry.object,
-                        DistanceToQuery(query, entry.object));
+        // The collector's tau is a distance here (the M-tree's pruning is
+        // metric-general), so the early-exit bound widens it conservatively
+        // into rank space; a kernel bail-out maps to +inf, which Offer
+        // rejects just as the exact distance would be.
+        const double rank = kern_.rank_bounded(
+            kern_.ctx, query.data(), data_->point(entry.object).data(),
+            query.size(),
+            PruneRankUpperBound(kern_.squared, collector.Tau()));
+        collector.Offer(entry.object, DistanceFromRank(kern_.squared, rank));
       } else {
         const double dist = DistanceToQuery(query, entry.object);
         const double dmin = std::max(0.0, dist - entry.radius);
@@ -288,7 +302,10 @@ Result<std::vector<Neighbor>> MTreeIndex::QueryRadius(
     for (const Entry& entry : node.entries) {
       if (node.leaf) {
         if (exclude.has_value() && *exclude == entry.object) continue;
-        const double dist = DistanceToQuery(query, entry.object);
+        const double rank = kern_.rank_bounded(
+            kern_.ctx, query.data(), data_->point(entry.object).data(),
+            query.size(), PruneRankUpperBound(kern_.squared, radius));
+        const double dist = DistanceFromRank(kern_.squared, rank);
         if (dist <= radius) result.push_back(Neighbor{entry.object, dist});
       } else {
         const double dist = DistanceToQuery(query, entry.object);

@@ -79,6 +79,7 @@ class MTreeIndex final : public KnnIndex {
   uint32_t root_ = kNone;
   const Dataset* data_ = nullptr;
   const Metric* metric_ = nullptr;
+  DistanceKernels kern_;
 };
 
 }  // namespace lofkit

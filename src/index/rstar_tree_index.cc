@@ -106,6 +106,7 @@ Status RStarTreeIndex::Build(const Dataset& data, const Metric& metric) {
   }
   data_ = &data;
   metric_ = &metric;
+  kern_ = metric.kernels();
   dim_ = data.dimension();
   nodes_.clear();
 
@@ -633,31 +634,43 @@ Result<std::vector<Neighbor>> RStarTreeIndex::Query(
     return Status::InvalidArgument("k must be >= 1");
   }
   internal_index::KnnCollector collector(k);
-  // Best-first search over nodes ordered by minimum possible distance.
+  // Best-first search over nodes ordered by minimum possible rank
+  // (squared distance for the L2 family); leaves are scanned with the
+  // bounded gather kernel — one indirect call per leaf, early exit
+  // against the current kth rank.
   using QueueEntry = std::pair<double, uint32_t>;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
       queue;
+  const double* raw = data_->raw().data();
+  const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
+  std::vector<double> rank;
   queue.emplace(0.0, root_);
   while (!queue.empty()) {
-    const auto [min_dist, node_id] = queue.top();
+    const auto [min_rank, node_id] = queue.top();
     queue.pop();
-    if (min_dist > collector.Tau()) break;
+    if (min_rank > collector.Tau()) break;
     const Node& node = nodes_[node_id];
     if (node.leaf) {
-      for (uint32_t id : node.entries) {
-        if (exclude.has_value() && *exclude == id) continue;
-        collector.Offer(id, metric_->Distance(query, data_->point(id)));
+      rank.resize(node.entries.size());
+      kern_.rank_gather(kern_.ctx, query.data(), raw, node.entries.data(),
+                        node.entries.size(), dim_, collector.Tau(),
+                        rank.data());
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i] == skip) continue;
+        collector.Offer(node.entries[i], rank[i]);
       }
       continue;
     }
     for (uint32_t child_id : node.entries) {
       const Node& child = nodes_[child_id];
-      const double dist = metric_->MinDistanceToBox(
+      const double child_rank = metric_->MinRankToBox(
           query, {child.mbr.data(), dim_}, {child.mbr.data() + dim_, dim_});
-      if (dist <= collector.Tau()) queue.emplace(dist, child_id);
+      if (child_rank <= collector.Tau()) queue.emplace(child_rank, child_id);
     }
   }
-  return collector.Take();
+  auto result = collector.Take();
+  internal_index::RanksToDistances(kern_, result);
+  return result;
 }
 
 Result<std::vector<Neighbor>> RStarTreeIndex::QueryRadius(
@@ -669,19 +682,27 @@ Result<std::vector<Neighbor>> RStarTreeIndex::QueryRadius(
   }
   std::vector<Neighbor> result;
   std::vector<uint32_t> stack = {root_};
+  const double* raw = data_->raw().data();
+  const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
+  const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
+  std::vector<double> rank;
   while (!stack.empty()) {
     const uint32_t node_id = stack.back();
     stack.pop_back();
     const Node& node = nodes_[node_id];
-    if (metric_->MinDistanceToBox(query, {node.mbr.data(), dim_},
-                                  {node.mbr.data() + dim_, dim_}) > radius) {
+    if (metric_->MinRankToBox(query, {node.mbr.data(), dim_},
+                              {node.mbr.data() + dim_, dim_}) > rank_hi) {
       continue;
     }
     if (node.leaf) {
-      for (uint32_t id : node.entries) {
-        if (exclude.has_value() && *exclude == id) continue;
-        const double dist = metric_->Distance(query, data_->point(id));
-        if (dist <= radius) result.push_back(Neighbor{id, dist});
+      rank.resize(node.entries.size());
+      kern_.rank_gather(kern_.ctx, query.data(), raw, node.entries.data(),
+                        node.entries.size(), dim_, rank_hi, rank.data());
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i] == skip) continue;
+        if (rank[i] > rank_hi) continue;
+        const double dist = DistanceFromRank(kern_.squared, rank[i]);
+        if (dist <= radius) result.push_back(Neighbor{node.entries[i], dist});
       }
     } else {
       stack.insert(stack.end(), node.entries.begin(), node.entries.end());

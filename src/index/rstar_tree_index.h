@@ -20,8 +20,10 @@ namespace lofkit {
 /// but grows into a *supernode* of extended capacity, avoiding the
 /// degenerate overlap that makes high-dimensional R-trees useless.
 ///
-/// kNN queries run best-first (Hjaltason-Samet) over MinDistanceToBox and
-/// return the exact k-distance neighborhood for any Metric.
+/// kNN queries run best-first (Hjaltason-Samet) over MinRankToBox (the
+/// squared-distance bound for the L2 family) with leaf scans through the
+/// metric's bounded gather kernel, and return the exact k-distance
+/// neighborhood for any Metric.
 class RStarTreeIndex final : public KnnIndex {
  public:
   /// How Build() constructs the tree.
@@ -112,6 +114,7 @@ class RStarTreeIndex final : public KnnIndex {
   BuildMode mode_ = BuildMode::kInsert;
   const Dataset* data_ = nullptr;
   const Metric* metric_ = nullptr;
+  DistanceKernels kern_;
   size_t dim_ = 0;
   std::vector<Node> nodes_;
   uint32_t root_ = Node::kNone;

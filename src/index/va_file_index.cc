@@ -32,6 +32,7 @@ Status VaFileIndex::Build(const Dataset& data, const Metric& metric) {
   }
   data_ = &data;
   metric_ = &metric;
+  kern_ = metric.kernels();
   dim_ = data.dimension();
   box_lo_ = data.Min();
   const std::vector<double> box_hi = data.Max();
@@ -73,9 +74,9 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
   }
   const size_t n = data_->size();
 
-  // Phase 1: filter on the approximations. rho is the k-th smallest upper
-  // bound seen so far; any point whose lower bound exceeds rho can never be
-  // among the k nearest.
+  // Phase 1: filter on the approximations, entirely in rank space. rho is
+  // the k-th smallest upper bound seen so far; any point whose lower bound
+  // exceeds rho can never be among the k nearest.
   struct Candidate {
     uint32_t index;
     double lower;
@@ -87,9 +88,9 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
   for (size_t i = 0; i < n; ++i) {
     if (exclude.has_value() && *exclude == i) continue;
     CellOf(i, lo, hi);
-    const double lower = metric_->MinDistanceToBox(query, lo, hi);
+    const double lower = metric_->MinRankToBox(query, lo, hi);
     if (lower > rho) continue;
-    const double upper = metric_->MaxDistanceToBox(query, lo, hi);
+    const double upper = metric_->MaxRankToBox(query, lo, hi);
     candidates.push_back(Candidate{static_cast<uint32_t>(i), lower});
     upper_heap.push_back(upper);
     std::push_heap(upper_heap.begin(), upper_heap.end());
@@ -100,19 +101,25 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
     if (upper_heap.size() == k) rho = upper_heap.front();
   }
 
-  // Phase 2: refine candidates in ascending lower-bound order; stop once
-  // the next lower bound exceeds the exact k-distance found so far.
+  // Phase 2: refine candidates in ascending lower-bound order with the
+  // early-exit kernel bounded by the exact kth rank found so far; stop
+  // once the next lower bound exceeds it.
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.lower < b.lower;
             });
   internal_index::KnnCollector collector(k);
+  const double* raw = data_->raw().data();
   for (const Candidate& candidate : candidates) {
     if (candidate.lower > collector.Tau()) break;
     collector.Offer(candidate.index,
-                    metric_->Distance(query, data_->point(candidate.index)));
+                    kern_.rank_bounded(kern_.ctx, query.data(),
+                                       raw + size_t{candidate.index} * dim_,
+                                       dim_, collector.Tau()));
   }
-  return collector.Take();
+  auto result = collector.Take();
+  internal_index::RanksToDistances(kern_, result);
+  return result;
 }
 
 Result<std::vector<Neighbor>> VaFileIndex::QueryRadius(
@@ -124,11 +131,16 @@ Result<std::vector<Neighbor>> VaFileIndex::QueryRadius(
   }
   std::vector<Neighbor> result;
   std::vector<double> lo, hi;
+  const double* raw = data_->raw().data();
+  const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
   for (size_t i = 0; i < data_->size(); ++i) {
     if (exclude.has_value() && *exclude == i) continue;
     CellOf(i, lo, hi);
-    if (metric_->MinDistanceToBox(query, lo, hi) > radius) continue;
-    const double dist = metric_->Distance(query, data_->point(i));
+    if (metric_->MinRankToBox(query, lo, hi) > rank_hi) continue;
+    const double rank = kern_.rank_bounded(kern_.ctx, query.data(),
+                                           raw + i * dim_, dim_, rank_hi);
+    if (rank > rank_hi) continue;
+    const double dist = DistanceFromRank(kern_.squared, rank);
     if (dist <= radius) result.push_back(Neighbor{static_cast<uint32_t>(i), dist});
   }
   internal_index::SortNeighbors(result);

@@ -42,6 +42,7 @@ class VaFileIndex final : public KnnIndex {
 
   const Dataset* data_ = nullptr;
   const Metric* metric_ = nullptr;
+  DistanceKernels kern_;
   size_t bits_ = 6;
   size_t dim_ = 0;
   std::vector<double> box_lo_;
