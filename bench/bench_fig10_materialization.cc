@@ -10,6 +10,7 @@
 // common/bench_report.h). LOFKIT_BENCH_SMOKE=1 shrinks everything to one
 // tiny repetition for CI.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "common/stopwatch.h"
 #include "dataset/generators.h"
 #include "dataset/metric.h"
+#include "index/kd_tree_index.h"
 #include "index/linear_scan_index.h"
 #include "index/neighborhood_materializer.h"
 #include "index/rstar_tree_index.h"
@@ -119,6 +121,100 @@ int main() {
     std::printf("%-8u %-10.3f %.2fx\n", threads, seconds,
                 seconds > 0 ? serial_seconds / seconds : 0.0);
   }
+  // Context axis: the same kNN-per-point query workload through the
+  // allocating per-query wrappers versus one reused KnnSearchContext
+  // versus the chunked QueryBatch path the materializer actually uses.
+  // Index build is excluded so the delta isolates the query paths.
+  //
+  // Two shapes: the paper's MinPtsUB = 50 (per-query compute dominates, so
+  // removing the handful of mallocs per query yields a single-digit
+  // saving) and k = 5 (per-query work is small and the allocation share is
+  // the largest part of the wrapper overhead). The JSON sidecar records
+  // both deltas so regressions in either regime are visible.
+  PrintHeader("Figure 10 / context axis",
+              "per-query wrapper vs reused context vs batched queries, "
+              "kd-tree, d=5, n=50000");
+  const size_t ctx_n = smoke ? 200 : 50000;
+  Rng ctx_rng(1005);
+  auto ctx_data = CheckOk(
+      generators::MakePerformanceWorkload(ctx_rng, 5, ctx_n, 10), "workload");
+  KdTreeIndex kd;
+  CheckOk(kd.Build(ctx_data, Euclidean()), "Build");
+
+  double checksum = 0.0;  // consumes results so nothing is optimized away
+  std::printf("%-8s %-22s %-10s\n", "k", "path", "time (s)");
+  const std::vector<size_t> ctx_ks =
+      smoke ? std::vector<size_t>{5} : std::vector<size_t>{50, 5};
+  for (size_t ctx_k : ctx_ks) {
+    double wrapper_seconds = 0.0;
+    {
+      Stopwatch watch;
+      for (size_t i = 0; i < ctx_n; ++i) {
+        auto r = CheckOk(
+            kd.Query(ctx_data.point(i), ctx_k, static_cast<uint32_t>(i)),
+            "Query");
+        checksum += r.back().distance;
+      }
+      wrapper_seconds = watch.ElapsedSeconds();
+    }
+    double context_seconds = 0.0;
+    {
+      KnnSearchContext ctx;
+      Stopwatch watch;
+      for (size_t i = 0; i < ctx_n; ++i) {
+        CheckOk(
+            kd.Query(ctx_data.point(i), ctx_k, static_cast<uint32_t>(i), ctx),
+            "Query(ctx)");
+        checksum -= ctx.results().back().distance;
+      }
+      context_seconds = watch.ElapsedSeconds();
+    }
+    double batch_seconds = 0.0;
+    {
+      KnnSearchContext ctx;
+      std::vector<uint32_t> ids;
+      Stopwatch watch;
+      constexpr size_t kChunk = 64;
+      for (size_t begin = 0; begin < ctx_n; begin += kChunk) {
+        const size_t end = std::min(begin + kChunk, ctx_n);
+        ids.resize(end - begin);
+        for (size_t j = 0; j < ids.size(); ++j) {
+          ids[j] = static_cast<uint32_t>(begin + j);
+        }
+        CheckOk(kd.QueryBatch(ids, ctx_k, ctx), "QueryBatch");
+        for (size_t j = 0; j < ids.size(); ++j) {
+          checksum += ctx.batch_results(j).back().distance;
+        }
+      }
+      batch_seconds = watch.ElapsedSeconds();
+    }
+    const double best = std::min(context_seconds, batch_seconds);
+    const double reduction_pct =
+        wrapper_seconds > 0
+            ? 100.0 * (wrapper_seconds - best) / wrapper_seconds
+            : 0.0;
+    std::printf("%-8zu %-22s %-10.3f\n", ctx_k, "allocating wrapper",
+                wrapper_seconds);
+    std::printf("%-8s %-22s %-10.3f\n", "", "reused context",
+                context_seconds);
+    std::printf("%-8s %-22s %-10.3f\n", "", "batched (chunk=64)",
+                batch_seconds);
+    std::printf("%-8s best context path saves %.1f%% over the wrapper\n",
+                "", reduction_pct);
+    const std::string prefix = "ctx_axis_k=" + std::to_string(ctx_k);
+    report.Add(prefix + "_wrapper", {{"seconds", wrapper_seconds}});
+    report.Add(prefix + "_context", {{"seconds", context_seconds}});
+    report.Add(prefix + "_batch", {{"seconds", batch_seconds}});
+    report.Add(prefix + "_delta", {{"wrapper_seconds", wrapper_seconds},
+                                   {"best_context_seconds", best},
+                                   {"reduction_pct", reduction_pct}});
+  }
+  std::printf("(checksum %.3g)\nAt k=50 the query is compute-bound — the "
+              "block-distance scans dominate and\nremoving per-query "
+              "allocation trims single-digit percent; at k=5 the\n"
+              "allocation share is far larger and the context path shows "
+              "its full effect.\n", checksum);
+
   CheckOk(report.Write(), "BenchReport::Write");
   return 0;
 }

@@ -63,11 +63,13 @@ Result<DbOutlierResult> DbOutlierDetector::DetectWithIndex(
   result.threshold_count = threshold;
   result.is_outlier.assign(n, false);
   result.neighbor_count.assign(n, 0);
+  KnnSearchContext ctx;
   for (size_t p = 0; p < n; ++p) {
-    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> ball,
-                            index.QueryRadius(data.point(p), dmin));
-    result.neighbor_count[p] = ball.size();  // includes p itself
-    if (ball.size() <= threshold) {
+    LOFKIT_RETURN_IF_ERROR(
+        index.QueryRadius(data.point(p), dmin, std::nullopt, ctx));
+    const size_t ball_size = ctx.results().size();
+    result.neighbor_count[p] = ball_size;  // includes p itself
+    if (ball_size <= threshold) {
       result.is_outlier[p] = true;
       ++result.outlier_count;
     }

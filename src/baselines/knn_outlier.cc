@@ -1,5 +1,7 @@
 #include "baselines/knn_outlier.h"
 
+#include <algorithm>
+
 namespace lofkit {
 
 Result<std::vector<RankedOutlier>> KnnDistanceOutlierDetector::Rank(
@@ -10,12 +12,24 @@ Result<std::vector<RankedOutlier>> KnnDistanceOutlierDetector::Rank(
   if (k >= data.size()) {
     return Status::InvalidArgument("k must be smaller than the dataset size");
   }
-  std::vector<double> k_distance(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    LOFKIT_ASSIGN_OR_RETURN(
-        std::vector<Neighbor> neighbors,
-        index.Query(data.point(i), k, static_cast<uint32_t>(i)));
-    k_distance[i] = neighbors[k - 1].distance;
+  // Batched self-queries: chunks through QueryBatch so engines with a real
+  // batch override amortize their data streaming, and the shared context
+  // keeps the per-query scratch warm either way.
+  constexpr size_t kChunk = 256;
+  const size_t n = data.size();
+  std::vector<double> k_distance(n);
+  KnnSearchContext ctx;
+  std::vector<uint32_t> ids;
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    const size_t end = std::min(begin + kChunk, n);
+    ids.resize(end - begin);
+    for (size_t j = 0; j < ids.size(); ++j) {
+      ids[j] = static_cast<uint32_t>(begin + j);
+    }
+    LOFKIT_RETURN_IF_ERROR(index.QueryBatch(ids, k, ctx));
+    for (size_t j = 0; j < ids.size(); ++j) {
+      k_distance[begin + j] = ctx.batch_results(j)[k - 1].distance;
+    }
   }
   return RankDescending(k_distance, top_n);
 }

@@ -20,14 +20,18 @@ Result<DbscanResult> Dbscan::Run(const Dataset& data, const KnnIndex& index,
   result.cluster_of.assign(n, DbscanResult::kNoise);
   result.is_core.assign(n, false);
   std::vector<bool> visited(n, false);
+  // Each ball is fully consumed before the next query, so one reused
+  // context serves the whole expansion without per-query allocations.
+  KnnSearchContext ctx;
 
   for (size_t seed = 0; seed < n; ++seed) {
     if (visited[seed]) continue;
     visited[seed] = true;
-    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> ball,
-                            index.QueryRadius(data.point(seed), params.eps));
+    LOFKIT_RETURN_IF_ERROR(index.QueryRadius(data.point(seed), params.eps,
+                                             std::nullopt, ctx));
     // QueryRadius includes the point itself (no exclude), matching the
     // DBSCAN definition of |N_eps(p)| >= MinPts.
+    const std::span<const Neighbor> ball = ctx.results();
     if (ball.size() < params.min_pts) continue;  // noise (for now)
 
     const int cluster = static_cast<int>(result.num_clusters++);
@@ -45,8 +49,9 @@ Result<DbscanResult> Dbscan::Run(const Dataset& data, const KnnIndex& index,
       if (visited[p]) continue;
       visited[p] = true;
       result.cluster_of[p] = cluster;
-      LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> p_ball,
-                              index.QueryRadius(data.point(p), params.eps));
+      LOFKIT_RETURN_IF_ERROR(index.QueryRadius(data.point(p), params.eps,
+                                               std::nullopt, ctx));
+      const std::span<const Neighbor> p_ball = ctx.results();
       if (p_ball.size() >= params.min_pts) {
         result.is_core[p] = true;
         for (const Neighbor& q : p_ball) {

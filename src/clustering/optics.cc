@@ -28,17 +28,20 @@ Result<OpticsResult> Optics::Run(const Dataset& data, const KnnIndex& index,
   // min_pts-nearest neighbors suffice to drive the expansion (every
   // reachability update uses max(core_dist, d) and larger distances can
   // only matter once seeds run dry, in which case the next unprocessed
-  // point starts a new group).
-  auto fetch = [&](size_t p) -> Result<std::vector<Neighbor>> {
+  // point starts a new group). Results land in the shared context — each
+  // list is consumed before the next fetch, so one reused context serves
+  // the whole run without per-query allocations.
+  KnnSearchContext ctx;
+  auto fetch = [&](size_t p) -> Status {
     if (std::isfinite(params.eps)) {
       return index.QueryRadius(data.point(p), params.eps,
-                               static_cast<uint32_t>(p));
+                               static_cast<uint32_t>(p), ctx);
     }
     return index.Query(data.point(p), std::min(n - 1, params.min_pts * 4),
-                       static_cast<uint32_t>(p));
+                       static_cast<uint32_t>(p), ctx);
   };
 
-  auto core_distance_of = [&](const std::vector<Neighbor>& neighbors)
+  auto core_distance_of = [&](std::span<const Neighbor> neighbors)
       -> double {
     // Neighbor lists exclude the point itself; the DBSCAN/OPTICS
     // neighborhood includes it, so core status needs min_pts - 1 others.
@@ -58,7 +61,8 @@ Result<OpticsResult> Optics::Run(const Dataset& data, const KnnIndex& index,
     // Expand a new density-connected group from `start`.
     processed[start] = true;
     result.ordering.push_back(static_cast<uint32_t>(start));
-    LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> neighbors, fetch(start));
+    LOFKIT_RETURN_IF_ERROR(fetch(start));
+    const std::span<const Neighbor> neighbors = ctx.results();
     result.core_distance[start] = core_distance_of(neighbors);
     if (std::isfinite(result.core_distance[start])) {
       for (const Neighbor& q : neighbors) {
@@ -77,7 +81,8 @@ Result<OpticsResult> Optics::Run(const Dataset& data, const KnnIndex& index,
       if (processed[p] || reach != result.reachability[p]) continue;
       processed[p] = true;
       result.ordering.push_back(p);
-      LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> p_neighbors, fetch(p));
+      LOFKIT_RETURN_IF_ERROR(fetch(p));
+      const std::span<const Neighbor> p_neighbors = ctx.results();
       result.core_distance[p] = core_distance_of(p_neighbors);
       if (std::isfinite(result.core_distance[p])) {
         for (const Neighbor& q : p_neighbors) {

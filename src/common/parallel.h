@@ -16,7 +16,10 @@ namespace lofkit {
 /// unchanged. Every `threads` parameter in lofkit follows this convention.
 size_t ResolveThreadCount(size_t threads);
 
-/// Runs body(i) for every i in [0, n) sharded over `threads` workers.
+/// Runs body(worker, i) for every i in [0, n) sharded over `threads`
+/// workers, where `worker` is the stable id in [0, resolved_threads) of the
+/// worker executing index i — the hook per-worker state (e.g. a
+/// KnnSearchContext per worker) needs to stay race-free without locks.
 ///
 /// Chunking is deterministic and contiguous: worker t owns
 /// [n*t/T, n*(t+1)/T), the same split for every run with the same (n, T).
@@ -25,20 +28,20 @@ size_t ResolveThreadCount(size_t threads);
 /// sequential path stays allocation- and synchronization-free.
 ///
 /// `body` must return Status and be safe to invoke concurrently for
-/// distinct i (the usual shape: read shared state, write only slot i).
-/// On the first error the other workers stop at their next index boundary
-/// (early abort) instead of running their chunks to completion, and an
-/// error some body actually returned is propagated — the lowest-numbered
-/// worker's when several fail concurrently before noticing the abort flag,
-/// which makes the returned error fully deterministic whenever at most one
-/// index can fail. Workers never see an index twice and the calling thread
-/// always participates as worker 0.
+/// distinct i (the usual shape: read shared state, write only slot i and
+/// worker-local state). On the first error the other workers stop at their
+/// next index boundary (early abort) instead of running their chunks to
+/// completion, and an error some body actually returned is propagated — the
+/// lowest-numbered worker's when several fail concurrently before noticing
+/// the abort flag, which makes the returned error fully deterministic
+/// whenever at most one index can fail. Workers never see an index twice
+/// and the calling thread always participates as worker 0.
 template <typename Body>
-Status ParallelFor(size_t n, size_t threads, const Body& body) {
+Status ParallelForWorker(size_t n, size_t threads, const Body& body) {
   threads = std::min(ResolveThreadCount(threads), n);
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      LOFKIT_RETURN_IF_ERROR(body(i));
+      LOFKIT_RETURN_IF_ERROR(body(size_t{0}, i));
     }
     return Status::OK();
   }
@@ -50,7 +53,7 @@ Status ParallelFor(size_t n, size_t threads, const Body& body) {
     const size_t end = n * (t + 1) / threads;
     for (size_t i = begin; i < end; ++i) {
       if (abort.load(std::memory_order_relaxed)) return;
-      Status status = body(i);
+      Status status = body(t, i);
       if (!status.ok()) {
         worker_status[t] = std::move(status);
         abort.store(true, std::memory_order_relaxed);
@@ -70,6 +73,15 @@ Status ParallelFor(size_t n, size_t threads, const Body& body) {
     if (!status.ok()) return std::move(status);
   }
   return Status::OK();
+}
+
+/// Runs body(i) for every i in [0, n) sharded over `threads` workers — the
+/// worker-id-free convenience form of ParallelForWorker; all semantics
+/// (chunking, resolution, early abort, error choice) are identical.
+template <typename Body>
+Status ParallelFor(size_t n, size_t threads, const Body& body) {
+  return ParallelForWorker(
+      n, threads, [&body](size_t /*worker*/, size_t i) { return body(i); });
 }
 
 }  // namespace lofkit

@@ -67,22 +67,23 @@ Status GridIndex::Build(const Dataset& data, const Metric& metric) {
         range > 0.0 ? range / static_cast<double>(cells_per_dim_) : 1.0;
   }
 
+  std::vector<int64_t> cell;
   for (size_t i = 0; i < data.size(); ++i) {
-    const std::vector<int64_t> cell = CellOf(data.point(i));
+    CellOf(data.point(i), cell);
     buckets_[PackCell(cell)].push_back(static_cast<uint32_t>(i));
   }
   return Status::OK();
 }
 
-std::vector<int64_t> GridIndex::CellOf(std::span<const double> point) const {
-  std::vector<int64_t> cell(point.size());
+void GridIndex::CellOf(std::span<const double> point,
+                       std::vector<int64_t>& cell) const {
+  cell.resize(point.size());
   for (size_t i = 0; i < point.size(); ++i) {
     const double offset = (point[i] - box_lo_[i]) / cell_width_[i];
     int64_t c = static_cast<int64_t>(std::floor(offset));
     c = std::clamp<int64_t>(c, 0, static_cast<int64_t>(cells_per_dim_) - 1);
     cell[i] = c;
   }
-  return cell;
 }
 
 uint64_t GridIndex::PackCell(std::span<const int64_t> cell) const {
@@ -107,13 +108,14 @@ void GridIndex::CellBounds(std::span<const int64_t> cell,
 
 template <typename Fn>
 void GridIndex::VisitShell(std::span<const int64_t> center, int64_t shell,
-                           Fn&& fn) const {
+                           std::vector<int64_t>& cell,
+                           std::vector<int64_t>& offset, Fn&& fn) const {
   const size_t d = center.size();
-  std::vector<int64_t> cell(d);
+  cell.resize(d);
   const int64_t max_cell = static_cast<int64_t>(cells_per_dim_) - 1;
   // Odometer over offsets in [-shell, shell]^d keeping only cells with
   // Chebyshev cell-distance exactly `shell`.
-  std::vector<int64_t> offset(d, -shell);
+  offset.assign(d, -shell);
   for (;;) {
     bool on_shell = shell == 0;
     bool in_range = true;
@@ -146,19 +148,20 @@ void GridIndex::VisitShell(std::span<const int64_t> center, int64_t shell,
   }
 }
 
-Result<std::vector<Neighbor>> GridIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status GridIndex::Query(std::span<const double> query, size_t k,
+                        std::optional<uint32_t> exclude,
+                        KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
   const size_t d = query.size();
-  const std::vector<int64_t> center = CellOf(query);
-  internal_index::KnnCollector collector(k);
-  std::vector<double> cell_lo;
-  std::vector<double> cell_hi;
-  std::vector<double> rank;
+  std::vector<int64_t>& center = ctx.scratch.cell_a;
+  CellOf(query, center);
+  internal_index::KnnCollector collector(k, ctx);
+  std::vector<double>& cell_lo = ctx.scratch.box_lo;
+  std::vector<double>& cell_hi = ctx.scratch.box_hi;
+  std::vector<double>& rank = ctx.scratch.rank;
   const double* raw = data_->raw().data();
   const uint32_t skip =
       exclude.has_value() ? *exclude : 0xffffffffu;
@@ -188,7 +191,7 @@ Result<std::vector<Neighbor>> GridIndex::Query(
       }
       if (PruneRankLowerBound(kern_.squared, bound) > collector.Tau()) break;
     }
-    VisitShell(center, shell,
+    VisitShell(center, shell, ctx.scratch.cell_b, ctx.scratch.cell_c,
                [&](const std::vector<uint32_t>& bucket,
                    std::span<const int64_t> cell) {
                  CellBounds(cell, cell_lo, cell_hi);
@@ -206,22 +209,24 @@ Result<std::vector<Neighbor>> GridIndex::Query(
                  }
                });
   }
-  auto result = collector.Take();
-  internal_index::RanksToDistances(kern_, result);
-  return result;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> GridIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status GridIndex::QueryRadius(std::span<const double> query, double radius,
+                              std::optional<uint32_t> exclude,
+                              KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
   const size_t d = query.size();
   // Per-dimension cell range that can intersect the ball.
-  std::vector<int64_t> lo_cell(d);
-  std::vector<int64_t> hi_cell(d);
+  std::vector<int64_t>& lo_cell = ctx.scratch.cell_a;
+  std::vector<int64_t>& hi_cell = ctx.scratch.cell_b;
+  lo_cell.resize(d);
+  hi_cell.resize(d);
   const int64_t max_cell = static_cast<int64_t>(cells_per_dim_) - 1;
   for (size_t i = 0; i < d; ++i) {
     lo_cell[i] = std::clamp<int64_t>(
@@ -234,11 +239,13 @@ Result<std::vector<Neighbor>> GridIndex::QueryRadius(
         0, max_cell);
   }
 
-  std::vector<Neighbor> result;
-  std::vector<int64_t> cell = lo_cell;
-  std::vector<double> cell_lo;
-  std::vector<double> cell_hi;
-  std::vector<double> rank;
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
+  std::vector<int64_t>& cell = ctx.scratch.cell_c;
+  cell.assign(lo_cell.begin(), lo_cell.end());
+  std::vector<double>& cell_lo = ctx.scratch.box_lo;
+  std::vector<double>& cell_hi = ctx.scratch.box_hi;
+  std::vector<double>& rank = ctx.scratch.rank;
   const double* raw = data_->raw().data();
   const uint32_t skip = exclude.has_value() ? *exclude : 0xffffffffu;
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
@@ -271,7 +278,7 @@ Result<std::vector<Neighbor>> GridIndex::QueryRadius(
     if (pos == d) break;
   }
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
 }
 
 }  // namespace lofkit

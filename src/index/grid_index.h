@@ -23,20 +23,24 @@ class GridIndex final : public KnnIndex {
   GridIndex() = default;
 
   Status Build(const Dataset& data, const Metric& metric) override;
-  Result<std::vector<Neighbor>> Query(
-      std::span<const double> query, size_t k,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
-  Result<std::vector<Neighbor>> QueryRadius(
-      std::span<const double> query, double radius,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
+
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override;
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override;
+  const Dataset* dataset() const override { return data_; }
   std::string_view name() const override { return "grid"; }
 
   /// Number of cells per dimension chosen by Build() (for tests).
   size_t cells_per_dimension() const { return cells_per_dim_; }
 
  private:
-  /// Cell coordinates of a (clamped) point.
-  std::vector<int64_t> CellOf(std::span<const double> point) const;
+  /// Cell coordinates of a (clamped) point, into `cell` (resized to d).
+  void CellOf(std::span<const double> point, std::vector<int64_t>& cell) const;
 
   /// Packs cell coordinates into a hash key.
   uint64_t PackCell(std::span<const int64_t> cell) const;
@@ -46,9 +50,11 @@ class GridIndex final : public KnnIndex {
                   std::vector<double>& hi) const;
 
   /// Visits every existing cell whose Chebyshev cell-distance from `center`
-  /// is exactly `shell`, calling fn(bucket, cell).
+  /// is exactly `shell`, calling fn(bucket, cell). `cell` and `offset` are
+  /// caller-provided odometer scratch (resized to d).
   template <typename Fn>
   void VisitShell(std::span<const int64_t> center, int64_t shell,
+                  std::vector<int64_t>& cell, std::vector<int64_t>& offset,
                   Fn&& fn) const;
 
   const Dataset* data_ = nullptr;

@@ -22,9 +22,10 @@ Result<IncrementalMaterializer> IncrementalMaterializer::Create(
   LOFKIT_RETURN_IF_ERROR(index.Build(inc.data_, metric));
   inc.lists_.resize(inc.data_.size());
   for (size_t i = 0; i < inc.data_.size(); ++i) {
-    LOFKIT_ASSIGN_OR_RETURN(
-        inc.lists_[i],
-        index.Query(inc.data_.point(i), k_max, static_cast<uint32_t>(i)));
+    LOFKIT_RETURN_IF_ERROR(index.Query(inc.data_.point(i), k_max,
+                                       static_cast<uint32_t>(i), inc.ctx_));
+    const auto list = inc.ctx_.results();
+    inc.lists_[i].assign(list.begin(), list.end());
   }
   return inc;
 }
@@ -53,7 +54,7 @@ Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
   // bit for bit, so stored lists stay identical to batch materialization.
   last_affected_ = 0;
   const size_t dim = data_.dimension();
-  internal_index::KnnCollector collector(k_max_);
+  internal_index::KnnCollector collector(k_max_, ctx_);
   for (uint32_t q = 0; q < new_id; ++q) {
     const double dist = DistanceFromRank(
         kern_.squared, kern_.rank_one(kern_.ctx, new_point.data(),
@@ -79,7 +80,9 @@ Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
     list.insert(pos, entry);
     Trim(list);
   }
-  lists_.push_back(collector.Take());
+  std::vector<Neighbor> own_list;
+  collector.TakeInto(own_list);
+  lists_.push_back(std::move(own_list));
   return Status::OK();
 }
 

@@ -80,6 +80,9 @@ class IncrementalMaterializer {
   size_t k_max_;
   std::vector<std::vector<Neighbor>> lists_;
   size_t last_affected_ = 0;
+  // Reused across Insert() calls so the collector's heap/accepted buffers
+  // stop allocating once warm.
+  KnnSearchContext ctx_;
 };
 
 }  // namespace lofkit

@@ -176,32 +176,33 @@ void KdTreeIndex::SearchRadius(uint32_t node_id,
   SearchRadius(node.right, query, radius, radius_rank_hi, exclude, result);
 }
 
-Result<std::vector<Neighbor>> KdTreeIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status KdTreeIndex::Query(std::span<const double> query, size_t k,
+                          std::optional<uint32_t> exclude,
+                          KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
-  internal_index::KnnCollector collector(k);
+  internal_index::KnnCollector collector(k, ctx);
   SearchNode(root_, query, exclude, collector);
-  auto result = collector.Take();
-  internal_index::RanksToDistances(kern_, result);
-  return result;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> KdTreeIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status KdTreeIndex::QueryRadius(std::span<const double> query, double radius,
+                                std::optional<uint32_t> exclude,
+                                KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  std::vector<Neighbor> result;
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
   SearchRadius(root_, query, radius, PruneRankUpperBound(kern_.squared, radius),
                exclude, result);
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
 }
 
 }  // namespace lofkit

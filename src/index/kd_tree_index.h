@@ -23,12 +23,16 @@ class KdTreeIndex final : public KnnIndex {
   KdTreeIndex() = default;
 
   Status Build(const Dataset& data, const Metric& metric) override;
-  Result<std::vector<Neighbor>> Query(
-      std::span<const double> query, size_t k,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
-  Result<std::vector<Neighbor>> QueryRadius(
-      std::span<const double> query, double radius,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
+
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override;
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override;
+  const Dataset* dataset() const override { return data_; }
   std::string_view name() const override { return "kd_tree"; }
 
   /// Number of tree nodes (for tests).

@@ -1,19 +1,64 @@
 #include "index/knn_index.h"
 
+#include "common/string_util.h"
+
 namespace lofkit {
+
+Status KnnIndex::QueryBatch(std::span<const uint32_t> point_ids, size_t k,
+                            KnnSearchContext& ctx) const {
+  const Dataset* data = dataset();
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  for (uint32_t id : point_ids) {
+    if (id >= data->size()) {
+      return Status::InvalidArgument(
+          StrFormat("point id %u out of range, dataset has %zu points",
+                    static_cast<unsigned>(id), data->size()));
+    }
+  }
+  // Stage batch output in the batch buffers while the single-query core
+  // repeatedly rewrites scratch.out.
+  auto& offsets = ctx.scratch.batch_offsets;
+  auto& flat = ctx.scratch.batch_flat;
+  offsets.clear();
+  flat.clear();
+  offsets.push_back(0);
+  for (uint32_t id : point_ids) {
+    LOFKIT_RETURN_IF_ERROR(this->Query(data->point(id), k, id, ctx));
+    flat.insert(flat.end(), ctx.scratch.out.begin(), ctx.scratch.out.end());
+    offsets.push_back(flat.size());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> KnnIndex::Query(
+    std::span<const double> query, size_t k,
+    std::optional<uint32_t> exclude) const {
+  KnnSearchContext ctx;
+  LOFKIT_RETURN_IF_ERROR(this->Query(query, k, exclude, ctx));
+  return std::move(ctx.scratch.out);
+}
+
+Result<std::vector<Neighbor>> KnnIndex::QueryRadius(
+    std::span<const double> query, double radius,
+    std::optional<uint32_t> exclude) const {
+  KnnSearchContext ctx;
+  LOFKIT_RETURN_IF_ERROR(this->QueryRadius(query, radius, exclude, ctx));
+  return std::move(ctx.scratch.out);
+}
+
 namespace internal_index {
 
-std::vector<Neighbor> KnnCollector::Take() {
+void KnnCollector::TakeInto(std::vector<Neighbor>& out) {
   const double k_distance = Tau();
-  std::vector<Neighbor> result;
-  result.reserve(accepted_.size());
-  for (const Neighbor& n : accepted_) {
-    if (n.distance <= k_distance) result.push_back(n);
+  out.clear();
+  for (const Neighbor& n : *accepted_) {
+    if (n.distance <= k_distance) out.push_back(n);
   }
-  SortNeighbors(result);
-  accepted_.clear();
-  heap_.clear();
-  return result;
+  SortNeighbors(out);
+  accepted_->clear();
+  heap_->clear();
 }
 
 void RanksToDistances(const DistanceKernels& kernels,

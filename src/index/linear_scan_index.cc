@@ -31,14 +31,14 @@ Status LinearScanIndex::Build(const Dataset& data, const Metric& metric) {
   return Status::OK();
 }
 
-Result<std::vector<Neighbor>> LinearScanIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status LinearScanIndex::Query(std::span<const double> query, size_t k,
+                              std::optional<uint32_t> exclude,
+                              KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
-  internal_index::KnnCollector collector(k);
+  internal_index::KnnCollector collector(k, ctx);
   const size_t n = data_->size();
   const size_t dim = data_->dimension();
   const double* q = query.data();
@@ -56,19 +56,21 @@ Result<std::vector<Neighbor>> LinearScanIndex::Query(
       collector.Offer(i, rank[j]);
     }
   }
-  auto result = collector.Take();
-  internal_index::RanksToDistances(kern_, result);
-  return result;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> LinearScanIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status LinearScanIndex::QueryRadius(std::span<const double> query,
+                                    double radius,
+                                    std::optional<uint32_t> exclude,
+                                    KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  std::vector<Neighbor> result;
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
   const size_t n = data_->size();
   const size_t dim = data_->dimension();
   const double* q = query.data();
@@ -92,7 +94,73 @@ Result<std::vector<Neighbor>> LinearScanIndex::QueryRadius(
     }
   }
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
+}
+
+Status LinearScanIndex::QueryBatch(std::span<const uint32_t> point_ids,
+                                   size_t k, KnnSearchContext& ctx) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t n = data_->size();
+  for (uint32_t id : point_ids) {
+    if (id >= n) {
+      return Status::InvalidArgument(
+          StrFormat("point id %u out of range, dataset has %zu points",
+                    static_cast<unsigned>(id), n));
+    }
+  }
+  // One pass over the SoA blocks serves a whole tile of queries: the
+  // dataset is streamed from memory once per kTile queries instead of once
+  // per query, which is where the scan's wall-clock lives at large n. Per
+  // collector the offers still arrive in block order with ascending lanes —
+  // exactly the single-query sequence — so results are bit-identical.
+  constexpr size_t kTile = 16;
+  const size_t dim = data_->dimension();
+  const size_t num_blocks = view_->num_blocks();
+  auto& offsets = ctx.scratch.batch_offsets;
+  auto& flat = ctx.scratch.batch_flat;
+  offsets.clear();
+  flat.clear();
+  offsets.push_back(0);
+  auto& heaps = ctx.scratch.tile_heaps;
+  auto& accepted = ctx.scratch.tile_accepted;
+  if (heaps.size() < kTile) heaps.resize(kTile);
+  if (accepted.size() < kTile) accepted.resize(kTile);
+  internal_index::KnnCollector coll[kTile];
+  const double* qptr[kTile];
+  double rank[PointBlockView::kLanes];
+  for (size_t start = 0; start < point_ids.size(); start += kTile) {
+    const size_t tile = std::min(kTile, point_ids.size() - start);
+    for (size_t t = 0; t < tile; ++t) {
+      coll[t].Reset(k, heaps[t], accepted[t]);
+      qptr[t] = data_->point(point_ids[start + t]).data();
+    }
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const double* block = view_->block(b);
+      const size_t base = b * PointBlockView::kLanes;
+      const size_t lanes = std::min(PointBlockView::kLanes, n - base);
+      for (size_t t = 0; t < tile; ++t) {
+        kern_.rank_block(kern_.ctx, qptr[t], block, dim, rank);
+        const uint32_t skip = point_ids[start + t];
+        for (size_t j = 0; j < lanes; ++j) {
+          const uint32_t i = static_cast<uint32_t>(base + j);
+          if (i == skip) continue;
+          coll[t].Offer(i, rank[j]);
+        }
+      }
+    }
+    for (size_t t = 0; t < tile; ++t) {
+      coll[t].TakeInto(ctx.scratch.out);
+      internal_index::RanksToDistances(kern_, ctx.scratch.out);
+      flat.insert(flat.end(), ctx.scratch.out.begin(), ctx.scratch.out.end());
+      offsets.push_back(flat.size());
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace lofkit

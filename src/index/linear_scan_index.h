@@ -15,18 +15,26 @@ namespace lofkit {
 /// The scan iterates the dataset's blocked SoA layout (PointBlockView)
 /// with the metric's batch rank kernel: no per-pair virtual call, no
 /// per-pair span construction, and one sqrt per *reported* neighbor for
-/// squared-rank metrics instead of one per candidate.
+/// squared-rank metrics instead of one per candidate. QueryBatch tiles
+/// queries over the scan so each SoA block is streamed from memory once
+/// per tile of 16 queries instead of once per query.
 class LinearScanIndex final : public KnnIndex {
  public:
   LinearScanIndex() = default;
 
   Status Build(const Dataset& data, const Metric& metric) override;
-  Result<std::vector<Neighbor>> Query(
-      std::span<const double> query, size_t k,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
-  Result<std::vector<Neighbor>> QueryRadius(
-      std::span<const double> query, double radius,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
+
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override;
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override;
+  Status QueryBatch(std::span<const uint32_t> point_ids, size_t k,
+                    KnnSearchContext& ctx) const override;
+  const Dataset* dataset() const override { return data_; }
   std::string_view name() const override { return "linear_scan"; }
 
  private:

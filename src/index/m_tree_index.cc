@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/string_util.h"
 
@@ -225,41 +224,42 @@ void MTreeIndex::Split(uint32_t node_id) {
   }
 }
 
-Result<std::vector<Neighbor>> MTreeIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status MTreeIndex::Query(std::span<const double> query, size_t k,
+                         std::optional<uint32_t> exclude,
+                         KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
-  internal_index::KnnCollector collector(k);
+  internal_index::KnnCollector collector(k, ctx);
 
   // Best-first over (dmin, node, d(q, routing of node)); the routing
-  // distance powers the parent-distance pruning inside the node.
-  struct QueueEntry {
-    double dmin;
-    uint32_t node;
-    double routing_distance;  // NaN for the root (no routing object)
-    bool operator>(const QueueEntry& other) const {
-      return dmin > other.dmin;
-    }
+  // distance powers the parent-distance pruning inside the node. The
+  // min-heap lives in the context's keyed-frontier pool (key = dmin,
+  // aux = routing distance, NaN for the root) and is driven with
+  // push_heap/pop_heap — exactly what std::priority_queue would do,
+  // minus the per-query allocation.
+  using KeyedNode = KnnSearchContext::Scratch::KeyedNode;
+  const auto dmin_greater = [](const KeyedNode& a, const KeyedNode& b) {
+    return a.key > b.key;
   };
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue;
-  queue.push({0.0, root_, std::numeric_limits<double>::quiet_NaN()});
+  std::vector<KeyedNode>& queue = ctx.scratch.keyed_frontier;
+  queue.clear();
+  queue.push_back({0.0, root_, std::numeric_limits<double>::quiet_NaN()});
 
   while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
-    if (top.dmin > collector.Tau()) break;
+    std::pop_heap(queue.begin(), queue.end(), dmin_greater);
+    const KeyedNode top = queue.back();
+    queue.pop_back();
+    if (top.key > collector.Tau()) break;
     const Node& node = nodes_[top.node];
-    const bool have_routing = !std::isnan(top.routing_distance);
+    const bool have_routing = !std::isnan(top.aux);
     for (const Entry& entry : node.entries) {
       // Triangle-inequality pruning without a distance computation:
       // |d(q, routing) - d(object, routing)| lower-bounds d(q, object).
       if (have_routing) {
         const double lower =
-            std::abs(top.routing_distance - entry.parent_distance) -
+            std::abs(top.aux - entry.parent_distance) -
             (node.leaf ? 0.0 : entry.radius);
         if (lower > collector.Tau()) continue;
       }
@@ -278,23 +278,27 @@ Result<std::vector<Neighbor>> MTreeIndex::Query(
         const double dist = DistanceToQuery(query, entry.object);
         const double dmin = std::max(0.0, dist - entry.radius);
         if (dmin <= collector.Tau()) {
-          queue.push({dmin, entry.child, dist});
+          queue.push_back({dmin, entry.child, dist});
+          std::push_heap(queue.begin(), queue.end(), dmin_greater);
         }
       }
     }
   }
-  return collector.Take();
+  collector.TakeInto(ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> MTreeIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status MTreeIndex::QueryRadius(std::span<const double> query, double radius,
+                               std::optional<uint32_t> exclude,
+                               KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  std::vector<Neighbor> result;
-  std::vector<uint32_t> stack = {root_};
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
+  std::vector<uint32_t>& stack = ctx.scratch.stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     const uint32_t node_id = stack.back();
     stack.pop_back();
@@ -314,7 +318,7 @@ Result<std::vector<Neighbor>> MTreeIndex::QueryRadius(
     }
   }
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
 }
 
 size_t MTreeIndex::height() const {

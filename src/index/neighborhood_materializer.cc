@@ -48,28 +48,29 @@ size_t CountDistinctGroups(const Dataset& data,
 }
 
 // The full neighborhood query for one point, shared by the serial and the
-// parallel materialization paths. In distinct mode the query grows until
-// k_max distinct-coordinate neighbors are covered (or the whole dataset has
-// been fetched).
-Result<std::vector<Neighbor>> QueryNeighborhood(const Dataset& data,
-                                                const KnnIndex& index,
-                                                size_t k_max,
-                                                bool distinct_neighbors,
-                                                size_t i) {
+// parallel materialization paths; the list is left in ctx.results(). In
+// distinct mode the query grows until k_max distinct-coordinate neighbors
+// are covered (or the whole dataset has been fetched).
+Status QueryNeighborhood(const Dataset& data, const KnnIndex& index,
+                         size_t k_max, bool distinct_neighbors, size_t i,
+                         KnnSearchContext& ctx) {
   const uint32_t self = static_cast<uint32_t>(i);
   size_t query_k = k_max;
-  LOFKIT_ASSIGN_OR_RETURN(std::vector<Neighbor> list,
-                          index.Query(data.point(i), query_k, self));
+  LOFKIT_RETURN_IF_ERROR(index.Query(data.point(i), query_k, self, ctx));
   if (distinct_neighbors) {
-    while (CountDistinctGroups(data, list) < k_max &&
-           list.size() < data.size() - 1) {
+    while (CountDistinctGroups(data, ctx.results()) < k_max &&
+           ctx.results().size() < data.size() - 1) {
       query_k = std::min(query_k * 2, data.size() - 1);
-      LOFKIT_ASSIGN_OR_RETURN(list,
-                              index.Query(data.point(i), query_k, self));
+      LOFKIT_RETURN_IF_ERROR(index.Query(data.point(i), query_k, self, ctx));
     }
   }
-  return list;
+  return Status::OK();
 }
+
+// Points per QueryBatch call in non-distinct materialization. Large enough
+// for the linear scan's tiled batch override to amortize its dataset
+// streaming, small enough that the staged batch output stays cache-friendly.
+constexpr size_t kBatchChunk = 64;
 
 // Structural validation of one externally supplied neighbor list: indexes
 // in range, distances finite and non-negative, sorted by (distance, index).
@@ -120,15 +121,39 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;
-  m.offsets_.reserve(data.size() + 1);
+  const size_t n = data.size();
+  m.offsets_.reserve(n + 1);
   m.offsets_.push_back(0);
-  m.flat_.reserve(data.size() * k_max);
-  for (size_t i = 0; i < data.size(); ++i) {
-    LOFKIT_ASSIGN_OR_RETURN(
-        std::vector<Neighbor> list,
-        QueryNeighborhood(data, index, k_max, distinct_neighbors, i));
-    m.flat_.insert(m.flat_.end(), list.begin(), list.end());
-    m.offsets_.push_back(m.flat_.size());
+  m.flat_.reserve(n * k_max);
+  // One context for the whole pass: every query after the first few runs
+  // out of warmed scratch pools instead of fresh heap allocations.
+  KnnSearchContext ctx;
+  if (!distinct_neighbors) {
+    // The plain self-query pass goes through QueryBatch so engines with a
+    // real batch override (the linear scan's query tiling) get to amortize
+    // their data streaming across a whole chunk.
+    std::vector<uint32_t> ids;
+    for (size_t begin = 0; begin < n; begin += kBatchChunk) {
+      const size_t end = std::min(begin + kBatchChunk, n);
+      ids.resize(end - begin);
+      for (size_t j = 0; j < ids.size(); ++j) {
+        ids[j] = static_cast<uint32_t>(begin + j);
+      }
+      LOFKIT_RETURN_IF_ERROR(index.QueryBatch(ids, k_max, ctx));
+      for (size_t j = 0; j < ids.size(); ++j) {
+        const auto list = ctx.batch_results(j);
+        m.flat_.insert(m.flat_.end(), list.begin(), list.end());
+        m.offsets_.push_back(m.flat_.size());
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      LOFKIT_RETURN_IF_ERROR(
+          QueryNeighborhood(data, index, k_max, distinct_neighbors, i, ctx));
+      const auto list = ctx.results();
+      m.flat_.insert(m.flat_.end(), list.begin(), list.end());
+      m.offsets_.push_back(m.flat_.size());
+    }
   }
   return m;
 }
@@ -142,13 +167,43 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   const size_t n = data.size();
   std::vector<std::vector<Neighbor>> lists(n);
-  // ParallelFor aborts the other workers at their next point once any
-  // query fails, instead of letting them run their chunks to completion.
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
-    LOFKIT_ASSIGN_OR_RETURN(
-        lists[i], QueryNeighborhood(data, index, k_max, distinct_neighbors, i));
-    return Status::OK();
-  }));
+  // Workers shard whole chunks so each QueryBatch call stays within one
+  // worker; every worker owns one long-lived context (and id buffer),
+  // reused across its chunks — contexts are not thread-safe, worker ids
+  // make the assignment race-free. ParallelForWorker aborts the other
+  // workers at their next chunk once any query fails, instead of letting
+  // them run their chunks to completion.
+  const size_t num_chunks = (n + kBatchChunk - 1) / kBatchChunk;
+  const size_t num_workers =
+      std::min(ResolveThreadCount(threads), num_chunks);
+  std::vector<KnnSearchContext> ctxs(num_workers);
+  std::vector<std::vector<uint32_t>> ids(num_workers);
+  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+      num_chunks, threads, [&](size_t worker, size_t c) -> Status {
+        const size_t begin = c * kBatchChunk;
+        const size_t end = std::min(begin + kBatchChunk, n);
+        KnnSearchContext& ctx = ctxs[worker];
+        if (!distinct_neighbors) {
+          std::vector<uint32_t>& chunk_ids = ids[worker];
+          chunk_ids.resize(end - begin);
+          for (size_t j = 0; j < chunk_ids.size(); ++j) {
+            chunk_ids[j] = static_cast<uint32_t>(begin + j);
+          }
+          LOFKIT_RETURN_IF_ERROR(index.QueryBatch(chunk_ids, k_max, ctx));
+          for (size_t j = 0; j < chunk_ids.size(); ++j) {
+            const auto list = ctx.batch_results(j);
+            lists[begin + j].assign(list.begin(), list.end());
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            LOFKIT_RETURN_IF_ERROR(QueryNeighborhood(
+                data, index, k_max, distinct_neighbors, i, ctx));
+            const auto list = ctx.results();
+            lists[i].assign(list.begin(), list.end());
+          }
+        }
+        return Status::OK();
+      }));
 
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;

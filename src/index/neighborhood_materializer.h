@@ -46,8 +46,10 @@ class NeighborhoodMaterializer {
   NeighborhoodMaterializer& operator=(NeighborhoodMaterializer&&) noexcept =
       default;
 
-  /// Number of points.
-  size_t size() const { return offsets_.size() - 1; }
+  /// Number of points. A default-constructed or moved-from instance has an
+  /// empty offsets_ table; without the guard the unsigned subtraction would
+  /// wrap to SIZE_MAX.
+  size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
 
   /// The k the neighborhoods were materialized for (== MinPtsUB).
   size_t k_max() const { return k_max_; }

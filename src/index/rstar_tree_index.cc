@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <queue>
 
 #include "common/string_util.h"
 
@@ -626,28 +625,30 @@ void RStarTreeIndex::SplitNode(uint32_t node_id,
 // Queries
 // ---------------------------------------------------------------------------
 
-Result<std::vector<Neighbor>> RStarTreeIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status RStarTreeIndex::Query(std::span<const double> query, size_t k,
+                             std::optional<uint32_t> exclude,
+                             KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
-  internal_index::KnnCollector collector(k);
+  internal_index::KnnCollector collector(k, ctx);
   // Best-first search over nodes ordered by minimum possible rank
   // (squared distance for the L2 family); leaves are scanned with the
   // bounded gather kernel — one indirect call per leaf, early exit
-  // against the current kth rank.
-  using QueueEntry = std::pair<double, uint32_t>;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue;
+  // against the current kth rank. The min-heap lives in the context's
+  // frontier pool (push_heap/pop_heap with greater<> — exactly what
+  // std::priority_queue would do, minus the per-query allocation).
+  std::vector<std::pair<double, uint32_t>>& queue = ctx.scratch.frontier;
+  queue.clear();
   const double* raw = data_->raw().data();
   const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
-  std::vector<double> rank;
-  queue.emplace(0.0, root_);
+  std::vector<double>& rank = ctx.scratch.rank;
+  queue.emplace_back(0.0, root_);
   while (!queue.empty()) {
-    const auto [min_rank, node_id] = queue.top();
-    queue.pop();
+    std::pop_heap(queue.begin(), queue.end(), std::greater<>());
+    const auto [min_rank, node_id] = queue.back();
+    queue.pop_back();
     if (min_rank > collector.Tau()) break;
     const Node& node = nodes_[node_id];
     if (node.leaf) {
@@ -665,27 +666,33 @@ Result<std::vector<Neighbor>> RStarTreeIndex::Query(
       const Node& child = nodes_[child_id];
       const double child_rank = metric_->MinRankToBox(
           query, {child.mbr.data(), dim_}, {child.mbr.data() + dim_, dim_});
-      if (child_rank <= collector.Tau()) queue.emplace(child_rank, child_id);
+      if (child_rank <= collector.Tau()) {
+        queue.emplace_back(child_rank, child_id);
+        std::push_heap(queue.begin(), queue.end(), std::greater<>());
+      }
     }
   }
-  auto result = collector.Take();
-  internal_index::RanksToDistances(kern_, result);
-  return result;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> RStarTreeIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status RStarTreeIndex::QueryRadius(std::span<const double> query,
+                                   double radius,
+                                   std::optional<uint32_t> exclude,
+                                   KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  std::vector<Neighbor> result;
-  std::vector<uint32_t> stack = {root_};
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
+  std::vector<uint32_t>& stack = ctx.scratch.stack;
+  stack.assign(1, root_);
   const double* raw = data_->raw().data();
   const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
-  std::vector<double> rank;
+  std::vector<double>& rank = ctx.scratch.rank;
   while (!stack.empty()) {
     const uint32_t node_id = stack.back();
     stack.pop_back();
@@ -709,7 +716,7 @@ Result<std::vector<Neighbor>> RStarTreeIndex::QueryRadius(
     }
   }
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
 }
 
 size_t RStarTreeIndex::supernode_count() const {

@@ -65,9 +65,9 @@ void VaFileIndex::CellOf(size_t i, std::vector<double>& lo,
   }
 }
 
-Result<std::vector<Neighbor>> VaFileIndex::Query(
-    std::span<const double> query, size_t k,
-    std::optional<uint32_t> exclude) const {
+Status VaFileIndex::Query(std::span<const double> query, size_t k,
+                          std::optional<uint32_t> exclude,
+                          KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (k == 0) {
     return Status::InvalidArgument("k must be >= 1");
@@ -76,14 +76,16 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
 
   // Phase 1: filter on the approximations, entirely in rank space. rho is
   // the k-th smallest upper bound seen so far; any point whose lower bound
-  // exceeds rho can never be among the k nearest.
-  struct Candidate {
-    uint32_t index;
-    double lower;
-  };
-  std::vector<Candidate> candidates;
-  std::vector<double> upper_heap;  // max-heap of the k smallest upper bounds
-  std::vector<double> lo, hi;
+  // exceeds rho can never be among the k nearest. Candidates live in the
+  // context's Neighbor pool with `distance` holding the lower bound; the
+  // upper-bound heap uses the rank pool (scratch.heap belongs to the phase-2
+  // collector, whose constructor clears it).
+  std::vector<Neighbor>& candidates = ctx.scratch.candidates;
+  candidates.clear();
+  std::vector<double>& upper_heap = ctx.scratch.rank;
+  upper_heap.clear();  // max-heap of the k smallest upper bounds
+  std::vector<double>& lo = ctx.scratch.box_lo;
+  std::vector<double>& hi = ctx.scratch.box_hi;
   double rho = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < n; ++i) {
     if (exclude.has_value() && *exclude == i) continue;
@@ -91,7 +93,7 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
     const double lower = metric_->MinRankToBox(query, lo, hi);
     if (lower > rho) continue;
     const double upper = metric_->MaxRankToBox(query, lo, hi);
-    candidates.push_back(Candidate{static_cast<uint32_t>(i), lower});
+    candidates.push_back(Neighbor{static_cast<uint32_t>(i), lower});
     upper_heap.push_back(upper);
     std::push_heap(upper_heap.begin(), upper_heap.end());
     if (upper_heap.size() > k) {
@@ -105,32 +107,34 @@ Result<std::vector<Neighbor>> VaFileIndex::Query(
   // early-exit kernel bounded by the exact kth rank found so far; stop
   // once the next lower bound exceeds it.
   std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.lower < b.lower;
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
             });
-  internal_index::KnnCollector collector(k);
+  internal_index::KnnCollector collector(k, ctx);
   const double* raw = data_->raw().data();
-  for (const Candidate& candidate : candidates) {
-    if (candidate.lower > collector.Tau()) break;
+  for (const Neighbor& candidate : candidates) {
+    if (candidate.distance > collector.Tau()) break;
     collector.Offer(candidate.index,
                     kern_.rank_bounded(kern_.ctx, query.data(),
                                        raw + size_t{candidate.index} * dim_,
                                        dim_, collector.Tau()));
   }
-  auto result = collector.Take();
-  internal_index::RanksToDistances(kern_, result);
-  return result;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
 }
 
-Result<std::vector<Neighbor>> VaFileIndex::QueryRadius(
-    std::span<const double> query, double radius,
-    std::optional<uint32_t> exclude) const {
+Status VaFileIndex::QueryRadius(std::span<const double> query, double radius,
+                                std::optional<uint32_t> exclude,
+                                KnnSearchContext& ctx) const {
   LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
   if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  std::vector<Neighbor> result;
-  std::vector<double> lo, hi;
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
+  std::vector<double>& lo = ctx.scratch.box_lo;
+  std::vector<double>& hi = ctx.scratch.box_hi;
   const double* raw = data_->raw().data();
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
   for (size_t i = 0; i < data_->size(); ++i) {
@@ -144,7 +148,7 @@ Result<std::vector<Neighbor>> VaFileIndex::QueryRadius(
     if (dist <= radius) result.push_back(Neighbor{static_cast<uint32_t>(i), dist});
   }
   internal_index::SortNeighbors(result);
-  return result;
+  return Status::OK();
 }
 
 }  // namespace lofkit

@@ -25,12 +25,16 @@ class VaFileIndex final : public KnnIndex {
       : bits_(bits_per_dimension) {}
 
   Status Build(const Dataset& data, const Metric& metric) override;
-  Result<std::vector<Neighbor>> Query(
-      std::span<const double> query, size_t k,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
-  Result<std::vector<Neighbor>> QueryRadius(
-      std::span<const double> query, double radius,
-      std::optional<uint32_t> exclude = std::nullopt) const override;
+
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override;
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override;
+  const Dataset* dataset() const override { return data_; }
   std::string_view name() const override { return "va_file"; }
 
   /// Number of quantization intervals per dimension.

@@ -1,0 +1,172 @@
+// Steady-state allocation tests for the kNN search-context paths.
+//
+// The point of KnnSearchContext is that after a few warm-up queries every
+// scratch vector has reached its high-water capacity and the per-query hot
+// path performs no heap allocation at all. These tests enforce that with a
+// global operator-new hook: run warm-up queries, switch the counter on,
+// run more queries of the same shape, and require the count to be zero.
+//
+// The hook counts every allocation in the process while armed, so the
+// armed region must contain nothing but the query calls themselves.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+void NoteAllocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// Replace every replaceable allocation form; deallocation forms are left
+// alone (the default ones match malloc/free with these).
+void* operator new(size_t size) {
+  NoteAllocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  NoteAllocation();
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(size_t size, std::align_val_t align) {
+  NoteAllocation();
+  if (void* p = std::aligned_alloc(static_cast<size_t>(align),
+                                   (size + static_cast<size_t>(align) - 1) &
+                                       ~(static_cast<size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace lofkit {
+namespace {
+
+class AllocationGuard {
+ public:
+  AllocationGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationGuard() { g_counting.store(false, std::memory_order_relaxed); }
+  size_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+Dataset MakeData(size_t dim, size_t n) {
+  Rng rng(99);
+  auto ds = generators::MakePerformanceWorkload(rng, dim, n, 4);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+template <typename Index>
+void ExpectZeroSteadyStateAllocations(const char* label) {
+  Dataset data = MakeData(5, 2000);
+  Index index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+
+  KnnSearchContext ctx;
+  constexpr size_t kK = 20;
+  const double radius = 8.0;
+
+  // Warm up: grows every scratch pool to its steady-state capacity. Use
+  // the largest query shapes the measured phase will see.
+  for (uint32_t q = 0; q < 64; ++q) {
+    ASSERT_TRUE(index.Query(data.point(q), kK, q, ctx).ok());
+    ASSERT_TRUE(
+        index.QueryRadius(data.point(q), radius, std::nullopt, ctx).ok());
+  }
+  std::vector<uint32_t> ids(64);
+  for (uint32_t j = 0; j < 64; ++j) ids[j] = 200 + j;
+  ASSERT_TRUE(index.QueryBatch(ids, kK, ctx).ok());
+
+  // Measured phase: rerun the very same queries (so no scratch pool can
+  // legitimately need more capacity than warm-up established); the work is
+  // recomputed in full, and zero allocations are allowed.
+  {
+    AllocationGuard guard;
+    for (uint32_t q = 0; q < 64; ++q) {
+      Status s = index.Query(data.point(q), kK, q, ctx);
+      ASSERT_TRUE(s.ok());
+      Status r = index.QueryRadius(data.point(q), radius, std::nullopt, ctx);
+      ASSERT_TRUE(r.ok());
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << label << ": single-query steady state allocated";
+  }
+  {
+    AllocationGuard guard;
+    Status s = index.QueryBatch(ids, kK, ctx);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(guard.count(), 0u)
+        << label << ": batched steady state allocated";
+  }
+}
+
+TEST(AllocationTest, LinearScanSteadyStateIsAllocationFree) {
+  ExpectZeroSteadyStateAllocations<LinearScanIndex>("linear_scan");
+}
+
+TEST(AllocationTest, KdTreeSteadyStateIsAllocationFree) {
+  ExpectZeroSteadyStateAllocations<KdTreeIndex>("kd_tree");
+}
+
+TEST(AllocationTest, HookSeesAllocations) {
+  // Sanity check that the hook is actually armed in this binary.
+  AllocationGuard guard;
+  auto* p = new std::vector<double>(100);
+  delete p;
+  EXPECT_GT(guard.count(), 0u);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,6 +1,9 @@
 #include "index/index_factory.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +119,151 @@ TEST_P(IndexConformanceTest, RadiusMatchesLinearScan) {
     ASSERT_EQ(actual->size(), expected->size());
     for (size_t i = 0; i < expected->size(); ++i) {
       EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, ContextReuseMatchesWrapper) {
+  // One KnnSearchContext reused across many kNN and radius queries must be
+  // bit-identical to the allocating wrappers: same accumulation, same tie
+  // order, same doubles.
+  const EngineCase& param = GetParam();
+  Rng rng(5000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 350);
+
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  KnnSearchContext ctx;
+  for (size_t trial = 0; trial < 25; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    const size_t k = 1 + rng.UniformU64(15);
+    auto expected = engine->Query(data.point(q), k,
+                                  static_cast<uint32_t>(q));
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(engine->Query(data.point(q), k, static_cast<uint32_t>(q),
+                              ctx).ok());
+    const std::span<const Neighbor> actual = ctx.results();
+    ASSERT_EQ(actual.size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ(actual[i].index, (*expected)[i].index);
+      EXPECT_EQ(actual[i].distance, (*expected)[i].distance);  // bitwise
+    }
+
+    const double radius = rng.Uniform(0.0, 25.0);
+    auto expected_ball = engine->QueryRadius(data.point(q), radius);
+    ASSERT_TRUE(expected_ball.ok());
+    ASSERT_TRUE(
+        engine->QueryRadius(data.point(q), radius, std::nullopt, ctx).ok());
+    const std::span<const Neighbor> ball = ctx.results();
+    ASSERT_EQ(ball.size(), expected_ball->size());
+    for (size_t i = 0; i < expected_ball->size(); ++i) {
+      EXPECT_EQ(ball[i].index, (*expected_ball)[i].index);
+      EXPECT_EQ(ball[i].distance, (*expected_ball)[i].distance);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, QueryBatchMatchesWrapper) {
+  // The batched self-query path (including engine overrides such as the
+  // linear scan's tiled kernel) must reproduce the single-query wrapper
+  // exactly for every point, at several batch shapes.
+  const EngineCase& param = GetParam();
+  Rng rng(6000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 300);
+
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  KnnSearchContext ctx;
+  // Batch sizes straddle the tile width used by blocked kernels.
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{16}, size_t{61}}) {
+    std::vector<uint32_t> ids;
+    for (size_t begin = 0; begin < data.size(); begin += batch) {
+      const size_t end = std::min(begin + batch, data.size());
+      ids.resize(end - begin);
+      for (size_t j = 0; j < ids.size(); ++j) {
+        ids[j] = static_cast<uint32_t>(begin + j);
+      }
+      ASSERT_TRUE(engine->QueryBatch(ids, 9, ctx).ok());
+      ASSERT_EQ(ctx.batch_size(), ids.size());
+      for (size_t j = 0; j < ids.size(); ++j) {
+        auto expected = engine->Query(data.point(ids[j]), 9, ids[j]);
+        ASSERT_TRUE(expected.ok());
+        const std::span<const Neighbor> actual = ctx.batch_results(j);
+        ASSERT_EQ(actual.size(), expected->size())
+            << "batch " << batch << " id " << ids[j];
+        for (size_t i = 0; i < expected->size(); ++i) {
+          EXPECT_EQ(actual[i].index, (*expected)[i].index);
+          EXPECT_EQ(actual[i].distance, (*expected)[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, QueryBatchRejectsBadIds) {
+  const EngineCase& param = GetParam();
+  Rng rng(6500 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 50);
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+  KnnSearchContext ctx;
+  const uint32_t bad[] = {0, static_cast<uint32_t>(data.size())};
+  EXPECT_EQ(engine->QueryBatch(bad, 3, ctx).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(IndexConformanceTest, RadiusBoundaryExcludeAndOrder) {
+  // Definition 1 uses a closed ball: a point at exactly the query radius is
+  // part of the neighborhood. Pick the radius as the *exact* distance of a
+  // mid-ranked point so the boundary case is always exercised, then check
+  // inclusivity, exclude semantics, and (distance, index) ordering.
+  const EngineCase& param = GetParam();
+  Rng rng(7000 + param.dim);
+  Dataset data = MakeRandomClustered(rng, param.dim, 250);
+
+  auto engine = CreateIndex(param.kind);
+  ASSERT_TRUE(engine->Build(data, *param.metric).ok());
+
+  for (size_t trial = 0; trial < 10; ++trial) {
+    const size_t q = rng.UniformU64(data.size());
+    std::vector<double> dist(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      dist[i] = param.metric->Distance(data.point(q), data.point(i));
+    }
+    std::vector<double> sorted = dist;
+    std::sort(sorted.begin(), sorted.end());
+    const double radius = sorted[data.size() / 3];  // an exact distance
+    size_t expected_count = 0;
+    for (double d : dist) {
+      if (d <= radius) ++expected_count;
+    }
+
+    auto ball = engine->QueryRadius(data.point(q), radius);
+    ASSERT_TRUE(ball.ok()) << ball.status();
+    // Closed-ball inclusivity: the boundary point itself must be present.
+    ASSERT_EQ(ball->size(), expected_count);
+    bool boundary_seen = false;
+    for (const Neighbor& n : *ball) {
+      EXPECT_LE(n.distance, radius);
+      if (n.distance == radius) boundary_seen = true;
+    }
+    EXPECT_TRUE(boundary_seen);
+    // Sorted by (distance, index), and the self point (distance 0) present.
+    for (size_t i = 1; i < ball->size(); ++i) {
+      const Neighbor& a = (*ball)[i - 1];
+      const Neighbor& b = (*ball)[i];
+      EXPECT_TRUE(a.distance < b.distance ||
+                  (a.distance == b.distance && a.index < b.index));
+    }
+    // Exclude semantics: dropping q removes exactly that one entry.
+    auto excl = engine->QueryRadius(data.point(q), radius,
+                                    static_cast<uint32_t>(q));
+    ASSERT_TRUE(excl.ok());
+    EXPECT_EQ(excl->size(), ball->size() - 1);
+    for (const Neighbor& n : *excl) {
+      EXPECT_NE(n.index, static_cast<uint32_t>(q));
     }
   }
 }
@@ -449,13 +597,15 @@ TEST(MTreeIndexTest, AngularKnnMatchesLinearScan) {
 }
 
 TEST(KnnCollectorTest, KeepsTiesAndFiltersStaleAccepts) {
-  internal_index::KnnCollector collector(2);
+  KnnSearchContext ctx;
+  internal_index::KnnCollector collector(2, ctx);
   collector.Offer(0, 5.0);
   collector.Offer(1, 4.0);
   collector.Offer(2, 1.0);  // pushes tau down to 4.0
   collector.Offer(3, 4.0);  // tie at tau stays
   collector.Offer(4, 6.0);  // above tau, rejected
-  auto result = collector.Take();
+  std::vector<Neighbor> result;
+  collector.TakeInto(result);
   ASSERT_EQ(result.size(), 3u);  // 1.0, 4.0, 4.0 — 5.0 filtered as stale
   EXPECT_EQ(result[0].index, 2u);
   EXPECT_EQ(result[1].index, 1u);

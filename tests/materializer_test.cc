@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -369,6 +370,19 @@ TEST(MaterializerTest, SizeOfMIsDimensionIndependent) {
     // essentially impossible: expect exactly n * k entries.
     EXPECT_EQ(m->total_neighbor_count(), 200u * 10u);
   }
+}
+
+TEST(MaterializerTest, SizeIsZeroAfterMoveNotUnderflowed) {
+  // Regression: size() used to compute offsets_.size() - 1 unguarded, so a
+  // moved-from materializer (empty offsets table) reported SIZE_MAX points
+  // and any loop over [0, size()) walked off the end.
+  Dataset data = MakeLine(12);
+  auto m = MaterializeLine(data, 3);
+  EXPECT_EQ(m.size(), 12u);
+  NeighborhoodMaterializer stolen = std::move(m);
+  EXPECT_EQ(stolen.size(), 12u);
+  EXPECT_EQ(m.size(), 0u);  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_EQ(m.total_neighbor_count(), 0u);
 }
 
 }  // namespace

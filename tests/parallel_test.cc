@@ -242,20 +242,24 @@ class FailingIndex : public KnnIndex {
     return inner_.Build(data, metric);
   }
 
-  Result<std::vector<Neighbor>> Query(
-      std::span<const double> query, size_t k,
-      std::optional<uint32_t> exclude) const override {
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override {
     if (exclude.has_value() && *exclude >= fail_from_) {
       return Status::Internal("synthetic query failure");
     }
-    return inner_.Query(query, k, exclude);
+    return inner_.Query(query, k, exclude, ctx);
   }
 
-  Result<std::vector<Neighbor>> QueryRadius(
-      std::span<const double> query, double radius,
-      std::optional<uint32_t> exclude) const override {
-    return inner_.QueryRadius(query, radius, exclude);
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override {
+    return inner_.QueryRadius(query, radius, exclude, ctx);
   }
+
+  const Dataset* dataset() const override { return inner_.dataset(); }
 
   std::string_view name() const override { return "failing"; }
 
