@@ -30,13 +30,30 @@ using namespace lofkit::bench;   // NOLINT
 
 namespace {
 
-double MaterializeSeconds(const Dataset& data, KnnIndex& index, size_t k) {
+// Times the build + materialization and, when `stats` is given, collects
+// the engine's query-cost counters alongside — the paper argues Figure 10
+// in page accesses, so the JSON rows carry both views of the same run.
+double MaterializeSeconds(const Dataset& data, KnnIndex& index, size_t k,
+                          QueryStats* stats = nullptr) {
   Stopwatch watch;
   CheckOk(index.Build(data, Euclidean()), "Build");
-  auto m = CheckOk(NeighborhoodMaterializer::Materialize(data, index, k),
+  PipelineObserver observer;
+  observer.query_stats = stats;
+  auto m = CheckOk(NeighborhoodMaterializer::Materialize(
+                       data, index, k, /*distinct_neighbors=*/false, observer),
                    "Materialize");
   (void)m;
   return watch.ElapsedSeconds();
+}
+
+// Counter columns shared by every JSON row: exact distance evaluations and
+// the paper's node/page-access quantity (internal node expansions plus
+// leaf/block scans, so sequential scans report their block count here).
+std::vector<std::pair<std::string, double>> CounterMetrics(
+    double seconds, const QueryStats& stats) {
+  return {{"seconds", seconds},
+          {"distance_evals", static_cast<double>(stats.distance_evals)},
+          {"node_visits", static_cast<double>(stats.page_accesses())}};
 }
 
 std::string Case(size_t n, size_t d) {
@@ -68,8 +85,9 @@ int main() {
       auto data = CheckOk(generators::MakePerformanceWorkload(rng, d, n, 10),
                           "workload");
       RStarTreeIndex tree;
-      const double seconds = MaterializeSeconds(data, tree, k);
-      report.Add(Case(n, d), {{"seconds", seconds}});
+      QueryStats stats;
+      const double seconds = MaterializeSeconds(data, tree, k, &stats);
+      report.Add(Case(n, d), CounterMetrics(seconds, stats));
       std::printf("  %-9.3f", seconds);
       if (d == 2 && n == sizes.front()) first_d2 = seconds;
       if (d == 2 && n == sizes.back()) last_d2 = seconds;
@@ -79,8 +97,9 @@ int main() {
       auto data = CheckOk(generators::MakePerformanceWorkload(rng, 5, n, 10),
                           "workload");
       LinearScanIndex scan;
-      const double seconds = MaterializeSeconds(data, scan, k);
-      report.Add(Case(n, 5) + "_scan", {{"seconds", seconds}});
+      QueryStats stats;
+      const double seconds = MaterializeSeconds(data, scan, k, &stats);
+      report.Add(Case(n, 5) + "_scan", CounterMetrics(seconds, stats));
       std::printf("  %-9.3f", seconds);
     }
     std::printf("\n");
@@ -108,16 +127,24 @@ int main() {
   const std::vector<unsigned> thread_counts =
       smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
   for (unsigned threads : thread_counts) {
+    QueryStats stats;
+    PipelineObserver observer;
+    observer.query_stats = &stats;
     Stopwatch watch;
     auto m = CheckOk(NeighborhoodMaterializer::MaterializeParallel(
-                         data, tree, k, threads),
+                         data, tree, k, threads,
+                         /*distinct_neighbors=*/false, observer),
                      "MaterializeParallel");
     (void)m;
     const double seconds = watch.ElapsedSeconds();
     if (threads == 1) serial_seconds = seconds;
-    report.Add("threads=" + std::to_string(threads),
-               {{"seconds", seconds},
-                {"speedup", seconds > 0 ? serial_seconds / seconds : 0.0}});
+    // The counter columns double as a determinism witness: per-worker
+    // shards are summed after the join, so every row reports the same
+    // distance_evals / node_visits regardless of the thread count.
+    auto metrics = CounterMetrics(seconds, stats);
+    metrics.emplace_back("speedup",
+                         seconds > 0 ? serial_seconds / seconds : 0.0);
+    report.Add("threads=" + std::to_string(threads), std::move(metrics));
     std::printf("%-8u %-10.3f %.2fx\n", threads, seconds,
                 seconds > 0 ? serial_seconds / seconds : 0.0);
   }

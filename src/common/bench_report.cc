@@ -5,20 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace lofkit {
 
 namespace {
-
-// Escapes the two characters worth escaping in code-controlled names.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 void AppendNumber(std::ostringstream& os, double v) {
   if (!std::isfinite(v)) {

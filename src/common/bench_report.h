@@ -23,8 +23,9 @@ class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
 
-  /// Appends one row. Keys and case names must not contain characters
-  /// needing JSON escaping beyond `"` and `\` (they are code-controlled).
+  /// Appends one row. Keys and case names are fully JSON-escaped on
+  /// serialization (quotes, backslashes, and control characters such as
+  /// newlines or tabs), so any string is safe here.
   void Add(const std::string& case_name,
            std::vector<std::pair<std::string, double>> metrics);
 

@@ -5,11 +5,18 @@
 #include <cstring>
 #include <string>
 
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace lofkit {
 
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<internal_logging::LogSink> g_sink{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -30,6 +37,25 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// One write() syscall per line: POSIX guarantees writes to the same file
+// description are not interleaved with each other, so parallel workers
+// emit whole lines. stdio fwrite would also lock the FILE, but routing
+// around the FILE buffer makes the no-mid-line-interleave property
+// independent of any buffering mode the host process set on stderr.
+void WriteWholeLine(const char* data, size_t size) {
+#ifdef _WIN32
+  std::fwrite(data, 1, size, stderr);
+  std::fflush(stderr);
+#else
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(2, data + written, size - written);
+    if (n <= 0) return;  // stderr gone; nothing sensible left to do
+    written += static_cast<size_t>(n);
+  }
+#endif
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -41,6 +67,10 @@ LogLevel GetLogLevel() {
 }
 
 namespace internal_logging {
+
+LogSink SetLogSinkForTest(LogSink sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -55,7 +85,12 @@ LogMessage::~LogMessage() {
   }
   std::string line = stream_.str();
   line.push_back('\n');
-  std::fwrite(line.data(), 1, line.size(), stderr);
+  if (LogSink sink = g_sink.load(std::memory_order_acquire);
+      sink != nullptr) {
+    sink(line.data(), line.size());
+    return;
+  }
+  WriteWholeLine(line.data(), line.size());
 }
 
 }  // namespace internal_logging

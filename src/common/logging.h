@@ -1,6 +1,7 @@
 #ifndef LOFKIT_COMMON_LOGGING_H_
 #define LOFKIT_COMMON_LOGGING_H_
 
+#include <cstddef>
 #include <sstream>
 
 namespace lofkit {
@@ -8,8 +9,9 @@ namespace lofkit {
 /// Severity for the minimal logger used by long-running experiment drivers.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default kInfo). Thread-compatible:
-/// call before spawning work.
+/// Sets the minimum level that is emitted (default kInfo). Thread-safe: the
+/// level is an atomic, so it may be changed while workers are logging (each
+/// message observes either the old or the new level, never a torn value).
 void SetLogLevel(LogLevel level);
 
 /// Current minimum level.
@@ -17,8 +19,19 @@ LogLevel GetLogLevel();
 
 namespace internal_logging {
 
-/// Stream-style log line; emits to stderr on destruction when its level
-/// passes the filter.
+/// Receives fully formatted log lines (including the trailing newline).
+/// Installed for tests; must be safe to call from multiple threads.
+using LogSink = void (*)(const char* data, size_t size);
+
+/// Replaces the output destination; nullptr restores the default, which
+/// emits each line with one write() to stderr so lines from parallel
+/// workers never interleave mid-line. Returns the previously installed
+/// sink.
+LogSink SetLogSinkForTest(LogSink sink);
+
+/// Stream-style log line; emits on destruction when its level passes the
+/// filter. Each message is flushed as a single write so concurrent workers
+/// produce whole lines, never interleaved fragments.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,332 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder()
+    : origin_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin_)
+      .count();
+}
+
+void TraceRecorder::AddSpan(const std::string& name, uint32_t tid,
+                            double start_seconds, double end_seconds) {
+  Event event;
+  event.name = name;
+  event.tid = tid;
+  event.start_us = start_seconds * 1e6;
+  event.dur_us = std::max(0.0, (end_seconds - start_seconds) * 1e6);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddInstant(const std::string& name, uint32_t tid,
+                               double at_seconds) {
+  Event event;
+  event.name = name;
+  event.tid = tid;
+  event.start_us = at_seconds * 1e6;
+  event.dur_us = -1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+namespace {
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os.precision(17);
+  os << v;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) os << ",\n ";
+    os << "{\"name\": \"" << JsonEscape(e.name)
+       << "\", \"cat\": \"lofkit\", \"ph\": \""
+       << (e.dur_us < 0.0 ? 'i' : 'X') << "\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": ";
+    AppendJsonNumber(os, e.start_us);
+    if (e.dur_us >= 0.0) {
+      os << ", \"dur\": ";
+      AppendJsonNumber(os, e.dur_us);
+    } else {
+      os << ", \"s\": \"t\"";
+    }
+    os << "}";
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(size_t shards) {
+  shards_.resize(std::max<size_t>(shards, 1));
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Register(const std::string& name,
+                                                    Kind kind) {
+  for (MetricId id = 0; id < definitions_.size(); ++id) {
+    if (definitions_[id].name == name) {
+      assert(definitions_[id].kind == kind &&
+             "metric re-registered under a different kind");
+      return id;
+    }
+  }
+  Definition def;
+  def.name = name;
+  def.kind = kind;
+  const MetricId id = static_cast<MetricId>(definitions_.size());
+  switch (kind) {
+    case Kind::kCounter:
+      def.slot = static_cast<uint32_t>(shards_[0].counters.size());
+      for (Shard& shard : shards_) shard.counters.push_back(0);
+      break;
+    case Kind::kGauge:
+      def.slot = static_cast<uint32_t>(shards_[0].gauges.size());
+      for (Shard& shard : shards_) {
+        shard.gauges.push_back(0.0);
+        shard.gauge_set.push_back(0);
+      }
+      break;
+    case Kind::kHistogram:
+      def.slot = static_cast<uint32_t>(histogram_layouts_.size());
+      break;
+  }
+  definitions_.push_back(std::move(def));
+  return id;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Counter(const std::string& name) {
+  return Register(name, Kind::kCounter);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Gauge(const std::string& name) {
+  return Register(name, Kind::kGauge);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Histogram(const std::string& name,
+                                                     double lo, double hi,
+                                                     size_t buckets) {
+  assert(lo > 0.0 && hi > lo && buckets >= 1 && buckets <= 512 &&
+         "histogram bounds must satisfy 0 < lo < hi, 1 <= buckets <= 512");
+  const MetricId id = Register(name, Kind::kHistogram);
+  if (definitions_[id].slot < histogram_layouts_.size()) {
+    return id;  // pre-existing histogram: keep its original layout
+  }
+  HistogramLayout layout;
+  layout.lo = lo;
+  layout.hi = hi;
+  layout.upper_bounds.resize(buckets);
+  const double ratio = hi / lo;
+  for (size_t b = 0; b < buckets; ++b) {
+    layout.upper_bounds[b] =
+        lo * std::pow(ratio, static_cast<double>(b + 1) /
+                                 static_cast<double>(buckets));
+  }
+  layout.upper_bounds.back() = hi;  // no rounding drift at the top edge
+  histogram_layouts_.push_back(std::move(layout));
+  for (Shard& shard : shards_) {
+    shard.hist_counts.emplace_back(buckets + 2, 0);
+    shard.hist_sum.push_back(0.0);
+  }
+  return id;
+}
+
+const MetricsRegistry::Definition& MetricsRegistry::Checked(MetricId id,
+                                                            Kind kind) const {
+  assert(id < definitions_.size() && "unknown metric id");
+  const Definition& def = definitions_[id];
+  assert(def.kind == kind && "metric used with the wrong kind");
+  (void)kind;
+  return def;
+}
+
+void MetricsRegistry::Add(MetricId id, uint64_t delta, size_t shard) {
+  const Definition& def = Checked(id, Kind::kCounter);
+  shards_[shard].counters[def.slot] += delta;
+}
+
+void MetricsRegistry::Set(MetricId id, double value, size_t shard) {
+  const Definition& def = Checked(id, Kind::kGauge);
+  shards_[shard].gauges[def.slot] = value;
+  shards_[shard].gauge_set[def.slot] = 1;
+}
+
+void MetricsRegistry::Record(MetricId id, double value, size_t shard) {
+  const Definition& def = Checked(id, Kind::kHistogram);
+  const HistogramLayout& layout = histogram_layouts_[def.slot];
+  if (std::isnan(value)) return;  // NaN has no bucket; drop it
+  Shard& s = shards_[shard];
+  std::vector<uint64_t>& counts = s.hist_counts[def.slot];
+  // counts[0] is underflow (< lo), counts[last] is overflow (> hi);
+  // bucket b in between covers (prev_bound, upper_bounds[b-1]] with lo as
+  // the closed lower edge of the first bucket.
+  size_t slot;
+  if (value < layout.lo) {
+    slot = 0;
+  } else if (value > layout.hi) {
+    slot = counts.size() - 1;
+  } else {
+    const auto it = std::lower_bound(layout.upper_bounds.begin(),
+                                     layout.upper_bounds.end(), value);
+    slot = 1 + static_cast<size_t>(it - layout.upper_bounds.begin());
+  }
+  ++counts[slot];
+  s.hist_sum[def.slot] += value;
+}
+
+void MetricsRegistry::AddQueryStats(const std::string& prefix,
+                                    const QueryStats& stats, size_t shard) {
+  Add(Counter(prefix + ".queries"), stats.queries, shard);
+  Add(Counter(prefix + ".distance_evals"), stats.distance_evals, shard);
+  Add(Counter(prefix + ".rank_prune_hits"), stats.rank_prune_hits, shard);
+  Add(Counter(prefix + ".node_visits"), stats.node_visits, shard);
+  Add(Counter(prefix + ".leaf_visits"), stats.leaf_visits, shard);
+  Add(Counter(prefix + ".heap_pushes"), stats.heap_pushes, shard);
+  Add(Counter(prefix + ".va_refinements"), stats.va_refinements, shard);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Aggregate() const {
+  Snapshot snapshot;
+  for (const Definition& def : definitions_) {
+    switch (def.kind) {
+      case Kind::kCounter: {
+        Snapshot::CounterValue value;
+        value.name = def.name;
+        for (const Shard& shard : shards_) {
+          value.value += shard.counters[def.slot];
+        }
+        snapshot.counters.push_back(std::move(value));
+        break;
+      }
+      case Kind::kGauge: {
+        Snapshot::GaugeValue value;
+        value.name = def.name;
+        for (const Shard& shard : shards_) {
+          if (shard.gauge_set[def.slot]) {
+            value.value = shard.gauges[def.slot];
+            value.set = true;
+          }
+        }
+        snapshot.gauges.push_back(std::move(value));
+        break;
+      }
+      case Kind::kHistogram: {
+        const HistogramLayout& layout = histogram_layouts_[def.slot];
+        Snapshot::HistogramValue value;
+        value.name = def.name;
+        value.lo = layout.lo;
+        value.hi = layout.hi;
+        value.upper_bounds = layout.upper_bounds;
+        value.counts.assign(layout.upper_bounds.size(), 0);
+        for (const Shard& shard : shards_) {
+          const std::vector<uint64_t>& counts = shard.hist_counts[def.slot];
+          value.underflow += counts.front();
+          value.overflow += counts.back();
+          for (size_t b = 0; b < value.counts.size(); ++b) {
+            value.counts[b] += counts[b + 1];
+          }
+          value.sum += shard.hist_sum[def.slot];
+        }
+        value.total_count = value.underflow + value.overflow;
+        for (uint64_t c : value.counts) value.total_count += c;
+        snapshot.histograms.push_back(std::move(value));
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << JsonEscape(counters[i].name) << "\": "
+       << counters[i].value;
+  }
+  os << "},\n \"gauges\": {";
+  bool first = true;
+  for (const GaugeValue& gauge : gauges) {
+    if (!gauge.set) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(gauge.name) << "\": ";
+    AppendJsonNumber(os, gauge.value);
+  }
+  os << "},\n \"histograms\": {";
+  for (size_t h = 0; h < histograms.size(); ++h) {
+    const HistogramValue& hist = histograms[h];
+    if (h > 0) os << ",\n  ";
+    os << "\"" << JsonEscape(hist.name) << "\": {\"lo\": ";
+    AppendJsonNumber(os, hist.lo);
+    os << ", \"hi\": ";
+    AppendJsonNumber(os, hist.hi);
+    os << ", \"count\": " << hist.total_count << ", \"sum\": ";
+    AppendJsonNumber(os, hist.sum);
+    os << ", \"underflow\": " << hist.underflow
+       << ", \"overflow\": " << hist.overflow << ", \"buckets\": [";
+    for (size_t b = 0; b < hist.counts.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"le\": ";
+      AppendJsonNumber(os, hist.upper_bounds[b]);
+      os << ", \"count\": " << hist.counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << Aggregate().ToJson();
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace lofkit

@@ -25,6 +25,13 @@ Result<uint64_t> ParseU64(std::string_view input);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `input` for embedding inside a JSON string literal: `"` and `\`
+/// are backslash-escaped, the named control characters become \b \f \n \r
+/// \t, and every other control byte (< 0x20) becomes \u00XX. Without the
+/// control-character handling a newline or tab in a case name produces
+/// invalid JSON that strict parsers reject.
+std::string JsonEscape(std::string_view input);
+
 }  // namespace lofkit
 
 #endif  // LOFKIT_COMMON_STRING_UTIL_H_

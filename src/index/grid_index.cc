@@ -170,6 +170,8 @@ Status GridIndex::Query(std::span<const double> query, size_t k,
   // center cell, so larger shells cannot contain any points. The collector
   // holds rank-space values throughout (squared distances for L2).
   const int64_t max_shell = static_cast<int64_t>(cells_per_dim_) - 1;
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   for (int64_t shell = 0; shell <= max_shell; ++shell) {
     if (shell > 0) {
       // Everything on this shell and beyond lies outside the box of cells
@@ -191,20 +193,30 @@ Status GridIndex::Query(std::span<const double> query, size_t k,
       }
       if (PruneRankLowerBound(kern_.squared, bound) > collector.Tau()) break;
     }
+    // Each enumerated shell is one "directory" expansion of the search.
+    if (stats != nullptr) ++stats->node_visits;
     VisitShell(center, shell, ctx.scratch.cell_b, ctx.scratch.cell_c,
                [&](const std::vector<uint32_t>& bucket,
                    std::span<const int64_t> cell) {
                  CellBounds(cell, cell_lo, cell_hi);
                  if (metric_->MinRankToBox(query, cell_lo, cell_hi) >
                      collector.Tau()) {
+                   if (stats != nullptr) ++stats->rank_prune_hits;
                    return;
+                 }
+                 if (stats != nullptr) {
+                   ++stats->leaf_visits;
+                   stats->distance_evals += bucket.size();
                  }
                  rank.resize(bucket.size());
                  kern_.rank_gather(kern_.ctx, query.data(), raw, bucket.data(),
                                    bucket.size(), d, collector.Tau(),
                                    rank.data());
                  for (size_t i = 0; i < bucket.size(); ++i) {
-                   if (bucket[i] == skip) continue;
+                   if (bucket[i] == skip) {
+                     if (stats != nullptr) --stats->distance_evals;
+                     continue;
+                   }
                    collector.Offer(bucket[i], rank[i]);
                  }
                });
@@ -249,21 +261,32 @@ Status GridIndex::QueryRadius(std::span<const double> query, double radius,
   const double* raw = data_->raw().data();
   const uint32_t skip = exclude.has_value() ? *exclude : 0xffffffffu;
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   for (;;) {
     auto it = buckets_.find(PackCell(cell));
     if (it != buckets_.end()) {
       CellBounds(cell, cell_lo, cell_hi);
       if (metric_->MinRankToBox(query, cell_lo, cell_hi) <= rank_hi) {
         const std::vector<uint32_t>& bucket = it->second;
+        if (stats != nullptr) {
+          ++stats->leaf_visits;
+          stats->distance_evals += bucket.size();
+        }
         rank.resize(bucket.size());
         kern_.rank_gather(kern_.ctx, query.data(), raw, bucket.data(),
                           bucket.size(), d, rank_hi, rank.data());
         for (size_t i = 0; i < bucket.size(); ++i) {
-          if (bucket[i] == skip) continue;
+          if (bucket[i] == skip) {
+            if (stats != nullptr) --stats->distance_evals;
+            continue;
+          }
           if (rank[i] > rank_hi) continue;
           const double dist = DistanceFromRank(kern_.squared, rank[i]);
           if (dist <= radius) result.push_back(Neighbor{bucket[i], dist});
         }
+      } else if (stats != nullptr) {
+        ++stats->rank_prune_hits;
       }
     }
     size_t pos = 0;

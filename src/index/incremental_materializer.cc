@@ -54,6 +54,10 @@ Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
   // bit for bit, so stored lists stay identical to batch materialization.
   last_affected_ = 0;
   const size_t dim = data_.dimension();
+  if (ctx_.stats != nullptr) {
+    ++ctx_.stats->queries;
+    ctx_.stats->distance_evals += new_id;
+  }
   internal_index::KnnCollector collector(k_max_, ctx_);
   for (uint32_t q = 0; q < new_id; ++q) {
     const double dist = DistanceFromRank(

@@ -60,6 +60,12 @@ class IncrementalMaterializer {
   /// (diagnostic; the whole point is that this is usually << n).
   size_t last_affected_count() const { return last_affected_; }
 
+  /// Arms (or with nullptr disarms) query-cost counting: every Insert()
+  /// counts as one query with new_id distance evaluations, plus the
+  /// collector's heap pushes. `stats` must outlive the materializer or a
+  /// later set_query_stats(nullptr).
+  void set_query_stats(QueryStats* stats) { ctx_.stats = stats; }
+
   /// Materializes a consistent snapshot usable with LofComputer/LofSweep.
   Result<NeighborhoodMaterializer> Snapshot() const;
 

@@ -102,12 +102,17 @@ uint32_t KdTreeIndex::BuildNode(uint32_t begin, uint32_t end) {
 
 void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
                              std::optional<uint32_t> exclude,
-                             internal_index::KnnCollector& collector) const {
+                             internal_index::KnnCollector& collector,
+                             QueryStats* stats) const {
   const Node& node = nodes_[node_id];
   if (node.is_leaf()) {
     const uint32_t skip =
         exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
     const uint32_t count = node.end - node.begin;
+    if (stats != nullptr) {
+      ++stats->leaf_visits;
+      stats->distance_evals += count;
+    }
     double rank[PointBlockView::kLanes];
     for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
       const size_t pos = node.view_begin + off;
@@ -117,12 +122,16 @@ void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
                                                 count - off);
       for (uint32_t j = 0; j < lanes; ++j) {
         const uint32_t id = view_.id(pos + j);
-        if (id == skip) continue;
+        if (id == skip) {
+          if (stats != nullptr) --stats->distance_evals;
+          continue;
+        }
         collector.Offer(id, rank[j]);
       }
     }
     return;
   }
+  if (stats != nullptr) ++stats->node_visits;
   const Node& left = nodes_[node.left];
   const Node& right = nodes_[node.right];
   const double rank_left = metric_->MinRankToBox(query, BoxLo(left),
@@ -134,10 +143,14 @@ void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
   const double rank_first = std::min(rank_left, rank_right);
   const double rank_second = std::max(rank_left, rank_right);
   if (rank_first <= collector.Tau()) {
-    SearchNode(first, query, exclude, collector);
+    SearchNode(first, query, exclude, collector, stats);
+  } else if (stats != nullptr) {
+    ++stats->rank_prune_hits;
   }
   if (rank_second <= collector.Tau()) {
-    SearchNode(second, query, exclude, collector);
+    SearchNode(second, query, exclude, collector, stats);
+  } else if (stats != nullptr) {
+    ++stats->rank_prune_hits;
   }
 }
 
@@ -145,16 +158,22 @@ void KdTreeIndex::SearchRadius(uint32_t node_id,
                                std::span<const double> query, double radius,
                                double radius_rank_hi,
                                std::optional<uint32_t> exclude,
-                               std::vector<Neighbor>& result) const {
+                               std::vector<Neighbor>& result,
+                               QueryStats* stats) const {
   const Node& node = nodes_[node_id];
   if (metric_->MinRankToBox(query, BoxLo(node), BoxHi(node)) >
       radius_rank_hi) {
+    if (stats != nullptr) ++stats->rank_prune_hits;
     return;
   }
   if (node.is_leaf()) {
     const uint32_t skip =
         exclude.has_value() ? *exclude : PointBlockView::kPaddingId;
     const uint32_t count = node.end - node.begin;
+    if (stats != nullptr) {
+      ++stats->leaf_visits;
+      stats->distance_evals += count;
+    }
     double rank[PointBlockView::kLanes];
     for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
       const size_t pos = node.view_begin + off;
@@ -164,7 +183,10 @@ void KdTreeIndex::SearchRadius(uint32_t node_id,
                                                 count - off);
       for (uint32_t j = 0; j < lanes; ++j) {
         const uint32_t id = view_.id(pos + j);
-        if (id == skip) continue;
+        if (id == skip) {
+          if (stats != nullptr) --stats->distance_evals;
+          continue;
+        }
         if (rank[j] > radius_rank_hi) continue;
         const double dist = DistanceFromRank(kern_.squared, rank[j]);
         if (dist <= radius) result.push_back(Neighbor{id, dist});
@@ -172,8 +194,11 @@ void KdTreeIndex::SearchRadius(uint32_t node_id,
     }
     return;
   }
-  SearchRadius(node.left, query, radius, radius_rank_hi, exclude, result);
-  SearchRadius(node.right, query, radius, radius_rank_hi, exclude, result);
+  if (stats != nullptr) ++stats->node_visits;
+  SearchRadius(node.left, query, radius, radius_rank_hi, exclude, result,
+               stats);
+  SearchRadius(node.right, query, radius, radius_rank_hi, exclude, result,
+               stats);
 }
 
 Status KdTreeIndex::Query(std::span<const double> query, size_t k,
@@ -184,7 +209,8 @@ Status KdTreeIndex::Query(std::span<const double> query, size_t k,
     return Status::InvalidArgument("k must be >= 1");
   }
   internal_index::KnnCollector collector(k, ctx);
-  SearchNode(root_, query, exclude, collector);
+  if (ctx.stats != nullptr) ++ctx.stats->queries;
+  SearchNode(root_, query, exclude, collector, ctx.stats);
   collector.TakeInto(ctx.scratch.out);
   internal_index::RanksToDistances(kern_, ctx.scratch.out);
   return Status::OK();
@@ -199,8 +225,9 @@ Status KdTreeIndex::QueryRadius(std::span<const double> query, double radius,
   }
   std::vector<Neighbor>& result = ctx.scratch.out;
   result.clear();
+  if (ctx.stats != nullptr) ++ctx.stats->queries;
   SearchRadius(root_, query, radius, PruneRankUpperBound(kern_.squared, radius),
-               exclude, result);
+               exclude, result, ctx.stats);
   internal_index::SortNeighbors(result);
   return Status::OK();
 }

@@ -59,11 +59,12 @@ class KdTreeIndex final : public KnnIndex {
   uint32_t BuildNode(uint32_t begin, uint32_t end);
   void SearchNode(uint32_t node_id, std::span<const double> query,
                   std::optional<uint32_t> exclude,
-                  internal_index::KnnCollector& collector) const;
+                  internal_index::KnnCollector& collector,
+                  QueryStats* stats) const;
   void SearchRadius(uint32_t node_id, std::span<const double> query,
                     double radius, double radius_rank_hi,
                     std::optional<uint32_t> exclude,
-                    std::vector<Neighbor>& result) const;
+                    std::vector<Neighbor>& result, QueryStats* stats) const;
   std::span<const double> BoxLo(const Node& node) const {
     return {boxes_.data() + node.box_offset, dim_};
   }

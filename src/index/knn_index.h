@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "dataset/metric.h"
@@ -69,6 +70,14 @@ class KnnSearchContext {
     return {scratch.batch_flat.data() + scratch.batch_offsets[i],
             scratch.batch_offsets[i + 1] - scratch.batch_offsets[i]};
   }
+
+  /// Optional query-cost counters. Null (the default) disables counting
+  /// entirely; when set, every engine bumps the counters with plain
+  /// non-atomic increments — the pointer must therefore follow the same
+  /// one-context-per-worker discipline as the scratch pools. Counting never
+  /// allocates and never changes a result bit, so the zero-allocation
+  /// steady state and bit-identical guarantees hold in both modes.
+  QueryStats* stats = nullptr;
 
   /// Engine-internal scratch pools. Not part of the stable API: the
   /// engines and the collector reach in freely; external callers must
@@ -194,22 +203,24 @@ class KnnCollector {
   KnnCollector() = default;
 
   KnnCollector(size_t k, KnnSearchContext& ctx)
-      : KnnCollector(k, ctx.scratch.heap, ctx.scratch.accepted) {}
+      : KnnCollector(k, ctx.scratch.heap, ctx.scratch.accepted, ctx.stats) {}
 
-  /// Both buffers must outlive the collector.
+  /// Both buffers must outlive the collector. `stats`, when non-null,
+  /// receives one heap_pushes increment per accepted candidate.
   KnnCollector(size_t k, std::vector<double>& heap,
-               std::vector<Neighbor>& accepted)
-      : k_(k), heap_(&heap), accepted_(&accepted) {
+               std::vector<Neighbor>& accepted, QueryStats* stats = nullptr)
+      : k_(k), heap_(&heap), accepted_(&accepted), stats_(stats) {
     heap_->clear();
     accepted_->clear();
   }
 
   /// Rebinds to fresh buffers (cleared) for a new query.
   void Reset(size_t k, std::vector<double>& heap,
-             std::vector<Neighbor>& accepted) {
+             std::vector<Neighbor>& accepted, QueryStats* stats = nullptr) {
     k_ = k;
     heap_ = &heap;
     accepted_ = &accepted;
+    stats_ = stats;
     heap_->clear();
     accepted_->clear();
   }
@@ -217,6 +228,7 @@ class KnnCollector {
   /// Considers one candidate.
   void Offer(uint32_t index, double distance) {
     if (distance > Tau()) return;
+    if (stats_ != nullptr) ++stats_->heap_pushes;
     accepted_->push_back(Neighbor{index, distance});
     heap_->push_back(distance);
     std::push_heap(heap_->begin(), heap_->end());
@@ -240,6 +252,7 @@ class KnnCollector {
   size_t k_ = 0;
   std::vector<double>* heap_ = nullptr;  // max-heap of k smallest distances
   std::vector<Neighbor>* accepted_ = nullptr;  // superset of the result
+  QueryStats* stats_ = nullptr;  // optional heap_pushes counter
 };
 
 /// Sorts a neighbor list by (distance, index).

@@ -56,6 +56,11 @@ Status LinearScanIndex::Query(std::span<const double> query, size_t k,
       collector.Offer(i, rank[j]);
     }
   }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->queries;
+    ctx.stats->distance_evals += n - (skip < n ? 1 : 0);
+    ctx.stats->leaf_visits += num_blocks;
+  }
   collector.TakeInto(ctx.scratch.out);
   internal_index::RanksToDistances(kern_, ctx.scratch.out);
   return Status::OK();
@@ -80,6 +85,7 @@ Status LinearScanIndex::QueryRadius(std::span<const double> query,
   // Cheap rank-space pre-filter, conservatively widened so the exact
   // distance-space test below never loses an inclusive boundary hit.
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
+  uint64_t prune_hits = 0;
   double rank[PointBlockView::kLanes];
   for (size_t b = 0; b < num_blocks; ++b) {
     kern_.rank_block(kern_.ctx, q, view_->block(b), dim, rank);
@@ -88,10 +94,19 @@ Status LinearScanIndex::QueryRadius(std::span<const double> query,
     for (size_t j = 0; j < lanes; ++j) {
       const uint32_t i = static_cast<uint32_t>(base + j);
       if (i == skip) continue;
-      if (rank[j] > rank_hi) continue;
+      if (rank[j] > rank_hi) {
+        ++prune_hits;
+        continue;
+      }
       const double dist = DistanceFromRank(kern_.squared, rank[j]);
       if (dist <= radius) result.push_back(Neighbor{i, dist});
     }
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->queries;
+    ctx.stats->distance_evals += n - (skip < n ? 1 : 0);
+    ctx.stats->leaf_visits += num_blocks;
+    ctx.stats->rank_prune_hits += prune_hits;
   }
   internal_index::SortNeighbors(result);
   return Status::OK();
@@ -136,7 +151,7 @@ Status LinearScanIndex::QueryBatch(std::span<const uint32_t> point_ids,
   for (size_t start = 0; start < point_ids.size(); start += kTile) {
     const size_t tile = std::min(kTile, point_ids.size() - start);
     for (size_t t = 0; t < tile; ++t) {
-      coll[t].Reset(k, heaps[t], accepted[t]);
+      coll[t].Reset(k, heaps[t], accepted[t], ctx.stats);
       qptr[t] = data_->point(point_ids[start + t]).data();
     }
     for (size_t b = 0; b < num_blocks; ++b) {
@@ -152,6 +167,13 @@ Status LinearScanIndex::QueryBatch(std::span<const uint32_t> point_ids,
           coll[t].Offer(i, rank[j]);
         }
       }
+    }
+    if (ctx.stats != nullptr) {
+      // Each tiled query is an exact self-excluded scan: n - 1 distance
+      // evaluations and one pass over every SoA block.
+      ctx.stats->queries += tile;
+      ctx.stats->distance_evals += tile * (n - 1);
+      ctx.stats->leaf_visits += tile * num_blocks;
     }
     for (size_t t = 0; t < tile; ++t) {
       coll[t].TakeInto(ctx.scratch.out);

@@ -247,12 +247,21 @@ Status MTreeIndex::Query(std::span<const double> query, size_t k,
   queue.clear();
   queue.push_back({0.0, root_, std::numeric_limits<double>::quiet_NaN()});
 
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   while (!queue.empty()) {
     std::pop_heap(queue.begin(), queue.end(), dmin_greater);
     const KeyedNode top = queue.back();
     queue.pop_back();
     if (top.key > collector.Tau()) break;
     const Node& node = nodes_[top.node];
+    if (stats != nullptr) {
+      if (node.leaf) {
+        ++stats->leaf_visits;
+      } else {
+        ++stats->node_visits;
+      }
+    }
     const bool have_routing = !std::isnan(top.aux);
     for (const Entry& entry : node.entries) {
       // Triangle-inequality pruning without a distance computation:
@@ -261,7 +270,10 @@ Status MTreeIndex::Query(std::span<const double> query, size_t k,
         const double lower =
             std::abs(top.aux - entry.parent_distance) -
             (node.leaf ? 0.0 : entry.radius);
-        if (lower > collector.Tau()) continue;
+        if (lower > collector.Tau()) {
+          if (stats != nullptr) ++stats->rank_prune_hits;
+          continue;
+        }
       }
       if (node.leaf) {
         if (exclude.has_value() && *exclude == entry.object) continue;
@@ -269,17 +281,21 @@ Status MTreeIndex::Query(std::span<const double> query, size_t k,
         // metric-general), so the early-exit bound widens it conservatively
         // into rank space; a kernel bail-out maps to +inf, which Offer
         // rejects just as the exact distance would be.
+        if (stats != nullptr) ++stats->distance_evals;
         const double rank = kern_.rank_bounded(
             kern_.ctx, query.data(), data_->point(entry.object).data(),
             query.size(),
             PruneRankUpperBound(kern_.squared, collector.Tau()));
         collector.Offer(entry.object, DistanceFromRank(kern_.squared, rank));
       } else {
+        if (stats != nullptr) ++stats->distance_evals;
         const double dist = DistanceToQuery(query, entry.object);
         const double dmin = std::max(0.0, dist - entry.radius);
         if (dmin <= collector.Tau()) {
           queue.push_back({dmin, entry.child, dist});
           std::push_heap(queue.begin(), queue.end(), dmin_greater);
+        } else if (stats != nullptr) {
+          ++stats->rank_prune_hits;
         }
       }
     }
@@ -299,21 +315,36 @@ Status MTreeIndex::QueryRadius(std::span<const double> query, double radius,
   result.clear();
   std::vector<uint32_t>& stack = ctx.scratch.stack;
   stack.assign(1, root_);
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   while (!stack.empty()) {
     const uint32_t node_id = stack.back();
     stack.pop_back();
     const Node& node = nodes_[node_id];
+    if (stats != nullptr) {
+      if (node.leaf) {
+        ++stats->leaf_visits;
+      } else {
+        ++stats->node_visits;
+      }
+    }
     for (const Entry& entry : node.entries) {
       if (node.leaf) {
         if (exclude.has_value() && *exclude == entry.object) continue;
+        if (stats != nullptr) ++stats->distance_evals;
         const double rank = kern_.rank_bounded(
             kern_.ctx, query.data(), data_->point(entry.object).data(),
             query.size(), PruneRankUpperBound(kern_.squared, radius));
         const double dist = DistanceFromRank(kern_.squared, rank);
         if (dist <= radius) result.push_back(Neighbor{entry.object, dist});
       } else {
+        if (stats != nullptr) ++stats->distance_evals;
         const double dist = DistanceToQuery(query, entry.object);
-        if (dist - entry.radius <= radius) stack.push_back(entry.child);
+        if (dist - entry.radius <= radius) {
+          stack.push_back(entry.child);
+        } else if (stats != nullptr) {
+          ++stats->rank_prune_hits;
+        }
       }
     }
   }

@@ -117,7 +117,7 @@ Status ValidateMaterializationArgs(const Dataset& data, size_t k_max) {
 
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
     const Dataset& data, const KnnIndex& index, size_t k_max,
-    bool distinct_neighbors) {
+    bool distinct_neighbors, const PipelineObserver& observer) {
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;
@@ -125,9 +125,13 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
   m.offsets_.reserve(n + 1);
   m.offsets_.push_back(0);
   m.flat_.reserve(n * k_max);
+  TraceRecorder::Span span(observer.trace, "materialize", /*tid=*/0);
   // One context for the whole pass: every query after the first few runs
-  // out of warmed scratch pools instead of fresh heap allocations.
+  // out of warmed scratch pools instead of fresh heap allocations. The
+  // serial pass is its own single worker, so the observer's stats can be
+  // bumped directly.
   KnnSearchContext ctx;
+  ctx.stats = observer.query_stats;
   if (!distinct_neighbors) {
     // The plain self-query pass goes through QueryBatch so engines with a
     // real batch override (the linear scan's query tiling) get to amortize
@@ -160,9 +164,9 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
 
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
     const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
-    bool distinct_neighbors) {
+    bool distinct_neighbors, const PipelineObserver& observer) {
   if (ResolveThreadCount(threads) <= 1) {
-    return Materialize(data, index, k_max, distinct_neighbors);
+    return Materialize(data, index, k_max, distinct_neighbors, observer);
   }
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
   const size_t n = data.size();
@@ -178,11 +182,22 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
       std::min(ResolveThreadCount(threads), num_chunks);
   std::vector<KnnSearchContext> ctxs(num_workers);
   std::vector<std::vector<uint32_t>> ids(num_workers);
+  // Per-worker counter shards, summed after the join: totals come out the
+  // same at every thread count, and the hot path never shares a cache line.
+  std::vector<QueryStats> worker_stats(num_workers);
+  if (observer.query_stats != nullptr) {
+    for (size_t w = 0; w < num_workers; ++w) {
+      ctxs[w].stats = &worker_stats[w];
+    }
+  }
+  TraceRecorder::Span span(observer.trace, "materialize", /*tid=*/0);
   LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
       num_chunks, threads, [&](size_t worker, size_t c) -> Status {
         const size_t begin = c * kBatchChunk;
         const size_t end = std::min(begin + kBatchChunk, n);
         KnnSearchContext& ctx = ctxs[worker];
+        TraceRecorder::Span chunk_span(observer.trace, "materialize.chunk",
+                                       static_cast<uint32_t>(worker + 1));
         if (!distinct_neighbors) {
           std::vector<uint32_t>& chunk_ids = ids[worker];
           chunk_ids.resize(end - begin);
@@ -204,6 +219,12 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
         }
         return Status::OK();
       }));
+  span.End();
+  if (observer.query_stats != nullptr) {
+    for (const QueryStats& shard : worker_stats) {
+      observer.query_stats->Add(shard);
+    }
+  }
 
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;

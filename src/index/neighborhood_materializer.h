@@ -26,10 +26,13 @@ class NeighborhoodMaterializer {
  public:
   /// Runs step 1: one kNN query per point against `index` (which must
   /// already be built over `data` — the same Dataset instance). Requires
-  /// 1 <= k_max < data.size().
+  /// 1 <= k_max < data.size(). `observer`, when armed, receives the query
+  /// cost counters of the whole pass and per-chunk trace spans; the default
+  /// observer disables both with zero overhead.
   static Result<NeighborhoodMaterializer> Materialize(
       const Dataset& data, const KnnIndex& index, size_t k_max,
-      bool distinct_neighbors = false);
+      bool distinct_neighbors = false,
+      const PipelineObserver& observer = {});
 
   /// Parallel step 1: the n queries are embarrassingly parallel (every
   /// KnnIndex implementation is stateless per query), so they are sharded
@@ -37,10 +40,13 @@ class NeighborhoodMaterializer {
   /// Produces bit-identical results to the serial Materialize. threads == 0
   /// means one worker per hardware thread; 1 falls back to the serial path.
   /// A failed query aborts the other workers early (at their next point)
-  /// and its error is propagated instead of being swallowed.
+  /// and its error is propagated instead of being swallowed. Query-cost
+  /// counters accumulate into per-worker shards and are summed after the
+  /// join, so observer totals are identical at every thread count.
   static Result<NeighborhoodMaterializer> MaterializeParallel(
       const Dataset& data, const KnnIndex& index, size_t k_max,
-      size_t threads, bool distinct_neighbors = false);
+      size_t threads, bool distinct_neighbors = false,
+      const PipelineObserver& observer = {});
 
   NeighborhoodMaterializer(NeighborhoodMaterializer&&) noexcept = default;
   NeighborhoodMaterializer& operator=(NeighborhoodMaterializer&&) noexcept =

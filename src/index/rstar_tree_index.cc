@@ -644,6 +644,8 @@ Status RStarTreeIndex::Query(std::span<const double> query, size_t k,
   const double* raw = data_->raw().data();
   const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
   std::vector<double>& rank = ctx.scratch.rank;
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   queue.emplace_back(0.0, root_);
   while (!queue.empty()) {
     std::pop_heap(queue.begin(), queue.end(), std::greater<>());
@@ -652,16 +654,24 @@ Status RStarTreeIndex::Query(std::span<const double> query, size_t k,
     if (min_rank > collector.Tau()) break;
     const Node& node = nodes_[node_id];
     if (node.leaf) {
+      if (stats != nullptr) {
+        ++stats->leaf_visits;
+        stats->distance_evals += node.entries.size();
+      }
       rank.resize(node.entries.size());
       kern_.rank_gather(kern_.ctx, query.data(), raw, node.entries.data(),
                         node.entries.size(), dim_, collector.Tau(),
                         rank.data());
       for (size_t i = 0; i < node.entries.size(); ++i) {
-        if (node.entries[i] == skip) continue;
+        if (node.entries[i] == skip) {
+          if (stats != nullptr) --stats->distance_evals;
+          continue;
+        }
         collector.Offer(node.entries[i], rank[i]);
       }
       continue;
     }
+    if (stats != nullptr) ++stats->node_visits;
     for (uint32_t child_id : node.entries) {
       const Node& child = nodes_[child_id];
       const double child_rank = metric_->MinRankToBox(
@@ -669,6 +679,8 @@ Status RStarTreeIndex::Query(std::span<const double> query, size_t k,
       if (child_rank <= collector.Tau()) {
         queue.emplace_back(child_rank, child_id);
         std::push_heap(queue.begin(), queue.end(), std::greater<>());
+      } else if (stats != nullptr) {
+        ++stats->rank_prune_hits;
       }
     }
   }
@@ -693,25 +705,36 @@ Status RStarTreeIndex::QueryRadius(std::span<const double> query,
   const uint32_t skip = exclude.has_value() ? *exclude : Node::kNone;
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
   std::vector<double>& rank = ctx.scratch.rank;
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   while (!stack.empty()) {
     const uint32_t node_id = stack.back();
     stack.pop_back();
     const Node& node = nodes_[node_id];
     if (metric_->MinRankToBox(query, {node.mbr.data(), dim_},
                               {node.mbr.data() + dim_, dim_}) > rank_hi) {
+      if (stats != nullptr) ++stats->rank_prune_hits;
       continue;
     }
     if (node.leaf) {
+      if (stats != nullptr) {
+        ++stats->leaf_visits;
+        stats->distance_evals += node.entries.size();
+      }
       rank.resize(node.entries.size());
       kern_.rank_gather(kern_.ctx, query.data(), raw, node.entries.data(),
                         node.entries.size(), dim_, rank_hi, rank.data());
       for (size_t i = 0; i < node.entries.size(); ++i) {
-        if (node.entries[i] == skip) continue;
+        if (node.entries[i] == skip) {
+          if (stats != nullptr) --stats->distance_evals;
+          continue;
+        }
         if (rank[i] > rank_hi) continue;
         const double dist = DistanceFromRank(kern_.squared, rank[i]);
         if (dist <= radius) result.push_back(Neighbor{node.entries[i], dist});
       }
     } else {
+      if (stats != nullptr) ++stats->node_visits;
       stack.insert(stack.end(), node.entries.begin(), node.entries.end());
     }
   }

@@ -87,11 +87,17 @@ Status VaFileIndex::Query(std::span<const double> query, size_t k,
   std::vector<double>& lo = ctx.scratch.box_lo;
   std::vector<double>& hi = ctx.scratch.box_hi;
   double rho = std::numeric_limits<double>::infinity();
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   for (size_t i = 0; i < n; ++i) {
     if (exclude.has_value() && *exclude == i) continue;
+    if (stats != nullptr) ++stats->node_visits;
     CellOf(i, lo, hi);
     const double lower = metric_->MinRankToBox(query, lo, hi);
-    if (lower > rho) continue;
+    if (lower > rho) {
+      if (stats != nullptr) ++stats->rank_prune_hits;
+      continue;
+    }
     const double upper = metric_->MaxRankToBox(query, lo, hi);
     candidates.push_back(Neighbor{static_cast<uint32_t>(i), lower});
     upper_heap.push_back(upper);
@@ -112,12 +118,23 @@ Status VaFileIndex::Query(std::span<const double> query, size_t k,
             });
   internal_index::KnnCollector collector(k, ctx);
   const double* raw = data_->raw().data();
+  size_t refined = 0;
   for (const Neighbor& candidate : candidates) {
     if (candidate.distance > collector.Tau()) break;
+    ++refined;
     collector.Offer(candidate.index,
                     kern_.rank_bounded(kern_.ctx, query.data(),
                                        raw + size_t{candidate.index} * dim_,
                                        dim_, collector.Tau()));
+  }
+  if (stats != nullptr) {
+    // Each refinement is one exact-point fetch (a leaf "page" in the
+    // paper's accounting) and one bounded distance evaluation; candidates
+    // cut off by the lower-bound early exit count as prune hits.
+    stats->va_refinements += refined;
+    stats->distance_evals += refined;
+    stats->leaf_visits += refined;
+    stats->rank_prune_hits += candidates.size() - refined;
   }
   collector.TakeInto(ctx.scratch.out);
   internal_index::RanksToDistances(kern_, ctx.scratch.out);
@@ -137,10 +154,21 @@ Status VaFileIndex::QueryRadius(std::span<const double> query, double radius,
   std::vector<double>& hi = ctx.scratch.box_hi;
   const double* raw = data_->raw().data();
   const double rank_hi = PruneRankUpperBound(kern_.squared, radius);
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
   for (size_t i = 0; i < data_->size(); ++i) {
     if (exclude.has_value() && *exclude == i) continue;
+    if (stats != nullptr) ++stats->node_visits;
     CellOf(i, lo, hi);
-    if (metric_->MinRankToBox(query, lo, hi) > rank_hi) continue;
+    if (metric_->MinRankToBox(query, lo, hi) > rank_hi) {
+      if (stats != nullptr) ++stats->rank_prune_hits;
+      continue;
+    }
+    if (stats != nullptr) {
+      ++stats->va_refinements;
+      ++stats->distance_evals;
+      ++stats->leaf_visits;
+    }
     const double rank = kern_.rank_bounded(kern_.ctx, query.data(),
                                            raw + i * dim_, dim_, rank_hi);
     if (rank > rank_hi) continue;

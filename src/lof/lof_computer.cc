@@ -28,16 +28,23 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   // in the LOF pass the completed lrd array) and writes its own slot, so
   // any thread count produces bit-identical results.
   Stopwatch watch;
+  TraceRecorder* trace = options.observer.trace;
 
   // Pass 0 (cheap): k-distances, needed for the reachability distances.
   std::vector<double> k_distance(n);
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
-    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
-    k_distance[i] = view.k_distance;
-    return Status::OK();
-  }));
+  {
+    TraceRecorder::Span span(trace, "k_distance");
+    LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
+      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+      k_distance[i] = view.k_distance;
+      return Status::OK();
+    }));
+  }
+  scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
+  watch.Reset();
 
   // First scan of M: local reachability densities (Definition 6).
+  TraceRecorder::Span lrd_span(trace, "lrd");
   LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     double sum = 0.0;
@@ -61,10 +68,12 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   scores.has_infinite_lrd =
       std::any_of(scores.lrd.begin(), scores.lrd.end(),
                   [](double lrd) { return std::isinf(lrd); });
+  lrd_span.End();
   scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
   // Second scan of M: LOF values (Definition 7).
+  TraceRecorder::Span lof_span(trace, "lof");
   LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     const double lrd_i = scores.lrd[i];
@@ -80,6 +89,7 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
     scores.lof[i] = sum / static_cast<double>(view.neighborhood.size());
     return Status::OK();
   }));
+  lof_span.End();
   scores.phase_times.lof_seconds = watch.ElapsedSeconds();
   return scores;
 }
@@ -93,11 +103,15 @@ Result<LofScores> LofComputer::ComputeFromScratch(
     return Status::Internal("index factory returned null");
   }
   Stopwatch watch;
-  LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
+  {
+    TraceRecorder::Span span(options.observer.trace, "index_build");
+    LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
+  }
   LOFKIT_ASSIGN_OR_RETURN(
       NeighborhoodMaterializer m,
       NeighborhoodMaterializer::MaterializeParallel(
-          data, *index, min_pts, options.threads, distinct_neighbors));
+          data, *index, min_pts, options.threads, distinct_neighbors,
+          options.observer));
   const double materialize_seconds = watch.ElapsedSeconds();
   LOFKIT_ASSIGN_OR_RETURN(LofScores scores, Compute(m, min_pts, options));
   scores.phase_times.materialize_seconds = materialize_seconds;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "dataset/metric.h"
@@ -14,12 +15,20 @@ namespace lofkit {
 /// Wall-clock seconds spent in each phase of the pipeline, recorded for the
 /// figure-10/11 performance experiments. `materialize_seconds` covers step 1
 /// (index build + kNN queries) and is only filled by ComputeFromScratch;
-/// Compute alone fills the step-2 scans (`lrd_seconds` includes the cheap
-/// k-distance pre-pass).
+/// Compute alone fills the step-2 scans (the k-distance pre-pass, the LRD
+/// pass, and the LOF pass, each timed separately).
 struct LofPhaseTimes {
   double materialize_seconds = 0.0;
+  double k_distance_seconds = 0.0;
   double lrd_seconds = 0.0;
   double lof_seconds = 0.0;
+
+  void Add(const LofPhaseTimes& other) {
+    materialize_seconds += other.materialize_seconds;
+    k_distance_seconds += other.k_distance_seconds;
+    lrd_seconds += other.lrd_seconds;
+    lof_seconds += other.lof_seconds;
+  }
 };
 
 /// The LOF scores of every point for one MinPts value.
@@ -67,6 +76,11 @@ struct LofComputeOptions {
   /// written by exactly one worker and the summation order inside a
   /// neighborhood never changes.
   size_t threads = 1;
+
+  /// Observability hooks (query-cost counters + trace spans). Disabled by
+  /// default; Compute records phase spans, ComputeFromScratch additionally
+  /// forwards the observer into the materialization step.
+  PipelineObserver observer;
 };
 
 class LofComputer {

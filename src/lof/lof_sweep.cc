@@ -22,7 +22,8 @@ std::string_view LofAggregationName(LofAggregation aggregation) {
 Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
                                      size_t min_pts_lb, size_t min_pts_ub,
                                      LofAggregation aggregation,
-                                     bool keep_per_min_pts, size_t threads) {
+                                     bool keep_per_min_pts, size_t threads,
+                                     const PipelineObserver& observer) {
   if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
     return Status::InvalidArgument(
         StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
@@ -49,8 +50,17 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   std::vector<LofScores> per_step(steps);
   LofComputeOptions step_options;
   step_options.threads = steps == 1 ? threads : 1;
-  LOFKIT_RETURN_IF_ERROR(
-      ParallelFor(steps, threads, [&](size_t step) -> Status {
+  // A single-step sweep runs on this thread, so the observer's phase spans
+  // can pass straight through to Compute; a multi-step sweep records one
+  // span per step on its worker's tid instead (per-phase spans from
+  // concurrent steps would pile onto tid 0 and render as garbage).
+  if (steps == 1) step_options.observer = observer;
+  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+      steps, threads, [&](size_t worker, size_t step) -> Status {
+        TraceRecorder::Span span(
+            steps == 1 ? nullptr : observer.trace,
+            StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
+            static_cast<uint32_t>(worker + 1));
         LOFKIT_ASSIGN_OR_RETURN(
             per_step[step],
             LofComputer::Compute(m, min_pts_lb + step, step_options));
@@ -65,6 +75,7 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
     aggregated.assign(n, -std::numeric_limits<double>::infinity());
   }
   for (LofScores& scores : per_step) {
+    result.phase_times.Add(scores.phase_times);
     for (size_t i = 0; i < n; ++i) {
       switch (aggregation) {
         case LofAggregation::kMax:

@@ -30,6 +30,10 @@ struct LofSweepResult {
 
   /// Per-MinPts scores (index 0 is MinPtsLB), kept only when requested.
   std::vector<LofScores> per_min_pts;
+
+  /// Per-phase seconds summed over every MinPts step (CPU-time-like when
+  /// the steps ran in parallel: each step's own wall clock is added).
+  LofPhaseTimes phase_times;
 };
 
 /// The MinPts-range heuristic of section 6.2: computes LOF for every
@@ -46,12 +50,17 @@ class LofSweep {
   /// instead forwards the threads into the LOF scans themselves.
   /// Aggregation always runs in ascending MinPts order afterwards, so every
   /// thread count produces bit-identical results.
+  ///
+  /// `observer.trace` receives one span per MinPts step (on the worker's
+  /// tid); a single-step sweep instead forwards the observer into the LOF
+  /// scans so the k-distance/LRD/LOF phases appear individually.
   static Result<LofSweepResult> Run(const NeighborhoodMaterializer& m,
                                     size_t min_pts_lb, size_t min_pts_ub,
                                     LofAggregation aggregation =
                                         LofAggregation::kMax,
                                     bool keep_per_min_pts = false,
-                                    size_t threads = 1);
+                                    size_t threads = 1,
+                                    const PipelineObserver& observer = {});
 
   /// Convenience single-call pipeline: index, materialize at min_pts_ub,
   /// sweep, and return the ranking of the `top_n` strongest outliers

@@ -1,0 +1,53 @@
+#include "common/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace lofkit {
+namespace {
+
+TEST(BenchReportTest, SerializesRowsInOrder) {
+  BenchReport report("unit");
+  report.Add("case_a", {{"seconds", 1.5}, {"count", 3.0}});
+  report.Add("case_b", {{"seconds", 0.25}});
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  const size_t a = json.find("case_a");
+  const size_t b = json.find("case_b");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+}
+
+TEST(BenchReportTest, NonFiniteValuesBecomeNull) {
+  BenchReport report("unit");
+  report.Add("case", {{"nan", std::nan("")},
+                      {"inf", std::numeric_limits<double>::infinity()}});
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+}
+
+// Regression for the JsonEscape bugfix: case names and metric keys with
+// control characters must serialize as valid JSON escapes, never as raw
+// bytes inside the quoted string.
+TEST(BenchReportTest, EscapesControlCharactersInNamesAndKeys) {
+  BenchReport report("unit\tbench");
+  report.Add("line1\nline2", {{"key\r", 1.0}, {"quote\"backslash\\", 2.0}});
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("unit\\tbench"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("key\\r"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"backslash\\\\"), std::string::npos);
+  // No raw control byte may survive inside the document.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control character in JSON output";
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

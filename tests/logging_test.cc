@@ -2,10 +2,51 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 
 namespace lofkit {
 namespace {
+
+// Captures whole log lines handed to the sink. The default sink writes each
+// line with a single write(); the test sink mirrors that contract (one call
+// per line) so the tests below can assert on line granularity.
+std::mutex capture_mu;
+std::vector<std::string> captured_lines;
+
+void CaptureSink(const char* data, size_t size) {
+  std::lock_guard<std::mutex> lock(capture_mu);
+  captured_lines.emplace_back(data, size);
+}
+
+class LogCapture {
+ public:
+  LogCapture() {
+    {
+      std::lock_guard<std::mutex> lock(capture_mu);
+      captured_lines.clear();
+    }
+    previous_sink_ = internal_logging::SetLogSinkForTest(&CaptureSink);
+    previous_level_ = GetLogLevel();
+  }
+  ~LogCapture() {
+    SetLogLevel(previous_level_);
+    internal_logging::SetLogSinkForTest(previous_sink_);
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(capture_mu);
+    return captured_lines;
+  }
+
+ private:
+  internal_logging::LogSink previous_sink_;
+  LogLevel previous_level_;
+};
 
 TEST(LoggingTest, LevelFilterRoundTrips) {
   const LogLevel original = GetLogLevel();
@@ -23,6 +64,68 @@ TEST(LoggingTest, EmittingDoesNotCrashAtAnyLevel) {
   LOFKIT_LOG(Info) << "info " << 2.5;
   LOFKIT_LOG(Warning) << "warning " << "text";
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, SeverityFilterSuppressesBelowThreshold) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kWarning);
+  LOFKIT_LOG(Debug) << "dropped debug";
+  LOFKIT_LOG(Info) << "dropped info";
+  LOFKIT_LOG(Warning) << "kept warning";
+  LOFKIT_LOG(Error) << "kept error";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept warning"), std::string::npos);
+  EXPECT_NE(lines[1].find("kept error"), std::string::npos);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("dropped"), std::string::npos);
+  }
+}
+
+TEST(LoggingTest, EveryLevelPassesAtDebugThreshold) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kDebug);
+  LOFKIT_LOG(Debug) << "d";
+  LOFKIT_LOG(Info) << "i";
+  LOFKIT_LOG(Warning) << "w";
+  LOFKIT_LOG(Error) << "e";
+  EXPECT_EQ(capture.lines().size(), 4u);
+}
+
+TEST(LoggingTest, EachMessageArrivesAsOneNewlineTerminatedLine) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  LOFKIT_LOG(Info) << "pieces " << 1 << " and " << 2.5 << " and " << "text";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("pieces 1 and 2.5 and text"), std::string::npos);
+  EXPECT_FALSE(lines[0].empty());
+  EXPECT_EQ(lines[0].back(), '\n');
+  // Exactly one newline: the sink receives whole lines, never fragments.
+  EXPECT_EQ(lines[0].find('\n'), lines[0].size() - 1);
+}
+
+// Concurrent writers: because each message reaches the sink in a single
+// call, no captured line may ever contain interleaved fragments of two
+// messages.
+TEST(LoggingTest, ConcurrentMessagesNeverInterleaveMidLine) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  const size_t kMessages = 200;
+  ASSERT_TRUE(ParallelForWorker(kMessages, 4,
+                                [&](size_t worker, size_t i) -> Status {
+                                  LOFKIT_LOG(Info)
+                                      << "worker=" << worker
+                                      << " msg=" << i << " end";
+                                  return Status::OK();
+                                })
+                  .ok());
+  const auto lines = capture.lines();
+  EXPECT_EQ(lines.size(), kMessages);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+    EXPECT_NE(line.find(" end\n"), std::string::npos) << line;
+  }
 }
 
 TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {

@@ -1,0 +1,219 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace lofkit {
+namespace {
+
+TEST(QueryStatsTest, StartsZeroAndAddsFieldwise) {
+  QueryStats a;
+  EXPECT_TRUE(a.IsZero());
+  a.queries = 2;
+  a.distance_evals = 10;
+  a.rank_prune_hits = 3;
+  a.node_visits = 4;
+  a.leaf_visits = 5;
+  a.heap_pushes = 6;
+  a.va_refinements = 7;
+  EXPECT_FALSE(a.IsZero());
+  EXPECT_EQ(a.page_accesses(), 9u);
+
+  QueryStats b = a;
+  b.Add(a);
+  EXPECT_EQ(b.queries, 4u);
+  EXPECT_EQ(b.distance_evals, 20u);
+  EXPECT_EQ(b.rank_prune_hits, 6u);
+  EXPECT_EQ(b.node_visits, 8u);
+  EXPECT_EQ(b.leaf_visits, 10u);
+  EXPECT_EQ(b.heap_pushes, 12u);
+  EXPECT_EQ(b.va_refinements, 14u);
+  EXPECT_FALSE(a == b);
+  b.Reset();
+  EXPECT_TRUE(b.IsZero());
+  EXPECT_TRUE(b == QueryStats{});
+}
+
+TEST(MetricsRegistryTest, ReregistrationReturnsSameId) {
+  MetricsRegistry registry;
+  const auto id = registry.Counter("requests");
+  EXPECT_EQ(registry.Counter("requests"), id);
+  const auto gauge = registry.Gauge("points");
+  EXPECT_EQ(registry.Gauge("points"), gauge);
+  EXPECT_NE(id, gauge);
+}
+
+TEST(MetricsRegistryTest, CountersSumAcrossShards) {
+  MetricsRegistry registry(/*shards=*/3);
+  const auto id = registry.Counter("work");
+  registry.Add(id, 5, /*shard=*/0);
+  registry.Add(id, 7, /*shard=*/1);
+  registry.Add(id, 11, /*shard=*/2);
+  const auto snapshot = registry.Aggregate();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "work");
+  EXPECT_EQ(snapshot.counters[0].value, 23u);
+}
+
+TEST(MetricsRegistryTest, GaugeTakesHighestShardThatSet) {
+  MetricsRegistry registry(/*shards=*/3);
+  const auto id = registry.Gauge("level");
+  registry.Set(id, 1.5, /*shard=*/0);
+  registry.Set(id, 2.5, /*shard=*/1);
+  // Shard 2 never sets it; shard 1 wins.
+  const auto snapshot = registry.Aggregate();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_TRUE(snapshot.gauges[0].set);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 2.5);
+
+  MetricsRegistry unset;
+  unset.Gauge("never");
+  EXPECT_FALSE(unset.Aggregate().gauges[0].set);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsUnderflowAndOverflow) {
+  MetricsRegistry registry(/*shards=*/2);
+  const auto id = registry.Histogram("latency", 1.0, 16.0, 4);
+  registry.Record(id, 0.5, /*shard=*/0);   // underflow
+  registry.Record(id, 1.0, /*shard=*/0);   // first bucket
+  registry.Record(id, 3.0, /*shard=*/1);
+  registry.Record(id, 16.0, /*shard=*/1);  // last bucket (inclusive hi)
+  registry.Record(id, 100.0, /*shard=*/0); // overflow
+  const auto snapshot = registry.Aggregate();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& hist = snapshot.histograms[0];
+  EXPECT_EQ(hist.upper_bounds.size(), 4u);
+  EXPECT_EQ(hist.counts.size(), 4u);
+  EXPECT_EQ(hist.underflow, 1u);
+  EXPECT_EQ(hist.overflow, 1u);
+  EXPECT_EQ(hist.total_count, 5u);
+  EXPECT_DOUBLE_EQ(hist.sum, 0.5 + 1.0 + 3.0 + 16.0 + 100.0);
+  uint64_t in_range = 0;
+  for (uint64_t c : hist.counts) in_range += c;
+  EXPECT_EQ(in_range, 3u);
+  // Geometric bounds over [1, 16] with 4 buckets: 2, 4, 8, 16.
+  EXPECT_NEAR(hist.upper_bounds[0], 2.0, 1e-9);
+  EXPECT_NEAR(hist.upper_bounds.back(), 16.0, 1e-9);
+}
+
+// The sharding contract: with one shard per worker and deterministic work,
+// the aggregated snapshot is identical at every thread count.
+TEST(MetricsRegistryTest, SnapshotDeterministicAcrossThreadCounts) {
+  constexpr size_t kItems = 1000;
+  std::vector<MetricsRegistry::Snapshot> snapshots;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    const size_t workers = std::min(ResolveThreadCount(threads), kItems);
+    MetricsRegistry registry(workers);
+    const auto items = registry.Counter("items");
+    const auto weight = registry.Counter("weight");
+    const auto sizes = registry.Histogram("sizes", 1.0, 1024.0, 16);
+    ASSERT_TRUE(ParallelForWorker(kItems, threads,
+                                  [&](size_t worker, size_t i) -> Status {
+                                    registry.Add(items, 1, worker);
+                                    registry.Add(weight, i % 13, worker);
+                                    registry.Record(
+                                        sizes, static_cast<double>(i % 50),
+                                        worker);
+                                    return Status::OK();
+                                  })
+                    .ok());
+    snapshots.push_back(registry.Aggregate());
+  }
+  const auto& base = snapshots.front();
+  EXPECT_EQ(base.counters[0].value, kItems);
+  for (const auto& other : snapshots) {
+    ASSERT_EQ(other.counters.size(), base.counters.size());
+    for (size_t i = 0; i < base.counters.size(); ++i) {
+      EXPECT_EQ(other.counters[i].name, base.counters[i].name);
+      EXPECT_EQ(other.counters[i].value, base.counters[i].value);
+    }
+    ASSERT_EQ(other.histograms.size(), base.histograms.size());
+    for (size_t i = 0; i < base.histograms.size(); ++i) {
+      EXPECT_EQ(other.histograms[i].counts, base.histograms[i].counts);
+      EXPECT_EQ(other.histograms[i].total_count,
+                base.histograms[i].total_count);
+      EXPECT_DOUBLE_EQ(other.histograms[i].sum, base.histograms[i].sum);
+    }
+  }
+  // Serialization is registration-ordered, so equal snapshots mean
+  // byte-identical JSON.
+  for (const auto& other : snapshots) {
+    EXPECT_EQ(other.ToJson(), base.ToJson());
+  }
+}
+
+TEST(MetricsRegistryTest, AddQueryStatsRegistersPrefixedCounters) {
+  MetricsRegistry registry;
+  QueryStats stats;
+  stats.queries = 3;
+  stats.distance_evals = 42;
+  registry.AddQueryStats("materialize", stats);
+  const auto snapshot = registry.Aggregate();
+  bool found = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "materialize.distance_evals") {
+      EXPECT_EQ(counter.value, 42u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsSnapshotTest, JsonEscapesNamesAndStaysStructured) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("weird\n\"name\""), 1);
+  const std::string json = registry.Aggregate().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("weird\\n\\\"name\\\""), std::string::npos);
+  // The raw (unescaped) name must not appear anywhere: only structural
+  // newlines from pretty-printing are allowed, never one inside a string.
+  EXPECT_EQ(json.find("weird\n"), std::string::npos)
+      << "raw control characters must not survive escaping";
+}
+
+TEST(TraceRecorderTest, RecordsSpansAndInstants) {
+  TraceRecorder trace;
+  trace.AddSpan("phase", /*tid=*/0, 0.0, 0.5);
+  trace.AddInstant("marker", /*tid=*/1, 0.25);
+  {
+    TraceRecorder::Span span(&trace, "scoped", /*tid=*/2);
+    span.End();
+    span.End();  // idempotent
+  }
+  EXPECT_EQ(trace.event_count(), 3u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"scoped\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, NullRecorderSpanIsNoOp) {
+  TraceRecorder::Span span(nullptr, "nothing");
+  span.End();  // must not crash
+}
+
+TEST(TraceRecorderTest, BackwardsSpanClampsToZeroDuration) {
+  TraceRecorder trace;
+  trace.AddSpan("clamped", 0, 2.0, 1.0);
+  EXPECT_EQ(trace.event_count(), 1u);
+  EXPECT_NE(trace.ToJson().find("\"dur\": 0"), std::string::npos);
+}
+
+TEST(PipelineObserverTest, EnabledTracksEitherPointer) {
+  PipelineObserver observer;
+  EXPECT_FALSE(observer.enabled());
+  QueryStats stats;
+  observer.query_stats = &stats;
+  EXPECT_TRUE(observer.enabled());
+  observer.query_stats = nullptr;
+  TraceRecorder trace;
+  observer.trace = &trace;
+  EXPECT_TRUE(observer.enabled());
+}
+
+}  // namespace
+}  // namespace lofkit

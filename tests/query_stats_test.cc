@@ -1,0 +1,190 @@
+// Counter-consistency tests for the per-engine QueryStats instrumentation:
+// the counters must (a) match closed-form counts where one exists, (b) stay
+// ordered the way the pruning argument predicts, (c) never change a result
+// bit, and (d) aggregate to the same totals at every thread count.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "index/index_factory.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/neighborhood_materializer.h"
+
+namespace lofkit {
+namespace {
+
+Dataset MakeWorkload(size_t dim, size_t n) {
+  Rng rng(4242);
+  auto ds = generators::MakePerformanceWorkload(rng, dim, n, 5);
+  EXPECT_TRUE(ds.ok()) << ds.status();
+  return std::move(ds).value();
+}
+
+// A self-excluding linear-scan query evaluates every other point exactly
+// once: distance_evals == n - 1, no pruning of candidates before the
+// distance is computed.
+TEST(QueryStatsTest, LinearScanEvaluatesExactlyNMinusOnePerQuery) {
+  const size_t n = 97;
+  const Dataset data = MakeWorkload(3, n);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  QueryStats stats;
+  KnnSearchContext ctx;
+  ctx.stats = &stats;
+  for (size_t i = 0; i < n; ++i) {
+    stats.Reset();
+    ASSERT_TRUE(
+        index.Query(data.point(i), 5, static_cast<uint32_t>(i), ctx).ok());
+    EXPECT_EQ(stats.queries, 1u);
+    EXPECT_EQ(stats.distance_evals, n - 1) << "query " << i;
+    EXPECT_GT(stats.leaf_visits, 0u);  // SoA blocks scanned
+    EXPECT_EQ(stats.node_visits, 0u);  // a scan has no internal nodes
+  }
+}
+
+// The kd-tree exists to evaluate fewer distances than the scan; on a
+// clustered low-dimensional workload its total must come in strictly below
+// the scan's n * (n - 1), and the tau/box pruning must actually fire.
+TEST(QueryStatsTest, KdTreePrunesBelowTheLinearScan) {
+  const size_t n = 400;
+  const Dataset data = MakeWorkload(2, n);
+
+  LinearScanIndex scan;
+  ASSERT_TRUE(scan.Build(data, Euclidean()).ok());
+  KdTreeIndex tree;
+  ASSERT_TRUE(tree.Build(data, Euclidean()).ok());
+
+  QueryStats scan_stats, tree_stats;
+  PipelineObserver scan_observer, tree_observer;
+  scan_observer.query_stats = &scan_stats;
+  tree_observer.query_stats = &tree_stats;
+  auto scan_m = NeighborhoodMaterializer::Materialize(
+      data, scan, 10, /*distinct_neighbors=*/false, scan_observer);
+  auto tree_m = NeighborhoodMaterializer::Materialize(
+      data, tree, 10, /*distinct_neighbors=*/false, tree_observer);
+  ASSERT_TRUE(scan_m.ok());
+  ASSERT_TRUE(tree_m.ok());
+
+  EXPECT_EQ(scan_stats.queries, n);
+  EXPECT_EQ(tree_stats.queries, n);
+  EXPECT_EQ(scan_stats.distance_evals, n * (n - 1));
+  EXPECT_LT(tree_stats.distance_evals, scan_stats.distance_evals);
+  EXPECT_GT(tree_stats.rank_prune_hits, 0u);
+  EXPECT_GT(tree_stats.node_visits, 0u);
+
+  // The counters describe the work, not the answer: both engines return
+  // the same neighborhoods.
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(scan_m->neighbors(i).size(), tree_m->neighbors(i).size());
+  }
+}
+
+// Every engine: counting must not change a single result bit, and the
+// basic counters must be live (queries counted, distances evaluated).
+TEST(QueryStatsTest, CountingNeverChangesResultsAcrossEngines) {
+  const size_t n = 150;
+  const size_t k = 7;
+  const Dataset data = MakeWorkload(4, n);
+  for (IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_NE(index, nullptr);
+    ASSERT_TRUE(index->Build(data, Euclidean()).ok());
+
+    QueryStats stats;
+    KnnSearchContext counted, plain;
+    counted.stats = &stats;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(index
+                      ->Query(data.point(i), k, static_cast<uint32_t>(i),
+                              counted)
+                      .ok());
+      ASSERT_TRUE(
+          index->Query(data.point(i), k, static_cast<uint32_t>(i), plain)
+              .ok());
+      const auto a = counted.results();
+      const auto b = plain.results();
+      ASSERT_EQ(a.size(), b.size()) << index->name() << " query " << i;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j], b[j]) << index->name() << " query " << i;
+      }
+    }
+    EXPECT_EQ(stats.queries, n) << index->name();
+    EXPECT_GT(stats.distance_evals, 0u) << index->name();
+    EXPECT_GT(stats.heap_pushes, 0u) << index->name();
+    EXPECT_GT(stats.page_accesses(), 0u) << index->name();
+  }
+}
+
+// Radius queries count too, on every engine.
+TEST(QueryStatsTest, RadiusQueriesAreCounted) {
+  const size_t n = 120;
+  const Dataset data = MakeWorkload(3, n);
+  for (IndexKind kind : AllIndexKinds()) {
+    auto index = CreateIndex(kind);
+    ASSERT_TRUE(index->Build(data, Euclidean()).ok());
+    QueryStats stats;
+    KnnSearchContext ctx;
+    ctx.stats = &stats;
+    ASSERT_TRUE(
+        index->QueryRadius(data.point(0), 0.5, uint32_t{0}, ctx).ok());
+    EXPECT_EQ(stats.queries, 1u) << index->name();
+    EXPECT_GT(stats.distance_evals + stats.rank_prune_hits, 0u)
+        << index->name();
+  }
+}
+
+// The parallel materializer shards counters per worker and sums after the
+// join, so the totals are identical at every thread count — and identical
+// to the serial path.
+TEST(QueryStatsTest, ParallelTotalsMatchSerialAtEveryThreadCount) {
+  const size_t n = 300;
+  const Dataset data = MakeWorkload(3, n);
+  KdTreeIndex tree;
+  ASSERT_TRUE(tree.Build(data, Euclidean()).ok());
+
+  QueryStats serial;
+  PipelineObserver serial_observer;
+  serial_observer.query_stats = &serial;
+  ASSERT_TRUE(NeighborhoodMaterializer::Materialize(
+                  data, tree, 8, /*distinct_neighbors=*/false,
+                  serial_observer)
+                  .ok());
+  EXPECT_EQ(serial.queries, n);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    QueryStats parallel;
+    PipelineObserver observer;
+    observer.query_stats = &parallel;
+    ASSERT_TRUE(NeighborhoodMaterializer::MaterializeParallel(
+                    data, tree, 8, threads, /*distinct_neighbors=*/false,
+                    observer)
+                    .ok());
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+  }
+}
+
+// The batched linear-scan path must count the same closed-form totals as
+// the one-query-at-a-time path.
+TEST(QueryStatsTest, LinearScanBatchMatchesClosedForm) {
+  const size_t n = 200;
+  const Dataset data = MakeWorkload(3, n);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  QueryStats stats;
+  KnnSearchContext ctx;
+  ctx.stats = &stats;
+  ASSERT_TRUE(index.QueryBatch(ids, 5, ctx).ok());
+  EXPECT_EQ(stats.queries, n);
+  EXPECT_EQ(stats.distance_evals, n * (n - 1));
+}
+
+}  // namespace
+}  // namespace lofkit

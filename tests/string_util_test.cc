@@ -51,5 +51,26 @@ TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("empty"), "empty");
 }
 
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+// Regression: control characters used to pass through raw, producing
+// invalid JSON whenever a case name or metric key contained a newline/tab.
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(JsonEscape("\x01\x1f"), "\\u0001\\u001f");
+}
+
 }  // namespace
 }  // namespace lofkit

@@ -12,6 +12,8 @@
 //       --normalize --minpts-lb 30 --minpts-ub 50 --explain
 //   lofkit_cli --input big.csv --save-materialization m.bin
 //   lofkit_cli --input big.csv --load-materialization m.bin --top 20
+//   lofkit_cli --input points.csv --stats-json stats.json
+//       --trace-json trace.json
 
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +23,7 @@
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "dataset/loaders.h"
 #include "dataset/metric.h"
@@ -84,6 +87,12 @@ int main(int argc, char** argv) {
                   "persist the neighborhood database (step 1) to this file");
   flags.AddString("load-materialization", "",
                   "reuse a previously saved neighborhood database");
+  flags.AddString("stats-json", "",
+                  "write run metrics (query-cost counters, phase seconds, "
+                  "score/neighborhood histograms) as JSON to this file");
+  flags.AddString("trace-json", "",
+                  "write pipeline trace spans as Chrome trace-event JSON "
+                  "(chrome://tracing, Perfetto) to this file");
   flags.AddBool("help", false, "show this help");
 
   if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
@@ -97,7 +106,18 @@ int main(int argc, char** argv) {
     return flags.GetBool("help") ? 0 : 2;
   }
 
+  // Observability: both sinks are armed only when their output flag is
+  // set, so the default run carries no counting or tracing overhead.
+  const std::string stats_path = flags.GetString("stats-json");
+  const std::string trace_path = flags.GetString("trace-json");
+  TraceRecorder trace;
+  QueryStats materialize_stats;
+  PipelineObserver observer;
+  if (!stats_path.empty()) observer.query_stats = &materialize_stats;
+  if (!trace_path.empty()) observer.trace = &trace;
+
   // Load.
+  TraceRecorder::Span load_span(observer.trace, "load");
   DatasetLoadOptions load_options;
   load_options.csv.has_header = flags.GetBool("has-header");
   if (flags.GetBool("use-label-column")) {
@@ -113,6 +133,7 @@ int main(int argc, char** argv) {
     normalized.emplace(data.NormalizedToUnitBox());
     working = &*normalized;
   }
+  load_span.End();
   std::fprintf(stderr, "loaded %zu points of dimension %zu\n", data.size(),
                data.dimension());
 
@@ -128,10 +149,12 @@ int main(int argc, char** argv) {
   Stopwatch watch;
   std::unique_ptr<NeighborhoodMaterializer> m;
   if (!flags.GetString("load-materialization").empty()) {
+    TraceRecorder::Span span(observer.trace, "load_materialization");
     auto loaded = NeighborhoodMaterializer::LoadFromFile(
         flags.GetString("load-materialization"), working);
     if (!loaded.ok()) return Fail(loaded.status());
     m = std::make_unique<NeighborhoodMaterializer>(std::move(loaded).value());
+    span.End();
     std::fprintf(stderr, "reloaded materialization (k_max=%zu) in %.3fs\n",
                  m->k_max(), watch.ElapsedSeconds());
   } else {
@@ -143,16 +166,20 @@ int main(int argc, char** argv) {
       if (!by_name.ok()) return Fail(by_name.status());
       index = std::move(by_name).value();
     }
-    if (Status status = index->Build(*working, metric); !status.ok()) {
-      return Fail(status);
+    {
+      TraceRecorder::Span span(observer.trace, "index_build");
+      if (Status status = index->Build(*working, metric); !status.ok()) {
+        return Fail(status);
+      }
     }
     auto built = NeighborhoodMaterializer::MaterializeParallel(
-        *working, *index, ub, threads, flags.GetBool("distinct"));
+        *working, *index, ub, threads, flags.GetBool("distinct"), observer);
     if (!built.ok()) return Fail(built.status());
     m = std::make_unique<NeighborhoodMaterializer>(std::move(built).value());
     std::fprintf(stderr, "materialized %zu neighborhoods (%s index) in %.3fs\n",
                  m->size(), index->name().data(), watch.ElapsedSeconds());
   }
+  const double materialize_seconds = watch.ElapsedSeconds();
   if (!flags.GetString("save-materialization").empty()) {
     if (Status status =
             m->SaveToFile(flags.GetString("save-materialization"));
@@ -165,14 +192,26 @@ int main(int argc, char** argv) {
   auto aggregation = AggregationByName(flags.GetString("aggregation"));
   if (!aggregation.ok()) return Fail(aggregation.status());
   watch.Reset();
+  TraceRecorder::Span sweep_span(observer.trace, "sweep");
   auto sweep = LofSweep::Run(*m, lb, ub, *aggregation,
-                             /*keep_per_min_pts=*/false, threads);
+                             /*keep_per_min_pts=*/false, threads, observer);
   if (!sweep.ok()) return Fail(sweep.status());
+  sweep_span.End();
   std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
                lb, ub, watch.ElapsedSeconds());
+  // Per-phase breakdown (k-distance/LRD/LOF are summed over the MinPts
+  // steps, so they read like CPU seconds when the sweep ran in parallel).
+  std::fprintf(stderr,
+               "phase seconds: materialize=%.3f k_distance=%.3f lrd=%.3f "
+               "lof=%.3f\n",
+               materialize_seconds, sweep->phase_times.k_distance_seconds,
+               sweep->phase_times.lrd_seconds,
+               sweep->phase_times.lof_seconds);
 
   const size_t top_n = flags.GetU64("top");
+  TraceRecorder::Span rank_span(observer.trace, "rank");
   auto ranked = RankDescending(sweep->aggregated, top_n);
+  rank_span.End();
   std::printf("%-6s %-10s %-10s %s\n", "rank", "point", "score", "label");
   for (size_t i = 0; i < ranked.size(); ++i) {
     std::printf("%-6zu %-10u %-10.4f %s", i + 1, ranked[i].index,
@@ -220,6 +259,51 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote scores to %s\n",
                  flags.GetString("output").c_str());
+  }
+
+  if (!stats_path.empty()) {
+    MetricsRegistry registry;
+    registry.AddQueryStats("materialize", materialize_stats);
+    registry.Set(registry.Gauge("dataset.points"),
+                 static_cast<double>(data.size()));
+    registry.Set(registry.Gauge("dataset.dimension"),
+                 static_cast<double>(data.dimension()));
+    registry.Set(registry.Gauge("sweep.min_pts_lb"),
+                 static_cast<double>(lb));
+    registry.Set(registry.Gauge("sweep.min_pts_ub"),
+                 static_cast<double>(ub));
+    registry.Set(registry.Gauge("materialize.k_max"),
+                 static_cast<double>(m->k_max()));
+    registry.Set(registry.Gauge("phase.materialize_seconds"),
+                 materialize_seconds);
+    registry.Set(registry.Gauge("phase.k_distance_seconds"),
+                 sweep->phase_times.k_distance_seconds);
+    registry.Set(registry.Gauge("phase.lrd_seconds"),
+                 sweep->phase_times.lrd_seconds);
+    registry.Set(registry.Gauge("phase.lof_seconds"),
+                 sweep->phase_times.lof_seconds);
+    const MetricsRegistry::MetricId size_hist = registry.Histogram(
+        "materialize.neighborhood_size", 1.0, 65536.0, 32);
+    for (size_t i = 0; i < m->size(); ++i) {
+      registry.Record(size_hist,
+                      static_cast<double>(m->neighbors(i).size()));
+    }
+    const MetricsRegistry::MetricId score_hist =
+        registry.Histogram("lof.aggregated_score", 0.0625, 64.0, 40);
+    for (double score : sweep->aggregated) {
+      registry.Record(score_hist, score);
+    }
+    if (Status status = registry.WriteJson(stats_path); !status.ok()) {
+      return Fail(status);
+    }
+    std::fprintf(stderr, "wrote run metrics to %s\n", stats_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (Status status = trace.WriteJson(trace_path); !status.ok()) {
+      return Fail(status);
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 trace.event_count(), trace_path.c_str());
   }
   return 0;
 }
