@@ -1,0 +1,144 @@
+#ifndef LOFKIT_COMMON_CANCELLATION_H_
+#define LOFKIT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace lofkit {
+
+namespace internal_cancellation {
+
+/// Shared stop state between a StopSource and its StopTokens. The stop
+/// cause is latched with a compare-exchange, so whichever event wins the
+/// race (explicit cancel vs. deadline expiry) determines the Status code
+/// every observer reports from then on — one run never mixes kCancelled
+/// and kDeadlineExceeded.
+struct StopState {
+  enum Cause : uint8_t { kNone = 0, kCancelled = 1, kDeadlineExceeded = 2 };
+
+  std::atomic<uint8_t> cause{kNone};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  void Latch(Cause c) {
+    uint8_t expected = kNone;
+    cause.compare_exchange_strong(expected, static_cast<uint8_t>(c),
+                                  std::memory_order_relaxed);
+  }
+};
+
+}  // namespace internal_cancellation
+
+/// Observer half of a cancellation pair: a cheap, copyable handle workers
+/// poll at chunk boundaries. A default-constructed token is empty — it can
+/// never request a stop and every check is a null-pointer test — so APIs
+/// can take `const StopToken& = {}` with zero cost for callers that do not
+/// opt in.
+///
+/// The cheap check (stop_requested / status) is one relaxed atomic load.
+/// Deadline expiry needs a monotonic-clock read, so it lives in the
+/// separate CheckDeadline(); long-running loops poll the flag every
+/// iteration and the deadline every few dozen iterations (see
+/// kStopCheckStride in parallel.h).
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True when a stop has been requested or a deadline expiry has already
+  /// been observed (by anyone). One relaxed atomic load; no clock read.
+  bool stop_requested() const {
+    return state_ != nullptr &&
+           state_->cause.load(std::memory_order_relaxed) !=
+               internal_cancellation::StopState::kNone;
+  }
+
+  /// True when this token can ever request a stop.
+  bool stop_possible() const { return state_ != nullptr; }
+
+  /// OK, or the latched kCancelled / kDeadlineExceeded error. Flag check
+  /// only — pair with CheckDeadline() for deadline observation.
+  Status status() const {
+    if (state_ == nullptr) return Status::OK();
+    return StatusForCause(state_->cause.load(std::memory_order_relaxed));
+  }
+
+  /// Reads the monotonic clock once: when the deadline has passed, latches
+  /// kDeadlineExceeded (first observer wins) and returns the error;
+  /// otherwise falls back to status(). Call this at coarse boundaries.
+  Status CheckDeadline() const {
+    if (state_ == nullptr) return Status::OK();
+    if (state_->has_deadline &&
+        state_->cause.load(std::memory_order_relaxed) ==
+            internal_cancellation::StopState::kNone &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      state_->Latch(internal_cancellation::StopState::kDeadlineExceeded);
+    }
+    return status();
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(
+      std::shared_ptr<internal_cancellation::StopState> state)
+      : state_(std::move(state)) {}
+
+  static Status StatusForCause(uint8_t cause) {
+    switch (cause) {
+      case internal_cancellation::StopState::kCancelled:
+        return Status::Cancelled("operation cancelled by the caller");
+      case internal_cancellation::StopState::kDeadlineExceeded:
+        return Status::DeadlineExceeded("operation deadline exceeded");
+      default:
+        return Status::OK();
+    }
+  }
+
+  std::shared_ptr<internal_cancellation::StopState> state_;
+};
+
+/// Owner half of a cancellation pair: creates tokens and requests stops.
+/// Modeled on std::stop_source, plus an optional monotonic-clock deadline
+/// that tokens observe themselves — no timer thread is involved; an
+/// expired deadline is noticed at the observers' next CheckDeadline().
+class StopSource {
+ public:
+  /// A source with no deadline; stops only via RequestStop().
+  StopSource()
+      : state_(std::make_shared<internal_cancellation::StopState>()) {}
+
+  /// A source whose tokens report kDeadlineExceeded once the monotonic
+  /// clock passes `deadline`.
+  static StopSource WithDeadline(
+      std::chrono::steady_clock::time_point deadline) {
+    StopSource source;
+    source.state_->has_deadline = true;
+    source.state_->deadline = deadline;
+    return source;
+  }
+
+  /// A source whose deadline is `timeout` from now.
+  static StopSource AfterTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Requests cancellation. Idempotent; loses to an already-latched
+  /// deadline expiry (the first cause wins, keeping the reported code
+  /// deterministic within a run).
+  void RequestStop() const {
+    state_->Latch(internal_cancellation::StopState::kCancelled);
+  }
+
+  /// A token observing this source.
+  StopToken token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<internal_cancellation::StopState> state_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_CANCELLATION_H_

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -18,6 +19,18 @@ Result<CsvTable> ParseCsv(const std::string& text,
   size_t expected_cols = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (options.max_line_bytes != 0 && line.size() > options.max_line_bytes) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu is %zu bytes long, limit is %zu "
+                    "(CsvReadOptions::max_line_bytes)",
+                    line_number, line.size(), options.max_line_bytes));
+    }
+    if (line.find('\0') != std::string::npos) {
+      // An embedded NUL would silently truncate the field inside the
+      // C-string number parser; reject the whole line instead.
+      return Status::InvalidArgument(
+          StrFormat("line %zu contains an embedded NUL byte", line_number));
+    }
     std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     if (options.allow_comments && trimmed.front() == '#') continue;
@@ -54,6 +67,7 @@ Result<CsvTable> ParseCsv(const std::string& text,
 
 Result<CsvTable> ReadCsvFile(const std::string& path,
                              const CsvReadOptions& options) {
+  LOFKIT_FAIL_POINT("csv.read");
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::IoError("cannot open file: " + path);
@@ -87,6 +101,7 @@ std::string WriteCsv(const CsvTable& table, char separator) {
 
 Status WriteCsvFile(const std::string& path, const CsvTable& table,
                     char separator) {
+  LOFKIT_FAIL_POINT("csv.write");
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
     return Status::IoError("cannot open file for writing: " + path);

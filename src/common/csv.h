@@ -26,6 +26,11 @@ struct CsvReadOptions {
   bool has_header = false;
   /// When true, lines starting with '#' are skipped.
   bool allow_comments = true;
+  /// Longest accepted physical line, in bytes (0 = unlimited). Hostile or
+  /// corrupt inputs (a newline-free multi-gigabyte blob, a binary file fed
+  /// to the CSV path) fail with a clean InvalidArgument instead of
+  /// ballooning memory on a single std::getline.
+  size_t max_line_bytes = 1 << 20;
 };
 
 /// Parses CSV text already in memory. Returns InvalidArgument on ragged rows

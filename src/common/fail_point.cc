@@ -1,0 +1,113 @@
+#include "common/fail_point.h"
+
+#include <map>
+#include <mutex>
+#include <random>
+#include <utility>
+
+namespace lofkit {
+
+namespace {
+
+struct ArmedPoint {
+  Status error;
+  FailPointPolicy policy;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  std::mt19937_64 rng;
+};
+
+// Function-local statics so the registry is safe to use from other
+// namespace-scope initializers and never needs a destructor ordering
+// guarantee (the map is heap-allocated and intentionally leaked).
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::map<std::string, ArmedPoint, std::less<>>& Registry() {
+  static auto* points = new std::map<std::string, ArmedPoint, std::less<>>;
+  return *points;
+}
+
+}  // namespace
+
+std::atomic<uint64_t>& FailPoints::armed_count() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+void FailPoints::Arm(std::string_view name, Status error,
+                     FailPointPolicy policy) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& registry = Registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) {
+    it = registry.emplace(std::string(name), ArmedPoint{}).first;
+    armed_count().fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second.error = std::move(error);
+  it->second.policy = policy;
+  it->second.hits = 0;
+  it->second.fires = 0;
+  it->second.rng.seed(policy.seed);
+}
+
+bool FailPoints::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& registry = Registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) return false;
+  registry.erase(it);
+  armed_count().fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& registry = Registry();
+  armed_count().fetch_sub(registry.size(), std::memory_order_relaxed);
+  registry.clear();
+}
+
+uint64_t FailPoints::HitCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::FireCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+Status FailPoints::Check(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::OK();
+  ArmedPoint& point = it->second;
+  ++point.hits;
+  bool fire = false;
+  switch (point.policy.kind) {
+    case FailPointPolicy::Kind::kAlways:
+      fire = true;
+      break;
+    case FailPointPolicy::Kind::kOnce:
+      fire = point.fires == 0;
+      break;
+    case FailPointPolicy::Kind::kEveryNth:
+      fire = point.hits % point.policy.n == 0;
+      break;
+    case FailPointPolicy::Kind::kProbability: {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      fire = uniform(point.rng) < point.policy.probability;
+      break;
+    }
+  }
+  if (!fire) return Status::OK();
+  ++point.fires;
+  return point.error;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,123 @@
+#ifndef LOFKIT_COMMON_FAIL_POINT_H_
+#define LOFKIT_COMMON_FAIL_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lofkit {
+
+/// When an armed fail point fires, relative to the hits it observes.
+///
+/// Policies are evaluated per hit while the point is armed; hits are
+/// counted even when the policy decides not to fire, so tests can assert a
+/// planted point was actually reached.
+struct FailPointPolicy {
+  enum class Kind : uint8_t {
+    kAlways,       ///< Fires on every hit.
+    kOnce,         ///< Fires on the first hit only, then goes quiet.
+    kEveryNth,     ///< Fires on hits n, 2n, 3n, ... (1-based).
+    kProbability,  ///< Fires per hit with probability p from a seeded RNG.
+  };
+
+  Kind kind = Kind::kAlways;
+  uint64_t n = 1;            ///< Period for kEveryNth.
+  double probability = 1.0;  ///< Fire probability for kProbability.
+  uint64_t seed = 0;         ///< RNG seed for kProbability (deterministic).
+
+  static FailPointPolicy Always() { return {}; }
+  static FailPointPolicy Once() { return {Kind::kOnce, 1, 1.0, 0}; }
+  static FailPointPolicy EveryNth(uint64_t n) {
+    return {Kind::kEveryNth, n == 0 ? 1 : n, 1.0, 0};
+  }
+  static FailPointPolicy WithProbability(double p, uint64_t seed) {
+    return {Kind::kProbability, 1, p, seed};
+  }
+};
+
+/// A RocksDB-SyncPoint-style fault-injection registry.
+///
+/// Production code plants named points with LOFKIT_FAIL_POINT("name");
+/// tests arm a point with an error Status and a firing policy, run the
+/// pipeline, and assert the injected error surfaces at the public API.
+/// Unarmed (the production state), a planted point costs exactly one
+/// relaxed atomic load — no branch into the registry, no allocation, no
+/// synchronization — so planting points in hot loops is free in practice.
+///
+/// All registry mutations and the armed-point slow path take one global
+/// mutex; fail points are a test instrument, not a production code path,
+/// so contention while armed is acceptable. Thread-safe throughout.
+class FailPoints {
+ public:
+  /// Arms `name` to inject `error` per `policy`. Re-arming an armed point
+  /// replaces its error, policy, and counters. `error` must not be OK.
+  static void Arm(std::string_view name, Status error,
+                  FailPointPolicy policy = FailPointPolicy::Always());
+
+  /// Disarms one point. Returns false when it was not armed.
+  static bool Disarm(std::string_view name);
+
+  /// Disarms everything (test teardown safety net).
+  static void DisarmAll();
+
+  /// True when at least one point is armed anywhere. This is the planted
+  /// fast-path guard: a single relaxed atomic load.
+  static bool AnyArmed() {
+    return armed_count().load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Times the armed point `name` was evaluated (0 when never armed or
+  /// since its last Arm). Counts every hit, fired or not.
+  static uint64_t HitCount(std::string_view name);
+
+  /// Times the armed point `name` actually injected its error.
+  static uint64_t FireCount(std::string_view name);
+
+  /// Slow path behind LOFKIT_FAIL_POINT: evaluates the policy of `name`
+  /// and returns the injected error when it fires, OK otherwise (also OK
+  /// when `name` is not armed).
+  static Status Check(std::string_view name);
+
+ private:
+  static std::atomic<uint64_t>& armed_count();
+};
+
+/// Arms a fail point for the current scope and disarms it on destruction —
+/// the idiomatic way to use fail points in a test body.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string_view name, Status error,
+                  FailPointPolicy policy = FailPointPolicy::Always())
+      : name_(name) {
+    FailPoints::Arm(name_, std::move(error), policy);
+  }
+  ~ScopedFailPoint() { FailPoints::Disarm(name_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  uint64_t hit_count() const { return FailPoints::HitCount(name_); }
+  uint64_t fire_count() const { return FailPoints::FireCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace lofkit
+
+/// Plants a named fault-injection point. When the registry has any armed
+/// point the slow path consults it and propagates the injected Status out
+/// of the enclosing function (which must return Status or Result<T>);
+/// unarmed, this is a single relaxed atomic load.
+#define LOFKIT_FAIL_POINT(name)                                         \
+  do {                                                                  \
+    if (__builtin_expect(::lofkit::FailPoints::AnyArmed(), 0)) {        \
+      ::lofkit::Status _lofkit_fp = ::lofkit::FailPoints::Check(name);  \
+      if (!_lofkit_fp.ok()) return _lofkit_fp;                          \
+    }                                                                   \
+  } while (0)
+
+#endif  // LOFKIT_COMMON_FAIL_POINT_H_

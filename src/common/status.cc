@@ -18,6 +18,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

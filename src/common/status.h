@@ -28,6 +28,13 @@ enum class StatusCode {
   kInternal = 5,
   /// I/O failure (CSV file unreadable, ...).
   kIoError = 6,
+  /// The operation was cancelled by the caller (StopSource::RequestStop).
+  kCancelled = 7,
+  /// The operation ran past its caller-supplied deadline.
+  kDeadlineExceeded = 8,
+  /// The operation would exceed a caller-supplied resource budget
+  /// (e.g. the materialization memory budget).
+  kResourceExhausted = 9,
 };
 
 /// Returns the canonical lower-case name of a code, e.g. "invalid_argument".
@@ -77,6 +84,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

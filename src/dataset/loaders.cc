@@ -1,5 +1,6 @@
 #include "dataset/loaders.h"
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -39,7 +40,9 @@ Result<Dataset> DatasetFromCsvTable(const CsvTable& table,
 
   LOFKIT_ASSIGN_OR_RETURN(Dataset dataset, Dataset::Create(coords.size()));
   std::vector<double> point(coords.size());
-  for (const std::vector<double>& row : table.rows) {
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    LOFKIT_FAIL_POINT("loaders.row");
+    const std::vector<double>& row = table.rows[r];
     for (size_t i = 0; i < coords.size(); ++i) {
       point[i] = row[coords[i]];
     }
@@ -47,7 +50,15 @@ Result<Dataset> DatasetFromCsvTable(const CsvTable& table,
     if (options.label_column >= 0) {
       label = StrFormat("%g", row[static_cast<size_t>(options.label_column)]);
     }
-    LOFKIT_RETURN_IF_ERROR(dataset.Append(point, std::move(label)));
+    // Re-wrap Append failures (dimension can't mismatch here, so this is
+    // the non-finite-coordinate guard) with the offending data row, so a
+    // CSV holding "inf" or "nan" points at the row instead of just the
+    // symptom.
+    if (Status status = dataset.Append(point, std::move(label));
+        !status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("data row %zu: %s", r + 1, status.message().c_str()));
+    }
   }
   return dataset;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -23,6 +24,7 @@ Status CheckQuery(const Dataset* data, std::span<const double> query) {
 }  // namespace
 
 Status GridIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
   if (data.empty()) {
     return Status::InvalidArgument("cannot build index over empty dataset");
   }

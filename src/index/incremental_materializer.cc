@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 #include "index/linear_scan_index.h"
 
@@ -40,6 +41,7 @@ void IncrementalMaterializer::Trim(std::vector<Neighbor>& list) const {
 
 Status IncrementalMaterializer::Insert(std::span<const double> coordinates,
                                        const std::string& label) {
+  LOFKIT_FAIL_POINT("incremental.insert");
   if (coordinates.size() != data_.dimension()) {
     return Status::InvalidArgument(
         StrFormat("point has dimension %zu, dataset has %zu",

@@ -1,5 +1,6 @@
 #include "index/linear_scan_index.h"
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -21,6 +22,7 @@ Status CheckQuery(const Dataset* data, std::span<const double> query) {
 }  // namespace
 
 Status LinearScanIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
   if (data.empty()) {
     return Status::InvalidArgument("cannot build index over empty dataset");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -45,6 +46,7 @@ uint32_t MTreeIndex::RoutingObjectOf(uint32_t node_id) const {
 }
 
 Status MTreeIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
   if (data.empty()) {
     return Status::InvalidArgument("cannot build index over empty dataset");
   }

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fail_point.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 
@@ -113,12 +114,31 @@ Status ValidateMaterializationArgs(const Dataset& data, size_t k_max) {
   return Status::OK();
 }
 
+// The upfront budget gate: refuses to materialize when even the optimistic
+// projection of M does not fit, so callers can fall back to the re-query
+// path before a single query has been paid.
+Status CheckMemoryBudget(size_t n, size_t k_max, size_t budget_bytes) {
+  if (budget_bytes == 0) return Status::OK();
+  const size_t projected =
+      NeighborhoodMaterializer::ProjectedBytes(n, k_max);
+  if (projected > budget_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("materialization of %zu points at k_max=%zu needs >= %zu "
+                  "bytes, budget is %zu",
+                  n, k_max, projected, budget_bytes));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
     const Dataset& data, const KnnIndex& index, size_t k_max,
-    bool distinct_neighbors, const PipelineObserver& observer) {
+    bool distinct_neighbors, const PipelineObserver& observer,
+    const StopToken& stop, size_t memory_budget_bytes) {
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
+  LOFKIT_RETURN_IF_ERROR(
+      CheckMemoryBudget(data.size(), k_max, memory_budget_bytes));
   NeighborhoodMaterializer m(k_max, distinct_neighbors);
   m.data_ = &data;
   const size_t n = data.size();
@@ -138,6 +158,10 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
     // their data streaming across a whole chunk.
     std::vector<uint32_t> ids;
     for (size_t begin = 0; begin < n; begin += kBatchChunk) {
+      if (stop.stop_possible()) {
+        LOFKIT_RETURN_IF_ERROR(stop.CheckDeadline());
+      }
+      LOFKIT_FAIL_POINT("materializer.query");
       const size_t end = std::min(begin + kBatchChunk, n);
       ids.resize(end - begin);
       for (size_t j = 0; j < ids.size(); ++j) {
@@ -152,6 +176,11 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
+      if (stop.stop_possible()) {
+        LOFKIT_RETURN_IF_ERROR(i % kStopCheckStride == 0 ? stop.CheckDeadline()
+                                                         : stop.status());
+      }
+      LOFKIT_FAIL_POINT("materializer.query");
       LOFKIT_RETURN_IF_ERROR(
           QueryNeighborhood(data, index, k_max, distinct_neighbors, i, ctx));
       const auto list = ctx.results();
@@ -164,11 +193,15 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
 
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
     const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
-    bool distinct_neighbors, const PipelineObserver& observer) {
+    bool distinct_neighbors, const PipelineObserver& observer,
+    const StopToken& stop, size_t memory_budget_bytes) {
   if (ResolveThreadCount(threads) <= 1) {
-    return Materialize(data, index, k_max, distinct_neighbors, observer);
+    return Materialize(data, index, k_max, distinct_neighbors, observer, stop,
+                       memory_budget_bytes);
   }
   LOFKIT_RETURN_IF_ERROR(ValidateMaterializationArgs(data, k_max));
+  LOFKIT_RETURN_IF_ERROR(
+      CheckMemoryBudget(data.size(), k_max, memory_budget_bytes));
   const size_t n = data.size();
   std::vector<std::vector<Neighbor>> lists(n);
   // Workers shard whole chunks so each QueryBatch call stays within one
@@ -192,7 +225,8 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
   }
   TraceRecorder::Span span(observer.trace, "materialize", /*tid=*/0);
   LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-      num_chunks, threads, [&](size_t worker, size_t c) -> Status {
+      num_chunks, threads, stop, [&](size_t worker, size_t c) -> Status {
+        LOFKIT_FAIL_POINT("materializer.query");
         const size_t begin = c * kBatchChunk;
         const size_t end = std::min(begin + kBatchChunk, n);
         KnnSearchContext& ctx = ctxs[worker];
@@ -346,6 +380,7 @@ bool ReadPod(std::ifstream& in, T& value) {
 }  // namespace
 
 Status NeighborhoodMaterializer::SaveToFile(const std::string& path) const {
+  LOFKIT_FAIL_POINT("materialization.save");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::IoError("cannot open file for writing: " + path);
@@ -370,6 +405,7 @@ Status NeighborhoodMaterializer::SaveToFile(const std::string& path) const {
 
 Result<NeighborhoodMaterializer> NeighborhoodMaterializer::LoadFromFile(
     const std::string& path, const Dataset* data) {
+  LOFKIT_FAIL_POINT("materialization.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open file: " + path);

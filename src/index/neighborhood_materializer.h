@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "index/knn_index.h"
 
@@ -29,10 +30,18 @@ class NeighborhoodMaterializer {
   /// 1 <= k_max < data.size(). `observer`, when armed, receives the query
   /// cost counters of the whole pass and per-chunk trace spans; the default
   /// observer disables both with zero overhead.
+  ///
+  /// `stop` is polled at chunk boundaries; a tripped token returns its
+  /// latched kCancelled / kDeadlineExceeded status. A non-zero
+  /// `memory_budget_bytes` is compared against ProjectedBytes(n, k_max)
+  /// before any query runs; a projected overflow returns
+  /// kResourceExhausted so the caller can degrade to the re-query path
+  /// instead of materializing.
   static Result<NeighborhoodMaterializer> Materialize(
       const Dataset& data, const KnnIndex& index, size_t k_max,
       bool distinct_neighbors = false,
-      const PipelineObserver& observer = {});
+      const PipelineObserver& observer = {}, const StopToken& stop = {},
+      size_t memory_budget_bytes = 0);
 
   /// Parallel step 1: the n queries are embarrassingly parallel (every
   /// KnnIndex implementation is stateless per query), so they are sharded
@@ -43,10 +52,23 @@ class NeighborhoodMaterializer {
   /// and its error is propagated instead of being swallowed. Query-cost
   /// counters accumulate into per-worker shards and are summed after the
   /// join, so observer totals are identical at every thread count.
+  /// `stop` and `memory_budget_bytes` behave exactly as in Materialize;
+  /// the token additionally aborts the other workers at their next chunk.
   static Result<NeighborhoodMaterializer> MaterializeParallel(
       const Dataset& data, const KnnIndex& index, size_t k_max,
       size_t threads, bool distinct_neighbors = false,
-      const PipelineObserver& observer = {});
+      const PipelineObserver& observer = {}, const StopToken& stop = {},
+      size_t memory_budget_bytes = 0);
+
+  /// Lower bound on the resident size of M for n points at k_max, in bytes:
+  /// the flat neighbor array at exactly k_max entries per point plus the
+  /// offsets table. Ties and distinct-mode growth can push the real size
+  /// higher, so a budget decision made on this estimate is optimistic — but
+  /// it is available before any query runs, which is what the
+  /// materialize-vs-requery degradation decision needs.
+  static size_t ProjectedBytes(size_t n, size_t k_max) {
+    return n * k_max * sizeof(Neighbor) + (n + 1) * sizeof(size_t);
+  }
 
   NeighborhoodMaterializer(NeighborhoodMaterializer&&) noexcept = default;
   NeighborhoodMaterializer& operator=(NeighborhoodMaterializer&&) noexcept =

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -100,6 +101,7 @@ double RStarTreeIndex::RectOverlap(std::span<const double> a,
 // ---------------------------------------------------------------------------
 
 Status RStarTreeIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
   if (data.empty()) {
     return Status::InvalidArgument("cannot build index over empty dataset");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
@@ -24,6 +25,7 @@ Status CheckQuery(const Dataset* data, std::span<const double> query) {
 }  // namespace
 
 Status VaFileIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
   if (data.empty()) {
     return Status::InvalidArgument("cannot build index over empty dataset");
   }

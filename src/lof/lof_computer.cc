@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -34,18 +35,20 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   std::vector<double> k_distance(n);
   {
     TraceRecorder::Span span(trace, "k_distance");
-    LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
-      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
-      k_distance[i] = view.k_distance;
-      return Status::OK();
-    }));
+    LOFKIT_RETURN_IF_ERROR(
+        ParallelFor(n, threads, options.stop, [&](size_t i) -> Status {
+          LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+          k_distance[i] = view.k_distance;
+          return Status::OK();
+        }));
   }
   scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
   // First scan of M: local reachability densities (Definition 6).
   TraceRecorder::Span lrd_span(trace, "lrd");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, options.stop, [&](size_t i)
+                                                                   -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     double sum = 0.0;
     for (const Neighbor& o : view.neighborhood) {
@@ -74,7 +77,8 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
 
   // Second scan of M: LOF values (Definition 7).
   TraceRecorder::Span lof_span(trace, "lof");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, [&](size_t i) -> Status {
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, options.stop, [&](size_t i)
+                                                                   -> Status {
     LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
     const double lrd_i = scores.lrd[i];
     double sum = 0.0;
@@ -94,6 +98,116 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   return scores;
 }
 
+Result<LofScores> LofComputer::ComputeRequery(
+    const Dataset& data, const KnnIndex& index, size_t min_pts,
+    const LofComputeOptions& options) {
+  if (min_pts == 0) {
+    return Status::OutOfRange("min_pts must be >= 1");
+  }
+  if (min_pts >= data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("min_pts (%zu) must be smaller than the dataset size "
+                  "(%zu): every point needs min_pts neighbors besides itself",
+                  min_pts, data.size()));
+  }
+  const size_t n = data.size();
+  const size_t threads = options.threads;
+  // Mirrors ParallelForWorker's resolution so worker ids index ctxs safely.
+  const size_t num_workers = std::min(ResolveThreadCount(threads), n);
+  std::vector<KnnSearchContext> ctxs(num_workers);
+  std::vector<QueryStats> worker_stats(num_workers);
+  if (options.observer.query_stats != nullptr) {
+    for (size_t w = 0; w < num_workers; ++w) {
+      ctxs[w].stats = &worker_stats[w];
+    }
+  }
+
+  LofScores scores;
+  scores.min_pts = min_pts;
+  scores.lrd.resize(n);
+  scores.lof.resize(n);
+  std::vector<double> k_distance(n);
+
+  Stopwatch watch;
+  TraceRecorder* trace = options.observer.trace;
+
+  // Pass 0: k-distances. Query(p, k) returns >= min_pts entries whenever
+  // min_pts < n, so indexing entry min_pts - 1 is always in range.
+  {
+    TraceRecorder::Span span(trace, "k_distance");
+    LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+        n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
+          KnnSearchContext& ctx = ctxs[worker];
+          LOFKIT_RETURN_IF_ERROR(index.Query(
+              data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
+          k_distance[i] = ctx.results()[min_pts - 1].distance;
+          return Status::OK();
+        }));
+  }
+  scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
+  watch.Reset();
+
+  // LRD pass, re-querying the neighborhood instead of reading M. The
+  // neighbor order matches View(i, min_pts) exactly, so the sum — and the
+  // result bits — are identical to the materialized path.
+  TraceRecorder::Span lrd_span(trace, "lrd");
+  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+      n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
+        KnnSearchContext& ctx = ctxs[worker];
+        LOFKIT_RETURN_IF_ERROR(index.Query(
+            data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
+        const auto neighborhood = ctx.results();
+        double sum = 0.0;
+        for (const Neighbor& o : neighborhood) {
+          sum += options.use_reachability
+                     ? std::max(k_distance[o.index], o.distance)
+                     : o.distance;
+        }
+        if (sum > 0.0) {
+          scores.lrd[i] = static_cast<double>(neighborhood.size()) / sum;
+        } else {
+          scores.lrd[i] = std::numeric_limits<double>::infinity();
+        }
+        return Status::OK();
+      }));
+  scores.has_infinite_lrd =
+      std::any_of(scores.lrd.begin(), scores.lrd.end(),
+                  [](double lrd) { return std::isinf(lrd); });
+  lrd_span.End();
+  scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
+  watch.Reset();
+
+  // LOF pass, third and last round of queries.
+  TraceRecorder::Span lof_span(trace, "lof");
+  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+      n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
+        KnnSearchContext& ctx = ctxs[worker];
+        LOFKIT_RETURN_IF_ERROR(index.Query(
+            data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
+        const auto neighborhood = ctx.results();
+        const double lrd_i = scores.lrd[i];
+        double sum = 0.0;
+        for (const Neighbor& o : neighborhood) {
+          const double lrd_o = scores.lrd[o.index];
+          if (std::isinf(lrd_o) && std::isinf(lrd_i)) {
+            sum += 1.0;
+          } else {
+            sum += lrd_o / lrd_i;
+          }
+        }
+        scores.lof[i] = sum / static_cast<double>(neighborhood.size());
+        return Status::OK();
+      }));
+  lof_span.End();
+  scores.phase_times.lof_seconds = watch.ElapsedSeconds();
+  if (options.observer.query_stats != nullptr) {
+    for (const QueryStats& shard : worker_stats) {
+      options.observer.query_stats->Add(shard);
+    }
+  }
+  return scores;
+}
+
 Result<LofScores> LofComputer::ComputeFromScratch(
     const Dataset& data, const Metric& metric, size_t min_pts,
     IndexKind index_kind, bool distinct_neighbors,
@@ -107,11 +221,31 @@ Result<LofScores> LofComputer::ComputeFromScratch(
     TraceRecorder::Span span(options.observer.trace, "index_build");
     LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
   }
+  const size_t budget = options.memory_budget_bytes;
+  if (budget != 0 && NeighborhoodMaterializer::ProjectedBytes(
+                         data.size(), min_pts) > budget) {
+    if (distinct_neighbors) {
+      return Status::ResourceExhausted(StrFormat(
+          "materializing %zu points at min_pts=%zu exceeds the %zu-byte "
+          "memory budget, and distinct-neighbors mode has no re-query "
+          "fallback",
+          data.size(), min_pts, budget));
+    }
+    LOFKIT_LOG(Warning)
+        << "projected materialization ("
+        << NeighborhoodMaterializer::ProjectedBytes(data.size(), min_pts)
+        << " bytes) exceeds the memory budget (" << budget
+        << " bytes); degrading to the re-query path";
+    LOFKIT_ASSIGN_OR_RETURN(LofScores scores,
+                            ComputeRequery(data, *index, min_pts, options));
+    scores.degraded_to_requery = true;
+    return scores;
+  }
   LOFKIT_ASSIGN_OR_RETURN(
       NeighborhoodMaterializer m,
       NeighborhoodMaterializer::MaterializeParallel(
           data, *index, min_pts, options.threads, distinct_neighbors,
-          options.observer));
+          options.observer, options.stop));
   const double materialize_seconds = watch.ElapsedSeconds();
   LOFKIT_ASSIGN_OR_RETURN(LofScores scores, Compute(m, min_pts, options));
   scores.phase_times.materialize_seconds = materialize_seconds;

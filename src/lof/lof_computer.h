@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
@@ -51,6 +52,12 @@ struct LofScores {
   /// True when any lrd is infinite (duplicate degeneracy occurred).
   bool has_infinite_lrd = false;
 
+  /// True when a memory budget forced ComputeFromScratch off the
+  /// materialize-then-scan path onto the bounded-memory re-query path. The
+  /// score bits are identical either way; the flag only records which route
+  /// produced them (surfaced in the CLI's stats export).
+  bool degraded_to_requery = false;
+
   /// Per-phase wall times of the computation that produced these scores.
   LofPhaseTimes phase_times;
 };
@@ -81,6 +88,21 @@ struct LofComputeOptions {
   /// default; Compute records phase spans, ComputeFromScratch additionally
   /// forwards the observer into the materialization step.
   PipelineObserver observer;
+
+  /// Cooperative cancellation/deadline token, polled at chunk boundaries of
+  /// every scan (and forwarded into the materialization step by
+  /// ComputeFromScratch). The default token never stops and costs a
+  /// null-pointer test per check.
+  StopToken stop;
+
+  /// Memory budget in bytes for the materialization database M (0 =
+  /// unlimited). When ProjectedBytes for the requested run exceeds it,
+  /// ComputeFromScratch degrades to the re-query path (logged, and recorded
+  /// in LofScores::degraded_to_requery) instead of failing — except in
+  /// distinct-neighbors mode, which has no re-query equivalent and returns
+  /// kResourceExhausted. Compute itself ignores the budget: its M already
+  /// exists.
+  size_t memory_budget_bytes = 0;
 };
 
 class LofComputer {
@@ -92,11 +114,30 @@ class LofComputer {
 
   /// Convenience single-call pipeline: build the given index over `data`,
   /// materialize min_pts neighborhoods (in parallel when options.threads
-  /// asks for it), and compute LOF with the given options.
+  /// asks for it), and compute LOF with the given options. A memory budget
+  /// that the projected M would overflow reroutes to ComputeRequery (see
+  /// LofComputeOptions::memory_budget_bytes).
   static Result<LofScores> ComputeFromScratch(
       const Dataset& data, const Metric& metric, size_t min_pts,
       IndexKind index_kind = IndexKind::kLinearScan,
       bool distinct_neighbors = false, const LofComputeOptions& options = {});
+
+  /// Bounded-memory alternative to materialize-then-Compute: never builds
+  /// M, instead re-running the kNN query per point in each scan (the
+  /// k-distance pre-pass, the LRD pass, and the LOF pass — 3n queries
+  /// instead of n). Peak extra memory is three n-sized double arrays,
+  /// independent of min_pts, versus M's n * min_pts neighbor entries.
+  ///
+  /// Score bits are identical to the materialized path at every thread
+  /// count: Query(p, k) returns exactly the k-distance neighborhood (ties
+  /// included, (distance, index) order) that View(p, k) yields, so every
+  /// floating-point accumulation happens in the same order. `index` must
+  /// already be built over `data`. Distinct-neighbors mode is not supported
+  /// (its k-distinct growth loop is a materializer feature) and returns
+  /// InvalidArgument.
+  static Result<LofScores> ComputeRequery(
+      const Dataset& data, const KnnIndex& index, size_t min_pts,
+      const LofComputeOptions& options = {});
 };
 
 /// A point index with its outlier score, for rankings.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 
@@ -19,16 +20,60 @@ std::string_view LofAggregationName(LofAggregation aggregation) {
   return "unknown";
 }
 
-Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
-                                     size_t min_pts_lb, size_t min_pts_ub,
-                                     LofAggregation aggregation,
-                                     bool keep_per_min_pts, size_t threads,
-                                     const PipelineObserver& observer) {
+namespace {
+
+Status ValidateSweepRange(size_t min_pts_lb, size_t min_pts_ub) {
   if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
     return Status::InvalidArgument(
         StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
                   min_pts_ub));
   }
+  return Status::OK();
+}
+
+// One aggregation step, shared by Run and RunRequery so the accumulation
+// order (ascending MinPts) — and thus the aggregated bits — cannot drift
+// between the two paths.
+void AggregateStep(LofAggregation aggregation, size_t steps,
+                   const std::vector<double>& lof,
+                   std::vector<double>& aggregated) {
+  for (size_t i = 0; i < aggregated.size(); ++i) {
+    switch (aggregation) {
+      case LofAggregation::kMax:
+        aggregated[i] = std::max(aggregated[i], lof[i]);
+        break;
+      case LofAggregation::kMin:
+        aggregated[i] = std::min(aggregated[i], lof[i]);
+        break;
+      case LofAggregation::kMean:
+        aggregated[i] += lof[i] / static_cast<double>(steps);
+        break;
+    }
+  }
+}
+
+std::vector<double> MakeAggregationIdentity(LofAggregation aggregation,
+                                            size_t n) {
+  switch (aggregation) {
+    case LofAggregation::kMax:
+      return std::vector<double>(n, -std::numeric_limits<double>::infinity());
+    case LofAggregation::kMin:
+      return std::vector<double>(n, std::numeric_limits<double>::infinity());
+    case LofAggregation::kMean:
+      break;
+  }
+  return std::vector<double>(n, 0.0);
+}
+
+}  // namespace
+
+Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
+                                     size_t min_pts_lb, size_t min_pts_ub,
+                                     LofAggregation aggregation,
+                                     bool keep_per_min_pts, size_t threads,
+                                     const PipelineObserver& observer,
+                                     const StopToken& stop) {
+  LOFKIT_RETURN_IF_ERROR(ValidateSweepRange(min_pts_lb, min_pts_ub));
   if (min_pts_ub > m.k_max()) {
     return Status::OutOfRange(
         StrFormat("MinPtsUB (%zu) exceeds the materialized k_max (%zu)",
@@ -55,8 +100,9 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   // span per step on its worker's tid instead (per-phase spans from
   // concurrent steps would pile onto tid 0 and render as garbage).
   if (steps == 1) step_options.observer = observer;
+  step_options.stop = stop;
   LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-      steps, threads, [&](size_t worker, size_t step) -> Status {
+      steps, threads, stop, [&](size_t worker, size_t step) -> Status {
         TraceRecorder::Span span(
             steps == 1 ? nullptr : observer.trace,
             StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
@@ -67,28 +113,10 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
         return Status::OK();
       }));
 
-  std::vector<double> aggregated(
-      n, aggregation == LofAggregation::kMin
-             ? std::numeric_limits<double>::infinity()
-             : 0.0);
-  if (aggregation == LofAggregation::kMax) {
-    aggregated.assign(n, -std::numeric_limits<double>::infinity());
-  }
+  std::vector<double> aggregated = MakeAggregationIdentity(aggregation, n);
   for (LofScores& scores : per_step) {
     result.phase_times.Add(scores.phase_times);
-    for (size_t i = 0; i < n; ++i) {
-      switch (aggregation) {
-        case LofAggregation::kMax:
-          aggregated[i] = std::max(aggregated[i], scores.lof[i]);
-          break;
-        case LofAggregation::kMin:
-          aggregated[i] = std::min(aggregated[i], scores.lof[i]);
-          break;
-        case LofAggregation::kMean:
-          aggregated[i] += scores.lof[i] / static_cast<double>(steps);
-          break;
-      }
-    }
+    AggregateStep(aggregation, steps, scores.lof, aggregated);
     if (keep_per_min_pts) {
       result.per_min_pts.push_back(std::move(scores));
     }
@@ -97,23 +125,88 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   return result;
 }
 
+Result<LofSweepResult> LofSweep::RunRequery(const Dataset& data,
+                                            const KnnIndex& index,
+                                            size_t min_pts_lb,
+                                            size_t min_pts_ub,
+                                            LofAggregation aggregation,
+                                            size_t threads,
+                                            const PipelineObserver& observer,
+                                            const StopToken& stop) {
+  LOFKIT_RETURN_IF_ERROR(ValidateSweepRange(min_pts_lb, min_pts_ub));
+  if (min_pts_ub >= data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("MinPtsUB (%zu) must be smaller than the dataset size "
+                  "(%zu)",
+                  min_pts_ub, data.size()));
+  }
+  const size_t n = data.size();
+  LofSweepResult result;
+  result.min_pts_lb = min_pts_lb;
+  result.min_pts_ub = min_pts_ub;
+  result.aggregation = aggregation;
+  result.degraded_to_requery = true;
+  const size_t steps = min_pts_ub - min_pts_lb + 1;
+
+  LofComputeOptions step_options;
+  step_options.threads = threads;
+  step_options.observer = observer;
+  step_options.stop = stop;
+  std::vector<double> aggregated = MakeAggregationIdentity(aggregation, n);
+  for (size_t step = 0; step < steps; ++step) {
+    TraceRecorder::Span span(
+        observer.trace, StrFormat("sweep.min_pts_%zu", min_pts_lb + step));
+    LOFKIT_ASSIGN_OR_RETURN(
+        LofScores scores,
+        LofComputer::ComputeRequery(data, index, min_pts_lb + step,
+                                    step_options));
+    result.phase_times.Add(scores.phase_times);
+    AggregateStep(aggregation, steps, scores.lof, aggregated);
+  }
+  result.aggregated = std::move(aggregated);
+  return result;
+}
+
 Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
     const Dataset& data, const Metric& metric, size_t min_pts_lb,
     size_t min_pts_ub, size_t top_n, IndexKind index_kind,
-    LofAggregation aggregation, size_t threads) {
+    LofAggregation aggregation, size_t threads,
+    const LofPipelineOptions& pipeline) {
   std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
   if (index == nullptr) {
     return Status::Internal("index factory returned null");
   }
   LOFKIT_RETURN_IF_ERROR(index->Build(data, metric));
+  if (pipeline.degraded_to_requery != nullptr) {
+    *pipeline.degraded_to_requery = false;
+  }
+  const size_t budget = pipeline.memory_budget_bytes;
+  if (budget != 0 && NeighborhoodMaterializer::ProjectedBytes(
+                         data.size(), min_pts_ub) > budget) {
+    LOFKIT_LOG(Warning)
+        << "projected materialization ("
+        << NeighborhoodMaterializer::ProjectedBytes(data.size(), min_pts_ub)
+        << " bytes) exceeds the memory budget (" << budget
+        << " bytes); degrading the sweep to the re-query path";
+    if (pipeline.degraded_to_requery != nullptr) {
+      *pipeline.degraded_to_requery = true;
+    }
+    LOFKIT_ASSIGN_OR_RETURN(
+        LofSweepResult sweep,
+        RunRequery(data, *index, min_pts_lb, min_pts_ub, aggregation,
+                   threads, pipeline.observer, pipeline.stop));
+    return RankDescending(sweep.aggregated, top_n);
+  }
   LOFKIT_ASSIGN_OR_RETURN(
       NeighborhoodMaterializer m,
-      NeighborhoodMaterializer::MaterializeParallel(data, *index, min_pts_ub,
-                                                    threads));
+      NeighborhoodMaterializer::MaterializeParallel(
+          data, *index, min_pts_ub, threads, /*distinct_neighbors=*/false,
+          pipeline.observer, pipeline.stop));
   LOFKIT_ASSIGN_OR_RETURN(
       LofSweepResult sweep,
       Run(m, min_pts_lb, min_pts_ub, aggregation,
-          /*keep_per_min_pts=*/false, threads));
+          /*keep_per_min_pts=*/false, threads, pipeline.observer,
+          pipeline.stop));
   return RankDescending(sweep.aggregated, top_n);
 }
 

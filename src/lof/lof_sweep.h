@@ -34,6 +34,27 @@ struct LofSweepResult {
   /// Per-phase seconds summed over every MinPts step (CPU-time-like when
   /// the steps ran in parallel: each step's own wall clock is added).
   LofPhaseTimes phase_times;
+
+  /// True when the sweep ran on the bounded-memory re-query path (memory
+  /// budget forced degradation). The aggregated bits are identical either
+  /// way.
+  bool degraded_to_requery = false;
+};
+
+/// Robustness knobs for LofSweep::RankOutliers, all defaulted to "off".
+struct LofPipelineOptions {
+  /// Cancellation/deadline token, polled throughout the pipeline.
+  StopToken stop;
+
+  /// Memory budget for M in bytes (0 = unlimited); a projected overflow
+  /// degrades the sweep to RunRequery instead of failing.
+  size_t memory_budget_bytes = 0;
+
+  /// Observability hooks, forwarded into materialization and sweep.
+  PipelineObserver observer;
+
+  /// When non-null, set to whether the budget forced the re-query path.
+  bool* degraded_to_requery = nullptr;
 };
 
 /// The MinPts-range heuristic of section 6.2: computes LOF for every
@@ -60,18 +81,35 @@ class LofSweep {
                                         LofAggregation::kMax,
                                     bool keep_per_min_pts = false,
                                     size_t threads = 1,
-                                    const PipelineObserver& observer = {});
+                                    const PipelineObserver& observer = {},
+                                    const StopToken& stop = {});
+
+  /// Bounded-memory sweep: no materialization database — every MinPts step
+  /// runs LofComputer::ComputeRequery against the prebuilt `index`,
+  /// sequentially in ascending MinPts order (`threads` goes into each
+  /// step's scans instead of across steps), so peak memory stays at a few
+  /// n-sized arrays regardless of the range width. Aggregation order — and
+  /// therefore every aggregated bit — matches Run over a materialized M.
+  /// keep_per_min_pts is deliberately absent: retaining every step's scores
+  /// would defeat the bounded-memory point.
+  static Result<LofSweepResult> RunRequery(
+      const Dataset& data, const KnnIndex& index, size_t min_pts_lb,
+      size_t min_pts_ub, LofAggregation aggregation = LofAggregation::kMax,
+      size_t threads = 1, const PipelineObserver& observer = {},
+      const StopToken& stop = {});
 
   /// Convenience single-call pipeline: index, materialize at min_pts_ub,
   /// sweep, and return the ranking of the `top_n` strongest outliers
   /// (top_n == 0 ranks everything). `threads` drives both the
   /// materialization queries and the sweep, with the same determinism
-  /// guarantee as Run.
+  /// guarantee as Run — including across the budget-degraded re-query
+  /// route, which returns identical ranking bits.
   static Result<std::vector<RankedOutlier>> RankOutliers(
       const Dataset& data, const Metric& metric, size_t min_pts_lb,
       size_t min_pts_ub, size_t top_n = 0,
       IndexKind index_kind = IndexKind::kLinearScan,
-      LofAggregation aggregation = LofAggregation::kMax, size_t threads = 1);
+      LofAggregation aggregation = LofAggregation::kMax, size_t threads = 1,
+      const LofPipelineOptions& pipeline = {});
 };
 
 }  // namespace lofkit

@@ -1,0 +1,174 @@
+#include "common/fail_point.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace lofkit {
+namespace {
+
+// Every test must leave the registry empty: a leaked armed point would make
+// unrelated pipeline tests fail with injected errors.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailPoints::DisarmAll();
+    ASSERT_FALSE(FailPoints::AnyArmed());
+  }
+};
+
+// A function with a planted point, standing in for production code.
+Status GuardedOperation() {
+  LOFKIT_FAIL_POINT("test.guarded_op");
+  return Status::OK();
+}
+
+Result<int> GuardedValueOperation() {
+  LOFKIT_FAIL_POINT("test.guarded_value_op");
+  return 42;
+}
+
+TEST_F(FailPointTest, UnarmedPointIsInvisible) {
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(FailPoints::HitCount("test.guarded_op"), 0u);
+  EXPECT_TRUE(FailPoints::Check("test.guarded_op").ok());
+}
+
+TEST_F(FailPointTest, ArmedAlwaysFiresEveryHit) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("injected"));
+  EXPECT_TRUE(FailPoints::AnyArmed());
+  for (int i = 0; i < 3; ++i) {
+    Status status = GuardedOperation();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    EXPECT_EQ(status.message(), "injected");
+  }
+  EXPECT_EQ(FailPoints::HitCount("test.guarded_op"), 3u);
+  EXPECT_EQ(FailPoints::FireCount("test.guarded_op"), 3u);
+}
+
+TEST_F(FailPointTest, PropagatesThroughResultReturningFunctions) {
+  FailPoints::Arm("test.guarded_value_op", Status::Internal("injected"));
+  Result<int> result = GuardedValueOperation();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  FailPoints::Disarm("test.guarded_value_op");
+  ASSERT_TRUE(GuardedValueOperation().ok());
+  EXPECT_EQ(*GuardedValueOperation(), 42);
+}
+
+TEST_F(FailPointTest, OncePolicyFiresExactlyOnce) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("once"),
+                  FailPointPolicy::Once());
+  EXPECT_FALSE(GuardedOperation().ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok());
+  }
+  EXPECT_EQ(FailPoints::HitCount("test.guarded_op"), 6u);
+  EXPECT_EQ(FailPoints::FireCount("test.guarded_op"), 1u);
+}
+
+TEST_F(FailPointTest, EveryNthFiresOnMultiplesOfN) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("nth"),
+                  FailPointPolicy::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!GuardedOperation().ok());
+  }
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(FailPoints::FireCount("test.guarded_op"), 3u);
+}
+
+TEST_F(FailPointTest, ProbabilityPolicyIsSeededAndDeterministic) {
+  // The same seed must reproduce the same fire pattern run over run: that
+  // is what makes a probabilistic fault schedule debuggable.
+  auto run = [](uint64_t seed) {
+    FailPoints::Arm("test.guarded_op", Status::IoError("p"),
+                    FailPointPolicy::WithProbability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    return fired;
+  };
+  const std::vector<bool> a = run(7);
+  const std::vector<bool> b = run(7);
+  const std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "different seeds should give a different schedule";
+  const size_t fires = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 16u);  // ~32 expected; bound loose enough to never flake
+  EXPECT_LT(fires, 48u);
+}
+
+TEST_F(FailPointTest, ProbabilityZeroAndOneAreExact) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("p"),
+                  FailPointPolicy::WithProbability(0.0, 1));
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  FailPoints::Arm("test.guarded_op", Status::IoError("p"),
+                  FailPointPolicy::WithProbability(1.0, 1));
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailPointTest, RearmReplacesErrorPolicyAndCounters) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("first"));
+  EXPECT_FALSE(GuardedOperation().ok());
+  FailPoints::Arm("test.guarded_op", Status::Internal("second"),
+                  FailPointPolicy::Once());
+  EXPECT_EQ(FailPoints::HitCount("test.guarded_op"), 0u);
+  Status status = GuardedOperation();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "second");
+}
+
+TEST_F(FailPointTest, DisarmStopsInjectionAndDisarmAllClearsEverything) {
+  FailPoints::Arm("test.guarded_op", Status::IoError("x"));
+  FailPoints::Arm("test.other_point", Status::IoError("y"));
+  EXPECT_TRUE(FailPoints::Disarm("test.guarded_op"));
+  EXPECT_FALSE(FailPoints::Disarm("test.guarded_op")) << "already disarmed";
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(FailPoints::AnyArmed()) << "test.other_point is still armed";
+  FailPoints::DisarmAll();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  {
+    ScopedFailPoint fp("test.guarded_op", Status::IoError("scoped"));
+    EXPECT_FALSE(GuardedOperation().ok());
+    EXPECT_EQ(fp.hit_count(), 1u);
+    EXPECT_EQ(fp.fire_count(), 1u);
+  }
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailPointTest, ConcurrentHitsAreCountedExactly) {
+  // Fail points are consulted from parallel workers; the mutex-protected
+  // slow path must count every hit exactly once without data races.
+  FailPoints::Arm("test.guarded_op", Status::IoError("x"),
+                  FailPointPolicy::EveryNth(2));
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        (void)GuardedOperation();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(FailPoints::HitCount("test.guarded_op"),
+            static_cast<uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_EQ(FailPoints::FireCount("test.guarded_op"),
+            static_cast<uint64_t>(kThreads * kHitsPerThread / 2));
+}
+
+}  // namespace
+}  // namespace lofkit

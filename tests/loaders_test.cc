@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace lofkit {
 namespace {
 
@@ -73,6 +77,113 @@ TEST(LoadersTest, FileRoundTrip) {
 TEST(LoadersTest, MissingFileIsIoError) {
   EXPECT_EQ(DatasetFromCsvFile("/does/not/exist.csv").status().code(),
             StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input sweep: every malformed file must come back as a clean Status
+// with a useful message — never a crash, hang, or silently truncated dataset.
+// ---------------------------------------------------------------------------
+
+struct HostileCase {
+  const char* name;
+  std::string content;         // Raw file bytes (may embed NUL).
+  StatusCode expected;         // Expected failure code.
+  const char* message_phrase;  // Substring the error message must carry.
+};
+
+std::string WriteTempFile(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/lofkit_hostile_" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+TEST(LoadersHostileInputTest, MalformedFilesFailCleanly) {
+  using std::string;
+  const HostileCase kCases[] = {
+      {"embedded_nul", string("1,2\n3,\0 4\n", 10), StatusCode::kInvalidArgument,
+       "embedded NUL"},
+      {"exponent_overflow_pos", "1,2\n1e999,4\n", StatusCode::kInvalidArgument,
+       "out of double range"},
+      {"exponent_overflow_neg", "1,2\n-1e999,4\n", StatusCode::kInvalidArgument,
+       "out of double range"},
+      {"exponent_underflow", "1,2\n1e-999,4\n", StatusCode::kInvalidArgument,
+       "out of double range"},
+      {"infinity_literal", "1,2\ninf,4\n", StatusCode::kInvalidArgument,
+       "data row 2"},
+      {"nan_literal", "1,2\n3,nan\n", StatusCode::kInvalidArgument,
+       "data row 2"},
+      {"ragged_mid_file", "1,2\n3,4\n5\n", StatusCode::kInvalidArgument,
+       "expected 2"},
+      {"extra_column_mid_file", "1,2\n3,4,5\n", StatusCode::kInvalidArgument,
+       "expected 2"},
+      {"trailing_garbage", "1,2\n3,4xyz\n", StatusCode::kInvalidArgument,
+       "line 2"},
+      {"empty_field", "1,2\n3,\n", StatusCode::kInvalidArgument, "line 2"},
+      {"non_numeric", "1,2\nhello,world\n", StatusCode::kInvalidArgument,
+       "line 2"},
+  };
+  for (const HostileCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const string path = WriteTempFile(c.name, c.content);
+    auto ds = DatasetFromCsvFile(path);
+    ASSERT_FALSE(ds.ok());
+    EXPECT_EQ(ds.status().code(), c.expected);
+    EXPECT_NE(ds.status().message().find(c.message_phrase), string::npos)
+        << "actual message: " << ds.status().message();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(LoadersHostileInputTest, OverlongLineHitsConfiguredCap) {
+  std::string giant = "1,";
+  giant.append(256, '9');  // Line of 258 bytes against a 64-byte cap.
+  giant.push_back('\n');
+  const std::string path = WriteTempFile("overlong", "1,2\n" + giant);
+  DatasetLoadOptions options;
+  options.csv.max_line_bytes = 64;
+  auto ds = DatasetFromCsvFile(path, options);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ds.status().message().find("max_line_bytes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoadersHostileInputTest, DefaultCapRejectsNewlineFreeBlob) {
+  // A "CSV" that is one newline-free line just past the 1 MiB default cap.
+  std::string blob;
+  blob.reserve((1 << 20) + 8);
+  while (blob.size() <= (1 << 20)) blob += "1,";
+  const std::string path = WriteTempFile("blob", blob);
+  auto ds = DatasetFromCsvFile(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ds.status().message().find("max_line_bytes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoadersHostileInputTest, BenignVariantsStillLoad) {
+  // CRLF endings, comments, and blank lines are not hostile; make sure the
+  // hardening did not tighten the accepted grammar.
+  const std::string path = WriteTempFile(
+      "benign", "# comment\r\n1,2\r\n\r\n3,4\n  # indented comment\n5,6\n");
+  auto ds = DatasetFromCsvFile(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_EQ(ds->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(ds->point(2)[1], 6.0);
+  std::remove(path.c_str());
+}
+
+TEST(LoadersHostileInputTest, HeaderOnlyFileIsInvalidNotCrash) {
+  const std::string path = WriteTempFile("header_only", "x,y\n");
+  DatasetLoadOptions options;
+  options.csv.has_header = true;
+  auto ds = DatasetFromCsvFile(path, options);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 }  // namespace

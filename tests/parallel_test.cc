@@ -95,6 +95,99 @@ TEST(ParallelForTest, ErrorAbortsTheOtherWorkersEarly) {
 }
 
 // ---------------------------------------------------------------------------
+// Cancellation and deadline tokens.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForCancellationTest, PreStoppedTokenRunsNothing) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    StopSource source;
+    source.RequestStop();
+    std::atomic<size_t> executed{0};
+    Status status =
+        ParallelFor(1000, threads, source.token(), [&](size_t) -> Status {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kCancelled) << threads;
+    EXPECT_EQ(executed.load(), 0u) << threads;
+  }
+}
+
+TEST(ParallelForCancellationTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    StopSource source = StopSource::AfterTimeout(std::chrono::nanoseconds(0));
+    Status status = ParallelFor(1000, threads, source.token(),
+                                [&](size_t) -> Status {
+                                  return Status::OK();
+                                });
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << threads;
+  }
+}
+
+TEST(ParallelForCancellationTest, FarDeadlineDoesNotTrip) {
+  StopSource source = StopSource::AfterTimeout(std::chrono::hours(1));
+  std::vector<int> hits(100, 0);
+  Status status = ParallelFor(100, 4, source.token(), [&](size_t i) -> Status {
+    ++hits[i];
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelForCancellationTest, MidRunStopAbortsWorkersEarly) {
+  StopSource source;
+  std::atomic<size_t> executed{0};
+  const size_t n = 4000;
+  std::thread canceller([&] {
+    // Wait for the loop to actually start, then pull the plug.
+    while (executed.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
+    source.RequestStop();
+  });
+  Status status = ParallelFor(n, 4, source.token(), [&](size_t) -> Status {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  });
+  canceller.join();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST(ParallelForCancellationTest, BodyErrorBeatsRacingCancellation) {
+  // The body both requests the stop and fails, so a cancellation and a
+  // worker error are guaranteed to race; the deterministic choice is the
+  // body's error (precedence rule 1 in the parallel.h contract).
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      StopSource source;
+      Status status =
+          ParallelFor(200, threads, source.token(), [&](size_t i) -> Status {
+            source.RequestStop();
+            return Status::Internal("real failure at " + std::to_string(i));
+          });
+      ASSERT_FALSE(status.ok());
+      EXPECT_EQ(status.code(), StatusCode::kInternal)
+          << "threads=" << threads << " rep=" << rep
+          << " got: " << status.ToString();
+    }
+  }
+}
+
+TEST(ParallelForCancellationTest, CancelledCauseIsLatchedNotMixed) {
+  // Once a cause latches (here: explicit cancel), a later deadline expiry
+  // must not change the reported code mid-run.
+  StopSource source = StopSource::AfterTimeout(std::chrono::milliseconds(5));
+  source.RequestStop();  // wins the latch before the deadline can expire
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Status status = ParallelFor(100, 2, source.token(),
+                              [&](size_t) -> Status { return Status::OK(); });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
 // Bit-identical determinism sweep: every stage of the pipeline must produce
 // exactly the same results at every thread count, in both neighbor modes.
 // ---------------------------------------------------------------------------

@@ -23,6 +23,11 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
   EXPECT_FALSE(Status::InvalidArgument("bad").ok());
 }
@@ -43,6 +48,20 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
             "invalid_argument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "io_error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+}
+
+TEST(StatusTest, RobustnessCodesRenderInToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("ran out of time").ToString(),
+            "deadline_exceeded: ran out of time");
+  EXPECT_EQ(Status::Cancelled("stop requested").ToString(),
+            "cancelled: stop requested");
+  EXPECT_EQ(Status::ResourceExhausted("budget").ToString(),
+            "resource_exhausted: budget");
 }
 
 Status FailIfNegative(int x) {

@@ -16,11 +16,13 @@
 //       --trace-json trace.json
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/metrics.h"
@@ -87,6 +89,15 @@ int main(int argc, char** argv) {
                   "persist the neighborhood database (step 1) to this file");
   flags.AddString("load-materialization", "",
                   "reuse a previously saved neighborhood database");
+  flags.AddU64("deadline-ms", 0,
+               "abort the run with deadline_exceeded after this many "
+               "milliseconds (0 = no deadline); checked cooperatively at "
+               "chunk boundaries, so long runs stop within milliseconds");
+  flags.AddU64("memory-budget-mb", 0,
+               "memory budget for the neighborhood database in MiB (0 = "
+               "unlimited); when the projected size exceeds it the run "
+               "degrades to the slower bounded-memory re-query path with "
+               "identical scores");
   flags.AddString("stats-json", "",
                   "write run metrics (query-cost counters, phase seconds, "
                   "score/neighborhood histograms) as JSON to this file");
@@ -145,9 +156,28 @@ int main(int argc, char** argv) {
   const size_t ub = flags.GetU64("minpts-ub");
   const size_t threads = flags.GetU64("threads");
 
-  // Step 1: materialize (or reload).
+  // Robustness knobs: a wall-clock deadline for the whole pipeline and a
+  // memory budget for M. An unset deadline keeps the token empty, so the
+  // hot loops pay only a null-pointer test.
+  const uint64_t deadline_ms = flags.GetU64("deadline-ms");
+  const size_t memory_budget_bytes =
+      static_cast<size_t>(flags.GetU64("memory-budget-mb")) << 20;
+  std::optional<StopSource> stop_source;
+  StopToken stop;
+  if (deadline_ms > 0) {
+    stop_source.emplace(
+        StopSource::AfterTimeout(std::chrono::milliseconds(deadline_ms)));
+    stop = stop_source->token();
+  }
+
+  // Step 1: materialize (or reload, or — under a too-small budget — skip
+  // materialization entirely and run the sweep on the re-query path).
   Stopwatch watch;
   std::unique_ptr<NeighborhoodMaterializer> m;
+  std::unique_ptr<KnnIndex> index;
+  bool degraded_to_requery = false;
+  const size_t projected_bytes =
+      NeighborhoodMaterializer::ProjectedBytes(working->size(), ub);
   if (!flags.GetString("load-materialization").empty()) {
     TraceRecorder::Span span(observer.trace, "load_materialization");
     auto loaded = NeighborhoodMaterializer::LoadFromFile(
@@ -158,7 +188,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "reloaded materialization (k_max=%zu) in %.3fs\n",
                  m->k_max(), watch.ElapsedSeconds());
   } else {
-    std::unique_ptr<KnnIndex> index;
     if (flags.GetString("index") == "auto") {
       index = CreateIndex(RecommendIndexKind(working->dimension()));
     } else {
@@ -172,18 +201,39 @@ int main(int argc, char** argv) {
         return Fail(status);
       }
     }
-    auto built = NeighborhoodMaterializer::MaterializeParallel(
-        *working, *index, ub, threads, flags.GetBool("distinct"), observer);
-    if (!built.ok()) return Fail(built.status());
-    m = std::make_unique<NeighborhoodMaterializer>(std::move(built).value());
-    std::fprintf(stderr, "materialized %zu neighborhoods (%s index) in %.3fs\n",
-                 m->size(), index->name().data(), watch.ElapsedSeconds());
+    if (memory_budget_bytes != 0 && projected_bytes > memory_budget_bytes) {
+      if (flags.GetBool("distinct")) {
+        return Fail(Status::ResourceExhausted(
+            "the neighborhood database exceeds --memory-budget-mb and "
+            "--distinct has no re-query fallback; raise the budget"));
+      }
+      degraded_to_requery = true;
+      std::fprintf(stderr,
+                   "projected neighborhood database (%zu bytes) exceeds the "
+                   "memory budget (%zu bytes); degrading to the re-query "
+                   "path (same scores, more query work)\n",
+                   projected_bytes, memory_budget_bytes);
+    } else {
+      auto built = NeighborhoodMaterializer::MaterializeParallel(
+          *working, *index, ub, threads, flags.GetBool("distinct"), observer,
+          stop, memory_budget_bytes);
+      if (!built.ok()) return Fail(built.status());
+      m = std::make_unique<NeighborhoodMaterializer>(
+          std::move(built).value());
+      std::fprintf(stderr,
+                   "materialized %zu neighborhoods (%s index) in %.3fs\n",
+                   m->size(), index->name().data(), watch.ElapsedSeconds());
+    }
   }
   const double materialize_seconds = watch.ElapsedSeconds();
   if (!flags.GetString("save-materialization").empty()) {
-    if (Status status =
-            m->SaveToFile(flags.GetString("save-materialization"));
-        !status.ok()) {
+    if (m == nullptr) {
+      std::fprintf(stderr,
+                   "--save-materialization skipped: no neighborhood "
+                   "database was built on the re-query path\n");
+    } else if (Status status =
+                   m->SaveToFile(flags.GetString("save-materialization"));
+               !status.ok()) {
       return Fail(status);
     }
   }
@@ -193,8 +243,13 @@ int main(int argc, char** argv) {
   if (!aggregation.ok()) return Fail(aggregation.status());
   watch.Reset();
   TraceRecorder::Span sweep_span(observer.trace, "sweep");
-  auto sweep = LofSweep::Run(*m, lb, ub, *aggregation,
-                             /*keep_per_min_pts=*/false, threads, observer);
+  auto sweep = degraded_to_requery
+                   ? LofSweep::RunRequery(*working, *index, lb, ub,
+                                          *aggregation, threads, observer,
+                                          stop)
+                   : LofSweep::Run(*m, lb, ub, *aggregation,
+                                   /*keep_per_min_pts=*/false, threads,
+                                   observer, stop);
   if (!sweep.ok()) return Fail(sweep.status());
   sweep_span.End();
   std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
@@ -209,6 +264,12 @@ int main(int argc, char** argv) {
                sweep->phase_times.lof_seconds);
 
   const size_t top_n = flags.GetU64("top");
+  if (flags.GetBool("explain") && degraded_to_requery) {
+    std::fprintf(stderr,
+                 "--explain skipped: explanations need the materialized "
+                 "neighborhood database, which the memory budget ruled "
+                 "out\n");
+  }
   TraceRecorder::Span rank_span(observer.trace, "rank");
   auto ranked = RankDescending(sweep->aggregated, top_n);
   rank_span.End();
@@ -216,7 +277,7 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < ranked.size(); ++i) {
     std::printf("%-6zu %-10u %-10.4f %s", i + 1, ranked[i].index,
                 ranked[i].score, data.label(ranked[i].index).c_str());
-    if (flags.GetBool("explain")) {
+    if (flags.GetBool("explain") && m != nullptr) {
       auto explanation =
           ExplainOutlier(*working, *m, ranked[i].index, lb);
       if (explanation.ok()) {
@@ -272,8 +333,18 @@ int main(int argc, char** argv) {
                  static_cast<double>(lb));
     registry.Set(registry.Gauge("sweep.min_pts_ub"),
                  static_cast<double>(ub));
-    registry.Set(registry.Gauge("materialize.k_max"),
-                 static_cast<double>(m->k_max()));
+    registry.Set(registry.Gauge("pipeline.degraded_to_requery"),
+                 degraded_to_requery ? 1.0 : 0.0);
+    registry.Set(registry.Gauge("materialize.projected_bytes"),
+                 static_cast<double>(projected_bytes));
+    registry.Set(registry.Gauge("pipeline.memory_budget_bytes"),
+                 static_cast<double>(memory_budget_bytes));
+    registry.Set(registry.Gauge("pipeline.deadline_ms"),
+                 static_cast<double>(deadline_ms));
+    if (m != nullptr) {
+      registry.Set(registry.Gauge("materialize.k_max"),
+                   static_cast<double>(m->k_max()));
+    }
     registry.Set(registry.Gauge("phase.materialize_seconds"),
                  materialize_seconds);
     registry.Set(registry.Gauge("phase.k_distance_seconds"),
@@ -282,11 +353,13 @@ int main(int argc, char** argv) {
                  sweep->phase_times.lrd_seconds);
     registry.Set(registry.Gauge("phase.lof_seconds"),
                  sweep->phase_times.lof_seconds);
-    const MetricsRegistry::MetricId size_hist = registry.Histogram(
-        "materialize.neighborhood_size", 1.0, 65536.0, 32);
-    for (size_t i = 0; i < m->size(); ++i) {
-      registry.Record(size_hist,
-                      static_cast<double>(m->neighbors(i).size()));
+    if (m != nullptr) {
+      const MetricsRegistry::MetricId size_hist = registry.Histogram(
+          "materialize.neighborhood_size", 1.0, 65536.0, 32);
+      for (size_t i = 0; i < m->size(); ++i) {
+        registry.Record(size_hist,
+                        static_cast<double>(m->neighbors(i).size()));
+      }
     }
     const MetricsRegistry::MetricId score_hist =
         registry.Histogram("lof.aggregated_score", 0.0625, 64.0, 40);
