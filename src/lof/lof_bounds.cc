@@ -22,6 +22,12 @@ Result<double> KDistanceOf(const NeighborhoodMaterializer& m, size_t o,
 Result<NeighborhoodStats> ComputeNeighborhoodStats(
     const NeighborhoodMaterializer& m, size_t i, size_t min_pts) {
   LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+  if (view.neighborhood.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("point %zu has an empty materialized neighborhood; "
+                  "reachability extremes are undefined",
+                  i));
+  }
   NeighborhoodStats stats;
   stats.direct_min = std::numeric_limits<double>::infinity();
   stats.direct_max = -std::numeric_limits<double>::infinity();
@@ -43,17 +49,82 @@ Result<NeighborhoodStats> ComputeNeighborhoodStats(
       stats.indirect_max = std::max(stats.indirect_max, indirect_reach);
     }
   }
+  // View guarantees non-empty neighbor lists for every q, so the extremes
+  // are ordered finite values here; the negated comparisons additionally
+  // catch NaN. Tripping either means a structurally broken M, which must
+  // surface as an error, not as sentinel infinities inside bound ratios.
+  if (!(stats.direct_min <= stats.direct_max) ||
+      !(stats.indirect_min <= stats.indirect_max) ||
+      !std::isfinite(stats.direct_max) || !std::isfinite(stats.indirect_max)) {
+    return Status::FailedPrecondition(
+        StrFormat("degenerate reachability extremes for point %zu: "
+                  "direct [%g, %g], indirect [%g, %g]",
+                  i, stats.direct_min, stats.direct_max, stats.indirect_min,
+                  stats.indirect_max));
+  }
   return stats;
 }
 
 LofBoundEstimate Theorem1Bounds(const NeighborhoodStats& stats) {
+  const GroupReachabilityStats one_group{
+      /*cardinality=*/1, stats.direct_min, stats.direct_max,
+      stats.indirect_min, stats.indirect_max};
+  return CombineGroupBounds({&one_group, 1}, 1);
+}
+
+LofBoundEstimate CombineGroupBounds(
+    std::span<const GroupReachabilityStats> groups, size_t total) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double lower_direct = 0.0;   // sum xi_i * direct^i_min
+  double lower_indirect = 0.0; // sum xi_i / indirect^i_max
+  double upper_direct = 0.0;   // sum xi_i * direct^i_max
+  double upper_indirect = 0.0; // sum xi_i / indirect^i_min
+  // Tracks whether any group has a zero indirect minimum (its 1/x term is
+  // unbounded) and the degeneracy extent: direct_max/indirect_max over the
+  // whole neighborhood decide between the "provably +inf" and the
+  // "provably exactly 1" duplicate cases.
+  bool unbounded_upper = false;
+  double direct_max_all = 0.0;
+  double indirect_max_all = 0.0;
+  for (const GroupReachabilityStats& group : groups) {
+    const double xi =
+        static_cast<double>(group.cardinality) / static_cast<double>(total);
+    lower_direct += xi * group.direct_min;
+    upper_direct += xi * group.direct_max;
+    direct_max_all = std::max(direct_max_all, group.direct_max);
+    indirect_max_all = std::max(indirect_max_all, group.indirect_max);
+    if (group.indirect_max > 0.0) {
+      lower_indirect += xi / group.indirect_max;
+    }
+    if (group.indirect_min > 0.0) {
+      upper_indirect += xi / group.indirect_min;
+    } else {
+      unbounded_upper = true;
+    }
+  }
   LofBoundEstimate bounds;
-  bounds.lower = stats.indirect_max > 0.0
-                     ? stats.direct_min / stats.indirect_max
-                     : std::numeric_limits<double>::infinity();
-  bounds.upper = stats.indirect_min > 0.0
-                     ? stats.direct_max / stats.indirect_min
-                     : std::numeric_limits<double>::infinity();
+  if (indirect_max_all == 0.0) {
+    // Every indirect reachability is zero, so every neighbor's lrd is
+    // infinite. A positive direct extreme leaves p's own lrd finite and
+    // the exact LOF is +inf; all-zero direct reachabilities make p
+    // infinitely dense too and the inf/inf := 1 convention pins LOF at
+    // exactly 1. (The pre-fix fallback returned +inf for the *lower*
+    // bound here unconditionally, breaking lower <= LOF for duplicates.)
+    bounds.lower = direct_max_all == 0.0 ? 1.0 : kInf;
+  } else {
+    bounds.lower = lower_direct * lower_indirect;
+  }
+  if (unbounded_upper) {
+    // A zero denominator must make the aggregate upper bound unbounded —
+    // never drop the term (or multiply 0 * inf into NaN), which would
+    // silently certify true outliers as inliers once bounds prune. The
+    // only exception is the fully degenerate all-duplicates case, where
+    // LOF is exactly 1 (see above).
+    bounds.upper =
+        direct_max_all == 0.0 && indirect_max_all == 0.0 ? 1.0 : kInf;
+  } else {
+    bounds.upper = upper_direct * upper_indirect;
+  }
   return bounds;
 }
 
@@ -66,14 +137,20 @@ Result<LofBoundEstimate> Theorem2Bounds(
                   point_partition.size(), m.size()));
   }
   LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+  if (view.neighborhood.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("point %zu has an empty materialized neighborhood; "
+                  "theorem-2 bounds are undefined",
+                  i));
+  }
 
   // Per-group reachability extremes, keyed by the neighbor's group id.
   struct GroupStats {
-    size_t cardinality = 0;
     double direct_min = std::numeric_limits<double>::infinity();
     double direct_max = -std::numeric_limits<double>::infinity();
     double indirect_min = std::numeric_limits<double>::infinity();
     double indirect_max = -std::numeric_limits<double>::infinity();
+    size_t cardinality = 0;
   };
   std::map<int, GroupStats> groups;
 
@@ -102,25 +179,26 @@ Result<LofBoundEstimate> Theorem2Bounds(
     }
   }
 
-  const double total = static_cast<double>(view.neighborhood.size());
-  double lower_direct = 0.0;   // sum xi_i * direct^i_min
-  double lower_indirect = 0.0; // sum xi_i / indirect^i_max
-  double upper_direct = 0.0;   // sum xi_i * direct^i_max
-  double upper_indirect = 0.0; // sum xi_i / indirect^i_min
+  std::vector<GroupReachabilityStats> flat;
+  flat.reserve(groups.size());
   for (const auto& [group_id, group] : groups) {
-    const double xi = static_cast<double>(group.cardinality) / total;
-    lower_direct += xi * group.direct_min;
-    upper_direct += xi * group.direct_max;
-    lower_indirect +=
-        group.indirect_max > 0.0 ? xi / group.indirect_max : 0.0;
-    upper_indirect += group.indirect_min > 0.0
-                          ? xi / group.indirect_min
-                          : std::numeric_limits<double>::infinity();
+    // Every group holds at least one neighbor q, and View guarantees q's
+    // own neighborhood is non-empty, so ordered extremes are an invariant;
+    // an inversion means M is structurally broken and the sentinel
+    // infinities must not reach the bound arithmetic.
+    if (!(group.direct_min <= group.direct_max) ||
+        !(group.indirect_min <= group.indirect_max)) {
+      return Status::FailedPrecondition(
+          StrFormat("degenerate reachability extremes for point %zu in "
+                    "partition group %d",
+                    i, group_id));
+    }
+    flat.push_back(GroupReachabilityStats{group.cardinality, group.direct_min,
+                                          group.direct_max,
+                                          group.indirect_min,
+                                          group.indirect_max});
   }
-  LofBoundEstimate bounds;
-  bounds.lower = lower_direct * lower_indirect;
-  bounds.upper = upper_direct * upper_indirect;
-  return bounds;
+  return CombineGroupBounds(flat, view.neighborhood.size());
 }
 
 Result<Lemma1Result> Lemma1Bounds(const Dataset& data, const Metric& metric,

@@ -27,12 +27,50 @@ struct LofBoundEstimate {
   double upper = 0.0;
 };
 
-/// Computes direct/indirect reachability extremes for point `i`.
+/// Computes direct/indirect reachability extremes for point `i`. Fails with
+/// FailedPrecondition when the materialized neighborhood is empty or the
+/// extremes come out inverted/non-finite (a corrupt or hand-built M) —
+/// sentinel infinities must never leak into the bound arithmetic below.
 Result<NeighborhoodStats> ComputeNeighborhoodStats(
     const NeighborhoodMaterializer& m, size_t i, size_t min_pts);
 
 /// Theorem 1:  direct_min/indirect_max <= LOF(p) <= direct_max/indirect_min.
+///
+/// Zero denominators (possible on duplicate-heavy data, where reachability
+/// distances collapse to 0) are resolved so the bounds stay conservative
+/// under LofScores' duplicate conventions:
+///   - indirect_max == 0 means every neighbor has infinite lrd. With
+///     direct_max > 0 the exact LOF is +inf, so lower = +inf is exact;
+///     with direct_max == 0 the point itself is infinitely dense and the
+///     inf/inf := 1 convention pins LOF at exactly 1, so the bounds are
+///     [1, 1].
+///   - indirect_min == 0 alone (some, but not all, indirect reachabilities
+///     are zero) makes the upper ratio unbounded: upper = +inf, never a
+///     dropped 0-contribution that could certify a true outlier as inlier.
 LofBoundEstimate Theorem1Bounds(const NeighborhoodStats& stats);
+
+/// Per-group reachability extremes of Theorem 2 (section 5.4): the
+/// cardinality of N_MinPts(p) ∩ group and the direct/indirect reach-dist
+/// extremes restricted to that group's members.
+struct GroupReachabilityStats {
+  size_t cardinality = 0;
+  double direct_min = 0.0;
+  double direct_max = 0.0;
+  double indirect_min = 0.0;
+  double indirect_max = 0.0;
+};
+
+/// Combines per-group extremes into the Theorem-2 aggregate bounds
+///   sum_i xi_i*direct^i_min * sum_i xi_i/indirect^i_max <= LOF(p)
+///   LOF(p) <= sum_i xi_i*direct^i_max * sum_i xi_i/indirect^i_min
+/// with the same zero-denominator policy as Theorem1Bounds (a group with
+/// indirect_min == 0 makes the aggregate upper unbounded instead of
+/// dropping its term; with a single group this degenerates to Theorem 1,
+/// Corollary 1). `total` is |N_MinPts(p)| (> 0, the sum of cardinalities).
+/// Shared by the reference Theorem2Bounds and LofPruner's O(n*k) path so
+/// the two can never disagree on bound safety.
+LofBoundEstimate CombineGroupBounds(
+    std::span<const GroupReachabilityStats> groups, size_t total);
 
 /// Theorem 2: the partition-aware bounds. `point_partition` assigns every
 /// dataset point a group id (>= 0); the partition of N_MinPts(p) is induced

@@ -10,14 +10,15 @@
 
 namespace lofkit {
 
-Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
-                                       size_t min_pts,
-                                       const LofComputeOptions& options) {
-  if (min_pts == 0 || min_pts > m.k_max()) {
-    return Status::OutOfRange(
-        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
-                  m.k_max()));
-  }
+namespace {
+
+// Shared body of Compute and ComputeForCandidates. A null `candidates`
+// means every point gets the LOF pass; otherwise only the listed points do
+// and the remaining lof slots stay quiet NaN.
+Result<LofScores> ComputeOverMaterialization(
+    const NeighborhoodMaterializer& m, size_t min_pts,
+    const LofComputeOptions& options,
+    const std::span<const uint32_t>* candidates) {
   const size_t n = m.size();
   const size_t threads = options.threads;
   LofScores scores;
@@ -45,27 +46,46 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
-  // First scan of M: local reachability densities (Definition 6).
+  // First scan of M: local reachability densities (Definition 6). A
+  // candidate's LOF reads only its own lrd and its neighbors' lrds, so
+  // with a candidate set the scan shrinks to that one-hop closure; other
+  // lrd slots stay NaN placeholders.
+  std::vector<uint32_t> lrd_points;
+  if (candidates != nullptr) {
+    std::vector<uint8_t> needed(n, 0);
+    for (uint32_t i : *candidates) {
+      needed[i] = 1;
+      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+      for (const Neighbor& o : view.neighborhood) needed[o.index] = 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (needed[i] != 0) lrd_points.push_back(static_cast<uint32_t>(i));
+    }
+    std::fill(scores.lrd.begin(), scores.lrd.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+  const size_t lrd_count = candidates != nullptr ? lrd_points.size() : n;
   TraceRecorder::Span lrd_span(trace, "lrd");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, options.stop, [&](size_t i)
-                                                                   -> Status {
-    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
-    double sum = 0.0;
-    for (const Neighbor& o : view.neighborhood) {
-      // reach-dist(i, o) = max(k-distance(o), d(i, o))   (Definition 5);
-      // the simplified ablation variant uses the raw distance instead.
-      sum += options.use_reachability
-                 ? std::max(k_distance[o.index], o.distance)
-                 : o.distance;
-    }
-    if (sum > 0.0) {
-      scores.lrd[i] =
-          static_cast<double>(view.neighborhood.size()) / sum;
-    } else {
-      scores.lrd[i] = std::numeric_limits<double>::infinity();
-    }
-    return Status::OK();
-  }));
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(
+      lrd_count, threads, options.stop, [&](size_t slot) -> Status {
+        const size_t i = candidates != nullptr ? lrd_points[slot] : slot;
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        double sum = 0.0;
+        for (const Neighbor& o : view.neighborhood) {
+          // reach-dist(i, o) = max(k-distance(o), d(i, o)) (Definition 5);
+          // the simplified ablation variant uses the raw distance instead.
+          sum += options.use_reachability
+                     ? std::max(k_distance[o.index], o.distance)
+                     : o.distance;
+        }
+        if (sum > 0.0) {
+          scores.lrd[i] =
+              static_cast<double>(view.neighborhood.size()) / sum;
+        } else {
+          scores.lrd[i] = std::numeric_limits<double>::infinity();
+        }
+        return Status::OK();
+      }));
   // Derived after the scan rather than inside it so workers never contend
   // on a shared flag.
   scores.has_infinite_lrd =
@@ -75,27 +95,72 @@ Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
   scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
-  // Second scan of M: LOF values (Definition 7).
+  // Second scan of M: LOF values (Definition 7). With a candidate set the
+  // scan shrinks to the survivors; everything else stays NaN, which
+  // RankDescending sorts after every real score.
+  const size_t lof_count = candidates != nullptr ? candidates->size() : n;
+  if (candidates != nullptr) {
+    std::fill(scores.lof.begin(), scores.lof.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
   TraceRecorder::Span lof_span(trace, "lof");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(n, threads, options.stop, [&](size_t i)
-                                                                   -> Status {
-    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
-    const double lrd_i = scores.lrd[i];
-    double sum = 0.0;
-    for (const Neighbor& o : view.neighborhood) {
-      const double lrd_o = scores.lrd[o.index];
-      if (std::isinf(lrd_o) && std::isinf(lrd_i)) {
-        sum += 1.0;  // duplicate-degenerate convention: inf/inf := 1
-      } else {
-        sum += lrd_o / lrd_i;  // finite/inf -> 0, inf/finite -> inf
-      }
-    }
-    scores.lof[i] = sum / static_cast<double>(view.neighborhood.size());
-    return Status::OK();
-  }));
+  LOFKIT_RETURN_IF_ERROR(ParallelFor(
+      lof_count, threads, options.stop, [&](size_t slot) -> Status {
+        const size_t i =
+            candidates != nullptr ? (*candidates)[slot] : slot;
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        const double lrd_i = scores.lrd[i];
+        double sum = 0.0;
+        for (const Neighbor& o : view.neighborhood) {
+          const double lrd_o = scores.lrd[o.index];
+          if (std::isinf(lrd_o) && std::isinf(lrd_i)) {
+            sum += 1.0;  // duplicate-degenerate convention: inf/inf := 1
+          } else {
+            sum += lrd_o / lrd_i;  // finite/inf -> 0, inf/finite -> inf
+          }
+        }
+        scores.lof[i] = sum / static_cast<double>(view.neighborhood.size());
+        return Status::OK();
+      }));
   lof_span.End();
   scores.phase_times.lof_seconds = watch.ElapsedSeconds();
   return scores;
+}
+
+}  // namespace
+
+Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
+                                       size_t min_pts,
+                                       const LofComputeOptions& options) {
+  if (min_pts == 0 || min_pts > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                  m.k_max()));
+  }
+  return ComputeOverMaterialization(m, min_pts, options,
+                                    /*candidates=*/nullptr);
+}
+
+Result<LofScores> LofComputer::ComputeForCandidates(
+    const NeighborhoodMaterializer& m, size_t min_pts,
+    std::span<const uint32_t> candidates, const LofComputeOptions& options) {
+  if (min_pts == 0 || min_pts > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                  m.k_max()));
+  }
+  for (size_t slot = 0; slot < candidates.size(); ++slot) {
+    if (candidates[slot] >= m.size()) {
+      return Status::OutOfRange(
+          StrFormat("candidate %u is out of range (dataset has %zu points)",
+                    candidates[slot], m.size()));
+    }
+    if (slot > 0 && candidates[slot] <= candidates[slot - 1]) {
+      return Status::InvalidArgument(
+          "candidates must be strictly ascending (sorted, no duplicates)");
+    }
+  }
+  return ComputeOverMaterialization(m, min_pts, options, &candidates);
 }
 
 Result<LofScores> LofComputer::ComputeRequery(

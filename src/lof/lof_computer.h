@@ -122,6 +122,22 @@ class LofComputer {
       IndexKind index_kind = IndexKind::kLinearScan,
       bool distinct_neighbors = false, const LofComputeOptions& options = {});
 
+  /// Compute restricted to a candidate set: the cheap k-distance scan
+  /// still covers every point, the LRD scan shrinks to the candidates'
+  /// one-hop closure (a candidate's LOF reads its neighbors' densities,
+  /// and neighbors need not be candidates themselves), and the LOF pass
+  /// visits only `candidates`. All other entries of LofScores::lrd/lof are
+  /// quiet NaN — RankDescending sorts them after every real score, so
+  /// ranking the sparse lof array still yields the candidates' exact
+  /// order. Candidate slots carry bit-identical values to a full Compute
+  /// at every thread count. `candidates` must be strictly ascending and in
+  /// [0, m.size()); this is the evaluation stage of the prune-first top-N
+  /// path (LofPruner).
+  static Result<LofScores> ComputeForCandidates(
+      const NeighborhoodMaterializer& m, size_t min_pts,
+      std::span<const uint32_t> candidates,
+      const LofComputeOptions& options = {});
+
   /// Bounded-memory alternative to materialize-then-Compute: never builds
   /// M, instead re-running the kNN query per point in each scan (the
   /// k-distance pre-pass, the LRD pass, and the LOF pass — 3n queries

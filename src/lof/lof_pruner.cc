@@ -1,0 +1,336 @@
+#include "lof/lof_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/fail_point.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<std::vector<LofBoundEstimate>> LofPruner::ComputeBounds(
+    const NeighborhoodMaterializer& m, size_t min_pts,
+    const LofPrunerOptions& options) {
+  if (min_pts == 0 || min_pts > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                  m.k_max()));
+  }
+  const size_t n = m.size();
+  if (!options.partition.empty() && options.partition.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("partition has %zu entries, dataset has %zu",
+                  options.partition.size(), n));
+  }
+
+  // Pass 0: k-distances, the ingredient of every reachability distance.
+  std::vector<double> k_distance(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        k_distance[i] = view.k_distance;
+        return Status::OK();
+      }));
+
+  // Pass 1: per-point direct reachability extremes. These double as the
+  // indirect extremes of every point that has i as a neighbor: the
+  // indirect reach-dist set of p restricted to neighbor q is exactly q's
+  // direct reach-dist set, so pass 2 folds neighbor extremes instead of
+  // re-walking O(MinPts^2) second-hop neighborhoods per point.
+  std::vector<double> direct_min(n);
+  std::vector<double> direct_max(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_FAIL_POINT("pruner.bounds");
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        if (view.neighborhood.empty()) {
+          return Status::FailedPrecondition(
+              StrFormat("point %zu has an empty materialized neighborhood; "
+                        "bound estimates are undefined",
+                        i));
+        }
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (const Neighbor& q : view.neighborhood) {
+          const double reach = std::max(k_distance[q.index], q.distance);
+          lo = std::min(lo, reach);
+          hi = std::max(hi, reach);
+        }
+        if (!(lo <= hi) || !std::isfinite(hi)) {
+          return Status::FailedPrecondition(
+              StrFormat("degenerate reachability extremes for point %zu", i));
+        }
+        direct_min[i] = lo;
+        direct_max[i] = hi;
+        return Status::OK();
+      }));
+
+  // Pass 2: fold neighbor extremes into per-point (or, with a partition,
+  // per-group) stats and combine them with the shared section-5 bound
+  // arithmetic. Group accumulation follows ascending group id (std::map),
+  // the same order as the reference Theorem2Bounds, so the sums — and the
+  // bound bits — are identical to the O(MinPts^2) reference routines.
+  std::vector<LofBoundEstimate> bounds(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        if (options.partition.empty()) {
+          NeighborhoodStats stats;
+          stats.direct_min = direct_min[i];
+          stats.direct_max = direct_max[i];
+          stats.indirect_min = std::numeric_limits<double>::infinity();
+          stats.indirect_max = -std::numeric_limits<double>::infinity();
+          for (const Neighbor& q : view.neighborhood) {
+            stats.indirect_min = std::min(stats.indirect_min,
+                                          direct_min[q.index]);
+            stats.indirect_max = std::max(stats.indirect_max,
+                                          direct_max[q.index]);
+          }
+          bounds[i] = Theorem1Bounds(stats);
+          return Status::OK();
+        }
+        std::map<int, GroupReachabilityStats> groups;
+        for (const Neighbor& q : view.neighborhood) {
+          const int group_id = options.partition[q.index];
+          if (group_id < 0) {
+            return Status::InvalidArgument(
+                StrFormat("neighbor %u of point %zu has negative partition "
+                          "id",
+                          q.index, i));
+          }
+          auto [it, inserted] = groups.try_emplace(
+              group_id,
+              GroupReachabilityStats{
+                  0, std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity()});
+          GroupReachabilityStats& group = it->second;
+          ++group.cardinality;
+          const double reach = std::max(k_distance[q.index], q.distance);
+          group.direct_min = std::min(group.direct_min, reach);
+          group.direct_max = std::max(group.direct_max, reach);
+          group.indirect_min = std::min(group.indirect_min,
+                                        direct_min[q.index]);
+          group.indirect_max = std::max(group.indirect_max,
+                                        direct_max[q.index]);
+        }
+        std::vector<GroupReachabilityStats> flat;
+        flat.reserve(groups.size());
+        for (const auto& [group_id, group] : groups) {
+          flat.push_back(group);
+        }
+        bounds[i] = CombineGroupBounds(flat, view.neighborhood.size());
+        return Status::OK();
+      }));
+  return bounds;
+}
+
+Result<std::vector<LofBoundEstimate>> LofPruner::ComputeRangeBounds(
+    const NeighborhoodMaterializer& m, size_t min_pts_lb, size_t min_pts_ub,
+    const LofPrunerOptions& options) {
+  if (min_pts_lb == 0 || min_pts_lb > min_pts_ub ||
+      min_pts_ub > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("MinPts range [%zu, %zu] must satisfy 1 <= lb <= ub <= "
+                  "k_max=%zu",
+                  min_pts_lb, min_pts_ub, m.k_max()));
+  }
+  if (!options.partition.empty()) {
+    return Status::InvalidArgument(
+        "range bounds do not support partitions: Theorem 2's cardinality "
+        "weights are per-MinPts quantities; use ComputeBounds per step");
+  }
+  const size_t n = m.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Pass 0: k-distances at both ends of the range. k-distance(q) is
+  // nondecreasing in k, so for any step k in [lb, ub],
+  //   reach_lb(p, q) <= reach_k(p, q) <= reach_ub(p, q)
+  // where reach_x uses the x-end k-distances.
+  std::vector<double> k_distance_lb(n);
+  std::vector<double> k_distance_ub(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(auto lo_view, m.View(i, min_pts_lb));
+        LOFKIT_ASSIGN_OR_RETURN(auto hi_view, m.View(i, min_pts_ub));
+        k_distance_lb[i] = lo_view.k_distance;
+        k_distance_ub[i] = hi_view.k_distance;
+        return Status::OK();
+      }));
+
+  // Pass 1: range-wide direct extremes. N_k(p) is a prefix of N_ub(p), so
+  //   min over N_ub(p) of reach_lb  <=  direct_min at any step k, and
+  //   max over N_ub(p) of reach_ub  >=  direct_max at any step k.
+  std::vector<double> direct_min(n);
+  std::vector<double> direct_max(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_FAIL_POINT("pruner.bounds");
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts_ub));
+        if (view.neighborhood.empty()) {
+          return Status::FailedPrecondition(
+              StrFormat("point %zu has an empty materialized neighborhood; "
+                        "bound estimates are undefined",
+                        i));
+        }
+        double lo = kInf;
+        double hi = -kInf;
+        for (const Neighbor& q : view.neighborhood) {
+          lo = std::min(lo, std::max(k_distance_lb[q.index], q.distance));
+          hi = std::max(hi, std::max(k_distance_ub[q.index], q.distance));
+        }
+        if (!(lo <= hi) || !std::isfinite(hi)) {
+          return Status::FailedPrecondition(
+              StrFormat("degenerate reachability extremes for point %zu", i));
+        }
+        direct_min[i] = lo;
+        direct_max[i] = hi;
+        return Status::OK();
+      }));
+
+  // Pass 2: fold neighbor extremes (the indirect reach-dist set at step k
+  // stays inside the union of the neighbors' range-wide direct sets) and
+  // combine with the Theorem-1 ratio. The degenerate cases deviate from
+  // CombineGroupBounds on purpose: indirect_max == 0 here means every
+  // indirect reachability is zero at EVERY step, so each step's LOF is
+  // either 1 (the point is fully duplicated at that step) or +infinity
+  // (some direct reach-dist is positive). Which of the two can differ per
+  // step, so the only sound range lower bound is 1 — the per-step routine's
+  // +infinity claim needs the step-exact direct extremes.
+  std::vector<LofBoundEstimate> bounds(n);
+  LOFKIT_RETURN_IF_ERROR(
+      ParallelFor(n, options.threads, options.stop, [&](size_t i) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts_ub));
+        double indirect_min = kInf;
+        double indirect_max = -kInf;
+        for (const Neighbor& q : view.neighborhood) {
+          indirect_min = std::min(indirect_min, direct_min[q.index]);
+          indirect_max = std::max(indirect_max, direct_max[q.index]);
+        }
+        LofBoundEstimate& b = bounds[i];
+        if (indirect_max == 0.0) {
+          b.lower = 1.0;
+          b.upper = direct_max[i] == 0.0 ? 1.0 : kInf;
+        } else {
+          // Same arithmetic shape as CombineGroupBounds' single-group case
+          // (min * (1 / max)), so with lb == ub the non-degenerate bounds
+          // are bit-identical to ComputeBounds.
+          b.lower = direct_min[i] * (1.0 / indirect_max);
+          b.upper =
+              indirect_min == 0.0 ? kInf : direct_max[i] * (1.0 / indirect_min);
+        }
+        return Status::OK();
+      }));
+  return bounds;
+}
+
+Result<size_t> LofPruner::TightenWithLemma1(
+    const Dataset& data, const Metric& metric,
+    const NeighborhoodMaterializer& m, size_t min_pts,
+    std::span<const int> partition, std::span<LofBoundEstimate> bounds,
+    size_t max_cluster_size) {
+  const size_t n = m.size();
+  if (partition.size() != n || bounds.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("partition (%zu) and bounds (%zu) must both have one "
+                  "entry per point (%zu)",
+                  partition.size(), bounds.size(), n));
+  }
+  std::map<int, std::vector<uint32_t>> clusters;
+  for (size_t i = 0; i < n; ++i) {
+    if (partition[i] < 0) {
+      return Status::InvalidArgument(
+          StrFormat("point %zu has negative partition id", i));
+    }
+    clusters[partition[i]].push_back(static_cast<uint32_t>(i));
+  }
+
+  // "Deep" per Lemma 1 means every neighbor, and every neighbor's
+  // neighbor, stays inside the point's own group. One O(n * MinPts) pass
+  // marks the first-hop condition; deep(i) then folds it over i's
+  // neighbors instead of re-walking second-hop neighborhoods.
+  std::vector<uint8_t> neighbors_in_own_group(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+    bool all_inside = true;
+    for (const Neighbor& q : view.neighborhood) {
+      if (partition[q.index] != partition[i]) {
+        all_inside = false;
+        break;
+      }
+    }
+    neighbors_in_own_group[i] = all_inside ? 1 : 0;
+  }
+
+  size_t tightened = 0;
+  for (const auto& [group_id, members] : clusters) {
+    if (members.size() < 2 || members.size() > max_cluster_size) continue;
+    auto lemma = Lemma1Bounds(data, metric, m, members, min_pts);
+    if (!lemma.ok()) {
+      // Duplicate collapse (zero minimum reachability) leaves epsilon
+      // undefined; the theorem-based bounds already cover those points.
+      if (lemma.status().code() == StatusCode::kFailedPrecondition) continue;
+      return lemma.status();
+    }
+    for (uint32_t i : members) {
+      if (neighbors_in_own_group[i] == 0) continue;
+      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+      bool deep = true;
+      for (const Neighbor& q : view.neighborhood) {
+        if (neighbors_in_own_group[q.index] == 0) {
+          deep = false;
+          break;
+        }
+      }
+      if (!deep) continue;
+      const double lower =
+          std::max(bounds[i].lower, lemma->bounds.lower);
+      const double upper =
+          std::min(bounds[i].upper, lemma->bounds.upper);
+      if (lower != bounds[i].lower || upper != bounds[i].upper) {
+        ++tightened;
+      }
+      bounds[i].lower = lower;
+      bounds[i].upper = upper;
+    }
+  }
+  return tightened;
+}
+
+LofPruner::TopNSelection LofPruner::SelectTopN(
+    std::span<const LofBoundEstimate> bounds, size_t top_n) {
+  TopNSelection selection;
+  const size_t n = bounds.size();
+  if (top_n == 0 || top_n >= n) {
+    selection.threshold = -std::numeric_limits<double>::infinity();
+    selection.survivors.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      selection.survivors[i] = static_cast<uint32_t>(i);
+    }
+    return selection;
+  }
+  std::vector<double> lowers(n);
+  for (size_t i = 0; i < n; ++i) {
+    // A NaN lower bound carries no ranking evidence; folding it to
+    // -infinity keeps it from ever raising the pruning threshold.
+    lowers[i] = std::isnan(bounds[i].lower)
+                    ? -std::numeric_limits<double>::infinity()
+                    : bounds[i].lower;
+  }
+  std::nth_element(lowers.begin(), lowers.begin() + (top_n - 1),
+                   lowers.end(), std::greater<double>());
+  selection.threshold = lowers[top_n - 1];
+  for (size_t i = 0; i < n; ++i) {
+    // Discard only on certain evidence: upper < threshold. NaN compares
+    // false, so an undefined upper bound always survives.
+    if (!(bounds[i].upper < selection.threshold)) {
+      selection.survivors.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return selection;
+}
+
+}  // namespace lofkit

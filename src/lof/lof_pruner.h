@@ -1,0 +1,118 @@
+#ifndef LOFKIT_LOF_LOF_PRUNER_H_
+#define LOFKIT_LOF_LOF_PRUNER_H_
+
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "dataset/metric.h"
+#include "index/neighborhood_materializer.h"
+#include "lof/lof_bounds.h"
+
+namespace lofkit {
+
+/// Knobs for LofPruner::ComputeBounds.
+struct LofPrunerOptions {
+  /// Worker threads for the three bound scans (0 = one per hardware
+  /// thread, 1 = sequential). Every thread count produces bit-identical
+  /// bounds: each point's slot is written by exactly one worker and the
+  /// extreme accumulation order inside a neighborhood never changes.
+  size_t threads = 1;
+
+  /// Cooperative cancellation/deadline token, polled at chunk boundaries.
+  StopToken stop;
+
+  /// Optional partition of the dataset into groups (>= 0 per point, one
+  /// entry per point). When non-empty, each point gets the tighter
+  /// Theorem-2 partition-aware bounds instead of Theorem 1; with a single
+  /// group the two coincide (Corollary 1).
+  std::span<const int> partition;
+};
+
+/// The cheap first pass of the paper's section-5 top-N ranking algorithm
+/// (Fig. 11): per-point LOF bound estimates computed from the materialized
+/// neighborhoods without ever evaluating lrd or LOF.
+///
+/// The reference routines in lof_bounds.h recompute the indirect extremes
+/// of one point in O(MinPts^2) materialization reads; the pruner exploits
+/// that a point's indirect reachability extremes are exactly the direct
+/// extremes of its neighbors, so three O(n * MinPts) passes (k-distances,
+/// direct extremes, neighbor-extreme folding) bound every point at once —
+/// the same asymptotic cost as a single LOF scan. The produced bounds are
+/// bit-identical to the reference routines (property-tested).
+class LofPruner {
+ public:
+  /// Theorem-1 (or, with options.partition, Theorem-2) bound estimates for
+  /// every point at `min_pts`. All bounds obey lower <= LOF <= upper under
+  /// LofScores' duplicate conventions, including the zero-reachability
+  /// degenerations (see Theorem1Bounds).
+  static Result<std::vector<LofBoundEstimate>> ComputeBounds(
+      const NeighborhoodMaterializer& m, size_t min_pts,
+      const LofPrunerOptions& options = {});
+
+  /// One set of bound estimates valid for EVERY MinPts in [lb, ub] — the
+  /// cheap bound stage of a MinPts-range sweep. Validity: k-distance(q) is
+  /// nondecreasing in k and N_k(p) is a prefix of N_ub(p), so folding
+  /// reach-dists computed with the lb k-distances (for minima) and the ub
+  /// k-distances (for maxima) brackets the Theorem-1 extremes of every
+  /// step at once; the whole computation costs O(n * k_ub), the same as a
+  /// single step's bounds, instead of once per step. Looser than the
+  /// per-step ComputeBounds (and deliberately conservative in the
+  /// all-duplicates degeneration, where it returns lower = 1 instead of
+  /// the exact +inf, because LOF_k can be 1 at one step and +inf at
+  /// another). options.partition is not supported — Theorem 2's
+  /// cardinality weights are per-step quantities — and is rejected.
+  static Result<std::vector<LofBoundEstimate>> ComputeRangeBounds(
+      const NeighborhoodMaterializer& m, size_t min_pts_lb,
+      size_t min_pts_ub, const LofPrunerOptions& options = {});
+
+  /// Lemma-1 certificates: for every partition group of 2..max_cluster_size
+  /// points that admits a Lemma-1 epsilon (positive minimum reachability),
+  /// intersects the bounds of its "deep" members (all neighbors, and all
+  /// their neighbors, inside the group — IsDeepInCluster) with
+  /// [1/(1+eps), 1+eps]. Groups larger than `max_cluster_size` are skipped
+  /// — the lemma's pairwise reach-dist extremes cost O(|C|^2) distances —
+  /// as are groups whose epsilon is undefined (duplicate collapse).
+  /// Returns the number of points whose bounds were tightened.
+  ///
+  /// Against the per-point theorem bounds ComputeBounds produces, that
+  /// count is provably 0: every reach-dist in a deep point's Theorem-1
+  /// extremes is a cluster-pair reach-dist, so the per-point bounds sit
+  /// inside the lemma interval already. The lemma pays off in the paper's
+  /// setting — cluster-level bound bookkeeping without per-point extremes
+  /// — and is kept as a cross-check that per-point bounds never escape
+  /// the cluster certificate.
+  static Result<size_t> TightenWithLemma1(
+      const Dataset& data, const Metric& metric,
+      const NeighborhoodMaterializer& m, size_t min_pts,
+      std::span<const int> partition, std::span<LofBoundEstimate> bounds,
+      size_t max_cluster_size = 512);
+
+  /// Outcome of the pruning decision for a top-N ranking.
+  struct TopNSelection {
+    /// Points whose upper bound did not fall below the threshold, in
+    /// ascending index order. Only these need the full lrd/LOF evaluation;
+    /// at least min(top_n, n) points always survive.
+    std::vector<uint32_t> survivors;
+
+    /// The N-th largest lower bound: every discarded point provably ranks
+    /// below at least top_n other points. -infinity when nothing can be
+    /// discarded (top_n == 0 or top_n >= n).
+    double threshold = 0.0;
+  };
+
+  /// The section-5 pruning rule: keep a threshold equal to the top_n-th
+  /// largest lower bound and discard every point whose upper bound falls
+  /// strictly below it. Exactness argument: a discarded point p has
+  /// LOF(p) <= upper(p) < threshold <= lower(q) <= LOF(q) for at least
+  /// top_n distinct points q, so p cannot appear in the exact top-N under
+  /// any tie-breaking. NaN bounds are treated conservatively (a NaN lower
+  /// never raises the threshold, a NaN upper never prunes).
+  static TopNSelection SelectTopN(std::span<const LofBoundEstimate> bounds,
+                                  size_t top_n);
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_LOF_PRUNER_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "lof/lof_pruner.h"
 
 namespace lofkit {
 
@@ -63,6 +64,29 @@ std::vector<double> MakeAggregationIdentity(LofAggregation aggregation,
       break;
   }
   return std::vector<double>(n, 0.0);
+}
+
+// AggregateStep restricted to the pruning survivors (the other lof slots
+// are NaN placeholders). The per-slot arithmetic and the ascending-MinPts
+// call order match AggregateStep exactly, so survivor slots end up
+// bit-identical to the full sweep's.
+void AggregateStepSparse(LofAggregation aggregation, size_t steps,
+                         const std::vector<double>& lof,
+                         std::span<const uint32_t> survivors,
+                         std::vector<double>& aggregated) {
+  for (uint32_t i : survivors) {
+    switch (aggregation) {
+      case LofAggregation::kMax:
+        aggregated[i] = std::max(aggregated[i], lof[i]);
+        break;
+      case LofAggregation::kMin:
+        aggregated[i] = std::min(aggregated[i], lof[i]);
+        break;
+      case LofAggregation::kMean:
+        aggregated[i] += lof[i] / static_cast<double>(steps);
+        break;
+    }
+  }
 }
 
 }  // namespace
@@ -125,6 +149,201 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
   return result;
 }
 
+Result<LofSweepResult> LofSweep::RunPruned(const NeighborhoodMaterializer& m,
+                                           size_t min_pts_lb,
+                                           size_t min_pts_ub,
+                                           const PruneOptions& prune,
+                                           LofAggregation aggregation,
+                                           size_t threads,
+                                           const PipelineObserver& observer,
+                                           const StopToken& stop) {
+  LOFKIT_RETURN_IF_ERROR(ValidateSweepRange(min_pts_lb, min_pts_ub));
+  if (min_pts_ub > m.k_max()) {
+    return Status::OutOfRange(
+        StrFormat("MinPtsUB (%zu) exceeds the materialized k_max (%zu)",
+                  min_pts_ub, m.k_max()));
+  }
+  if (prune.top_n == 0) {
+    return Status::InvalidArgument(
+        "prune-first ranking needs top_n >= 1: without a concrete top-N "
+        "there is no threshold to discard against");
+  }
+  const size_t n = m.size();
+  const size_t steps = min_pts_ub - min_pts_lb + 1;
+  LofSweepResult result;
+  result.min_pts_lb = min_pts_lb;
+  result.min_pts_ub = min_pts_ub;
+  result.aggregation = aggregation;
+
+  // Stage 1 (cheap): §5 bound estimates. Without a partition, one
+  // range-bound computation covers every step at the cost of a single
+  // step's bounds: each per-step LOF lies in the same [lower, upper], so
+  // the max/min/mean aggregate does too. The partition path needs
+  // Theorem 2's per-step cardinality weights (and Lemma 1's per-step
+  // epsilon), so it keeps one bound computation per step, sharded over the
+  // step axis exactly like Run shards the score computations.
+  std::vector<LofBoundEstimate> combined;
+  std::vector<size_t> per_step_tightened(steps, 0);
+  if (prune.partition.empty()) {
+    // Chop the range into narrow blocks: one ComputeRangeBounds call
+    // bounds every step inside its block, so a block's [lower, upper]
+    // brackets the block's max, min, and mean alike, and aggregating the
+    // block bounds element-wise (ascending blocks, mean weighted by block
+    // step count) bounds the full-range aggregate.
+    const size_t width = std::max<size_t>(1, prune.bounds_block_width);
+    std::vector<std::pair<size_t, size_t>> blocks;
+    for (size_t lo = min_pts_lb; lo <= min_pts_ub; lo += width) {
+      blocks.emplace_back(lo, std::min(lo + width - 1, min_pts_ub));
+    }
+    std::vector<std::vector<LofBoundEstimate>> per_block(blocks.size());
+    LofPrunerOptions pruner_options;
+    pruner_options.threads = blocks.size() == 1 ? threads : 1;
+    pruner_options.stop = stop;
+    LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+        blocks.size(), threads,
+        stop, [&](size_t worker, size_t block) -> Status {
+          TraceRecorder::Span span(
+              observer.trace,
+              StrFormat("prune.bounds_range_%zu_%zu", blocks[block].first,
+                        blocks[block].second),
+              static_cast<uint32_t>(blocks.size() == 1 ? 0 : worker + 1));
+          LOFKIT_ASSIGN_OR_RETURN(
+              per_block[block],
+              LofPruner::ComputeRangeBounds(m, blocks[block].first,
+                                            blocks[block].second,
+                                            pruner_options));
+          return Status::OK();
+        }));
+    std::vector<double> agg_lower = MakeAggregationIdentity(aggregation, n);
+    std::vector<double> agg_upper = MakeAggregationIdentity(aggregation, n);
+    for (size_t block = 0; block < blocks.size(); ++block) {
+      const double weight =
+          static_cast<double>(blocks[block].second - blocks[block].first + 1) /
+          static_cast<double>(steps);
+      for (size_t i = 0; i < n; ++i) {
+        const LofBoundEstimate& b = per_block[block][i];
+        switch (aggregation) {
+          case LofAggregation::kMax:
+            agg_lower[i] = std::max(agg_lower[i], b.lower);
+            agg_upper[i] = std::max(agg_upper[i], b.upper);
+            break;
+          case LofAggregation::kMin:
+            agg_lower[i] = std::min(agg_lower[i], b.lower);
+            agg_upper[i] = std::min(agg_upper[i], b.upper);
+            break;
+          case LofAggregation::kMean:
+            agg_lower[i] += b.lower * weight;
+            agg_upper[i] += b.upper * weight;
+            break;
+        }
+      }
+    }
+    combined.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      combined[i] = LofBoundEstimate{agg_lower[i], agg_upper[i]};
+    }
+  } else {
+    std::vector<std::vector<LofBoundEstimate>> per_step_bounds(steps);
+    const bool lemma1_enabled =
+        prune.data != nullptr && prune.metric != nullptr;
+    LofPrunerOptions pruner_options;
+    pruner_options.threads = steps == 1 ? threads : 1;
+    pruner_options.stop = stop;
+    pruner_options.partition = prune.partition;
+    LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+        steps, threads, stop, [&](size_t worker, size_t step) -> Status {
+          TraceRecorder::Span span(
+              observer.trace,
+              StrFormat("prune.bounds_min_pts_%zu", min_pts_lb + step),
+              static_cast<uint32_t>(steps == 1 ? 0 : worker + 1));
+          const size_t step_min_pts = min_pts_lb + step;
+          LOFKIT_ASSIGN_OR_RETURN(
+              per_step_bounds[step],
+              LofPruner::ComputeBounds(m, step_min_pts, pruner_options));
+          if (lemma1_enabled) {
+            LOFKIT_ASSIGN_OR_RETURN(
+                per_step_tightened[step],
+                LofPruner::TightenWithLemma1(
+                    *prune.data, *prune.metric, m, step_min_pts,
+                    prune.partition, per_step_bounds[step],
+                    prune.lemma1_max_cluster_size));
+          }
+          return Status::OK();
+        }));
+
+    // The ranking key is the aggregated score, so the pruning decision
+    // needs bounds on the aggregate: applying the same element-wise
+    // operation to the per-step lowers and uppers (in the same
+    // ascending-MinPts order) yields valid bounds for max, min, and mean
+    // alike.
+    std::vector<double> agg_lower = MakeAggregationIdentity(aggregation, n);
+    std::vector<double> agg_upper = MakeAggregationIdentity(aggregation, n);
+    std::vector<double> step_values(n);
+    for (size_t step = 0; step < steps; ++step) {
+      for (size_t i = 0; i < n; ++i) {
+        step_values[i] = per_step_bounds[step][i].lower;
+      }
+      AggregateStep(aggregation, steps, step_values, agg_lower);
+      for (size_t i = 0; i < n; ++i) {
+        step_values[i] = per_step_bounds[step][i].upper;
+      }
+      AggregateStep(aggregation, steps, step_values, agg_upper);
+    }
+    combined.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      combined[i] = LofBoundEstimate{agg_lower[i], agg_upper[i]};
+    }
+  }
+  const LofPruner::TopNSelection selection =
+      LofPruner::SelectTopN(combined, prune.top_n);
+
+  result.prune.applied = true;
+  result.prune.total_points = n;
+  result.prune.survivors = selection.survivors.size();
+  result.prune.threshold = selection.threshold;
+  result.prune.full_evaluations = selection.survivors.size() * steps;
+  result.prune.pruned_evaluations =
+      (n - selection.survivors.size()) * steps;
+  for (size_t count : per_step_tightened) {
+    result.prune.lemma1_tightened += count;
+  }
+
+  // Stage 2 (expensive): full LOF, but only for the survivors. Same step
+  // sharding and observer routing as Run.
+  std::vector<LofScores> per_step(steps);
+  LofComputeOptions step_options;
+  step_options.threads = steps == 1 ? threads : 1;
+  if (steps == 1) step_options.observer = observer;
+  step_options.stop = stop;
+  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
+      steps, threads, stop, [&](size_t worker, size_t step) -> Status {
+        TraceRecorder::Span span(
+            steps == 1 ? nullptr : observer.trace,
+            StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
+            static_cast<uint32_t>(worker + 1));
+        LOFKIT_ASSIGN_OR_RETURN(
+            per_step[step],
+            LofComputer::ComputeForCandidates(
+                m, min_pts_lb + step, selection.survivors, step_options));
+        return Status::OK();
+      }));
+
+  // Survivor slots aggregate exactly as in Run; pruned slots stay NaN so
+  // RankDescending sorts them after every evaluated point.
+  std::vector<double> aggregated(
+      n, std::numeric_limits<double>::quiet_NaN());
+  const std::vector<double> identity =
+      MakeAggregationIdentity(aggregation, 1);
+  for (uint32_t i : selection.survivors) aggregated[i] = identity[0];
+  for (LofScores& scores : per_step) {
+    result.phase_times.Add(scores.phase_times);
+    AggregateStepSparse(aggregation, steps, scores.lof, selection.survivors,
+                        aggregated);
+  }
+  result.aggregated = std::move(aggregated);
+  return result;
+}
+
 Result<LofSweepResult> LofSweep::RunRequery(const Dataset& data,
                                             const KnnIndex& index,
                                             size_t min_pts_lb,
@@ -180,6 +399,14 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
   if (pipeline.degraded_to_requery != nullptr) {
     *pipeline.degraded_to_requery = false;
   }
+  if (pipeline.prune_summary != nullptr) {
+    *pipeline.prune_summary = LofSweepResult::PruneSummary{};
+  }
+  if (pipeline.prune && top_n == 0) {
+    return Status::InvalidArgument(
+        "prune-first ranking needs top_n >= 1: without a concrete top-N "
+        "there is no threshold to discard against");
+  }
   const size_t budget = pipeline.memory_budget_bytes;
   if (budget != 0 && NeighborhoodMaterializer::ProjectedBytes(
                          data.size(), min_pts_ub) > budget) {
@@ -190,6 +417,15 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
         << " bytes); degrading the sweep to the re-query path";
     if (pipeline.degraded_to_requery != nullptr) {
       *pipeline.degraded_to_requery = true;
+    }
+    if (pipeline.prune) {
+      // The re-query path never materializes M, and the bound estimates
+      // read it; score bits are identical either way, so degrade to the
+      // full (unpruned) evaluation rather than failing the run.
+      LOFKIT_LOG(Warning)
+          << "prune-first ranking requires the materialized path; the "
+             "memory budget forced re-query mode, so every point gets the "
+             "full LOF evaluation";
     }
     LOFKIT_ASSIGN_OR_RETURN(
         LofSweepResult sweep,
@@ -202,6 +438,23 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
       NeighborhoodMaterializer::MaterializeParallel(
           data, *index, min_pts_ub, threads, /*distinct_neighbors=*/false,
           pipeline.observer, pipeline.stop));
+  if (pipeline.prune) {
+    PruneOptions prune;
+    prune.top_n = top_n;
+    prune.partition = pipeline.prune_partition;
+    if (!pipeline.prune_partition.empty()) {
+      prune.data = &data;
+      prune.metric = &metric;
+    }
+    LOFKIT_ASSIGN_OR_RETURN(
+        LofSweepResult sweep,
+        RunPruned(m, min_pts_lb, min_pts_ub, prune, aggregation, threads,
+                  pipeline.observer, pipeline.stop));
+    if (pipeline.prune_summary != nullptr) {
+      *pipeline.prune_summary = sweep.prune;
+    }
+    return RankDescending(sweep.aggregated, top_n);
+  }
   LOFKIT_ASSIGN_OR_RETURN(
       LofSweepResult sweep,
       Run(m, min_pts_lb, min_pts_ub, aggregation,

@@ -24,6 +24,40 @@ struct LofSweepResult {
   size_t min_pts_ub = 0;
   LofAggregation aggregation = LofAggregation::kMax;
 
+  /// What the prune-first stage did (all zeros unless RunPruned produced
+  /// this result).
+  struct PruneSummary {
+    /// True when the §5 bound-based pruning stage actually ran. False from
+    /// Run/RunRequery, and from RankOutliers when a memory budget degraded
+    /// the pipeline to the re-query path (which has no bound stage).
+    bool applied = false;
+    size_t total_points = 0;
+
+    /// Points whose upper bound did not fall below the top-N threshold;
+    /// only these received the full LOF evaluation.
+    size_t survivors = 0;
+
+    /// The N-th largest aggregated lower bound used for discarding.
+    double threshold = 0.0;
+
+    /// LOF point-evaluations performed vs. avoided, summed over the MinPts
+    /// steps: full = survivors * steps, pruned = (total - survivors) * steps.
+    size_t full_evaluations = 0;
+    size_t pruned_evaluations = 0;
+
+    /// Bounds tightened by Lemma-1 cluster certificates (0 when no
+    /// partition/dataset was supplied), summed over steps.
+    size_t lemma1_tightened = 0;
+
+    double survivor_fraction() const {
+      return total_points == 0
+                 ? 1.0
+                 : static_cast<double>(survivors) /
+                       static_cast<double>(total_points);
+    }
+  };
+  PruneSummary prune;
+
   /// Aggregated score per point — the paper's ranking key
   /// max{ LOF_MinPts(p) : MinPtsLB <= MinPts <= MinPtsUB } for kMax.
   std::vector<double> aggregated;
@@ -55,6 +89,21 @@ struct LofPipelineOptions {
 
   /// When non-null, set to whether the budget forced the re-query path.
   bool* degraded_to_requery = nullptr;
+
+  /// Run the §5 prune-first top-N path (RunPruned) instead of the full
+  /// sweep. Requires top_n >= 1; the ranking stays bit-identical to the
+  /// unpruned pipeline. Ignored (with a logged warning) when the memory
+  /// budget degrades to the re-query path, which has no materialization to
+  /// compute bounds from.
+  bool prune = false;
+
+  /// Optional partition for the pruning stage: group ids (>= 0, one per
+  /// point) switch the bound estimates from Theorem 1 to the tighter
+  /// partition-aware Theorem 2 and enable Lemma-1 cluster certificates.
+  std::span<const int> prune_partition;
+
+  /// When non-null, receives what the pruning stage did.
+  LofSweepResult::PruneSummary* prune_summary = nullptr;
 };
 
 /// The MinPts-range heuristic of section 6.2: computes LOF for every
@@ -83,6 +132,58 @@ class LofSweep {
                                     size_t threads = 1,
                                     const PipelineObserver& observer = {},
                                     const StopToken& stop = {});
+
+  /// Knobs for the prune-first sweep (RunPruned).
+  struct PruneOptions {
+    /// How many top outliers the ranking must preserve exactly. Must be
+    /// >= 1: pruning is only sound against a concrete top-N threshold.
+    size_t top_n = 0;
+
+    /// Optional group ids (>= 0, one per point): Theorem-2 bounds instead
+    /// of Theorem 1, and — together with `data`/`metric` — Lemma-1
+    /// certificates for deep cluster members.
+    std::span<const int> partition;
+
+    /// When both are non-null and `partition` is non-empty, each step's
+    /// bounds are tightened with Lemma-1 cluster certificates before the
+    /// pruning decision.
+    const Dataset* data = nullptr;
+    const Metric* metric = nullptr;
+
+    /// Clusters larger than this skip the O(|C|^2) Lemma-1 epsilon.
+    size_t lemma1_max_cluster_size = 512;
+
+    /// Width of the MinPts blocks the unpartitioned bound stage covers
+    /// with one LofPruner::ComputeRangeBounds call each (clamped to >= 1).
+    /// Wider blocks make the bound stage cheaper but looser — the range
+    /// bounds couple the block-low k-distances against the block-high
+    /// ones, so the slack grows with the k-distance spread inside a block.
+    /// 5 keeps the spread (~(hi/lo)^(1/d) per block in d dimensions) small
+    /// enough to prune aggressively at ~1/5 of the per-step bound cost.
+    /// Ignored on the partition path, which needs per-step bounds anyway
+    /// (Theorem 2's cardinality weights and Lemma 1's epsilon are
+    /// per-MinPts quantities).
+    size_t bounds_block_width = 5;
+  };
+
+  /// The paper's §5 / Fig. 11 prune-first top-N sweep: bound estimates
+  /// (LofPruner) are aggregated across the MinPts range with the same
+  /// element-wise operation as the scores — block-wise range bounds on the
+  /// unpartitioned path, per-step Theorem-2/Lemma-1 bounds with a
+  /// partition — the top_n-th largest
+  /// aggregated lower bound becomes the discard threshold, and only the
+  /// surviving points get the full LOF evaluation
+  /// (LofComputer::ComputeForCandidates). Survivor slots of `aggregated`
+  /// are bit-identical to Run's at every thread count (same per-step
+  /// values, same ascending-MinPts accumulation); pruned slots are quiet
+  /// NaN, which RankDescending sorts last — so ranking the result's
+  /// aggregated array yields the exact unpruned top-N. The result's
+  /// `prune` summary reports survivors/threshold/avoided evaluations.
+  static Result<LofSweepResult> RunPruned(
+      const NeighborhoodMaterializer& m, size_t min_pts_lb,
+      size_t min_pts_ub, const PruneOptions& prune,
+      LofAggregation aggregation = LofAggregation::kMax, size_t threads = 1,
+      const PipelineObserver& observer = {}, const StopToken& stop = {});
 
   /// Bounded-memory sweep: no materialization database — every MinPts step
   /// runs LofComputer::ComputeRequery against the prebuilt `index`,

@@ -228,6 +228,112 @@ TEST(Lemma1Test, RejectsDegenerateClusters) {
                    .ok());
 }
 
+// Duplicate-heavy data collapses reachability distances to zero, which is
+// exactly where the pre-fix fallbacks went wrong (an unconditional +inf
+// *lower* bound on fully duplicated points, breaking lower <= LOF = 1).
+// The pile: 12 copies of the origin (every one has LOF exactly 1 under the
+// inf/inf := 1 convention), a point just outside the pile (finite lrd
+// against infinite neighbor lrds => LOF +inf), and a normal cluster.
+Dataset DuplicatePileAndCluster(Rng& rng) {
+  auto ds = Dataset::Create(2);
+  EXPECT_TRUE(ds.ok());
+  const double origin[2] = {0, 0};
+  for (int copy = 0; copy < 12; ++copy) {
+    EXPECT_TRUE(ds->Append(origin, "dup").ok());
+  }
+  const double near[2] = {0.5, 0.0};
+  EXPECT_TRUE(ds->Append(near, "near").ok());
+  const double center[2] = {20, 0};
+  EXPECT_TRUE(
+      generators::AppendGaussianCluster(*ds, rng, center, 1.0, 30, "c").ok());
+  return std::move(ds).value();
+}
+
+// Checks lower <= lof <= upper under the duplicate conventions (an
+// infinite exact LOF satisfies any lower bound; comparisons against the
+// +inf bounds work out of the box). NaN anywhere is an automatic failure.
+void ExpectBracket(const LofBoundEstimate& bounds, double lof, size_t i) {
+  EXPECT_FALSE(std::isnan(bounds.lower)) << "point " << i;
+  EXPECT_FALSE(std::isnan(bounds.upper)) << "point " << i;
+  EXPECT_FALSE(std::isnan(lof)) << "point " << i;
+  EXPECT_LE(bounds.lower, lof) << "point " << i;
+  EXPECT_GE(bounds.upper, lof) << "point " << i;
+}
+
+TEST(Theorem1Test, DuplicatePilesKeepBoundsSound) {
+  Rng rng(31);
+  auto pipeline = MakePipeline(DuplicatePileAndCluster(rng), 6);
+  const size_t min_pts = 5;
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_TRUE(scores->has_infinite_lrd);
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto stats = ComputeNeighborhoodStats(*pipeline->m, i, min_pts);
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+    ExpectBracket(Theorem1Bounds(*stats), scores->lof[i], i);
+  }
+  // The fully duplicated points: LOF pinned at exactly 1, bounds [1, 1].
+  // A lower bound above 1 here is the regression this PR fixes.
+  for (size_t i = 0; i < 12; ++i) {
+    auto stats = ComputeNeighborhoodStats(*pipeline->m, i, min_pts);
+    ASSERT_TRUE(stats.ok());
+    const LofBoundEstimate bounds = Theorem1Bounds(*stats);
+    EXPECT_DOUBLE_EQ(scores->lof[i], 1.0) << "point " << i;
+    EXPECT_DOUBLE_EQ(bounds.lower, 1.0) << "point " << i;
+    EXPECT_DOUBLE_EQ(bounds.upper, 1.0) << "point " << i;
+  }
+  // The point beside the pile: positive direct reachabilities against
+  // all-zero indirect ones, so the exact LOF is +inf and so is the lower.
+  const size_t near = 12;
+  auto stats = ComputeNeighborhoodStats(*pipeline->m, near, min_pts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::isinf(scores->lof[near]));
+  EXPECT_TRUE(std::isinf(Theorem1Bounds(*stats).lower));
+}
+
+TEST(Theorem2Test, DuplicatePilesProduceNoNaN) {
+  Rng rng(32);
+  Dataset data = DuplicatePileAndCluster(rng);
+  std::vector<int> partition(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    partition[i] =
+        data.label(i) == "dup" ? 0 : (data.label(i) == "near" ? 1 : 2);
+  }
+  auto pipeline = MakePipeline(std::move(data), 6);
+  const size_t min_pts = 5;
+  auto scores = LofComputer::Compute(*pipeline->m, min_pts);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto bounds = Theorem2Bounds(*pipeline->m, i, min_pts, partition);
+    ASSERT_TRUE(bounds.ok()) << bounds.status().message();
+    ExpectBracket(*bounds, scores->lof[i], i);
+  }
+}
+
+TEST(Theorem2Test, Corollary1DegeneratesToTheorem1OnDuplicates) {
+  Rng rng(33);
+  auto pipeline = MakePipeline(DuplicatePileAndCluster(rng), 6);
+  const std::vector<int> one_group(pipeline->data.size(), 0);
+  const size_t min_pts = 5;
+  for (size_t i = 0; i < pipeline->data.size(); ++i) {
+    auto stats = ComputeNeighborhoodStats(*pipeline->m, i, min_pts);
+    auto thm2 = Theorem2Bounds(*pipeline->m, i, min_pts, one_group);
+    ASSERT_TRUE(stats.ok() && thm2.ok());
+    const LofBoundEstimate thm1 = Theorem1Bounds(*stats);
+    // Exact equality on purpose — the degenerate branches must agree on
+    // the +inf / 1.0 special values, not just approximately.
+    EXPECT_EQ(thm2->lower, thm1.lower) << "point " << i;
+    EXPECT_EQ(thm2->upper, thm1.upper) << "point " << i;
+  }
+}
+
+TEST(NeighborhoodStatsTest, OutOfRangeMinPtsIsAnErrorNotASentinel) {
+  Rng rng(34);
+  auto pipeline = MakePipeline(DuplicatePileAndCluster(rng), 6);
+  EXPECT_FALSE(ComputeNeighborhoodStats(*pipeline->m, 0, 7).ok());
+  EXPECT_FALSE(ComputeNeighborhoodStats(*pipeline->m, 0, 0).ok());
+}
+
 TEST(AnalyticModelTest, RelativeSpanMatchesClosedForm) {
   // Figure 5's formula, and its consistency with the figure-4 curves:
   // (LOFmax - LOFmin) / ratio must equal 4x/(1-x^2) for every ratio.

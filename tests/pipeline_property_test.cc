@@ -13,6 +13,7 @@
 #include "index/linear_scan_index.h"
 #include "lof/lof_bounds.h"
 #include "lof/lof_computer.h"
+#include "lof/lof_sweep.h"
 
 namespace lofkit {
 namespace {
@@ -198,6 +199,101 @@ TEST(LofPipelineEdgeTest, AllPointsIdentical) {
   for (double lof : scores->lof) {
     EXPECT_DOUBLE_EQ(lof, 1.0);
   }
+}
+
+// The prune-first top-N path is an optimization, never an approximation:
+// for any MinPts range, thread count, and workload — including duplicated
+// rows, where unsafe bound fallbacks used to mis-certify — the pruned
+// ranking must be bit-identical to the full sweep's.
+TEST(LofPipelinePruneTest, PrunedRankingMatchesFullAcrossRangesAndThreads) {
+  Rng rng(77);
+  auto data = generators::MakePerformanceWorkload(rng, 2, 400, 4);
+  ASSERT_TRUE(data.ok());
+  const double far1[2] = {120.0, 120.0};
+  const double far2[2] = {-80.0, 140.0};
+  ASSERT_TRUE(data->Append(far1, "outlier").ok());
+  ASSERT_TRUE(data->Append(far2, "outlier").ok());
+  const double pile[2] = {60.0, -60.0};
+  ASSERT_TRUE(generators::AppendDuplicates(*data, pile, 8).ok());
+  const size_t top_n = 10;
+  const struct { size_t lb, ub; } ranges[] = {{3, 3}, {2, 8}, {5, 12}};
+  for (const auto& range : ranges) {
+    LofPipelineOptions baseline;
+    auto full = LofSweep::RankOutliers(*data, Euclidean(), range.lb,
+                                       range.ub, top_n,
+                                       IndexKind::kLinearScan,
+                                       LofAggregation::kMax, 1, baseline);
+    ASSERT_TRUE(full.ok());
+    for (size_t threads : {1u, 2u, 7u}) {
+      LofSweepResult::PruneSummary summary;
+      LofPipelineOptions options;
+      options.prune = true;
+      options.prune_summary = &summary;
+      auto pruned = LofSweep::RankOutliers(
+          *data, Euclidean(), range.lb, range.ub, top_n,
+          IndexKind::kLinearScan, LofAggregation::kMax, threads, options);
+      ASSERT_TRUE(pruned.ok()) << pruned.status().message();
+      EXPECT_TRUE(summary.applied);
+      EXPECT_GE(summary.survivors, top_n);
+      ASSERT_EQ(pruned->size(), full->size());
+      for (size_t r = 0; r < full->size(); ++r) {
+        EXPECT_EQ((*pruned)[r].index, (*full)[r].index)
+            << "range [" << range.lb << ", " << range.ub << "] threads "
+            << threads << " rank " << r;
+        EXPECT_EQ((*pruned)[r].score, (*full)[r].score)
+            << "range [" << range.lb << ", " << range.ub << "] threads "
+            << threads << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(LofPipelinePruneTest, BudgetDegradationOverridesPruningSafely) {
+  // A memory budget that forces the re-query path composes with --prune:
+  // the bound stage needs the materialization, so pruning is skipped, the
+  // summary says so, and the ranking still matches the unbudgeted one.
+  Rng rng(78);
+  auto data = generators::MakePerformanceWorkload(rng, 2, 300, 4);
+  ASSERT_TRUE(data.ok());
+  const size_t top_n = 5;
+  LofPipelineOptions baseline;
+  auto full = LofSweep::RankOutliers(*data, Euclidean(), 3, 6, top_n,
+                                     IndexKind::kLinearScan,
+                                     LofAggregation::kMax, 1, baseline);
+  ASSERT_TRUE(full.ok());
+  LofSweepResult::PruneSummary summary;
+  summary.applied = true;  // must be reset by the pipeline
+  bool degraded = false;
+  LofPipelineOptions options;
+  options.prune = true;
+  options.prune_summary = &summary;
+  options.degraded_to_requery = &degraded;
+  options.memory_budget_bytes = 1;
+  auto pruned = LofSweep::RankOutliers(*data, Euclidean(), 3, 6, top_n,
+                                       IndexKind::kLinearScan,
+                                       LofAggregation::kMax, 1, options);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().message();
+  EXPECT_TRUE(degraded);
+  EXPECT_FALSE(summary.applied);
+  ASSERT_EQ(pruned->size(), full->size());
+  for (size_t r = 0; r < full->size(); ++r) {
+    EXPECT_EQ((*pruned)[r].index, (*full)[r].index) << r;
+    EXPECT_EQ((*pruned)[r].score, (*full)[r].score) << r;
+  }
+}
+
+TEST(LofPipelinePruneTest, PruneWithoutTopNIsRejected) {
+  Rng rng(79);
+  auto data = generators::MakePerformanceWorkload(rng, 2, 50, 2);
+  ASSERT_TRUE(data.ok());
+  LofPipelineOptions options;
+  options.prune = true;
+  EXPECT_EQ(LofSweep::RankOutliers(*data, Euclidean(), 2, 4, /*top_n=*/0,
+                                   IndexKind::kLinearScan,
+                                   LofAggregation::kMax, 1, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(LofPipelineEdgeTest, CollinearPoints) {

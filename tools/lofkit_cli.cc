@@ -8,6 +8,7 @@
 //
 // Examples:
 //   lofkit_cli --input points.csv --top 10
+//   lofkit_cli --input big.csv --top 10 --prune
 //   lofkit_cli --input games.csv --has-header --label-column 0
 //       --normalize --minpts-lb 30 --minpts-ub 50 --explain
 //   lofkit_cli --input big.csv --save-materialization m.bin
@@ -17,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -79,6 +81,11 @@ int main(int argc, char** argv) {
                "(0 = one per hardware thread, 1 = sequential; the scores "
                "are identical for every value)");
   flags.AddU64("top", 10, "number of outliers to print (0 = all)");
+  flags.AddBool("prune", false,
+                "prune-first top-N ranking (paper section 5): certify "
+                "inliers with LOF bound estimates and run the full "
+                "evaluation only on the survivors; needs --top >= 1, "
+                "ranking identical to the full sweep");
   flags.AddBool("explain", false,
                 "print the dominant deviating attribute per outlier");
   flags.AddBool("subspaces", false,
@@ -241,19 +248,52 @@ int main(int argc, char** argv) {
   // Step 2: sweep and rank.
   auto aggregation = AggregationByName(flags.GetString("aggregation"));
   if (!aggregation.ok()) return Fail(aggregation.status());
+  const size_t top_n = flags.GetU64("top");
+  bool prune = flags.GetBool("prune");
+  if (prune && top_n == 0) {
+    return Fail(Status::InvalidArgument(
+        "--prune needs --top >= 1: pruning discards against the top-N "
+        "threshold, which an unbounded ranking does not have"));
+  }
+  if (prune && degraded_to_requery) {
+    // The re-query path has no materialization for the bound stage to
+    // read; the full evaluation produces identical ranking bits.
+    prune = false;
+    std::fprintf(stderr,
+                 "--prune skipped: the memory budget degraded the run to "
+                 "the re-query path, which has no neighborhood database to "
+                 "compute bounds from\n");
+  }
   watch.Reset();
   TraceRecorder::Span sweep_span(observer.trace, "sweep");
-  auto sweep = degraded_to_requery
-                   ? LofSweep::RunRequery(*working, *index, lb, ub,
-                                          *aggregation, threads, observer,
-                                          stop)
-                   : LofSweep::Run(*m, lb, ub, *aggregation,
-                                   /*keep_per_min_pts=*/false, threads,
-                                   observer, stop);
+  auto sweep = [&]() -> Result<LofSweepResult> {
+    if (degraded_to_requery) {
+      return LofSweep::RunRequery(*working, *index, lb, ub, *aggregation,
+                                  threads, observer, stop);
+    }
+    if (prune) {
+      LofSweep::PruneOptions prune_options;
+      prune_options.top_n = top_n;
+      return LofSweep::RunPruned(*m, lb, ub, prune_options, *aggregation,
+                                 threads, observer, stop);
+    }
+    return LofSweep::Run(*m, lb, ub, *aggregation,
+                         /*keep_per_min_pts=*/false, threads, observer,
+                         stop);
+  }();
   if (!sweep.ok()) return Fail(sweep.status());
   sweep_span.End();
   std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
                lb, ub, watch.ElapsedSeconds());
+  if (sweep->prune.applied) {
+    std::fprintf(stderr,
+                 "prune stage: %zu of %zu points survived the bound "
+                 "threshold %.4f (%.1f%%); %zu LOF evaluations avoided\n",
+                 sweep->prune.survivors, sweep->prune.total_points,
+                 sweep->prune.threshold,
+                 100.0 * sweep->prune.survivor_fraction(),
+                 sweep->prune.pruned_evaluations);
+  }
   // Per-phase breakdown (k-distance/LRD/LOF are summed over the MinPts
   // steps, so they read like CPU seconds when the sweep ran in parallel).
   std::fprintf(stderr,
@@ -263,7 +303,6 @@ int main(int argc, char** argv) {
                sweep->phase_times.lrd_seconds,
                sweep->phase_times.lof_seconds);
 
-  const size_t top_n = flags.GetU64("top");
   if (flags.GetBool("explain") && degraded_to_requery) {
     std::fprintf(stderr,
                  "--explain skipped: explanations need the materialized "
@@ -335,6 +374,20 @@ int main(int argc, char** argv) {
                  static_cast<double>(ub));
     registry.Set(registry.Gauge("pipeline.degraded_to_requery"),
                  degraded_to_requery ? 1.0 : 0.0);
+    registry.Set(registry.Gauge("pipeline.prune_applied"),
+                 sweep->prune.applied ? 1.0 : 0.0);
+    if (sweep->prune.applied) {
+      registry.Add(registry.Counter("pipeline.prune_survivors"),
+                   sweep->prune.survivors);
+      registry.Add(registry.Counter("pipeline.prune_pruned"),
+                   sweep->prune.total_points - sweep->prune.survivors);
+      registry.Add(registry.Counter("pipeline.prune_evaluations_avoided"),
+                   sweep->prune.pruned_evaluations);
+      registry.Set(registry.Gauge("pipeline.prune_survivor_fraction"),
+                   sweep->prune.survivor_fraction());
+      registry.Set(registry.Gauge("pipeline.prune_threshold"),
+                   sweep->prune.threshold);
+    }
     registry.Set(registry.Gauge("materialize.projected_bytes"),
                  static_cast<double>(projected_bytes));
     registry.Set(registry.Gauge("pipeline.memory_budget_bytes"),
@@ -364,7 +417,8 @@ int main(int argc, char** argv) {
     const MetricsRegistry::MetricId score_hist =
         registry.Histogram("lof.aggregated_score", 0.0625, 64.0, 40);
     for (double score : sweep->aggregated) {
-      registry.Record(score_hist, score);
+      // Pruned points carry NaN placeholders instead of scores.
+      if (!std::isnan(score)) registry.Record(score_hist, score);
     }
     if (Status status = registry.WriteJson(stats_path); !status.ok()) {
       return Fail(status);
