@@ -1,0 +1,288 @@
+// ANN quality contract (ISSUE PR 7): how much LOF accuracy does each
+// position of the kd-forest's `checks` dial buy, and at what speed?
+//
+// Section 7.4's exact indexes hit a dimensionality wall (Figure 10): past
+// d ~ 10-20 every tree degenerates toward the sequential scan. The
+// randomized kd-forest trades exactness for throughput in that regime —
+// but LOF consumes neighborhoods, not raw neighbor lists, so the dial must
+// be calibrated against the quantities users actually rank by. For each
+// dimension and check budget this bench measures:
+//
+//   recall@k        mean fraction of the true k-distance neighborhood
+//                   recovered (sampled queries)
+//   lof_err_*       mean/max |LOF_ann - LOF_exact| over finite scores
+//   topn_jaccard    overlap of the exact vs approximate top-N outlier sets
+//   topn_kendall    Kendall tau of the approximate scores over the exact
+//                   top-N pairs (1 = same order, 0 = uncorrelated)
+//   *_seconds       step-1 materialization wall time (build + kNN queries)
+//                   vs the exact kd-tree and an extrapolated linear scan
+//   checks_used     mean candidates actually charged per query
+//
+// Rows land in BENCH_ann_quality.json; CI's bench-smoke job asserts the
+// quality contract (recall@k >= 0.95 at checks=256 on the ambient-20
+// workload, and the forest beating the exact kd-tree's wall clock there).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/bench_report.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/index_factory.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/rkd_forest_index.h"
+#include "lof/lof_computer.h"
+
+using namespace lofkit;         // NOLINT
+using namespace lofkit::bench;  // NOLINT
+
+namespace {
+
+constexpr size_t kMinPts = 20;
+constexpr size_t kTopN = 50;
+
+struct ExactBaseline {
+  std::vector<double> lof;
+  std::vector<uint32_t> top_ids;  // exact top-N outliers, rank order
+  double materialize_seconds = 0.0;
+  double linear_scan_seconds = 0.0;  // extrapolated from a query sample
+};
+
+std::vector<uint32_t> TopIds(const std::vector<double>& scores, size_t n) {
+  std::vector<uint32_t> ids;
+  for (const RankedOutlier& r : RankDescending(scores, n)) {
+    ids.push_back(r.index);
+  }
+  return ids;
+}
+
+// Mean fraction of the true k-distance neighborhood recovered, over a
+// deterministic stride sample of self-queries.
+double RecallAtK(const Dataset& data, const KnnIndex& exact,
+                 const KnnIndex& ann, size_t samples) {
+  const size_t stride = std::max<size_t>(1, data.size() / samples);
+  KnnSearchContext exact_ctx;
+  KnnSearchContext ann_ctx;
+  size_t hits = 0;
+  size_t wanted = 0;
+  for (uint32_t q = 0; q < data.size(); q += stride) {
+    CheckOk(exact.Query(data.point(q), kMinPts, q, exact_ctx), "exact kNN");
+    CheckOk(ann.Query(data.point(q), kMinPts, q, ann_ctx), "ann kNN");
+    std::set<uint32_t> approx;
+    for (const Neighbor& n : ann_ctx.results()) approx.insert(n.index);
+    for (const Neighbor& n : exact_ctx.results()) {
+      hits += approx.count(n.index);
+    }
+    wanted += exact_ctx.results().size();
+  }
+  return static_cast<double>(hits) / static_cast<double>(wanted);
+}
+
+// Kendall tau of the approximate scores restricted to the exact top-N
+// pairs: ties in either ranking contribute 0 to the numerator.
+double KendallTauOverTopN(const std::vector<uint32_t>& top_ids,
+                          const std::vector<double>& exact,
+                          const std::vector<double>& ann) {
+  double numerator = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < top_ids.size(); ++i) {
+    for (size_t j = i + 1; j < top_ids.size(); ++j) {
+      const double de = exact[top_ids[i]] - exact[top_ids[j]];
+      const double da = ann[top_ids[i]] - ann[top_ids[j]];
+      if (std::isnan(de) || std::isnan(da)) continue;
+      ++pairs;
+      const double product = de * da;
+      if (product > 0.0) numerator += 1.0;
+      if (product < 0.0) numerator -= 1.0;
+    }
+  }
+  return pairs == 0 ? 1.0 : numerator / static_cast<double>(pairs);
+}
+
+double Jaccard(const std::vector<uint32_t>& a,
+               const std::vector<uint32_t>& b) {
+  const std::set<uint32_t> sa(a.begin(), a.end());
+  const std::set<uint32_t> sb(b.begin(), b.end());
+  size_t common = 0;
+  for (uint32_t id : sa) common += sb.count(id);
+  const size_t unioned = sa.size() + sb.size() - common;
+  return unioned == 0 ? 1.0
+                      : static_cast<double>(common) /
+                            static_cast<double>(unioned);
+}
+
+ExactBaseline ComputeExactBaseline(const Dataset& data) {
+  LofComputeOptions options;
+  options.threads = 0;  // one worker per hardware thread
+  auto scores =
+      CheckOk(LofComputer::ComputeFromScratch(data, Euclidean(), kMinPts,
+                                              IndexKind::kKdTree,
+                                              /*distinct_neighbors=*/false,
+                                              options),
+              "exact LOF");
+  ExactBaseline baseline;
+  baseline.materialize_seconds = scores.phase_times.materialize_seconds;
+  baseline.top_ids = TopIds(scores.lof, kTopN);
+  baseline.lof = std::move(scores.lof);
+
+  // The full linear scan is quadratic — at bench scale it would dominate
+  // the runtime for a number nobody disputes. Time a 512-query sample and
+  // extrapolate to all n self-queries (build cost is negligible).
+  LinearScanIndex scan;
+  CheckOk(scan.Build(data, Euclidean()), "linear scan build");
+  const size_t sample = std::min<size_t>(512, data.size());
+  std::vector<uint32_t> ids(sample);
+  const size_t stride = std::max<size_t>(1, data.size() / sample);
+  for (size_t j = 0; j < sample; ++j) {
+    ids[j] = static_cast<uint32_t>((j * stride) % data.size());
+  }
+  KnnSearchContext ctx;
+  Stopwatch watch;
+  CheckOk(scan.QueryBatch(ids, kMinPts, ctx), "linear scan sample");
+  baseline.linear_scan_seconds = watch.ElapsedSeconds() *
+                                 static_cast<double>(data.size()) /
+                                 static_cast<double>(sample);
+  return baseline;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  PrintHeader("ANN quality: the kd-forest recall dial",
+              "recall@k, LOF score error, top-N stability, speedup");
+
+  // One row-group per workload. Ambient dimension is what the engines see;
+  // intrinsic dimension is what the distances concentrate at. The d=5 case
+  // is full-rank (below the Fig-10 wall, where exact trees are the right
+  // engine and the forest merely has to not embarrass itself); the d=20
+  // and d=64 cases model real post-wall data: low-dimensional cluster
+  // structure embedded in a high-dimensional ambient space. The full sweep
+  // adds a full-rank d=20 group — the adversarial worst case where no
+  // fixed check budget can reach high recall — so the dial's limits are on
+  // record too.
+  struct Workload {
+    size_t ambient;
+    size_t intrinsic;
+    size_t n;
+  };
+  const std::vector<Workload> workloads =
+      smoke ? std::vector<Workload>{{5, 5, 2000}, {20, 6, 30000}}
+            : std::vector<Workload>{
+                  {5, 5, 50000}, {20, 6, 50000}, {20, 20, 50000},
+                  {64, 8, 20000}};
+  const std::vector<size_t> checks_sweep =
+      smoke ? std::vector<size_t>{32, 256}
+            : std::vector<size_t>{8, 16, 32, 64, 128, 256, 512};
+
+  BenchReport report("ann_quality");
+  for (const Workload& w : workloads) {
+    const size_t d = w.ambient;
+    const size_t n = w.n;
+    Rng rng(1234 + d + w.intrinsic);
+    auto data =
+        w.intrinsic == d
+            ? CheckOk(generators::MakePerformanceWorkload(rng, d, n, 10),
+                      "workload")
+            : CheckOk(generators::MakeEmbeddedWorkload(rng, d, w.intrinsic,
+                                                       n, 10, 0.05),
+                      "workload");
+    std::printf("\nd=%zu intrinsic=%zu n=%zu MinPts=%zu top-N=%zu\n", d,
+                w.intrinsic, n, kMinPts, kTopN);
+    const ExactBaseline exact = ComputeExactBaseline(data);
+    std::printf("exact kd-tree materialization: %.3fs; linear scan "
+                "(extrapolated): %.3fs\n",
+                exact.materialize_seconds, exact.linear_scan_seconds);
+    std::printf("%-8s %-9s %-11s %-11s %-9s %-9s %-9s %-11s %s\n", "checks",
+                "recall@k", "lof_err_mu", "lof_err_max", "jaccard",
+                "kendall", "ann_sec", "speedup_kd", "checks_mu");
+
+    KdTreeIndex exact_index;
+    CheckOk(exact_index.Build(data, Euclidean()), "kd build");
+
+    for (const size_t checks : checks_sweep) {
+      AnnIndexOptions ann;
+      ann.search.checks = checks;
+
+      // Approximate LOF pipeline, with the query-cost counters armed so
+      // the row reports the candidates actually charged per query.
+      QueryStats stats;
+      LofComputeOptions options;
+      options.threads = 0;
+      options.ann = ann;
+      options.observer.query_stats = &stats;
+      auto scores = CheckOk(
+          LofComputer::ComputeFromScratch(data, Euclidean(), kMinPts,
+                                          IndexKind::kRkdForest,
+                                          /*distinct_neighbors=*/false,
+                                          options),
+          "ann LOF");
+      const double ann_seconds = scores.phase_times.materialize_seconds;
+
+      double err_sum = 0.0;
+      double err_max = 0.0;
+      size_t finite = 0;
+      for (size_t i = 0; i < exact.lof.size(); ++i) {
+        if (!std::isfinite(exact.lof[i]) || !std::isfinite(scores.lof[i])) {
+          continue;
+        }
+        const double err = std::fabs(scores.lof[i] - exact.lof[i]);
+        err_sum += err;
+        err_max = std::max(err_max, err);
+        ++finite;
+      }
+      const double err_mean = finite == 0 ? 0.0 : err_sum / finite;
+
+      RkdForestIndex ann_index(
+          {.trees = ann.trees, .seed = ann.seed, .search = ann.search});
+      CheckOk(ann_index.Build(data, Euclidean()), "forest build");
+      const double recall =
+          RecallAtK(data, exact_index, ann_index, /*samples=*/2000);
+      const std::vector<uint32_t> ann_top = TopIds(scores.lof, kTopN);
+      const double jaccard = Jaccard(exact.top_ids, ann_top);
+      const double kendall =
+          KendallTauOverTopN(exact.top_ids, exact.lof, scores.lof);
+      const double checks_mean =
+          stats.queries == 0
+              ? 0.0
+              : static_cast<double>(stats.checks_used) /
+                    static_cast<double>(stats.queries);
+      const double speedup_kd = exact.materialize_seconds / ann_seconds;
+      const double speedup_scan = exact.linear_scan_seconds / ann_seconds;
+
+      std::printf("%-8zu %-9.4f %-11.5f %-11.5f %-9.4f %-9.4f %-9.3f "
+                  "%-11.2f %.1f\n",
+                  checks, recall, err_mean, err_max, jaccard, kendall,
+                  ann_seconds, speedup_kd, checks_mean);
+      report.Add(
+          "d" + std::to_string(d) + "i" + std::to_string(w.intrinsic) +
+              "_checks" + std::to_string(checks),
+          {{"dim", static_cast<double>(d)},
+           {"intrinsic_dim", static_cast<double>(w.intrinsic)},
+           {"n", static_cast<double>(n)},
+           {"min_pts", static_cast<double>(kMinPts)},
+           {"trees", static_cast<double>(ann.trees)},
+           {"checks", static_cast<double>(checks)},
+           {"recall_at_k", recall},
+           {"lof_err_mean", err_mean},
+           {"lof_err_max", err_max},
+           {"topn_jaccard", jaccard},
+           {"topn_kendall_tau", kendall},
+           {"ann_seconds", ann_seconds},
+           {"kd_seconds", exact.materialize_seconds},
+           {"linear_scan_seconds", exact.linear_scan_seconds},
+           {"speedup_vs_kd", speedup_kd},
+           {"speedup_vs_linear_scan", speedup_scan},
+           {"checks_used_mean", checks_mean}});
+    }
+  }
+  CheckOk(report.Write(), "BenchReport::Write");
+  return 0;
+}

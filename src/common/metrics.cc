@@ -225,6 +225,7 @@ void MetricsRegistry::AddQueryStats(const std::string& prefix,
   Add(Counter(prefix + ".leaf_visits"), stats.leaf_visits, shard);
   Add(Counter(prefix + ".heap_pushes"), stats.heap_pushes, shard);
   Add(Counter(prefix + ".va_refinements"), stats.va_refinements, shard);
+  Add(Counter(prefix + ".checks_used"), stats.checks_used, shard);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Aggregate() const {

@@ -38,6 +38,9 @@ struct QueryStats {
   uint64_t heap_pushes = 0;
   /// VA-file phase-2 candidate refinements (exact re-evaluations).
   uint64_t va_refinements = 0;
+  /// Candidate points charged against an approximate engine's
+  /// SearchParams::checks budget (kd-forest; 0 for the exact engines).
+  uint64_t checks_used = 0;
 
   /// Total node/page accesses — the paper's Figure-10 x-axis quantity.
   uint64_t page_accesses() const { return node_visits + leaf_visits; }
@@ -50,6 +53,7 @@ struct QueryStats {
     leaf_visits += other.leaf_visits;
     heap_pushes += other.heap_pushes;
     va_refinements += other.va_refinements;
+    checks_used += other.checks_used;
   }
 
   void Reset() { *this = QueryStats{}; }
@@ -57,7 +61,7 @@ struct QueryStats {
   bool IsZero() const {
     return queries == 0 && distance_evals == 0 && rank_prune_hits == 0 &&
            node_visits == 0 && leaf_visits == 0 && heap_pushes == 0 &&
-           va_refinements == 0;
+           va_refinements == 0 && checks_used == 0;
   }
 };
 
@@ -66,7 +70,8 @@ inline bool operator==(const QueryStats& a, const QueryStats& b) {
          a.rank_prune_hits == b.rank_prune_hits &&
          a.node_visits == b.node_visits && a.leaf_visits == b.leaf_visits &&
          a.heap_pushes == b.heap_pushes &&
-         a.va_refinements == b.va_refinements;
+         a.va_refinements == b.va_refinements &&
+         a.checks_used == b.checks_used;
 }
 
 /// Records named spans on a steady clock and serializes them as Chrome

@@ -16,6 +16,15 @@ constexpr size_t kBoundStride = 16;
 
 inline double Abs(double x) { return x < 0 ? -x : x; }
 
+// Clamps q into [lo, hi] and returns the residual |q - clamp| — the same
+// per-coordinate term Metric::MinRankToBox accumulates, so the ToBox
+// kernels below are bit-identical to the virtual-call bounds.
+inline double BoxDelta(double q, double lo, double hi) {
+  if (q < lo) return lo - q;
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+
 // The blocked kernels want one specific shape: kKernelLanes independent
 // accumulator chains, vectorized *across* lanes, each lane's own chain kept
 // in scalar program order (that is what makes the results bit-identical to
@@ -118,6 +127,16 @@ void L2SquaredBlock(const double* __restrict q, const double* __restrict block,
 #endif
 }
 
+double L2SquaredToBox(const double* __restrict q, const double* __restrict lo,
+                      const double* __restrict hi, size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = BoxDelta(q[d], lo[d], hi[d]);
+    sum += t * t;
+  }
+  return sum;
+}
+
 double L1(const double* __restrict a, const double* __restrict b, size_t dim) {
   double sum = 0.0;
   for (size_t d = 0; d < dim; ++d) sum += Abs(a[d] - b[d]);
@@ -159,6 +178,13 @@ void L1Block(const double* __restrict q, const double* __restrict block,
   }
   for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
 #endif
+}
+
+double L1ToBox(const double* __restrict q, const double* __restrict lo,
+               const double* __restrict hi, size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) sum += BoxDelta(q[d], lo[d], hi[d]);
+  return sum;
 }
 
 double Linf(const double* __restrict a, const double* __restrict b,
@@ -219,6 +245,16 @@ void LinfBlock(const double* __restrict q, const double* __restrict block,
 #endif
 }
 
+double LinfToBox(const double* __restrict q, const double* __restrict lo,
+                 const double* __restrict hi, size_t dim) {
+  double max = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = BoxDelta(q[d], lo[d], hi[d]);
+    if (t > max) max = t;
+  }
+  return max;
+}
+
 double Lp(double p, const double* __restrict a, const double* __restrict b,
           size_t dim) {
   double sum = 0.0;
@@ -239,6 +275,16 @@ void LpBlock(double p, const double* __restrict q,
   }
   const double inv_p = 1.0 / p;
   for (size_t j = 0; j < kKernelLanes; ++j) out[j] = std::pow(acc[j], inv_p);
+}
+
+double LpToBox(double p, const double* __restrict q,
+               const double* __restrict lo, const double* __restrict hi,
+               size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    sum += std::pow(BoxDelta(q[d], lo[d], hi[d]), p);
+  }
+  return std::pow(sum, 1.0 / p);
 }
 
 double WeightedL2Squared(const double* __restrict w,
@@ -304,6 +350,18 @@ void WeightedL2SquaredBlock(const double* __restrict w,
   }
   for (size_t j = 0; j < kKernelLanes; ++j) out[j] = acc[j];
 #endif
+}
+
+double WeightedL2SquaredToBox(const double* __restrict w,
+                              const double* __restrict q,
+                              const double* __restrict lo,
+                              const double* __restrict hi, size_t dim) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double t = BoxDelta(q[d], lo[d], hi[d]);
+    sum += w[d] * t * t;
+  }
+  return sum;
 }
 
 }  // namespace kernels

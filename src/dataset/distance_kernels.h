@@ -60,6 +60,23 @@ struct DistanceKernels {
   void (*rank_gather)(const void* ctx, const double* q, const double* raw,
                       const uint32_t* ids, size_t count, size_t dim,
                       double bound, double* out) = nullptr;
+
+  /// MINDIST in rank space from `q` to the axis-aligned box [lo, hi]
+  /// (`dim` doubles each): a lower bound on the rank from `q` to every
+  /// point inside the box. Mirrors Metric::MinRankToBox coordinate
+  /// accumulation exactly, without the virtual dispatch — this is the
+  /// per-node cost of every tree traversal.
+  double (*rank_box)(const void* ctx, const double* q, const double* lo,
+                     const double* hi, size_t dim) = nullptr;
+
+  /// Admissible single-coordinate bound: a lower bound on the rank from
+  /// `q` to any point whose coordinate `d` lies on the far side of the
+  /// hyperplane x_d = v (with q[d] on the near side). Lets tree descents
+  /// pre-gate a far-child push in O(1) before paying the O(dim)
+  /// `rank_box`. The generic trampoline returns 0 (a gate that never
+  /// fires), which is always admissible.
+  double (*rank_cut)(const void* ctx, double qd, double v,
+                     size_t d) = nullptr;
 };
 
 /// Maps a metric distance into rank space.
@@ -112,22 +129,30 @@ double L2SquaredBounded(const double* a, const double* b, size_t dim,
                         double bound);
 void L2SquaredBlock(const double* q, const double* block, size_t dim,
                     double* out);
+double L2SquaredToBox(const double* q, const double* lo, const double* hi,
+                      size_t dim);
 
 // L1: rank == distance.
 double L1(const double* a, const double* b, size_t dim);
 double L1Bounded(const double* a, const double* b, size_t dim, double bound);
 void L1Block(const double* q, const double* block, size_t dim, double* out);
+double L1ToBox(const double* q, const double* lo, const double* hi,
+               size_t dim);
 
 // L-infinity: rank == distance.
 double Linf(const double* a, const double* b, size_t dim);
 double LinfBounded(const double* a, const double* b, size_t dim, double bound);
 void LinfBlock(const double* q, const double* block, size_t dim, double* out);
+double LinfToBox(const double* q, const double* lo, const double* hi,
+                 size_t dim);
 
 // Minkowski L_p: rank == distance (no early exit; the p-th root makes a
 // partial-sum bound too delicate to keep exactly safe).
 double Lp(double p, const double* a, const double* b, size_t dim);
 void LpBlock(double p, const double* q, const double* block, size_t dim,
              double* out);
+double LpToBox(double p, const double* q, const double* lo, const double* hi,
+               size_t dim);
 
 // Weighted L2 in squared rank space; `w` holds `dim` weights.
 double WeightedL2Squared(const double* w, const double* a, const double* b,
@@ -136,6 +161,8 @@ double WeightedL2SquaredBounded(const double* w, const double* a,
                                 const double* b, size_t dim, double bound);
 void WeightedL2SquaredBlock(const double* w, const double* q,
                             const double* block, size_t dim, double* out);
+double WeightedL2SquaredToBox(const double* w, const double* q,
+                              const double* lo, const double* hi, size_t dim);
 
 }  // namespace kernels
 

@@ -197,5 +197,59 @@ Result<Dataset> MakePerformanceWorkload(Rng& rng, size_t dimension,
   return MakeGaussianMixture(rng, dimension, specs);
 }
 
+Result<Dataset> MakeEmbeddedWorkload(Rng& rng, size_t ambient_dim,
+                                     size_t intrinsic_dim,
+                                     size_t total_points, size_t clusters,
+                                     double noise_stddev) {
+  if (intrinsic_dim == 0 || intrinsic_dim > ambient_dim) {
+    return Status::InvalidArgument(
+        "intrinsic_dim must be in [1, ambient_dim]");
+  }
+  if (!(noise_stddev >= 0.0)) {
+    return Status::InvalidArgument("noise_stddev must be >= 0");
+  }
+  LOFKIT_ASSIGN_OR_RETURN(
+      Dataset low,
+      MakePerformanceWorkload(rng, intrinsic_dim, total_points, clusters));
+
+  // A random orthonormal frame for the embedding: Gram-Schmidt over
+  // Gaussian draws. Degenerate draws (norm ~ 0 after projection) are
+  // rejected and redrawn, so the frame always spans intrinsic_dim
+  // directions.
+  std::vector<std::vector<double>> basis;
+  basis.reserve(intrinsic_dim);
+  while (basis.size() < intrinsic_dim) {
+    std::vector<double> v(ambient_dim);
+    for (double& x : v) x = rng.Gaussian();
+    for (const std::vector<double>& b : basis) {
+      double dot = 0.0;
+      for (size_t i = 0; i < ambient_dim; ++i) dot += v[i] * b[i];
+      for (size_t i = 0; i < ambient_dim; ++i) v[i] -= dot * b[i];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-9) continue;
+    for (double& x : v) x /= norm;
+    basis.push_back(std::move(v));
+  }
+
+  LOFKIT_ASSIGN_OR_RETURN(Dataset dataset, Dataset::Create(ambient_dim));
+  std::vector<double> point(ambient_dim);
+  for (size_t p = 0; p < low.size(); ++p) {
+    const auto coords = low.point(p);
+    for (size_t i = 0; i < ambient_dim; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < intrinsic_dim; ++j) {
+        s += coords[j] * basis[j][i];
+      }
+      if (noise_stddev > 0.0) s += rng.Gaussian(0.0, noise_stddev);
+      point[i] = s;
+    }
+    LOFKIT_RETURN_IF_ERROR(AppendPoint(dataset, point, low.label(p)));
+  }
+  return dataset;
+}
+
 }  // namespace generators
 }  // namespace lofkit

@@ -82,7 +82,21 @@ Result<Dataset> MakeGaussianMixture(Rng& rng, size_t dimension,
 /// Gaussian clusters with random centers in [0, 100]^d, random stddev in
 /// [0.5, 5], sizes split evenly over `total_points`.
 Result<Dataset> MakePerformanceWorkload(Rng& rng, size_t dimension,
-                                        size_t total_points, size_t clusters);
+                                        size_t total_points,
+                                        size_t clusters);
+
+/// The section-7.4 workload past the Figure-10 dimensionality wall, shaped
+/// like real high-dimensional data: a MakePerformanceWorkload mixture of
+/// `intrinsic_dim` dimensions embedded into `ambient_dim` coordinates via
+/// a seeded random orthonormal frame, plus isotropic Gaussian noise of
+/// `noise_stddev` per ambient coordinate. Distances concentrate at the
+/// intrinsic dimensionality while every ambient axis carries variance —
+/// the regime approximate search is built for, and the one where exact
+/// axis-aligned indexes cannot prune.
+Result<Dataset> MakeEmbeddedWorkload(Rng& rng, size_t ambient_dim,
+                                     size_t intrinsic_dim,
+                                     size_t total_points, size_t clusters,
+                                     double noise_stddev);
 
 }  // namespace generators
 }  // namespace lofkit

@@ -51,6 +51,14 @@ void EuclidRankGather(const void*, const double* q, const double* raw,
                                        bound);
   }
 }
+double EuclidRankBox(const void*, const double* q, const double* lo,
+                     const double* hi, size_t dim) {
+  return kernels::L2SquaredToBox(q, lo, hi, dim);
+}
+double EuclidRankCut(const void*, double qd, double v, size_t) {
+  const double t = qd - v;
+  return t * t;
+}
 
 double L1RankOne(const void*, const double* a, const double* b, size_t dim) {
   return kernels::L1(a, b, dim);
@@ -69,6 +77,16 @@ void L1RankGather(const void*, const double* q, const double* raw,
   for (size_t i = 0; i < count; ++i) {
     out[i] = kernels::L1Bounded(q, raw + size_t{ids[i]} * dim, dim, bound);
   }
+}
+double L1RankBox(const void*, const double* q, const double* lo,
+                 const double* hi, size_t dim) {
+  return kernels::L1ToBox(q, lo, hi, dim);
+}
+// Shared by every metric whose rank is the distance itself: one
+// coordinate gap alone lower-bounds L1, Linf, and any L_p
+// ((|t|^p)^(1/p) = |t|).
+double AbsRankCut(const void*, double qd, double v, size_t) {
+  return qd < v ? v - qd : qd - v;
 }
 
 double LinfRankOne(const void*, const double* a, const double* b,
@@ -90,6 +108,10 @@ void LinfRankGather(const void*, const double* q, const double* raw,
     out[i] = kernels::LinfBounded(q, raw + size_t{ids[i]} * dim, dim, bound);
   }
 }
+double LinfRankBox(const void*, const double* q, const double* lo,
+                   const double* hi, size_t dim) {
+  return kernels::LinfToBox(q, lo, hi, dim);
+}
 
 double LpRankOne(const void* ctx, const double* a, const double* b,
                  size_t dim) {
@@ -110,6 +132,11 @@ void LpRankGather(const void* ctx, const double* q, const double* raw,
   for (size_t i = 0; i < count; ++i) {
     out[i] = LpRankOne(ctx, q, raw + size_t{ids[i]} * dim, dim);
   }
+}
+double LpRankBox(const void* ctx, const double* q, const double* lo,
+                 const double* hi, size_t dim) {
+  return kernels::LpToBox(static_cast<const MinkowskiMetric*>(ctx)->p(), q,
+                          lo, hi, dim);
 }
 
 const double* WeightsOf(const void* ctx) {
@@ -135,6 +162,14 @@ void WL2RankGather(const void* ctx, const double* q, const double* raw,
     out[i] = kernels::WeightedL2SquaredBounded(w, q, raw + size_t{ids[i]} * dim,
                                                dim, bound);
   }
+}
+double WL2RankBox(const void* ctx, const double* q, const double* lo,
+                  const double* hi, size_t dim) {
+  return kernels::WeightedL2SquaredToBox(WeightsOf(ctx), q, lo, hi, dim);
+}
+double WL2RankCut(const void* ctx, double qd, double v, size_t d) {
+  const double t = qd - v;
+  return WeightsOf(ctx)[d] * t * t;
 }
 
 // Fallback trampolines routing through the virtual interface, for metrics
@@ -162,6 +197,13 @@ void TrampRankGather(const void* ctx, const double* q, const double* raw,
     out[i] = TrampRankOne(ctx, q, raw + size_t{ids[i]} * dim, dim);
   }
 }
+double TrampRankBox(const void* ctx, const double* q, const double* lo,
+                    const double* hi, size_t dim) {
+  return static_cast<const Metric*>(ctx)->MinRankToBox({q, dim}, {lo, dim},
+                                                       {hi, dim});
+}
+// Zero is admissible for any metric: a gate that never fires.
+double TrampRankCut(const void*, double, double, size_t) { return 0.0; }
 
 DistanceKernels MakeKernels(const void* ctx, bool squared,
                             double (*one)(const void*, const double*,
@@ -172,7 +214,12 @@ DistanceKernels MakeKernels(const void* ctx, bool squared,
                                           const double*, size_t, double*),
                             void (*gather)(const void*, const double*,
                                            const double*, const uint32_t*,
-                                           size_t, size_t, double, double*)) {
+                                           size_t, size_t, double, double*),
+                            double (*box)(const void*, const double*,
+                                          const double*, const double*,
+                                          size_t),
+                            double (*cut)(const void*, double, double,
+                                          size_t)) {
   DistanceKernels k;
   k.ctx = ctx;
   k.squared = squared;
@@ -180,6 +227,8 @@ DistanceKernels MakeKernels(const void* ctx, bool squared,
   k.rank_bounded = bounded;
   k.rank_block = block;
   k.rank_gather = gather;
+  k.rank_box = box;
+  k.rank_cut = cut;
   return k;
 }
 
@@ -200,7 +249,8 @@ void Metric::BatchDistance(std::span<const double> query,
 
 DistanceKernels Metric::kernels() const {
   return MakeKernels(this, squared_rank(), TrampRankOne, TrampRankBounded,
-                     TrampRankBlock, TrampRankGather);
+                     TrampRankBlock, TrampRankGather, TrampRankBox,
+                     TrampRankCut);
 }
 
 double EuclideanMetric::Distance(std::span<const double> a,
@@ -263,7 +313,8 @@ void EuclideanMetric::BatchDistance(std::span<const double> query,
 
 DistanceKernels EuclideanMetric::kernels() const {
   return MakeKernels(this, /*squared=*/true, EuclidRankOne, EuclidRankBounded,
-                     EuclidRankBlock, EuclidRankGather);
+                     EuclidRankBlock, EuclidRankGather, EuclidRankBox,
+                     EuclidRankCut);
 }
 
 double ManhattanMetric::Distance(std::span<const double> a,
@@ -282,7 +333,7 @@ void ManhattanMetric::BatchDistance(std::span<const double> query,
 
 DistanceKernels ManhattanMetric::kernels() const {
   return MakeKernels(this, /*squared=*/false, L1RankOne, L1RankBounded,
-                     L1RankBlock, L1RankGather);
+                     L1RankBlock, L1RankGather, L1RankBox, AbsRankCut);
 }
 
 double ManhattanMetric::MinDistanceToBox(std::span<const double> q,
@@ -322,7 +373,7 @@ void ChebyshevMetric::BatchDistance(std::span<const double> query,
 
 DistanceKernels ChebyshevMetric::kernels() const {
   return MakeKernels(this, /*squared=*/false, LinfRankOne, LinfRankBounded,
-                     LinfRankBlock, LinfRankGather);
+                     LinfRankBlock, LinfRankGather, LinfRankBox, AbsRankCut);
 }
 
 double ChebyshevMetric::MinDistanceToBox(std::span<const double> q,
@@ -371,7 +422,7 @@ void MinkowskiMetric::BatchDistance(std::span<const double> query,
 
 DistanceKernels MinkowskiMetric::kernels() const {
   return MakeKernels(this, /*squared=*/false, LpRankOne, LpRankBounded,
-                     LpRankBlock, LpRankGather);
+                     LpRankBlock, LpRankGather, LpRankBox, AbsRankCut);
 }
 
 double MinkowskiMetric::MinDistanceToBox(std::span<const double> q,
@@ -473,7 +524,7 @@ void WeightedEuclideanMetric::BatchDistance(std::span<const double> query,
 
 DistanceKernels WeightedEuclideanMetric::kernels() const {
   return MakeKernels(this, /*squared=*/true, WL2RankOne, WL2RankBounded,
-                     WL2RankBlock, WL2RankGather);
+                     WL2RankBlock, WL2RankGather, WL2RankBox, WL2RankCut);
 }
 
 double WeightedEuclideanMetric::CoordinateDistance(size_t dim,

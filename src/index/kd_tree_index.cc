@@ -136,10 +136,14 @@ void KdTreeIndex::SearchNode(uint32_t node_id, std::span<const double> query,
   if (stats != nullptr) ++stats->node_visits;
   const Node& left = nodes_[node.left];
   const Node& right = nodes_[node.right];
-  const double rank_left = metric_->MinRankToBox(query, BoxLo(left),
-                                                 BoxHi(left));
-  const double rank_right = metric_->MinRankToBox(query, BoxLo(right),
-                                                  BoxHi(right));
+  // Same bound math as Metric::MinRankToBox, minus the virtual dispatch:
+  // this pair of calls is the whole per-node cost of the traversal.
+  const double rank_left = kern_.rank_box(kern_.ctx, query.data(),
+                                          BoxLo(left).data(),
+                                          BoxHi(left).data(), dim_);
+  const double rank_right = kern_.rank_box(kern_.ctx, query.data(),
+                                           BoxLo(right).data(),
+                                           BoxHi(right).data(), dim_);
   const uint32_t first = rank_left <= rank_right ? node.left : node.right;
   const uint32_t second = rank_left <= rank_right ? node.right : node.left;
   const double rank_first = std::min(rank_left, rank_right);
@@ -163,8 +167,8 @@ void KdTreeIndex::SearchRadius(uint32_t node_id,
                                std::vector<Neighbor>& result,
                                QueryStats* stats) const {
   const Node& node = nodes_[node_id];
-  if (metric_->MinRankToBox(query, BoxLo(node), BoxHi(node)) >
-      radius_rank_hi) {
+  if (kern_.rank_box(kern_.ctx, query.data(), BoxLo(node).data(),
+                     BoxHi(node).data(), dim_) > radius_rank_hi) {
     if (stats != nullptr) ++stats->rank_prune_hits;
     return;
   }

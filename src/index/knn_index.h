@@ -28,6 +28,29 @@ inline bool operator==(const Neighbor& a, const Neighbor& b) {
   return a.index == b.index && a.distance == b.distance;
 }
 
+/// Quality/throughput dial of the approximate engines (currently the
+/// randomized kd-forest). Exact engines ignore it.
+///
+/// The defaults are *exact*: an unbounded search with no slack degenerates
+/// to plain best-bin-first over the forest and returns the true k-distance
+/// neighborhood, so a factory-created approximate engine is safe anywhere
+/// an exact one is. Approximation only enters when a caller dials `checks`
+/// down or `eps` up — the bench_ann_quality sweep maps dial positions to
+/// measured recall / LOF-score-error so the trade is made knowingly.
+struct SearchParams {
+  /// Maximum candidate points examined per kNN query (0 = unbounded). The
+  /// search never stops before the result holds k candidates, so a
+  /// neighborhood of at least min(k, eligible) entries always comes back;
+  /// after that, the budget caps how much of the frontier is drained.
+  size_t checks = 0;
+
+  /// Approximation slack: a frontier branch is pruned when its closest
+  /// possible point could not improve the current k-distance by more than
+  /// a (1 + eps) factor. 0 keeps best-bin-first admissible (exact given an
+  /// unbounded check budget). Must be >= 0.
+  double eps = 0.0;
+};
+
 /// Reusable per-query scratch for the context-taking query API.
 ///
 /// The paper's two-step algorithm runs one kNN query per point — n queries
@@ -103,6 +126,12 @@ class KnnSearchContext {
     std::vector<KeyedNode> keyed_frontier;
     std::vector<uint32_t> stack;         // DFS node stack
     std::vector<Neighbor> candidates;    // VA-file filter output
+    // Cross-tree candidate dedup for the kd-forest: point i was examined
+    // in the current query iff visited_mark[i] == visited_epoch, so a new
+    // query costs one epoch bump instead of an O(n) clear (the mark array
+    // is wiped only on first use and on epoch wraparound).
+    std::vector<uint32_t> visited_mark;
+    uint32_t visited_epoch = 0;
     // Per-slot collector pools for the tiled batch path.
     std::vector<std::vector<double>> tile_heaps;
     std::vector<std::vector<Neighbor>> tile_accepted;

@@ -1,0 +1,441 @@
+#include "index/rkd_forest_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/fail_point.h"
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+Status CheckQuery(const Dataset* data, std::span<const double> query) {
+  if (data == nullptr) {
+    return Status::FailedPrecondition("index queried before Build()");
+  }
+  if (query.size() != data->dimension()) {
+    return Status::InvalidArgument(
+        StrFormat("query has dimension %zu, index has %zu", query.size(),
+                  data->dimension()));
+  }
+  return Status::OK();
+}
+
+// Sentinel that never equals a real point id (ids are dataset indices,
+// and datasets are capped well below 2^32 - 1 points).
+constexpr uint32_t kNoSkip = 0xffffffffu;
+
+// The eps slack multiplies MINDIST bounds, which live in rank space: for
+// squared-rank metrics a (1 + eps) distance factor is (1 + eps)^2 in rank.
+double EpsRankMultiplier(bool squared, double eps) {
+  const double m = 1.0 + eps;
+  return squared ? m * m : m;
+}
+
+
+}  // namespace
+
+// Per-node accumulation buffers, reused across the whole build so a node
+// costs zero allocations once the first one sized them.
+struct RkdForestIndex::BuildScratch {
+  std::vector<double> sum;                          // per-dim sum
+  std::vector<double> sum_sq;                       // per-dim sum of squares
+  std::vector<std::pair<double, size_t>> variance;  // (-var, dim) for sorting
+};
+
+Status RkdForestIndex::Build(const Dataset& data, const Metric& metric) {
+  LOFKIT_FAIL_POINT("index.build");
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot build index over empty dataset");
+  }
+  if (options_.trees == 0) {
+    return Status::InvalidArgument("rkd_forest requires trees >= 1");
+  }
+  if (options_.leaf_size == 0) {
+    return Status::InvalidArgument("rkd_forest requires leaf_size >= 1");
+  }
+  if (options_.split_candidates == 0) {
+    return Status::InvalidArgument(
+        "rkd_forest requires split_candidates >= 1");
+  }
+  if (!(options_.search.eps >= 0.0)) {
+    return Status::InvalidArgument("SearchParams::eps must be >= 0");
+  }
+  const size_t n = data.size();
+  if (options_.trees > (std::numeric_limits<uint32_t>::max() - 1) / n) {
+    return Status::InvalidArgument(
+        "rkd_forest id arena would overflow 32 bits; lower trees");
+  }
+  data_ = &data;
+  metric_ = &metric;
+  dim_ = data.dimension();
+  kern_ = metric.kernels();
+  nodes_.clear();
+  boxes_.clear();
+  roots_.clear();
+  ids_.resize(options_.trees * n);
+  nodes_.reserve(options_.trees * (2 * n / options_.leaf_size + 2));
+  BuildScratch scratch;
+  scratch.sum.resize(dim_);
+  scratch.sum_sq.resize(dim_);
+  // Trees are built sequentially with one private RNG each, so the forest
+  // is a pure function of (data, seed): bit-identical across runs and
+  // unaffected by any query-time thread count.
+  for (size_t t = 0; t < options_.trees; ++t) {
+    const uint32_t begin = static_cast<uint32_t>(t * n);
+    for (size_t i = 0; i < n; ++i) {
+      ids_[begin + i] = static_cast<uint32_t>(i);
+    }
+    Rng rng(options_.seed + 0x9e3779b97f4a7c15ull * (t + 1));
+    roots_.push_back(
+        BuildNode(begin, static_cast<uint32_t>(begin + n), rng, scratch));
+  }
+  // Pack every leaf of every tree as its own block-aligned SoA group, so a
+  // leaf scan streams contiguous blocks instead of gathering scattered
+  // dataset rows. This is the forest's space-for-time trade: trees copies
+  // of the coordinates in leaf order.
+  PointBlockBuilder builder(data);
+  for (Node& node : nodes_) {
+    if (!node.is_leaf()) continue;
+    node.view_begin = static_cast<uint32_t>(builder.BeginGroup());
+    for (uint32_t i = node.begin; i < node.end; ++i) builder.Append(ids_[i]);
+  }
+  view_ = std::move(builder).Build();
+  return Status::OK();
+}
+
+namespace {
+
+// Per-node split moments come from a deterministic strided sample of this
+// many points (FLANN samples the same way): the draw only needs the rough
+// variance ranking, and capping the scan makes a whole tree build
+// O(n log n) in point-coordinate touches instead of O(n d log n).
+constexpr uint32_t kMomentSampleSize = 128;
+
+}  // namespace
+
+uint32_t RkdForestIndex::BuildNode(uint32_t begin, uint32_t end, Rng& rng,
+                                   BuildScratch& scratch) {
+  const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  const size_t box_offset = boxes_.size();
+  boxes_.resize(box_offset + 2 * dim_);
+  nodes_[node_id].box_offset = box_offset;
+  nodes_[node_id].begin = begin;
+  nodes_[node_id].end = end;
+  const uint32_t count = end - begin;
+
+  if (count <= options_.leaf_size) {
+    // Exact box over the leaf's points; ancestors take unions of these,
+    // so only the leaf level pays a full coordinate scan.
+    double* lo = boxes_.data() + box_offset;
+    double* hi = lo + dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      lo[d] = std::numeric_limits<double>::infinity();
+      hi[d] = -std::numeric_limits<double>::infinity();
+    }
+    for (uint32_t i = begin; i < end; ++i) {
+      auto p = data_->point(ids_[i]);
+      for (size_t d = 0; d < dim_; ++d) {
+        lo[d] = std::min(lo[d], p[d]);
+        hi[d] = std::max(hi[d], p[d]);
+      }
+    }
+    return node_id;
+  }
+
+  // Rank dimensions by sampled variance, deterministically: (-var, dim)
+  // sorts highest variance first with ties broken by the lower dimension
+  // index. A sample can miss spread a full scan would see, so an empty
+  // ranking falls back to exact moments before declaring the range
+  // degenerate.
+  const uint32_t sample = std::min(count, kMomentSampleSize);
+  const uint32_t stride = count / sample;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool exact = pass == 1;
+    const uint32_t scanned = exact ? count : sample;
+    for (size_t d = 0; d < dim_; ++d) {
+      scratch.sum[d] = 0.0;
+      scratch.sum_sq[d] = 0.0;
+    }
+    for (uint32_t s = 0; s < scanned; ++s) {
+      auto p = data_->point(ids_[begin + (exact ? s : s * stride)]);
+      for (size_t d = 0; d < dim_; ++d) {
+        scratch.sum[d] += p[d];
+        scratch.sum_sq[d] += p[d] * p[d];
+      }
+    }
+    scratch.variance.clear();
+    for (size_t d = 0; d < dim_; ++d) {
+      const double mean = scratch.sum[d] / scanned;
+      const double var = scratch.sum_sq[d] / scanned - mean * mean;
+      if (var > 0.0) {
+        scratch.variance.emplace_back(-var, d);
+      }
+    }
+    if (!scratch.variance.empty()) break;
+  }
+  if (scratch.variance.empty()) {
+    // All points identical in every dimension: an oversized leaf whose box
+    // is that single point.
+    double* lo = boxes_.data() + box_offset;
+    double* hi = lo + dim_;
+    auto p = data_->point(ids_[begin]);
+    for (size_t d = 0; d < dim_; ++d) {
+      lo[d] = p[d];
+      hi[d] = p[d];
+    }
+    return node_id;
+  }
+  const size_t candidates =
+      std::min(options_.split_candidates, scratch.variance.size());
+  std::partial_sort(scratch.variance.begin(),
+                    scratch.variance.begin() + candidates,
+                    scratch.variance.end());
+  const size_t split_dim =
+      scratch.variance[rng.UniformU64(candidates)].second;
+
+  const uint32_t mid = begin + count / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return data_->point(a)[split_dim] <
+                            data_->point(b)[split_dim];
+                   });
+  nodes_[node_id].split_dim = static_cast<uint32_t>(split_dim);
+  nodes_[node_id].split_val = data_->point(ids_[mid])[split_dim];
+  const uint32_t left = BuildNode(begin, mid, rng, scratch);
+  const uint32_t right = BuildNode(mid, end, rng, scratch);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  // This node's box is the union of its children's (boxes_ may have
+  // reallocated during recursion, so recompute every pointer).
+  double* lo = boxes_.data() + box_offset;
+  double* hi = lo + dim_;
+  const double* left_lo = boxes_.data() + nodes_[left].box_offset;
+  const double* right_lo = boxes_.data() + nodes_[right].box_offset;
+  for (size_t d = 0; d < dim_; ++d) {
+    lo[d] = std::min(left_lo[d], right_lo[d]);
+    hi[d] = std::max(left_lo[dim_ + d], right_lo[dim_ + d]);
+  }
+  return node_id;
+}
+
+void RkdForestIndex::ScanLeaf(const Node& node, std::span<const double> query,
+                              uint32_t skip, std::vector<uint32_t>& mark,
+                              uint32_t epoch,
+                              internal_index::KnnCollector& collector,
+                              size_t* examined, QueryStats* stats) const {
+  if (stats != nullptr) ++stats->leaf_visits;
+  // Whole blocks are ranked unconditionally (contiguous SIMD-able lanes
+  // are cheaper than a dedup-then-gather over scattered rows); the
+  // epoch-stamped marks then keep the shared check budget honest by
+  // charging — and offering — each candidate the first tree visit only.
+  const uint32_t count = node.end - node.begin;
+  double rank[PointBlockView::kLanes];
+  size_t fresh = 0;
+  for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
+    const size_t pos = node.view_begin + off;
+    kern_.rank_block(kern_.ctx, query.data(),
+                     view_.block(pos / PointBlockView::kLanes), dim_, rank);
+    const uint32_t lanes =
+        std::min<uint32_t>(PointBlockView::kLanes, count - off);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      const uint32_t id = view_.id(pos + j);
+      if (id == skip || mark[id] == epoch) continue;
+      mark[id] = epoch;
+      collector.Offer(id, rank[j]);
+      ++fresh;
+    }
+  }
+  *examined += fresh;
+  if (stats != nullptr) stats->distance_evals += fresh;
+}
+
+Status RkdForestIndex::Query(std::span<const double> query, size_t k,
+                             std::optional<uint32_t> exclude,
+                             KnnSearchContext& ctx) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  const size_t n = data_->size();
+  QueryStats* stats = ctx.stats;
+  if (stats != nullptr) ++stats->queries;
+
+  // Epoch-stamped visited marks: bumping the epoch invalidates every stale
+  // mark at once; the array itself is wiped only when it must grow or the
+  // 32-bit epoch wraps.
+  std::vector<uint32_t>& mark = ctx.scratch.visited_mark;
+  if (mark.size() < n) {
+    mark.assign(n, 0);
+    ctx.scratch.visited_epoch = 0;
+  }
+  if (++ctx.scratch.visited_epoch == 0) {
+    std::fill(mark.begin(), mark.end(), 0);
+    ctx.scratch.visited_epoch = 1;
+  }
+  const uint32_t epoch = ctx.scratch.visited_epoch;
+  const uint32_t skip = exclude.has_value() ? *exclude : kNoSkip;
+
+  internal_index::KnnCollector collector(k, ctx);
+  const double eps_mult =
+      EpsRankMultiplier(kern_.squared, options_.search.eps);
+  const size_t checks = options_.search.checks;
+
+  // One shared best-bin-first frontier across every tree: a min-heap of
+  // (MINDIST rank, node id) with the node id breaking ties, so the pop
+  // order — and therefore every approximate result — is deterministic.
+  std::vector<std::pair<double, uint32_t>>& frontier = ctx.scratch.frontier;
+  frontier.clear();
+  const auto cmp = std::greater<std::pair<double, uint32_t>>();
+  for (uint32_t root : roots_) {
+    frontier.emplace_back(kern_.rank_box(kern_.ctx, query.data(),
+                                         BoxLo(nodes_[root]).data(),
+                                         BoxHi(nodes_[root]).data(), dim_),
+                          root);
+  }
+  std::make_heap(frontier.begin(), frontier.end(), cmp);
+
+  size_t examined = 0;
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), cmp);
+    const auto [bound, branch] = frontier.back();
+    frontier.pop_back();
+    if (bound * eps_mult > collector.Tau()) {
+      // Min-heap: every remaining branch is at least this far away.
+      if (stats != nullptr) stats->rank_prune_hits += frontier.size() + 1;
+      break;
+    }
+    // Descend to the query's leaf, deferring each far sibling with an O(1)
+    // admissible priority: the larger of the bound inherited from the
+    // popped branch (a lower bound for the whole popped subtree, hence for
+    // every deferred descendant) and the rank cost of crossing this split
+    // plane alone. Exact O(d) box bounds were measured to buy no recall at
+    // a fixed check budget — the frontier order just needs to be sane, and
+    // admissibility is what keeps the default exact mode exact.
+    uint32_t cur = branch;
+    const double inherited = bound;
+    while (!nodes_[cur].is_leaf()) {
+      if (stats != nullptr) ++stats->node_visits;
+      const Node& node = nodes_[cur];
+      const double qd = query[node.split_dim];
+      const bool left_near = qd < node.split_val;
+      const uint32_t far = left_near ? node.right : node.left;
+      const double cut =
+          kern_.rank_cut(kern_.ctx, qd, node.split_val, node.split_dim);
+      const double rank_far = std::max(inherited, cut);
+      if (rank_far * eps_mult <= collector.Tau()) {
+        frontier.emplace_back(rank_far, far);
+        std::push_heap(frontier.begin(), frontier.end(), cmp);
+        if (stats != nullptr) ++stats->heap_pushes;
+      } else if (stats != nullptr) {
+        ++stats->rank_prune_hits;
+      }
+      cur = left_near ? node.left : node.right;
+    }
+    ScanLeaf(nodes_[cur], query, skip, mark, epoch, collector, &examined,
+             stats);
+    // The budget never truncates below a full k-distance neighborhood: the
+    // loop runs on while the collector is short of k candidates.
+    if (checks != 0 && examined >= checks &&
+        collector.Tau() != std::numeric_limits<double>::infinity()) {
+      break;
+    }
+  }
+  if (stats != nullptr) stats->checks_used += examined;
+  collector.TakeInto(ctx.scratch.out);
+  internal_index::RanksToDistances(kern_, ctx.scratch.out);
+  return Status::OK();
+}
+
+void RkdForestIndex::SearchRadiusNode(uint32_t node_id,
+                                      std::span<const double> query,
+                                      double radius, double radius_rank_hi,
+                                      uint32_t skip,
+                                      std::vector<Neighbor>& result,
+                                      QueryStats* stats) const {
+  const Node& node = nodes_[node_id];
+  if (kern_.rank_box(kern_.ctx, query.data(), BoxLo(node).data(),
+                     BoxHi(node).data(), dim_) > radius_rank_hi) {
+    if (stats != nullptr) ++stats->rank_prune_hits;
+    return;
+  }
+  if (node.is_leaf()) {
+    const uint32_t count = node.end - node.begin;
+    if (stats != nullptr) {
+      ++stats->leaf_visits;
+      stats->distance_evals += count;
+    }
+    double rank[PointBlockView::kLanes];
+    for (uint32_t off = 0; off < count; off += PointBlockView::kLanes) {
+      const size_t pos = node.view_begin + off;
+      kern_.rank_block(kern_.ctx, query.data(),
+                       view_.block(pos / PointBlockView::kLanes), dim_, rank);
+      const uint32_t lanes =
+          std::min<uint32_t>(PointBlockView::kLanes, count - off);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        const uint32_t id = view_.id(pos + j);
+        if (id == skip) {
+          if (stats != nullptr) --stats->distance_evals;
+          continue;
+        }
+        if (rank[j] > radius_rank_hi) continue;
+        const double dist = DistanceFromRank(kern_.squared, rank[j]);
+        if (dist <= radius) result.push_back(Neighbor{id, dist});
+      }
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->node_visits;
+  SearchRadiusNode(node.left, query, radius, radius_rank_hi, skip, result,
+                   stats);
+  SearchRadiusNode(node.right, query, radius, radius_rank_hi, skip, result,
+                   stats);
+}
+
+Status RkdForestIndex::QueryRadius(std::span<const double> query,
+                                   double radius,
+                                   std::optional<uint32_t> exclude,
+                                   KnnSearchContext& ctx) const {
+  LOFKIT_RETURN_IF_ERROR(CheckQuery(data_, query));
+  if (!(radius >= 0.0)) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  std::vector<Neighbor>& result = ctx.scratch.out;
+  result.clear();
+  if (ctx.stats != nullptr) ++ctx.stats->queries;
+  // Every tree holds every point, so tree 0 alone answers the closed-ball
+  // query exactly — radius consumers never see approximation.
+  SearchRadiusNode(roots_[0], query, radius,
+                   PruneRankUpperBound(kern_.squared, radius),
+                   exclude.has_value() ? *exclude : kNoSkip, result,
+                   ctx.stats);
+  internal_index::SortNeighbors(result);
+  return Status::OK();
+}
+
+uint64_t RkdForestIndex::StructureDigest() const {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (8 * byte)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(roots_.size());
+  for (uint32_t root : roots_) mix(root);
+  mix(nodes_.size());
+  for (const Node& node : nodes_) {
+    mix(node.left);
+    mix(node.right);
+    mix(node.begin);
+    mix(node.end);
+  }
+  for (uint32_t id : ids_) mix(id);
+  return h;
+}
+
+}  // namespace lofkit

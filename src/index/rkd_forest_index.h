@@ -1,0 +1,159 @@
+#ifndef LOFKIT_INDEX_RKD_FOREST_INDEX_H_
+#define LOFKIT_INDEX_RKD_FOREST_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/point_block.h"
+#include "index/knn_index.h"
+
+namespace lofkit {
+
+/// Approximate kNN via a randomized kd-forest with shared best-bin-first
+/// search — the engine for the regime where section 7.4's exact indexes
+/// degrade toward a linear scan (the Fig-10 dimensionality wall).
+///
+/// Build() grows `trees` independent kd-trees over the full dataset. Each
+/// node splits at the median of a dimension drawn uniformly from the
+/// `split_candidates` highest-variance dimensions of its point range (the
+/// FLANN-style randomization), so the trees decorrelate: a true neighbor
+/// hidden behind an early splitting plane of one tree sits in an easily
+/// reached leaf of another. All randomness comes from a caller-provided
+/// seed — equal seeds give bit-identical forests and queries on every
+/// thread count; different seeds give different trees.
+///
+/// Query() runs one best-bin-first search over all trees at once: a single
+/// priority queue (ordered by rank-space MINDIST to each subtree's true
+/// bounding box, ties broken by node id) holds the unexplored branches of
+/// every tree, and a per-query epoch-stamped bitset deduplicates the
+/// candidate points the trees share. SearchParams governs the
+/// quality/throughput dial: `checks` caps the examined candidates (never
+/// below k — a k-distance neighborhood of at least min(k, eligible)
+/// entries always comes back) and `eps` prunes branches that cannot
+/// improve the current k-distance by more than (1 + eps). The default
+/// params are exact, so the engine passes the same conformance suite as
+/// the exact engines; approximation is strictly opt-in.
+///
+/// QueryRadius() is always exact: every tree holds every point, so a plain
+/// pruned traversal of tree 0 answers the closed-ball query; radius
+/// consumers (DBSCAN/OPTICS, DB-outlier) keep their exact semantics under
+/// this engine.
+///
+/// Memory: besides the node arenas, the forest keeps one leaf-ordered SoA
+/// copy of the data per tree (`trees * n * d` doubles), so leaf scans
+/// stream contiguous blocks instead of gathering scattered dataset rows —
+/// the classic multi-tree space-for-time trade.
+class RkdForestIndex final : public KnnIndex {
+ public:
+  /// Fixed default seed: reproducible forests out of the box (override via
+  /// --ann-seed / Options::seed).
+  static constexpr uint64_t kDefaultSeed = 0x10f5eedull;
+
+  struct Options {
+    /// Number of randomized trees. More trees raise recall at a given
+    /// check budget and multiply build time/memory; 4-16 is the useful
+    /// range, 8 the conventional default.
+    size_t trees = 8;
+
+    /// Seed for the per-tree split-dimension draws.
+    uint64_t seed = kDefaultSeed;
+
+    /// Search-time quality dial (exact by default).
+    SearchParams search;
+
+    /// Points per leaf. Smaller than the exact kd-tree's 16 on purpose:
+    /// the shared check budget is spent leaf-by-leaf, and finer leaves let
+    /// it sample more distinct regions, which measures as higher recall
+    /// at the same `checks`.
+    size_t leaf_size = 8;
+
+    /// The split dimension is drawn among this many top-variance
+    /// dimensions of the node's range (clamped to the dataset dimension).
+    size_t split_candidates = 5;
+  };
+
+  RkdForestIndex() = default;
+  explicit RkdForestIndex(const Options& options) : options_(options) {}
+
+  Status Build(const Dataset& data, const Metric& metric) override;
+
+  using KnnIndex::Query;
+  using KnnIndex::QueryRadius;
+  Status Query(std::span<const double> query, size_t k,
+               std::optional<uint32_t> exclude,
+               KnnSearchContext& ctx) const override;
+  Status QueryRadius(std::span<const double> query, double radius,
+                     std::optional<uint32_t> exclude,
+                     KnnSearchContext& ctx) const override;
+  const Dataset* dataset() const override { return data_; }
+  std::string_view name() const override { return "rkd_forest"; }
+
+  const Options& options() const { return options_; }
+  size_t tree_count() const { return roots_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// FNV-1a hash over the forest's structure (per-tree topology, split
+  /// layout, and leaf point order). Two builds with equal seeds over the
+  /// same data hash identically; a different seed changes the draws and
+  /// therefore (overwhelmingly likely) the digest. Test/debug hook.
+  uint64_t StructureDigest() const;
+
+ private:
+  struct Node {
+    // Bounding box of the points under this node: boxes_[box_offset] holds
+    // d minima followed by d maxima.
+    size_t box_offset = 0;
+    // Children; kNone marks a leaf.
+    uint32_t left = kNone;
+    uint32_t right = kNone;
+    // Point-id range [begin, end) in ids_ (leaves only). Absolute offsets:
+    // tree t's ids live in ids_[t * n, (t + 1) * n).
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    // Start of this leaf's block-aligned group in view_ (leaves only).
+    uint32_t view_begin = 0;
+    // Median split (internal nodes): left holds coordinates <= split_val,
+    // right holds >= split_val. Descents branch on one compare against
+    // these instead of two O(d) box bounds.
+    uint32_t split_dim = 0;
+    double split_val = 0.0;
+
+    static constexpr uint32_t kNone = 0xffffffffu;
+    bool is_leaf() const { return left == kNone; }
+  };
+
+  struct BuildScratch;  // per-node moment/candidate buffers (.cc-local)
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end, Rng& rng,
+                     BuildScratch& scratch);
+  void ScanLeaf(const Node& node, std::span<const double> query,
+                uint32_t skip, std::vector<uint32_t>& mark, uint32_t epoch,
+                internal_index::KnnCollector& collector, size_t* examined,
+                QueryStats* stats) const;
+  void SearchRadiusNode(uint32_t node_id, std::span<const double> query,
+                        double radius, double radius_rank_hi, uint32_t skip,
+                        std::vector<Neighbor>& result,
+                        QueryStats* stats) const;
+  std::span<const double> BoxLo(const Node& node) const {
+    return {boxes_.data() + node.box_offset, dim_};
+  }
+  std::span<const double> BoxHi(const Node& node) const {
+    return {boxes_.data() + node.box_offset + dim_, dim_};
+  }
+
+  Options options_;
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+  size_t dim_ = 0;
+  std::vector<Node> nodes_;    // all trees share one node arena
+  std::vector<double> boxes_;
+  std::vector<uint32_t> ids_;  // trees * n entries, one block per tree
+  std::vector<uint32_t> roots_;
+  PointBlockView view_;  // leaf-ordered SoA blocks, one group per leaf
+  DistanceKernels kern_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_INDEX_RKD_FOREST_INDEX_H_

@@ -277,7 +277,7 @@ Result<LofScores> LofComputer::ComputeFromScratch(
     const Dataset& data, const Metric& metric, size_t min_pts,
     IndexKind index_kind, bool distinct_neighbors,
     const LofComputeOptions& options) {
-  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
+  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind, options.ann);
   if (index == nullptr) {
     return Status::Internal("index factory returned null");
   }

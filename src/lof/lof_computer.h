@@ -103,6 +103,13 @@ struct LofComputeOptions {
   /// kResourceExhausted. Compute itself ignores the budget: its M already
   /// exists.
   size_t memory_budget_bytes = 0;
+
+  /// Construction options for the approximate engines, forwarded by
+  /// ComputeFromScratch when index_kind names one (kRkdForest); exact
+  /// engines ignore them. The defaults are exact — dialing ann.search
+  /// below exactness makes every downstream LOF score approximate, a trade
+  /// bench_ann_quality quantifies.
+  AnnIndexOptions ann;
 };
 
 class LofComputer {

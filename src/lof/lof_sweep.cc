@@ -391,7 +391,20 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
     size_t min_pts_ub, size_t top_n, IndexKind index_kind,
     LofAggregation aggregation, size_t threads,
     const LofPipelineOptions& pipeline) {
-  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind);
+  const bool approximate =
+      index_kind == IndexKind::kRkdForest &&
+      (pipeline.ann.search.checks != 0 || pipeline.ann.search.eps > 0.0);
+  if (pipeline.prune && approximate) {
+    // The §5 bound certificates are derived from exact k-distance
+    // neighborhoods; over approximate ones a "certified" discard could
+    // drop a true top-N outlier with no warning. Refuse the combination
+    // rather than silently weakening the certificate.
+    return Status::InvalidArgument(
+        "prune-first ranking requires exact neighborhoods: the section-5 "
+        "bound certificates are unsound over approximate kNN results; use "
+        "an exact engine, or rkd_forest with checks=0 and eps=0");
+  }
+  std::unique_ptr<KnnIndex> index = CreateIndex(index_kind, pipeline.ann);
   if (index == nullptr) {
     return Status::Internal("index factory returned null");
   }

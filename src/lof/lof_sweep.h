@@ -104,6 +104,12 @@ struct LofPipelineOptions {
 
   /// When non-null, receives what the pruning stage did.
   LofSweepResult::PruneSummary* prune_summary = nullptr;
+
+  /// Construction options for the approximate engines, forwarded by
+  /// RankOutliers when index_kind names one (kRkdForest); exact engines
+  /// ignore them. Note `prune` refuses a non-exact dial: the §5 bound
+  /// certificates assume exact neighborhoods (see RankOutliers).
+  AnnIndexOptions ann;
 };
 
 /// The MinPts-range heuristic of section 6.2: computes LOF for every

@@ -20,6 +20,7 @@
 #include "dataset/metric.h"
 #include "index/kd_tree_index.h"
 #include "index/linear_scan_index.h"
+#include "index/rkd_forest_index.h"
 
 namespace {
 
@@ -158,6 +159,12 @@ TEST(AllocationTest, LinearScanSteadyStateIsAllocationFree) {
 
 TEST(AllocationTest, KdTreeSteadyStateIsAllocationFree) {
   ExpectZeroSteadyStateAllocations<KdTreeIndex>("kd_tree");
+}
+
+TEST(AllocationTest, RkdForestSteadyStateIsAllocationFree) {
+  // Exact dial: the frontier drains fully, touching every scratch pool
+  // (including the cross-tree visited marks) at its largest extent.
+  ExpectZeroSteadyStateAllocations<RkdForestIndex>("rkd_forest");
 }
 
 TEST(AllocationTest, HookSeesAllocations) {

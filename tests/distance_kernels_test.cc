@@ -242,6 +242,52 @@ TEST_P(DistanceKernelsTest, BoxRankBoundsMatchDistanceBounds) {
             metric().MaxDistanceToBox(query_, lo, hi));
 }
 
+TEST_P(DistanceKernelsTest, RankBoxIsBitIdenticalToMinRankToBox) {
+  const DistanceKernels kern = metric().kernels();
+  ASSERT_NE(kern.rank_box, nullptr);
+  Rng rng(0xb0c5 + GetParam().dim);
+  const size_t dim = data().dimension();
+  std::vector<double> lo(dim);
+  std::vector<double> hi(dim);
+  for (int round = 0; round < 16; ++round) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double a = rng.Uniform(-10.0, 10.0);
+      const double b = rng.Uniform(-10.0, 10.0);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    EXPECT_EQ(kern.rank_box(kern.ctx, query_.data(), lo.data(), hi.data(),
+                            dim),
+              metric().MinRankToBox(query_, lo, hi))
+        << "round " << round;
+  }
+}
+
+TEST_P(DistanceKernelsTest, RankCutLowerBoundsEveryPointBeyondThePlane) {
+  const DistanceKernels kern = metric().kernels();
+  ASSERT_NE(kern.rank_cut, nullptr);
+  // For each split (dim, value), every point on the far side of the plane
+  // from the query must rank at least rank_cut away: the admissibility
+  // contract the kd-forest's O(1) descend gate relies on.
+  const size_t dim = data().dimension();
+  Rng rng(0xc07 + dim);
+  for (int round = 0; round < 8; ++round) {
+    const size_t s = rng.UniformU64(dim);
+    const double v = rng.Uniform(-10.0, 10.0);
+    const double cut = kern.rank_cut(kern.ctx, query_[s], v, s);
+    EXPECT_GE(cut, 0.0);
+    for (size_t i = 0; i < data().size(); ++i) {
+      const auto p = data().point(i);
+      const bool query_below = query_[s] < v;
+      const bool point_beyond = query_below ? p[s] >= v : p[s] <= v;
+      if (!point_beyond) continue;
+      const double rank =
+          kern.rank_one(kern.ctx, query_.data(), p.data(), p.size());
+      EXPECT_LE(cut, rank) << "dim " << s << " cut " << v << " point " << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Kernels, DistanceKernelsTest,
                          testing::ValuesIn(AllCases()), CaseName);
 
@@ -323,6 +369,16 @@ TEST(DistanceKernelsDefaultsTest, TrampolinesMatchTheVirtuals) {
   for (size_t i = 0; i < ids.size(); ++i) {
     EXPECT_EQ(gathered[i], metric.Distance(query, data.point(ids[i])));
   }
+
+  // The box trampoline routes through the virtual bound; the cut
+  // trampoline is the never-firing (always admissible) zero gate.
+  const std::vector<double> lo = {-1.0, -1.0, -1.0, -1.0, -1.0};
+  const std::vector<double> hi = {1.0, 1.0, 1.0, 1.0, 1.0};
+  ASSERT_NE(kern.rank_box, nullptr);
+  ASSERT_NE(kern.rank_cut, nullptr);
+  EXPECT_EQ(kern.rank_box(kern.ctx, query.data(), lo.data(), hi.data(), 5),
+            metric.MinRankToBox(query, lo, hi));
+  EXPECT_EQ(kern.rank_cut(kern.ctx, query[0], 0.5, 0), 0.0);
 }
 
 // Ties exactly at the kth distance must survive the squared-rank path:

@@ -193,5 +193,48 @@ TEST(GeneratorsTest, SameSeedSameData) {
   }
 }
 
+TEST(GeneratorsTest, EmbeddedWorkloadSizeDimensionAndDeterminism) {
+  Rng rng1(99);
+  Rng rng2(99);
+  auto a = MakeEmbeddedWorkload(rng1, 20, 6, 500, 5, 0.05);
+  auto b = MakeEmbeddedWorkload(rng2, 20, 6, 500, 5, 0.05);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), 500u);
+  EXPECT_EQ(a->dimension(), 20u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    for (size_t d = 0; d < 20; ++d) {
+      EXPECT_DOUBLE_EQ(a->point(i)[d], b->point(i)[d]);
+    }
+  }
+  // Labels survive the embedding (ground truth for quality metrics).
+  EXPECT_FALSE(a->label(0).empty());
+}
+
+TEST(GeneratorsTest, EmbeddedWorkloadLiesOnTheIntrinsicSubspace) {
+  // intrinsic_dim = 1 without noise: every point is a multiple of one
+  // frame vector, so all pairwise difference vectors are collinear.
+  Rng rng(7);
+  auto ds = MakeEmbeddedWorkload(rng, 3, 1, 50, 1, 0.0);
+  ASSERT_TRUE(ds.ok());
+  const auto p0 = ds->point(0);
+  const auto p1 = ds->point(1);
+  double u[3] = {p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]};
+  for (size_t i = 2; i < ds->size(); ++i) {
+    const auto p = ds->point(i);
+    const double v[3] = {p[0] - p0[0], p[1] - p0[1], p[2] - p0[2]};
+    // Cross product of collinear vectors vanishes.
+    EXPECT_NEAR(u[1] * v[2] - u[2] * v[1], 0.0, 1e-6);
+    EXPECT_NEAR(u[2] * v[0] - u[0] * v[2], 0.0, 1e-6);
+    EXPECT_NEAR(u[0] * v[1] - u[1] * v[0], 0.0, 1e-6);
+  }
+}
+
+TEST(GeneratorsTest, EmbeddedWorkloadValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeEmbeddedWorkload(rng, 5, 0, 100, 2, 0.0).ok());
+  EXPECT_FALSE(MakeEmbeddedWorkload(rng, 5, 6, 100, 2, 0.0).ok());
+  EXPECT_FALSE(MakeEmbeddedWorkload(rng, 5, 3, 100, 2, -1.0).ok());
+}
+
 }  // namespace
 }  // namespace lofkit

@@ -13,6 +13,7 @@
 #include "index/kd_tree_index.h"
 #include "index/linear_scan_index.h"
 #include "index/m_tree_index.h"
+#include "index/rkd_forest_index.h"
 #include "index/rstar_tree_index.h"
 #include "index/va_file_index.h"
 
@@ -42,6 +43,45 @@ TEST(IndexFactoryTest, CreateByName) {
   ASSERT_TRUE(index.ok());
   EXPECT_EQ((*index)->name(), "kd_tree");
   EXPECT_FALSE(CreateIndexByName("btree").ok());
+}
+
+TEST(IndexFactoryTest, CreateByNameRoundTripsEveryRegisteredName) {
+  for (IndexKind kind : AllIndexKinds()) {
+    const std::string name(IndexKindName(kind));
+    auto index = CreateIndexByName(name);
+    ASSERT_TRUE(index.ok()) << name;
+    EXPECT_EQ((*index)->name(), name);
+  }
+}
+
+TEST(IndexFactoryTest, UnknownNameErrorListsEveryValidEngine) {
+  auto index = CreateIndexByName("btree");
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kNotFound);
+  const std::string message = index.status().ToString();
+  EXPECT_NE(message.find("btree"), std::string::npos) << message;
+  for (IndexKind kind : AllIndexKinds()) {
+    EXPECT_NE(message.find(std::string(IndexKindName(kind))),
+              std::string::npos)
+        << "error message must list " << IndexKindName(kind) << ": "
+        << message;
+  }
+}
+
+TEST(IndexFactoryTest, AnnOptionsReachTheForest) {
+  AnnIndexOptions ann;
+  ann.trees = 3;
+  ann.seed = 99;
+  ann.search.checks = 64;
+  ann.search.eps = 0.5;
+  auto index = CreateIndexByName("rkd_forest", ann);
+  ASSERT_TRUE(index.ok());
+  auto* forest = dynamic_cast<RkdForestIndex*>(index->get());
+  ASSERT_NE(forest, nullptr);
+  EXPECT_EQ(forest->options().trees, 3u);
+  EXPECT_EQ(forest->options().seed, 99u);
+  EXPECT_EQ(forest->options().search.checks, 64u);
+  EXPECT_DOUBLE_EQ(forest->options().search.eps, 0.5);
 }
 
 TEST(IndexFactoryTest, RecommendationCoversAllRegimes) {
@@ -381,6 +421,13 @@ INSTANTIATE_TEST_SUITE_P(
         EngineCase{IndexKind::kMTree, 5, &Manhattan()},
         EngineCase{IndexKind::kMTree, 5, &Angular()},
         EngineCase{IndexKind::kMTree, 10, &Euclidean()},
+        // The forest's default SearchParams are exact (unbounded checks,
+        // zero eps), so it must clear the same bar as the exact engines.
+        EngineCase{IndexKind::kRkdForest, 2, &Euclidean()},
+        EngineCase{IndexKind::kRkdForest, 5, &Euclidean()},
+        EngineCase{IndexKind::kRkdForest, 5, &Manhattan()},
+        EngineCase{IndexKind::kRkdForest, 10, &Euclidean()},
+        EngineCase{IndexKind::kRkdForest, 10, &Chebyshev()},
         EngineCase{IndexKind::kLinearScan, 3, &Euclidean()}),
     EngineCaseName);
 
@@ -595,6 +642,64 @@ TEST(MTreeIndexTest, AngularKnnMatchesLinearScan) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Chunked QueryBatch sweep for the hierarchical engines. The TEST_P batch
+// conformance above runs on 300 points; the metric-tree engines (M-tree,
+// R*-tree) have depth- and split-dependent traversal states that only
+// exercise at larger scale, so this sweep drives materializer-shaped
+// chunked batches (fixed-size chunks through one long-lived context, k
+// spanning the leaf capacity) against the linear-scan reference.
+// ---------------------------------------------------------------------------
+
+class HierarchicalBatchSweepTest
+    : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(HierarchicalBatchSweepTest, ChunkedBatchesMatchLinearScan) {
+  Rng rng(7700);
+  Dataset data = MakeRandomClustered(rng, 6, 1200);
+
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  auto engine = CreateIndex(GetParam());
+  ASSERT_TRUE(engine->Build(data, Euclidean()).ok());
+
+  KnnSearchContext engine_ctx;
+  KnnSearchContext reference_ctx;
+  constexpr size_t kChunk = 64;  // the materializer's batching shape
+  for (const size_t k : {size_t{3}, size_t{17}, size_t{40}}) {
+    std::vector<uint32_t> ids;
+    for (size_t begin = 0; begin < data.size(); begin += kChunk) {
+      const size_t end = std::min(begin + kChunk, data.size());
+      ids.resize(end - begin);
+      for (size_t j = 0; j < ids.size(); ++j) {
+        ids[j] = static_cast<uint32_t>(begin + j);
+      }
+      ASSERT_TRUE(engine->QueryBatch(ids, k, engine_ctx).ok());
+      ASSERT_TRUE(reference.QueryBatch(ids, k, reference_ctx).ok());
+      ASSERT_EQ(engine_ctx.batch_size(), ids.size());
+      for (size_t j = 0; j < ids.size(); ++j) {
+        const std::span<const Neighbor> expected =
+            reference_ctx.batch_results(j);
+        const std::span<const Neighbor> actual =
+            engine_ctx.batch_results(j);
+        ASSERT_EQ(actual.size(), expected.size())
+            << "engine " << engine->name() << " k=" << k << " id " << ids[j];
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(actual[i].index, expected[i].index);
+          EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, HierarchicalBatchSweepTest,
+    ::testing::Values(IndexKind::kMTree, IndexKind::kRStarTree),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return std::string(IndexKindName(info.param));
+    });
 
 TEST(KnnCollectorTest, KeepsTiesAndFiltersStaleAccepts) {
   KnnSearchContext ctx;

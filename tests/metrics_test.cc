@@ -20,6 +20,7 @@ TEST(QueryStatsTest, StartsZeroAndAddsFieldwise) {
   a.leaf_visits = 5;
   a.heap_pushes = 6;
   a.va_refinements = 7;
+  a.checks_used = 8;
   EXPECT_FALSE(a.IsZero());
   EXPECT_EQ(a.page_accesses(), 9u);
 
@@ -32,6 +33,7 @@ TEST(QueryStatsTest, StartsZeroAndAddsFieldwise) {
   EXPECT_EQ(b.leaf_visits, 10u);
   EXPECT_EQ(b.heap_pushes, 12u);
   EXPECT_EQ(b.va_refinements, 14u);
+  EXPECT_EQ(b.checks_used, 16u);
   EXPECT_FALSE(a == b);
   b.Reset();
   EXPECT_TRUE(b.IsZero());
@@ -151,16 +153,23 @@ TEST(MetricsRegistryTest, AddQueryStatsRegistersPrefixedCounters) {
   QueryStats stats;
   stats.queries = 3;
   stats.distance_evals = 42;
+  stats.checks_used = 17;
   registry.AddQueryStats("materialize", stats);
   const auto snapshot = registry.Aggregate();
-  bool found = false;
+  bool found_evals = false;
+  bool found_checks = false;
   for (const auto& counter : snapshot.counters) {
     if (counter.name == "materialize.distance_evals") {
       EXPECT_EQ(counter.value, 42u);
-      found = true;
+      found_evals = true;
+    }
+    if (counter.name == "materialize.checks_used") {
+      EXPECT_EQ(counter.value, 17u);
+      found_checks = true;
     }
   }
-  EXPECT_TRUE(found);
+  EXPECT_TRUE(found_evals);
+  EXPECT_TRUE(found_checks);
 }
 
 TEST(MetricsSnapshotTest, JsonEscapesNamesAndStaysStructured) {

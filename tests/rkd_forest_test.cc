@@ -1,0 +1,316 @@
+#include "index/rkd_forest_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fail_point.h"
+#include "common/random.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/linear_scan_index.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+namespace {
+
+Dataset MakeData(size_t dim, size_t n, uint64_t seed = 42) {
+  Rng rng(seed);
+  auto ds = generators::MakePerformanceWorkload(rng, dim, n, 5);
+  EXPECT_TRUE(ds.ok()) << ds.status();
+  return std::move(ds).value();
+}
+
+RkdForestIndex::Options ApproximateOptions(size_t checks) {
+  RkdForestIndex::Options options;
+  options.search.checks = checks;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Seed determinism
+// ---------------------------------------------------------------------------
+
+TEST(RkdForestTest, SameSeedBuildsBitIdenticalForests) {
+  Dataset data = MakeData(8, 1500);
+  RkdForestIndex a;
+  RkdForestIndex b;
+  ASSERT_TRUE(a.Build(data, Euclidean()).ok());
+  ASSERT_TRUE(b.Build(data, Euclidean()).ok());
+  EXPECT_EQ(a.StructureDigest(), b.StructureDigest());
+  EXPECT_EQ(a.tree_count(), 8u);
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(RkdForestTest, DifferentSeedsGrowDifferentTrees) {
+  Dataset data = MakeData(8, 1500);
+  RkdForestIndex::Options options;
+  options.seed = RkdForestIndex::kDefaultSeed + 1;
+  RkdForestIndex reseeded(options);
+  RkdForestIndex default_seeded;
+  ASSERT_TRUE(default_seeded.Build(data, Euclidean()).ok());
+  ASSERT_TRUE(reseeded.Build(data, Euclidean()).ok());
+  EXPECT_NE(default_seeded.StructureDigest(), reseeded.StructureDigest());
+}
+
+TEST(RkdForestTest, RebuildReplacesPreviousForest) {
+  Dataset small = MakeData(5, 300, 1);
+  Dataset large = MakeData(5, 900, 2);
+  RkdForestIndex index;
+  ASSERT_TRUE(index.Build(small, Euclidean()).ok());
+  const uint64_t first = index.StructureDigest();
+  ASSERT_TRUE(index.Build(large, Euclidean()).ok());
+  EXPECT_NE(index.StructureDigest(), first);
+  auto result = index.Query(large.point(0), 5, 0u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+// Approximate LOF scores must be a pure function of (data, seed, dial) —
+// the thread count must never show up in the bits.
+TEST(RkdForestTest, ApproximateScoresBitIdenticalAcrossThreadCounts) {
+  Dataset data = MakeData(10, 1200);
+  LofComputeOptions options;
+  options.ann.search.checks = 64;
+  std::vector<std::vector<double>> runs;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    options.threads = threads;
+    auto scores = LofComputer::ComputeFromScratch(
+        data, Euclidean(), 10, IndexKind::kRkdForest,
+        /*distinct_neighbors=*/false, options);
+    ASSERT_TRUE(scores.ok()) << scores.status();
+    runs.push_back(std::move(scores->lof));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    EXPECT_EQ(std::memcmp(runs[r].data(), runs[0].data(),
+                          runs[0].size() * sizeof(double)),
+              0)
+        << "thread count changed approximate LOF bits (run " << r << ")";
+  }
+}
+
+TEST(RkdForestTest, SameSeedSameDialRepeatsExactScoreBits) {
+  Dataset data = MakeData(10, 800);
+  LofComputeOptions options;
+  options.ann.search.checks = 48;
+  options.ann.seed = 77;
+  auto first = LofComputer::ComputeFromScratch(
+      data, Euclidean(), 8, IndexKind::kRkdForest, false, options);
+  auto second = LofComputer::ComputeFromScratch(
+      data, Euclidean(), 8, IndexKind::kRkdForest, false, options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(std::memcmp(first->lof.data(), second->lof.data(),
+                        first->lof.size() * sizeof(double)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// The checks/eps dial
+// ---------------------------------------------------------------------------
+
+TEST(RkdForestTest, BudgetedQueryStillReturnsFullNeighborhood) {
+  Dataset data = MakeData(12, 2000);
+  // A check budget below k must not truncate the k-distance neighborhood.
+  RkdForestIndex index(ApproximateOptions(4));
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  KnnSearchContext ctx;
+  for (uint32_t q = 0; q < 50; ++q) {
+    ASSERT_TRUE(index.Query(data.point(q), 15, q, ctx).ok());
+    EXPECT_GE(ctx.results().size(), 15u);
+    // Sorted by (distance, index), per the KnnIndex contract.
+    for (size_t i = 1; i < ctx.results().size(); ++i) {
+      EXPECT_LE(ctx.results()[i - 1].distance, ctx.results()[i].distance);
+    }
+  }
+}
+
+TEST(RkdForestTest, RaisingChecksRaisesRecall) {
+  Dataset data = MakeData(20, 3000);
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  constexpr size_t kK = 10;
+  const auto recall_at = [&](size_t checks) {
+    RkdForestIndex index(ApproximateOptions(checks));
+    EXPECT_TRUE(index.Build(data, Euclidean()).ok());
+    KnnSearchContext ctx;
+    size_t hits = 0;
+    size_t wanted = 0;
+    for (uint32_t q = 0; q < 200; ++q) {
+      auto expected = reference.Query(data.point(q), kK, q);
+      EXPECT_TRUE(expected.ok());
+      EXPECT_TRUE(index.Query(data.point(q), kK, q, ctx).ok());
+      std::set<uint32_t> approx;
+      for (const Neighbor& n : ctx.results()) approx.insert(n.index);
+      for (const Neighbor& n : *expected) hits += approx.count(n.index);
+      wanted += expected->size();
+    }
+    return static_cast<double>(hits) / static_cast<double>(wanted);
+  };
+  // d=20 with a 16-check budget is deep in the approximate regime
+  // (~0.17 recall on this workload); the dial must climb from there to
+  // near-exact at 512 checks.
+  const double low = recall_at(16);
+  const double high = recall_at(512);
+  EXPECT_GT(low, 0.05);
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0.95);
+}
+
+TEST(RkdForestTest, ChecksUsedCounterChargesTheBudget) {
+  Dataset data = MakeData(10, 2000);
+  RkdForestIndex index(ApproximateOptions(64));
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  QueryStats stats;
+  KnnSearchContext ctx;
+  ctx.stats = &stats;
+  constexpr size_t kQueries = 20;
+  for (uint32_t q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(index.Query(data.point(q), 10, q, ctx).ok());
+  }
+  EXPECT_GE(stats.checks_used, kQueries * 10);  // at least k per query
+  // The budget overshoots by at most one leaf scan per query.
+  EXPECT_LE(stats.checks_used, kQueries * (64 + 16));
+  EXPECT_EQ(stats.queries, kQueries);
+  EXPECT_GT(stats.distance_evals, 0u);
+}
+
+TEST(RkdForestTest, ExactDialMatchesLinearScanExactly) {
+  Dataset data = MakeData(7, 1000);
+  LinearScanIndex reference;
+  RkdForestIndex index;  // checks=0, eps=0: exact best-bin-first
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  for (uint32_t q = 0; q < 100; ++q) {
+    auto expected = reference.Query(data.point(q), 12, q);
+    auto actual = index.Query(data.point(q), 12, q);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+      EXPECT_EQ((*actual)[i].distance, (*expected)[i].distance);
+    }
+  }
+}
+
+TEST(RkdForestTest, EpsSlackKeepsResultsNearExact) {
+  Dataset data = MakeData(10, 1500);
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  RkdForestIndex::Options options;
+  options.search.eps = 0.2;
+  RkdForestIndex index(options);
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  constexpr size_t kK = 8;
+  for (uint32_t q = 0; q < 100; ++q) {
+    auto expected = reference.Query(data.point(q), kK, q);
+    auto actual = index.Query(data.point(q), kK, q);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_GE(actual->size(), kK);
+    // Every returned distance is within (1 + eps) of the true i-th
+    // distance: an eps-approximate neighborhood in the standard sense.
+    for (size_t i = 0; i < kK; ++i) {
+      EXPECT_LE((*actual)[i].distance,
+                (*expected)[i].distance * 1.2 + 1e-12);
+    }
+  }
+}
+
+TEST(RkdForestTest, RadiusQueriesAreExactUnderApproximateDial) {
+  Dataset data = MakeData(6, 1200);
+  LinearScanIndex reference;
+  ASSERT_TRUE(reference.Build(data, Euclidean()).ok());
+  RkdForestIndex index(ApproximateOptions(16));  // tight kNN budget
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  Rng rng(9);
+  for (size_t trial = 0; trial < 30; ++trial) {
+    const uint32_t q = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    const double radius = rng.Uniform(0.0, 25.0);
+    auto expected = reference.QueryRadius(data.point(q), radius, q);
+    auto actual = index.QueryRadius(data.point(q), radius, q);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ((*actual)[i].index, (*expected)[i].index);
+      EXPECT_EQ((*actual)[i].distance, (*expected)[i].distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Build validation and fault injection
+// ---------------------------------------------------------------------------
+
+TEST(RkdForestTest, BuildValidatesOptions) {
+  Dataset data = MakeData(4, 100);
+  {
+    RkdForestIndex::Options options;
+    options.trees = 0;
+    RkdForestIndex index(options);
+    EXPECT_EQ(index.Build(data, Euclidean()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    RkdForestIndex::Options options;
+    options.leaf_size = 0;
+    RkdForestIndex index(options);
+    EXPECT_EQ(index.Build(data, Euclidean()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    RkdForestIndex::Options options;
+    options.search.eps = -0.5;
+    RkdForestIndex index(options);
+    EXPECT_EQ(index.Build(data, Euclidean()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    RkdForestIndex index;
+    EXPECT_EQ(index.Query(std::vector<double>(4, 0.0), 3).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(RkdForestTest, BuildFailPointPropagates) {
+  Dataset data = MakeData(4, 100);
+  RkdForestIndex index;
+  {
+    ScopedFailPoint armed("index.build",
+                          Status::IoError("injected@index.build"));
+    Status status = index.Build(data, Euclidean());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    EXPECT_NE(status.message().find("injected@"), std::string::npos);
+  }
+  EXPECT_TRUE(index.Build(data, Euclidean()).ok());
+}
+
+TEST(RkdForestTest, DuplicateHeavyDataTerminatesAndKeepsTies) {
+  // 50 copies of each of 8 sites: every split range eventually has zero
+  // variance in all dimensions, which must terminate as a leaf, and the
+  // k-distance neighborhood must keep all duplicate ties.
+  std::vector<double> values;
+  Rng rng(3);
+  for (size_t site = 0; site < 8; ++site) {
+    const double x = static_cast<double>(site);
+    for (size_t copy = 0; copy < 50; ++copy) {
+      values.push_back(x);
+      values.push_back(-x);
+    }
+  }
+  auto data = Dataset::FromRowMajor(2, std::move(values));
+  ASSERT_TRUE(data.ok());
+  RkdForestIndex index(ApproximateOptions(32));
+  ASSERT_TRUE(index.Build(*data, Euclidean()).ok());
+  auto result = index.Query(data->point(0), 5, 0u);
+  ASSERT_TRUE(result.ok());
+  // 49 remaining duplicates all tie at distance 0.
+  EXPECT_EQ(result->size(), 49u);
+  for (const Neighbor& n : *result) EXPECT_EQ(n.distance, 0.0);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -32,6 +32,7 @@
 #include "dataset/loaders.h"
 #include "dataset/metric.h"
 #include "index/index_factory.h"
+#include "index/rkd_forest_index.h"
 #include "lof/explain.h"
 #include "lof/subspace.h"
 #include "lof/lof_sweep.h"
@@ -69,7 +70,22 @@ int main(int argc, char** argv) {
                   "distance: euclidean, manhattan, chebyshev or angular");
   flags.AddString("index", "auto",
                   "knn engine: auto, linear_scan, grid, kd_tree, "
-                  "rstar_tree, va_file or m_tree");
+                  "rstar_tree, va_file, m_tree or rkd_forest "
+                  "(approximate; see the --ann-* flags)");
+  flags.AddU64("ann-trees", 8,
+               "rkd_forest: number of randomized trees in the forest");
+  flags.AddU64("ann-checks", 256,
+               "rkd_forest: candidate budget per kNN query (0 = unbounded "
+               "= exact); lower is faster, higher is more accurate — see "
+               "docs/tuning_guide.md for the measured recall dial");
+  flags.AddDouble("ann-eps", 0.0,
+                  "rkd_forest: branch-pruning slack; a branch is skipped "
+                  "when it cannot improve the k-distance by more than a "
+                  "(1+eps) factor (0 = admissible best-bin-first)");
+  flags.AddU64("ann-seed", RkdForestIndex::kDefaultSeed,
+               "rkd_forest: seed for the randomized splits; equal seeds "
+               "give bit-identical forests and scores on every thread "
+               "count");
   flags.AddU64("minpts-lb", 10, "lower bound of the MinPts range");
   flags.AddU64("minpts-ub", 20, "upper bound of the MinPts range");
   flags.AddString("aggregation", "max",
@@ -163,6 +179,24 @@ int main(int argc, char** argv) {
   const size_t ub = flags.GetU64("minpts-ub");
   const size_t threads = flags.GetU64("threads");
 
+  // Approximate-engine knobs. They only take effect with
+  // --index rkd_forest; `approximate` records whether the dial actually
+  // left exactness (checks=0 eps=0 is plain best-bin-first).
+  AnnIndexOptions ann;
+  ann.trees = flags.GetU64("ann-trees");
+  ann.seed = flags.GetU64("ann-seed");
+  ann.search.checks = flags.GetU64("ann-checks");
+  ann.search.eps = flags.GetDouble("ann-eps");
+  const bool approximate =
+      flags.GetString("index") == "rkd_forest" &&
+      (ann.search.checks != 0 || ann.search.eps > 0.0);
+  if (flags.GetBool("prune") && approximate) {
+    return Fail(Status::InvalidArgument(
+        "--prune requires exact neighborhoods: the section-5 bound "
+        "certificates are unsound over approximate kNN results; drop "
+        "--prune, use an exact engine, or set --ann-checks 0 --ann-eps 0"));
+  }
+
   // Robustness knobs: a wall-clock deadline for the whole pipeline and a
   // memory budget for M. An unset deadline keeps the token empty, so the
   // hot loops pay only a null-pointer test.
@@ -198,7 +232,7 @@ int main(int argc, char** argv) {
     if (flags.GetString("index") == "auto") {
       index = CreateIndex(RecommendIndexKind(working->dimension()));
     } else {
-      auto by_name = CreateIndexByName(flags.GetString("index"));
+      auto by_name = CreateIndexByName(flags.GetString("index"), ann);
       if (!by_name.ok()) return Fail(by_name.status());
       index = std::move(by_name).value();
     }
@@ -387,6 +421,17 @@ int main(int argc, char** argv) {
                    sweep->prune.survivor_fraction());
       registry.Set(registry.Gauge("pipeline.prune_threshold"),
                    sweep->prune.threshold);
+    }
+    registry.Set(registry.Gauge("pipeline.ann_enabled"),
+                 approximate ? 1.0 : 0.0);
+    if (flags.GetString("index") == "rkd_forest") {
+      registry.Set(registry.Gauge("pipeline.ann_trees"),
+                   static_cast<double>(ann.trees));
+      registry.Set(registry.Gauge("pipeline.ann_checks"),
+                   static_cast<double>(ann.search.checks));
+      registry.Set(registry.Gauge("pipeline.ann_eps"), ann.search.eps);
+      registry.Set(registry.Gauge("pipeline.ann_seed"),
+                   static_cast<double>(ann.seed));
     }
     registry.Set(registry.Gauge("materialize.projected_bytes"),
                  static_cast<double>(projected_bytes));
