@@ -1,6 +1,9 @@
 #include "baselines/knn_outlier.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "lof/local_scorer.h"
 
 namespace lofkit {
 
@@ -37,12 +40,15 @@ Result<std::vector<RankedOutlier>> KnnDistanceOutlierDetector::Rank(
 Result<std::vector<RankedOutlier>>
 KnnDistanceOutlierDetector::RankFromMaterializer(
     const NeighborhoodMaterializer& m, size_t k, size_t top_n) {
-  std::vector<double> k_distance(m.size());
-  for (size_t i = 0; i < m.size(); ++i) {
-    LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, k));
-    k_distance[i] = view.k_distance;
-  }
-  return RankDescending(k_distance, top_n);
+  // The ranking is the "knn_distance" LocalScorer over a materialized
+  // substrate — one shared implementation for this entry point, the CLI's
+  // --scorer route, and the sweep.
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverMaterialization(m));
+  const std::unique_ptr<LocalScorer> scorer =
+      CreateScorer(ScorerKind::kKnnDistance);
+  LOFKIT_ASSIGN_OR_RETURN(LocalScores scores, scorer->Score(substrate, k));
+  return RankDescending(scores.score, top_n);
 }
 
 }  // namespace lofkit

@@ -1,0 +1,100 @@
+#include "lof/density_substrate.h"
+
+#include "common/fail_point.h"
+#include "common/string_util.h"
+
+namespace lofkit {
+
+Result<DensitySubstrate> DensitySubstrate::OverMaterialization(
+    const NeighborhoodMaterializer& m, const Dataset* data,
+    const Metric* metric) {
+  if (data != nullptr && data->size() != m.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "materializer (%zu points) and dataset (%zu points) disagree",
+        m.size(), data->size()));
+  }
+  DensitySubstrate substrate;
+  substrate.m_ = &m;
+  substrate.data_ = data;
+  substrate.metric_ = metric;
+  return substrate;
+}
+
+Result<DensitySubstrate> DensitySubstrate::OverIndex(const Dataset& data,
+                                                     const KnnIndex& index,
+                                                     const Metric* metric) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a re-query substrate over an empty dataset");
+  }
+  DensitySubstrate substrate;
+  substrate.data_ = &data;
+  substrate.index_ = &index;
+  substrate.metric_ = metric;
+  return substrate;
+}
+
+Status DensitySubstrate::ValidateMinPts(size_t min_pts) const {
+  if (m_ != nullptr) {
+    if (min_pts == 0 || min_pts > m_->k_max()) {
+      return Status::OutOfRange(
+          StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
+                    m_->k_max()));
+    }
+    return Status::OK();
+  }
+  if (min_pts == 0) {
+    return Status::OutOfRange("min_pts must be >= 1");
+  }
+  if (min_pts >= data_->size()) {
+    return Status::InvalidArgument(
+        StrFormat("min_pts (%zu) must be smaller than the dataset size "
+                  "(%zu): every point needs min_pts neighbors besides itself",
+                  min_pts, data_->size()));
+  }
+  return Status::OK();
+}
+
+Result<DensitySubstrate::View> DensitySubstrate::ViewOf(Cursor& cursor,
+                                                        size_t i,
+                                                        size_t k) const {
+  if (m_ != nullptr) {
+    LOFKIT_ASSIGN_OR_RETURN(auto kview, m_->View(i, k));
+    return View{kview.k_distance, kview.neighborhood};
+  }
+  // Re-query route: one kNN query through the cursor's warm context.
+  // Query(p, k) returns >= k entries whenever k < n (ValidateMinPts
+  // guarantees that), so indexing entry k - 1 is always in range, and the
+  // result is exactly the k-distance neighborhood a materialized View
+  // would yield — same entries, same (distance, index) order, same bits.
+  LOFKIT_FAIL_POINT("substrate.query");
+  LOFKIT_RETURN_IF_ERROR(
+      index_->Query(data_->point(i), k, static_cast<uint32_t>(i),
+                    cursor.ctx_));
+  const std::span<const Neighbor> neighborhood = cursor.ctx_.results();
+  return View{neighborhood[k - 1].distance, neighborhood};
+}
+
+void DensitySubstrate::PrepareCursors(size_t workers,
+                                      const PipelineObserver& observer) const {
+  if (cursors_.size() < workers) {
+    cursors_.resize(workers);
+  }
+  // Stats shards only make sense on the re-query route (the materialized
+  // route runs no queries); arm or disarm every cursor so a pool reused
+  // across computations follows the current observer.
+  const bool armed = m_ == nullptr && observer.query_stats != nullptr;
+  for (Cursor& cursor : cursors_) {
+    cursor.ctx_.stats = armed ? &cursor.stats_ : nullptr;
+  }
+}
+
+void DensitySubstrate::FoldQueryStats(const PipelineObserver& observer) const {
+  if (observer.query_stats == nullptr) return;
+  for (Cursor& cursor : cursors_) {
+    observer.query_stats->Add(cursor.stats_);
+    cursor.stats_.Reset();
+  }
+}
+
+}  // namespace lofkit

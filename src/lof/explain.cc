@@ -8,6 +8,29 @@
 
 namespace lofkit {
 
+namespace {
+
+// JSON has no inf/nan literal; null is the lossless stand-in consumers can
+// test for.
+std::string JsonNumberOrNull(double value) {
+  if (!std::isfinite(value)) return "null";
+  return StrFormat("%.17g", value);
+}
+
+void AppendNumberArray(std::string& out, const char* key,
+                       const std::vector<double>& values) {
+  out += '"';
+  out += key;
+  out += "\": [";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonNumberOrNull(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
 Result<OutlierExplanation> ExplainOutlier(const Dataset& data,
                                           const NeighborhoodMaterializer& m,
                                           size_t i, size_t min_pts) {
@@ -73,6 +96,29 @@ Result<OutlierExplanation> ExplainOutlier(const Dataset& data,
               return a < b;
             });
   return explanation;
+}
+
+std::string ExplanationToJson(const OutlierExplanation& explanation,
+                              size_t index, double score) {
+  std::string out = "{";
+  out += StrFormat("\"index\": %zu, ", index);
+  out += "\"score\": ";
+  out += JsonNumberOrNull(score);
+  out += ", ";
+  AppendNumberArray(out, "neighbor_mean", explanation.neighbor_mean);
+  out += ", ";
+  AppendNumberArray(out, "neighbor_stddev", explanation.neighbor_stddev);
+  out += ", ";
+  AppendNumberArray(out, "deviation", explanation.deviation);
+  out += ", ";
+  AppendNumberArray(out, "contribution", explanation.contribution);
+  out += ", \"ranked_dimensions\": [";
+  for (size_t i = 0; i < explanation.ranked_dimensions.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%zu", explanation.ranked_dimensions[i]);
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace lofkit

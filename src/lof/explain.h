@@ -37,6 +37,16 @@ Result<OutlierExplanation> ExplainOutlier(const Dataset& data,
                                           const NeighborhoodMaterializer& m,
                                           size_t i, size_t min_pts);
 
+/// Serializes one explained outlier as a JSON object:
+///   {"index": ..., "score": ..., "neighbor_mean": [...],
+///    "neighbor_stddev": [...], "deviation": [...], "contribution": [...],
+///    "ranked_dimensions": [...]}
+/// Non-finite numbers serialize as JSON null (there is no inf/nan in
+/// JSON) — in particular the infinite aggregated score of a point whose
+/// neighbors sit on a duplicate pile, so the export always parses.
+std::string ExplanationToJson(const OutlierExplanation& explanation,
+                              size_t index, double score);
+
 }  // namespace lofkit
 
 #endif  // LOFKIT_LOF_EXPLAIN_H_

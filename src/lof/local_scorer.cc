@@ -1,0 +1,418 @@
+#include "lof/local_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/db_outlier.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "lof/lof_computer.h"
+
+namespace lofkit {
+
+double LocalScores::PhaseSeconds(std::string_view name) const {
+  for (const ScorerPhase& phase : phases) {
+    if (phase.name == name) return phase.seconds;
+  }
+  return 0.0;
+}
+
+namespace {
+
+Status RequireCoordinates(const LocalScorer& scorer,
+                          const DensitySubstrate& substrate) {
+  if (!substrate.has_coordinates()) {
+    return Status::InvalidArgument(StrFormat(
+        "scorer '%s' reads the original coordinates: construct the "
+        "substrate with a dataset and metric",
+        std::string(scorer.name()).c_str()));
+  }
+  return Status::OK();
+}
+
+void FinishInfiniteDensityFlag(LocalScores& scores) {
+  scores.has_infinite_density =
+      std::any_of(scores.density.begin(), scores.density.end(),
+                  [](double d) { return std::isinf(d); });
+}
+
+// The k-distance pre-pass several scorers share: out[i] = k-distance(i).
+Status KDistancePass(const DensitySubstrate& substrate, size_t min_pts,
+                     const LocalScorerOptions& options,
+                     std::vector<double>& out) {
+  out.resize(substrate.size());
+  return substrate.Scan(
+      substrate.size(), options.threads, options.stop, options.observer,
+      [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
+        LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                substrate.ViewOf(cursor, i, min_pts));
+        out[i] = view.k_distance;
+        return Status::OK();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// LOF — the paper's scorer, delegating to the shared LofComputer passes.
+
+class LofLocalScorer final : public LocalScorer {
+ public:
+  std::string_view name() const override { return "lof"; }
+  ScorerKind kind() const override { return ScorerKind::kLof; }
+
+  Result<LocalScores> Score(const DensitySubstrate& substrate,
+                            size_t min_pts,
+                            const LocalScorerOptions& options) const override {
+    LofComputeOptions lof_options;
+    lof_options.use_reachability = options.use_reachability;
+    lof_options.threads = options.threads;
+    lof_options.observer = options.observer;
+    lof_options.stop = options.stop;
+    LOFKIT_ASSIGN_OR_RETURN(
+        LofScores lof,
+        LofComputer::ComputeOverSubstrate(substrate, min_pts, lof_options));
+    LocalScores scores;
+    scores.min_pts = min_pts;
+    scores.score = std::move(lof.lof);
+    scores.density = std::move(lof.lrd);
+    scores.has_infinite_density = lof.has_infinite_lrd;
+    scores.phases = {
+        {"k_distance", lof.phase_times.k_distance_seconds},
+        {"lrd", lof.phase_times.lrd_seconds},
+        {"lof", lof.phase_times.lof_seconds},
+    };
+    return scores;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LDOF (Zhang, Hutter & Jin): score = d_bar / D_bar, the mean distance to
+// the k neighbors over the mean pairwise distance among those neighbors. A
+// point deep inside its neighborhood's own spread scores ~1; a point whose
+// neighbors are mutually close but far from it scores >> 1. Needs the
+// original coordinates: the neighbor-pair distances are not in M.
+
+class LdofScorer final : public LocalScorer {
+ public:
+  std::string_view name() const override { return "ldof"; }
+  ScorerKind kind() const override { return ScorerKind::kLdof; }
+  bool requires_coordinates() const override { return true; }
+
+  Result<LocalScores> Score(const DensitySubstrate& substrate,
+                            size_t min_pts,
+                            const LocalScorerOptions& options) const override {
+    LOFKIT_RETURN_IF_ERROR(RequireCoordinates(*this, substrate));
+    LOFKIT_RETURN_IF_ERROR(substrate.ValidateMinPts(min_pts));
+    const Dataset& data = *substrate.data();
+    const Metric& metric = *substrate.metric();
+    const size_t n = substrate.size();
+
+    LocalScores scores;
+    scores.min_pts = min_pts;
+    scores.score.resize(n);
+    scores.density.resize(n);
+    Stopwatch watch;
+    TraceRecorder::Span span(options.observer.trace, "ldof");
+    LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+        n, options.threads, options.stop, options.observer,
+        [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
+          LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                  substrate.ViewOf(cursor, i, min_pts));
+          const std::span<const Neighbor> neighborhood = view.neighborhood;
+          const size_t count = neighborhood.size();
+          double dist_sum = 0.0;
+          for (const Neighbor& o : neighborhood) dist_sum += o.distance;
+          const double d_bar = dist_sum / static_cast<double>(count);
+          // Mean pairwise ("inner") distance of the neighborhood, O(k^2)
+          // exact distances in deterministic (a, b) order.
+          double pair_sum = 0.0;
+          size_t pairs = 0;
+          for (size_t a = 0; a + 1 < count; ++a) {
+            auto pa = data.point(neighborhood[a].index);
+            for (size_t b = a + 1; b < count; ++b) {
+              pair_sum += metric.Distance(pa, data.point(neighborhood[b].index));
+              ++pairs;
+            }
+          }
+          const double inner_bar =
+              pairs > 0 ? pair_sum / static_cast<double>(pairs) : 0.0;
+          scores.density[i] =
+              inner_bar > 0.0 ? 1.0 / inner_bar
+                              : std::numeric_limits<double>::infinity();
+          if (d_bar == 0.0 && inner_bar == 0.0) {
+            // The point sits on a pile of its own duplicates — the densest
+            // possible configuration, scored 1 like LOF's inf/inf
+            // convention.
+            scores.score[i] = 1.0;
+          } else if (inner_bar > 0.0) {
+            scores.score[i] = d_bar / inner_bar;
+          } else {
+            scores.score[i] = std::numeric_limits<double>::infinity();
+          }
+          return Status::OK();
+        }));
+    span.End();
+    scores.phases = {{"ldof", watch.ElapsedSeconds()}};
+    FinishInfiniteDensityFlag(scores);
+    substrate.FoldQueryStats(options.observer);
+    return scores;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// KDE local scorer: a kernel density estimate with an adaptive per-neighbor
+// bandwidth h_o = scale * k-distance(o) (dense regions get narrow kernels,
+// sparse regions wide ones), compared LOF-style against the neighbors'
+// densities. Works entirely from the substrate views — like LOF, it never
+// needs the original coordinates: the kernel only consumes the stored
+// query-to-neighbor distances.
+
+class KdeScorer final : public LocalScorer {
+ public:
+  std::string_view name() const override { return "kde"; }
+  ScorerKind kind() const override { return ScorerKind::kKde; }
+
+  Result<LocalScores> Score(const DensitySubstrate& substrate,
+                            size_t min_pts,
+                            const LocalScorerOptions& options) const override {
+    if (!(options.kde_bandwidth_scale > 0.0)) {
+      return Status::InvalidArgument(
+          StrFormat("kde_bandwidth_scale (%g) must be > 0",
+                    options.kde_bandwidth_scale));
+    }
+    LOFKIT_RETURN_IF_ERROR(substrate.ValidateMinPts(min_pts));
+    const size_t n = substrate.size();
+    const double scale = options.kde_bandwidth_scale;
+    LocalScores scores;
+    scores.min_pts = min_pts;
+    scores.score.resize(n);
+    scores.density.resize(n);
+    Stopwatch watch;
+    TraceRecorder* trace = options.observer.trace;
+
+    // Pass 0: k-distances — they are the adaptive bandwidths.
+    std::vector<double> k_distance;
+    {
+      TraceRecorder::Span span(trace, "k_distance");
+      LOFKIT_RETURN_IF_ERROR(
+          KDistancePass(substrate, min_pts, options, k_distance));
+    }
+    ScorerPhase k_distance_phase{"k_distance", watch.ElapsedSeconds()};
+    watch.Reset();
+
+    // Density pass: dens(p) = mean over neighbors o of
+    // exp(-d(p,o)^2 / (2 h_o^2)) / h_o. A zero bandwidth (o has min_pts
+    // exact duplicates) degenerates to a point mass: infinite contribution
+    // at distance 0, none elsewhere — the KDE analogue of LOF's infinite
+    // lrd on duplicate piles.
+    TraceRecorder::Span density_span(trace, "kde_density");
+    LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+        n, options.threads, options.stop, options.observer,
+        [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
+          LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                  substrate.ViewOf(cursor, i, min_pts));
+          double sum = 0.0;
+          bool infinite = false;
+          for (const Neighbor& o : view.neighborhood) {
+            const double h = scale * k_distance[o.index];
+            if (h > 0.0) {
+              const double z = o.distance / h;
+              sum += std::exp(-0.5 * z * z) / h;
+            } else if (o.distance == 0.0) {
+              infinite = true;
+            }
+          }
+          scores.density[i] =
+              infinite ? std::numeric_limits<double>::infinity()
+                       : sum / static_cast<double>(view.neighborhood.size());
+          return Status::OK();
+        }));
+    density_span.End();
+    ScorerPhase density_phase{"kde_density", watch.ElapsedSeconds()};
+    watch.Reset();
+
+    // Score pass: the LOF-shaped ratio of the neighbors' densities to the
+    // point's own, with the same degenerate conventions (inf/inf := 1,
+    // 0/0 := 1), so duplicate piles score 1 instead of NaN.
+    TraceRecorder::Span score_span(trace, "kde_score");
+    LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+        n, options.threads, options.stop, options.observer,
+        [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
+          LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                  substrate.ViewOf(cursor, i, min_pts));
+          const double dens_i = scores.density[i];
+          double sum = 0.0;
+          for (const Neighbor& o : view.neighborhood) {
+            const double dens_o = scores.density[o.index];
+            if ((std::isinf(dens_o) && std::isinf(dens_i)) ||
+                (dens_o == 0.0 && dens_i == 0.0)) {
+              sum += 1.0;
+            } else {
+              sum += dens_o / dens_i;
+            }
+          }
+          scores.score[i] =
+              sum / static_cast<double>(view.neighborhood.size());
+          return Status::OK();
+        }));
+    score_span.End();
+    scores.phases = {k_distance_phase, density_phase,
+                     {"kde_score", watch.ElapsedSeconds()}};
+    FinishInfiniteDensityFlag(scores);
+    substrate.FoldQueryStats(options.observer);
+    return scores;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kNN-distance ranking (Ramaswamy, Rastogi & Shim): score = k-distance —
+// the global baseline, now a one-pass scorer on the substrate so it shares
+// sweeps, ranking, stats and degradation with LOF.
+
+class KnnDistanceScorer final : public LocalScorer {
+ public:
+  std::string_view name() const override { return "knn_distance"; }
+  ScorerKind kind() const override { return ScorerKind::kKnnDistance; }
+
+  Result<LocalScores> Score(const DensitySubstrate& substrate,
+                            size_t min_pts,
+                            const LocalScorerOptions& options) const override {
+    LOFKIT_RETURN_IF_ERROR(substrate.ValidateMinPts(min_pts));
+    LocalScores scores;
+    scores.min_pts = min_pts;
+    Stopwatch watch;
+    TraceRecorder::Span span(options.observer.trace, "k_distance");
+    LOFKIT_RETURN_IF_ERROR(
+        KDistancePass(substrate, min_pts, options, scores.score));
+    span.End();
+    scores.density.resize(scores.score.size());
+    for (size_t i = 0; i < scores.score.size(); ++i) {
+      scores.density[i] = scores.score[i] > 0.0
+                              ? 1.0 / scores.score[i]
+                              : std::numeric_limits<double>::infinity();
+    }
+    scores.phases = {{"k_distance", watch.ElapsedSeconds()}};
+    FinishInfiniteDensityFlag(scores);
+    substrate.FoldQueryStats(options.observer);
+    return scores;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DB(pct, dmin) baseline (Knorr & Ng, Definition 2 of the paper): a binary
+// verdict mapped to score 1/0 so it rides the shared ranking and quality
+// bench. With db_dmin == 0 the radius is derived from the data (2x the
+// median MinPts-distance), so the baseline runs without manual tuning.
+
+class DbOutlierScorer final : public LocalScorer {
+ public:
+  std::string_view name() const override { return "db_outlier"; }
+  ScorerKind kind() const override { return ScorerKind::kDbOutlier; }
+  bool requires_coordinates() const override { return true; }
+
+  Result<LocalScores> Score(const DensitySubstrate& substrate,
+                            size_t min_pts,
+                            const LocalScorerOptions& options) const override {
+    LOFKIT_RETURN_IF_ERROR(RequireCoordinates(*this, substrate));
+    LOFKIT_RETURN_IF_ERROR(substrate.ValidateMinPts(min_pts));
+    if (options.db_dmin < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("db_dmin (%g) must be >= 0", options.db_dmin));
+    }
+    LocalScores scores;
+    scores.min_pts = min_pts;
+    Stopwatch watch;
+    TraceRecorder* trace = options.observer.trace;
+
+    double dmin = options.db_dmin;
+    if (dmin == 0.0) {
+      std::vector<double> k_distance;
+      TraceRecorder::Span span(trace, "k_distance");
+      LOFKIT_RETURN_IF_ERROR(
+          KDistancePass(substrate, min_pts, options, k_distance));
+      span.End();
+      scores.phases.push_back({"k_distance", watch.ElapsedSeconds()});
+      watch.Reset();
+      // Median of the MinPts-distances: a radius that brackets "typical"
+      // local spacing; doubled so cluster members comfortably exceed the
+      // in-ball threshold. Deterministic (full sort, fixed tie order).
+      std::sort(k_distance.begin(), k_distance.end());
+      dmin = 2.0 * k_distance[k_distance.size() / 2];
+    }
+
+    // The nested-loop scan polls the token only here: Detect is the
+    // baseline's own sequential kernel and stays unchanged.
+    LOFKIT_RETURN_IF_ERROR(options.stop.CheckDeadline());
+    TraceRecorder::Span span(trace, "db_scan");
+    LOFKIT_ASSIGN_OR_RETURN(
+        DbOutlierResult verdicts,
+        DbOutlierDetector::Detect(*substrate.data(), *substrate.metric(),
+                                  options.db_pct, dmin));
+    LOFKIT_RETURN_IF_ERROR(options.stop.CheckDeadline());
+    span.End();
+    const size_t n = substrate.size();
+    scores.score.resize(n);
+    scores.density.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      scores.score[i] = verdicts.is_outlier[i] ? 1.0 : 0.0;
+      scores.density[i] = static_cast<double>(verdicts.neighbor_count[i]);
+    }
+    scores.phases.push_back({"db_scan", watch.ElapsedSeconds()});
+    substrate.FoldQueryStats(options.observer);
+    return scores;
+  }
+};
+
+}  // namespace
+
+std::vector<ScorerKind> AllScorerKinds() {
+  return {ScorerKind::kLof, ScorerKind::kLdof, ScorerKind::kKde,
+          ScorerKind::kKnnDistance, ScorerKind::kDbOutlier};
+}
+
+std::string_view ScorerKindName(ScorerKind kind) {
+  switch (kind) {
+    case ScorerKind::kLof:
+      return "lof";
+    case ScorerKind::kLdof:
+      return "ldof";
+    case ScorerKind::kKde:
+      return "kde";
+    case ScorerKind::kKnnDistance:
+      return "knn_distance";
+    case ScorerKind::kDbOutlier:
+      return "db_outlier";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<LocalScorer> CreateScorer(ScorerKind kind) {
+  switch (kind) {
+    case ScorerKind::kLof:
+      return std::make_unique<LofLocalScorer>();
+    case ScorerKind::kLdof:
+      return std::make_unique<LdofScorer>();
+    case ScorerKind::kKde:
+      return std::make_unique<KdeScorer>();
+    case ScorerKind::kKnnDistance:
+      return std::make_unique<KnnDistanceScorer>();
+    case ScorerKind::kDbOutlier:
+      return std::make_unique<DbOutlierScorer>();
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<LocalScorer>> CreateScorerByName(
+    std::string_view name) {
+  for (ScorerKind kind : AllScorerKinds()) {
+    if (ScorerKindName(kind) == name) return CreateScorer(kind);
+  }
+  std::string valid;
+  for (ScorerKind kind : AllScorerKinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += ScorerKindName(kind);
+  }
+  return Status::NotFound("unknown scorer: " + std::string(name) +
+                          " (valid: " + valid + ")");
+}
+
+}  // namespace lofkit

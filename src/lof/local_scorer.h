@@ -1,0 +1,138 @@
+#ifndef LOFKIT_LOF_LOCAL_SCORER_H_
+#define LOFKIT_LOF_LOCAL_SCORER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "lof/density_substrate.h"
+
+namespace lofkit {
+
+/// The local-outlier scorers lofkit ships on the shared DensitySubstrate.
+/// LOF is the paper's scorer; LDOF and the KDE density scorer are the
+/// related formulations of the same "compare a point's local density to
+/// its neighbors'" idea; the kNN-distance and DB(pct, dmin) baselines are
+/// the global notions section 3 argues against, rewired onto the same
+/// substrate so every scorer shares contexts, sweeps, ranking, stats and
+/// degradation paths.
+enum class ScorerKind {
+  kLof,          ///< local outlier factor (Definitions 5-7)
+  kLdof,         ///< local distance-based outlier factor (Zhang et al.)
+  kKde,          ///< kernel-density local scorer (adaptive Gaussian kernel)
+  kKnnDistance,  ///< k-distance ranking of Ramaswamy et al. (global)
+  kDbOutlier,    ///< DB(pct, dmin) of Knorr & Ng (global, binary)
+};
+
+/// Wall-clock seconds of one named scorer phase ("k_distance", "lrd", ...).
+/// Scorers report their own phase vocabulary; the CLI and sweep surface it
+/// generically ("phase.<name>_seconds" gauges).
+struct ScorerPhase {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// Per-point output of one scorer at one MinPts value — the scorer-agnostic
+/// shape the sweep, ranking, and stats layers consume.
+struct LocalScores {
+  size_t min_pts = 0;
+
+  /// The outlier score per point; larger = more outlying for every scorer
+  /// (the DB baseline maps its binary verdict to 1/0). May be +infinity
+  /// (duplicate degeneracies) but never NaN.
+  std::vector<double> score;
+
+  /// The scorer's local density estimate per point (lrd for LOF, kernel
+  /// density for KDE, 1 / k-distance for the kNN baseline, the in-ball
+  /// count for DB, 1 / mean-pairwise-neighbor-distance for LDOF).
+  std::vector<double> density;
+
+  /// True when any density is infinite (duplicate degeneracy occurred).
+  bool has_infinite_density = false;
+
+  /// Per-phase wall times, in the order the phases ran.
+  std::vector<ScorerPhase> phases;
+
+  /// Seconds of the named phase (0 when the scorer has no such phase).
+  double PhaseSeconds(std::string_view name) const;
+};
+
+/// Knobs shared by every scorer plus the scorer-specific dials (each
+/// scorer reads only its own; the rest are inert, so one options struct
+/// can drive a whole sweep).
+struct LocalScorerOptions {
+  /// Worker threads for the scorer's scans (0 = one per hardware thread,
+  /// 1 = sequential). Every thread count produces bit-identical scores.
+  size_t threads = 1;
+
+  /// Observability hooks (query-cost counters on the re-query route +
+  /// trace spans per phase).
+  PipelineObserver observer;
+
+  /// Cooperative cancellation/deadline token, polled at chunk boundaries.
+  StopToken stop;
+
+  /// LOF only: Definition-5 reachability smoothing (see LofComputeOptions).
+  bool use_reachability = true;
+
+  /// KDE only: per-neighbor bandwidth h_o = scale * k-distance(o). Larger
+  /// smooths more; must be > 0.
+  double kde_bandwidth_scale = 1.0;
+
+  /// DB baseline only: the pct of DB(pct, dmin) (Definition 2).
+  double db_pct = 95.0;
+
+  /// DB baseline only: the dmin radius. 0 (the default) derives it from
+  /// the data as 2x the median MinPts-distance, so the baseline runs
+  /// without manual radius tuning.
+  double db_dmin = 0.0;
+};
+
+/// A local-outlier scorer over the shared density substrate. Implementations
+/// are stateless (all per-run state lives in the substrate's cursors and
+/// the returned LocalScores), so one instance may score many substrates.
+class LocalScorer {
+ public:
+  virtual ~LocalScorer() = default;
+
+  /// Canonical name ("lof", "ldof", "kde", "knn_distance", "db_outlier").
+  virtual std::string_view name() const = 0;
+
+  virtual ScorerKind kind() const = 0;
+
+  /// Whether Score needs the original coordinates (substrate constructed
+  /// with a dataset + metric): true for LDOF (neighbor-pair distances are
+  /// not in M) and the DB baseline (radius scans).
+  virtual bool requires_coordinates() const { return false; }
+
+  /// Scores every point of the substrate at `min_pts`. Deterministic at
+  /// every thread count and identical on both substrate routes (for the
+  /// scorers that read only views; the DB baseline scans coordinates, so
+  /// its route question is moot).
+  virtual Result<LocalScores> Score(
+      const DensitySubstrate& substrate, size_t min_pts,
+      const LocalScorerOptions& options = {}) const = 0;
+};
+
+/// All scorer kinds, for parameterized tests, the CLI, and the
+/// cross-scorer quality bench.
+std::vector<ScorerKind> AllScorerKinds();
+
+/// Canonical name of a scorer kind.
+std::string_view ScorerKindName(ScorerKind kind);
+
+/// Creates a scorer of the given kind.
+std::unique_ptr<LocalScorer> CreateScorer(ScorerKind kind);
+
+/// Creates a scorer by name. An unknown name fails with NotFound, listing
+/// every registered scorer — the same UX as the index-engine factory.
+Result<std::unique_ptr<LocalScorer>> CreateScorerByName(
+    std::string_view name);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_LOCAL_SCORER_H_

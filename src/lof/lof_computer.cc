@@ -12,23 +12,27 @@ namespace lofkit {
 
 namespace {
 
-// Shared body of Compute and ComputeForCandidates. A null `candidates`
-// means every point gets the LOF pass; otherwise only the listed points do
-// and the remaining lof slots stay quiet NaN.
-Result<LofScores> ComputeOverMaterialization(
-    const NeighborhoodMaterializer& m, size_t min_pts,
+// Shared body of every LofComputer entry point: the three scans of the
+// two-step algorithm's step 2, expressed over a DensitySubstrate so the
+// materialized and re-query routes are literally the same code. A null
+// `candidates` means every point gets the LOF pass; otherwise only the
+// listed points do and the remaining lof slots stay quiet NaN (the
+// candidate path requires a materialized substrate — the prune-first
+// pipeline always has M).
+Result<LofScores> ComputeLofPasses(
+    const DensitySubstrate& substrate, size_t min_pts,
     const LofComputeOptions& options,
     const std::span<const uint32_t>* candidates) {
-  const size_t n = m.size();
+  const size_t n = substrate.size();
   const size_t threads = options.threads;
   LofScores scores;
   scores.min_pts = min_pts;
   scores.lrd.resize(n);
   scores.lof.resize(n);
 
-  // All three passes are embarrassingly parallel: point i only reads M (and
-  // in the LOF pass the completed lrd array) and writes its own slot, so
-  // any thread count produces bit-identical results.
+  // All three passes are embarrassingly parallel: point i only reads the
+  // substrate (and in the LOF pass the completed lrd array) and writes its
+  // own slot, so any thread count produces bit-identical results.
   Stopwatch watch;
   TraceRecorder* trace = options.observer.trace;
 
@@ -36,9 +40,11 @@ Result<LofScores> ComputeOverMaterialization(
   std::vector<double> k_distance(n);
   {
     TraceRecorder::Span span(trace, "k_distance");
-    LOFKIT_RETURN_IF_ERROR(
-        ParallelFor(n, threads, options.stop, [&](size_t i) -> Status {
-          LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+    LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+        n, threads, options.stop, options.observer,
+        [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
+          LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                  substrate.ViewOf(cursor, i, min_pts));
           k_distance[i] = view.k_distance;
           return Status::OK();
         }));
@@ -46,16 +52,21 @@ Result<LofScores> ComputeOverMaterialization(
   scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
-  // First scan of M: local reachability densities (Definition 6). A
-  // candidate's LOF reads only its own lrd and its neighbors' lrds, so
-  // with a candidate set the scan shrinks to that one-hop closure; other
-  // lrd slots stay NaN placeholders.
+  // First scan: local reachability densities (Definition 6). A candidate's
+  // LOF reads only its own lrd and its neighbors' lrds, so with a
+  // candidate set the scan shrinks to that one-hop closure; other lrd
+  // slots stay NaN placeholders.
   std::vector<uint32_t> lrd_points;
   if (candidates != nullptr) {
+    const NeighborhoodMaterializer* m = substrate.materializer();
+    if (m == nullptr) {
+      return Status::Internal(
+          "candidate-restricted LOF needs a materialized substrate");
+    }
     std::vector<uint8_t> needed(n, 0);
     for (uint32_t i : *candidates) {
       needed[i] = 1;
-      LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+      LOFKIT_ASSIGN_OR_RETURN(auto view, m->View(i, min_pts));
       for (const Neighbor& o : view.neighborhood) needed[o.index] = 1;
     }
     for (size_t i = 0; i < n; ++i) {
@@ -66,10 +77,12 @@ Result<LofScores> ComputeOverMaterialization(
   }
   const size_t lrd_count = candidates != nullptr ? lrd_points.size() : n;
   TraceRecorder::Span lrd_span(trace, "lrd");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(
-      lrd_count, threads, options.stop, [&](size_t slot) -> Status {
+  LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+      lrd_count, threads, options.stop, options.observer,
+      [&](DensitySubstrate::Cursor& cursor, size_t slot) -> Status {
         const size_t i = candidates != nullptr ? lrd_points[slot] : slot;
-        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                substrate.ViewOf(cursor, i, min_pts));
         double sum = 0.0;
         for (const Neighbor& o : view.neighborhood) {
           // reach-dist(i, o) = max(k-distance(o), d(i, o)) (Definition 5);
@@ -95,8 +108,8 @@ Result<LofScores> ComputeOverMaterialization(
   scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
   watch.Reset();
 
-  // Second scan of M: LOF values (Definition 7). With a candidate set the
-  // scan shrinks to the survivors; everything else stays NaN, which
+  // Second scan: LOF values (Definition 7). With a candidate set the scan
+  // shrinks to the survivors; everything else stays NaN, which
   // RankDescending sorts after every real score.
   const size_t lof_count = candidates != nullptr ? candidates->size() : n;
   if (candidates != nullptr) {
@@ -104,11 +117,13 @@ Result<LofScores> ComputeOverMaterialization(
               std::numeric_limits<double>::quiet_NaN());
   }
   TraceRecorder::Span lof_span(trace, "lof");
-  LOFKIT_RETURN_IF_ERROR(ParallelFor(
-      lof_count, threads, options.stop, [&](size_t slot) -> Status {
+  LOFKIT_RETURN_IF_ERROR(substrate.Scan(
+      lof_count, threads, options.stop, options.observer,
+      [&](DensitySubstrate::Cursor& cursor, size_t slot) -> Status {
         const size_t i =
             candidates != nullptr ? (*candidates)[slot] : slot;
-        LOFKIT_ASSIGN_OR_RETURN(auto view, m.View(i, min_pts));
+        LOFKIT_ASSIGN_OR_RETURN(auto view,
+                                substrate.ViewOf(cursor, i, min_pts));
         const double lrd_i = scores.lrd[i];
         double sum = 0.0;
         for (const Neighbor& o : view.neighborhood) {
@@ -124,21 +139,26 @@ Result<LofScores> ComputeOverMaterialization(
       }));
   lof_span.End();
   scores.phase_times.lof_seconds = watch.ElapsedSeconds();
+  substrate.FoldQueryStats(options.observer);
   return scores;
 }
 
 }  // namespace
 
+Result<LofScores> LofComputer::ComputeOverSubstrate(
+    const DensitySubstrate& substrate, size_t min_pts,
+    const LofComputeOptions& options) {
+  LOFKIT_RETURN_IF_ERROR(substrate.ValidateMinPts(min_pts));
+  return ComputeLofPasses(substrate, min_pts, options,
+                          /*candidates=*/nullptr);
+}
+
 Result<LofScores> LofComputer::Compute(const NeighborhoodMaterializer& m,
                                        size_t min_pts,
                                        const LofComputeOptions& options) {
-  if (min_pts == 0 || min_pts > m.k_max()) {
-    return Status::OutOfRange(
-        StrFormat("min_pts (%zu) must be in [1, k_max=%zu]", min_pts,
-                  m.k_max()));
-  }
-  return ComputeOverMaterialization(m, min_pts, options,
-                                    /*candidates=*/nullptr);
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverMaterialization(m));
+  return ComputeOverSubstrate(substrate, min_pts, options);
 }
 
 Result<LofScores> LofComputer::ComputeForCandidates(
@@ -160,117 +180,17 @@ Result<LofScores> LofComputer::ComputeForCandidates(
           "candidates must be strictly ascending (sorted, no duplicates)");
     }
   }
-  return ComputeOverMaterialization(m, min_pts, options, &candidates);
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverMaterialization(m));
+  return ComputeLofPasses(substrate, min_pts, options, &candidates);
 }
 
 Result<LofScores> LofComputer::ComputeRequery(
     const Dataset& data, const KnnIndex& index, size_t min_pts,
     const LofComputeOptions& options) {
-  if (min_pts == 0) {
-    return Status::OutOfRange("min_pts must be >= 1");
-  }
-  if (min_pts >= data.size()) {
-    return Status::InvalidArgument(
-        StrFormat("min_pts (%zu) must be smaller than the dataset size "
-                  "(%zu): every point needs min_pts neighbors besides itself",
-                  min_pts, data.size()));
-  }
-  const size_t n = data.size();
-  const size_t threads = options.threads;
-  // Mirrors ParallelForWorker's resolution so worker ids index ctxs safely.
-  const size_t num_workers = std::min(ResolveThreadCount(threads), n);
-  std::vector<KnnSearchContext> ctxs(num_workers);
-  std::vector<QueryStats> worker_stats(num_workers);
-  if (options.observer.query_stats != nullptr) {
-    for (size_t w = 0; w < num_workers; ++w) {
-      ctxs[w].stats = &worker_stats[w];
-    }
-  }
-
-  LofScores scores;
-  scores.min_pts = min_pts;
-  scores.lrd.resize(n);
-  scores.lof.resize(n);
-  std::vector<double> k_distance(n);
-
-  Stopwatch watch;
-  TraceRecorder* trace = options.observer.trace;
-
-  // Pass 0: k-distances. Query(p, k) returns >= min_pts entries whenever
-  // min_pts < n, so indexing entry min_pts - 1 is always in range.
-  {
-    TraceRecorder::Span span(trace, "k_distance");
-    LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-        n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
-          KnnSearchContext& ctx = ctxs[worker];
-          LOFKIT_RETURN_IF_ERROR(index.Query(
-              data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
-          k_distance[i] = ctx.results()[min_pts - 1].distance;
-          return Status::OK();
-        }));
-  }
-  scores.phase_times.k_distance_seconds = watch.ElapsedSeconds();
-  watch.Reset();
-
-  // LRD pass, re-querying the neighborhood instead of reading M. The
-  // neighbor order matches View(i, min_pts) exactly, so the sum — and the
-  // result bits — are identical to the materialized path.
-  TraceRecorder::Span lrd_span(trace, "lrd");
-  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-      n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
-        KnnSearchContext& ctx = ctxs[worker];
-        LOFKIT_RETURN_IF_ERROR(index.Query(
-            data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
-        const auto neighborhood = ctx.results();
-        double sum = 0.0;
-        for (const Neighbor& o : neighborhood) {
-          sum += options.use_reachability
-                     ? std::max(k_distance[o.index], o.distance)
-                     : o.distance;
-        }
-        if (sum > 0.0) {
-          scores.lrd[i] = static_cast<double>(neighborhood.size()) / sum;
-        } else {
-          scores.lrd[i] = std::numeric_limits<double>::infinity();
-        }
-        return Status::OK();
-      }));
-  scores.has_infinite_lrd =
-      std::any_of(scores.lrd.begin(), scores.lrd.end(),
-                  [](double lrd) { return std::isinf(lrd); });
-  lrd_span.End();
-  scores.phase_times.lrd_seconds = watch.ElapsedSeconds();
-  watch.Reset();
-
-  // LOF pass, third and last round of queries.
-  TraceRecorder::Span lof_span(trace, "lof");
-  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-      n, threads, options.stop, [&](size_t worker, size_t i) -> Status {
-        KnnSearchContext& ctx = ctxs[worker];
-        LOFKIT_RETURN_IF_ERROR(index.Query(
-            data.point(i), min_pts, static_cast<uint32_t>(i), ctx));
-        const auto neighborhood = ctx.results();
-        const double lrd_i = scores.lrd[i];
-        double sum = 0.0;
-        for (const Neighbor& o : neighborhood) {
-          const double lrd_o = scores.lrd[o.index];
-          if (std::isinf(lrd_o) && std::isinf(lrd_i)) {
-            sum += 1.0;
-          } else {
-            sum += lrd_o / lrd_i;
-          }
-        }
-        scores.lof[i] = sum / static_cast<double>(neighborhood.size());
-        return Status::OK();
-      }));
-  lof_span.End();
-  scores.phase_times.lof_seconds = watch.ElapsedSeconds();
-  if (options.observer.query_stats != nullptr) {
-    for (const QueryStats& shard : worker_stats) {
-      options.observer.query_stats->Add(shard);
-    }
-  }
-  return scores;
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverIndex(data, index));
+  return ComputeOverSubstrate(substrate, min_pts, options);
 }
 
 Result<LofScores> LofComputer::ComputeFromScratch(

@@ -10,6 +10,7 @@
 #include "dataset/metric.h"
 #include "index/index_factory.h"
 #include "index/neighborhood_materializer.h"
+#include "lof/density_substrate.h"
 
 namespace lofkit {
 
@@ -115,9 +116,21 @@ struct LofComputeOptions {
 class LofComputer {
  public:
   /// Computes LOF for `min_pts` in [1, m.k_max()] over a materialized M.
+  /// Thin wrapper over ComputeOverSubstrate — the scans themselves run on
+  /// the shared DensitySubstrate layer.
   static Result<LofScores> Compute(const NeighborhoodMaterializer& m,
                                    size_t min_pts,
                                    const LofComputeOptions& options = {});
+
+  /// The shared core every entry point (and the "lof" LocalScorer) funnels
+  /// through: the k-distance / LRD / LOF passes over a DensitySubstrate.
+  /// Works on both substrate routes with bit-identical scores — each
+  /// point's slot is written by exactly one worker and the summation order
+  /// inside a neighborhood never changes, so every thread count and both
+  /// backends agree bit for bit.
+  static Result<LofScores> ComputeOverSubstrate(
+      const DensitySubstrate& substrate, size_t min_pts,
+      const LofComputeOptions& options = {});
 
   /// Convenience single-call pipeline: build the given index over `data`,
   /// materialize min_pts neighborhoods (in parallel when options.threads

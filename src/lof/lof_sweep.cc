@@ -5,88 +5,45 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "lof/local_scorer.h"
 #include "lof/lof_pruner.h"
+#include "lof/scorer_sweep.h"
 
 namespace lofkit {
 
-std::string_view LofAggregationName(LofAggregation aggregation) {
-  switch (aggregation) {
-    case LofAggregation::kMax:
-      return "max";
-    case LofAggregation::kMin:
-      return "min";
-    case LofAggregation::kMean:
-      return "mean";
-  }
-  return "unknown";
-}
-
 namespace {
 
-Status ValidateSweepRange(size_t min_pts_lb, size_t min_pts_ub) {
-  if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
-    return Status::InvalidArgument(
-        StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
-                  min_pts_ub));
-  }
-  return Status::OK();
+// The LofSweep entry points are adapters over the generic ScorerSweep with
+// the LOF scorer; these two converters map the scorer-agnostic result
+// shape back onto the historical LOF-specific one (score = lof, density =
+// lrd, the named phases back into LofPhaseTimes fields).
+LofScores ToLofScores(LocalScores&& scores) {
+  LofScores lof;
+  lof.min_pts = scores.min_pts;
+  lof.has_infinite_lrd = scores.has_infinite_density;
+  lof.phase_times.k_distance_seconds = scores.PhaseSeconds("k_distance");
+  lof.phase_times.lrd_seconds = scores.PhaseSeconds("lrd");
+  lof.phase_times.lof_seconds = scores.PhaseSeconds("lof");
+  lof.lrd = std::move(scores.density);
+  lof.lof = std::move(scores.score);
+  return lof;
 }
 
-// One aggregation step, shared by Run and RunRequery so the accumulation
-// order (ascending MinPts) — and thus the aggregated bits — cannot drift
-// between the two paths.
-void AggregateStep(LofAggregation aggregation, size_t steps,
-                   const std::vector<double>& lof,
-                   std::vector<double>& aggregated) {
-  for (size_t i = 0; i < aggregated.size(); ++i) {
-    switch (aggregation) {
-      case LofAggregation::kMax:
-        aggregated[i] = std::max(aggregated[i], lof[i]);
-        break;
-      case LofAggregation::kMin:
-        aggregated[i] = std::min(aggregated[i], lof[i]);
-        break;
-      case LofAggregation::kMean:
-        aggregated[i] += lof[i] / static_cast<double>(steps);
-        break;
-    }
+LofSweepResult ToLofSweepResult(ScorerSweepResult&& sweep) {
+  LofSweepResult result;
+  result.min_pts_lb = sweep.min_pts_lb;
+  result.min_pts_ub = sweep.min_pts_ub;
+  result.aggregation = sweep.aggregation;
+  result.degraded_to_requery = sweep.degraded_to_requery;
+  result.phase_times.k_distance_seconds = sweep.PhaseSeconds("k_distance");
+  result.phase_times.lrd_seconds = sweep.PhaseSeconds("lrd");
+  result.phase_times.lof_seconds = sweep.PhaseSeconds("lof");
+  result.aggregated = std::move(sweep.aggregated);
+  result.per_min_pts.reserve(sweep.per_min_pts.size());
+  for (LocalScores& scores : sweep.per_min_pts) {
+    result.per_min_pts.push_back(ToLofScores(std::move(scores)));
   }
-}
-
-std::vector<double> MakeAggregationIdentity(LofAggregation aggregation,
-                                            size_t n) {
-  switch (aggregation) {
-    case LofAggregation::kMax:
-      return std::vector<double>(n, -std::numeric_limits<double>::infinity());
-    case LofAggregation::kMin:
-      return std::vector<double>(n, std::numeric_limits<double>::infinity());
-    case LofAggregation::kMean:
-      break;
-  }
-  return std::vector<double>(n, 0.0);
-}
-
-// AggregateStep restricted to the pruning survivors (the other lof slots
-// are NaN placeholders). The per-slot arithmetic and the ascending-MinPts
-// call order match AggregateStep exactly, so survivor slots end up
-// bit-identical to the full sweep's.
-void AggregateStepSparse(LofAggregation aggregation, size_t steps,
-                         const std::vector<double>& lof,
-                         std::span<const uint32_t> survivors,
-                         std::vector<double>& aggregated) {
-  for (uint32_t i : survivors) {
-    switch (aggregation) {
-      case LofAggregation::kMax:
-        aggregated[i] = std::max(aggregated[i], lof[i]);
-        break;
-      case LofAggregation::kMin:
-        aggregated[i] = std::min(aggregated[i], lof[i]);
-        break;
-      case LofAggregation::kMean:
-        aggregated[i] += lof[i] / static_cast<double>(steps);
-        break;
-    }
-  }
+  return result;
 }
 
 }  // namespace
@@ -97,56 +54,18 @@ Result<LofSweepResult> LofSweep::Run(const NeighborhoodMaterializer& m,
                                      bool keep_per_min_pts, size_t threads,
                                      const PipelineObserver& observer,
                                      const StopToken& stop) {
-  LOFKIT_RETURN_IF_ERROR(ValidateSweepRange(min_pts_lb, min_pts_ub));
-  if (min_pts_ub > m.k_max()) {
-    return Status::OutOfRange(
-        StrFormat("MinPtsUB (%zu) exceeds the materialized k_max (%zu)",
-                  min_pts_ub, m.k_max()));
-  }
-  const size_t n = m.size();
-  LofSweepResult result;
-  result.min_pts_lb = min_pts_lb;
-  result.min_pts_ub = min_pts_ub;
-  result.aggregation = aggregation;
-  const size_t steps = min_pts_ub - min_pts_lb + 1;
-
-  // The per-MinPts computations are independent (each reads only M), so
-  // they shard over the step axis; a single-step sweep has no step
-  // parallelism, so the threads go into the LOF scans instead. Aggregating
-  // afterwards in ascending MinPts order keeps the floating-point
-  // accumulation order — and thus the result bits — identical to the
-  // sequential path.
-  std::vector<LofScores> per_step(steps);
-  LofComputeOptions step_options;
-  step_options.threads = steps == 1 ? threads : 1;
-  // A single-step sweep runs on this thread, so the observer's phase spans
-  // can pass straight through to Compute; a multi-step sweep records one
-  // span per step on its worker's tid instead (per-phase spans from
-  // concurrent steps would pile onto tid 0 and render as garbage).
-  if (steps == 1) step_options.observer = observer;
-  step_options.stop = stop;
-  LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
-      steps, threads, stop, [&](size_t worker, size_t step) -> Status {
-        TraceRecorder::Span span(
-            steps == 1 ? nullptr : observer.trace,
-            StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
-            static_cast<uint32_t>(worker + 1));
-        LOFKIT_ASSIGN_OR_RETURN(
-            per_step[step],
-            LofComputer::Compute(m, min_pts_lb + step, step_options));
-        return Status::OK();
-      }));
-
-  std::vector<double> aggregated = MakeAggregationIdentity(aggregation, n);
-  for (LofScores& scores : per_step) {
-    result.phase_times.Add(scores.phase_times);
-    AggregateStep(aggregation, steps, scores.lof, aggregated);
-    if (keep_per_min_pts) {
-      result.per_min_pts.push_back(std::move(scores));
-    }
-  }
-  result.aggregated = std::move(aggregated);
-  return result;
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverMaterialization(m));
+  const std::unique_ptr<LocalScorer> scorer = CreateScorer(ScorerKind::kLof);
+  LocalScorerOptions options;
+  options.threads = threads;
+  options.observer = observer;
+  options.stop = stop;
+  LOFKIT_ASSIGN_OR_RETURN(
+      ScorerSweepResult sweep,
+      ScorerSweep::Run(substrate, *scorer, min_pts_lb, min_pts_ub,
+                       aggregation, keep_per_min_pts, options));
+  return ToLofSweepResult(std::move(sweep));
 }
 
 Result<LofSweepResult> LofSweep::RunPruned(const NeighborhoodMaterializer& m,
@@ -352,6 +271,8 @@ Result<LofSweepResult> LofSweep::RunRequery(const Dataset& data,
                                             size_t threads,
                                             const PipelineObserver& observer,
                                             const StopToken& stop) {
+  // Validate before constructing the substrate so the historical error
+  // text (and its precedence over the empty-dataset case) is preserved.
   LOFKIT_RETURN_IF_ERROR(ValidateSweepRange(min_pts_lb, min_pts_ub));
   if (min_pts_ub >= data.size()) {
     return Status::InvalidArgument(
@@ -359,31 +280,18 @@ Result<LofSweepResult> LofSweep::RunRequery(const Dataset& data,
                   "(%zu)",
                   min_pts_ub, data.size()));
   }
-  const size_t n = data.size();
-  LofSweepResult result;
-  result.min_pts_lb = min_pts_lb;
-  result.min_pts_ub = min_pts_ub;
-  result.aggregation = aggregation;
-  result.degraded_to_requery = true;
-  const size_t steps = min_pts_ub - min_pts_lb + 1;
-
-  LofComputeOptions step_options;
-  step_options.threads = threads;
-  step_options.observer = observer;
-  step_options.stop = stop;
-  std::vector<double> aggregated = MakeAggregationIdentity(aggregation, n);
-  for (size_t step = 0; step < steps; ++step) {
-    TraceRecorder::Span span(
-        observer.trace, StrFormat("sweep.min_pts_%zu", min_pts_lb + step));
-    LOFKIT_ASSIGN_OR_RETURN(
-        LofScores scores,
-        LofComputer::ComputeRequery(data, index, min_pts_lb + step,
-                                    step_options));
-    result.phase_times.Add(scores.phase_times);
-    AggregateStep(aggregation, steps, scores.lof, aggregated);
-  }
-  result.aggregated = std::move(aggregated);
-  return result;
+  LOFKIT_ASSIGN_OR_RETURN(DensitySubstrate substrate,
+                          DensitySubstrate::OverIndex(data, index));
+  const std::unique_ptr<LocalScorer> scorer = CreateScorer(ScorerKind::kLof);
+  LocalScorerOptions options;
+  options.threads = threads;
+  options.observer = observer;
+  options.stop = stop;
+  LOFKIT_ASSIGN_OR_RETURN(
+      ScorerSweepResult sweep,
+      ScorerSweep::Run(substrate, *scorer, min_pts_lb, min_pts_ub,
+                       aggregation, /*keep_per_min_pts=*/false, options));
+  return ToLofSweepResult(std::move(sweep));
 }
 
 Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(

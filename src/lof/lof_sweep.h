@@ -5,18 +5,9 @@
 
 #include "common/result.h"
 #include "lof/lof_computer.h"
+#include "lof/score_aggregation.h"
 
 namespace lofkit {
-
-/// How to aggregate LOF values over a MinPts range (section 6.2). The paper
-/// proposes the maximum ("to highlight the instance at which the object is
-/// the most outlying") and argues the minimum can erase outliers and the
-/// mean can dilute them; all three are provided so that the ablation bench
-/// can demonstrate exactly that.
-enum class LofAggregation { kMax, kMin, kMean };
-
-/// Canonical name for an aggregation ("max", "min", "mean").
-std::string_view LofAggregationName(LofAggregation aggregation);
 
 /// Result of a MinPts-range sweep.
 struct LofSweepResult {

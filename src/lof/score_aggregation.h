@@ -1,0 +1,109 @@
+#ifndef LOFKIT_LOF_SCORE_AGGREGATION_H_
+#define LOFKIT_LOF_SCORE_AGGREGATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace lofkit {
+
+/// How to aggregate outlier scores over a MinPts range (section 6.2). The
+/// paper proposes the maximum ("to highlight the instance at which the
+/// object is the most outlying") and argues the minimum can erase outliers
+/// and the mean can dilute them; all three are provided so that the
+/// ablation bench can demonstrate exactly that. The enum applies to every
+/// LocalScorer's sweep, not just LOF — the aggregation is a property of the
+/// range heuristic, not of the score formula.
+enum class LofAggregation { kMax, kMin, kMean };
+
+/// Canonical name for an aggregation ("max", "min", "mean").
+inline std::string_view LofAggregationName(LofAggregation aggregation) {
+  switch (aggregation) {
+    case LofAggregation::kMax:
+      return "max";
+    case LofAggregation::kMin:
+      return "min";
+    case LofAggregation::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+/// Validates a MinPts sweep range (shared by every sweep entry point so the
+/// error text cannot drift between them).
+inline Status ValidateSweepRange(size_t min_pts_lb, size_t min_pts_ub) {
+  if (min_pts_lb == 0 || min_pts_lb > min_pts_ub) {
+    return Status::InvalidArgument(
+        StrFormat("need 1 <= MinPtsLB (%zu) <= MinPtsUB (%zu)", min_pts_lb,
+                  min_pts_ub));
+  }
+  return Status::OK();
+}
+
+/// One aggregation step, shared by every sweep path so the accumulation
+/// order (ascending MinPts) — and thus the aggregated bits — cannot drift
+/// between them.
+inline void AggregateStep(LofAggregation aggregation, size_t steps,
+                          const std::vector<double>& scores,
+                          std::vector<double>& aggregated) {
+  for (size_t i = 0; i < aggregated.size(); ++i) {
+    switch (aggregation) {
+      case LofAggregation::kMax:
+        aggregated[i] = std::max(aggregated[i], scores[i]);
+        break;
+      case LofAggregation::kMin:
+        aggregated[i] = std::min(aggregated[i], scores[i]);
+        break;
+      case LofAggregation::kMean:
+        aggregated[i] += scores[i] / static_cast<double>(steps);
+        break;
+    }
+  }
+}
+
+/// The neutral start value of an aggregation (one entry per point).
+inline std::vector<double> MakeAggregationIdentity(LofAggregation aggregation,
+                                                   size_t n) {
+  switch (aggregation) {
+    case LofAggregation::kMax:
+      return std::vector<double>(n, -std::numeric_limits<double>::infinity());
+    case LofAggregation::kMin:
+      return std::vector<double>(n, std::numeric_limits<double>::infinity());
+    case LofAggregation::kMean:
+      break;
+  }
+  return std::vector<double>(n, 0.0);
+}
+
+/// AggregateStep restricted to the pruning survivors (the other score
+/// slots are NaN placeholders). The per-slot arithmetic and the
+/// ascending-MinPts call order match AggregateStep exactly, so survivor
+/// slots end up bit-identical to the full sweep's.
+inline void AggregateStepSparse(LofAggregation aggregation, size_t steps,
+                                const std::vector<double>& scores,
+                                std::span<const uint32_t> survivors,
+                                std::vector<double>& aggregated) {
+  for (uint32_t i : survivors) {
+    switch (aggregation) {
+      case LofAggregation::kMax:
+        aggregated[i] = std::max(aggregated[i], scores[i]);
+        break;
+      case LofAggregation::kMin:
+        aggregated[i] = std::min(aggregated[i], scores[i]);
+        break;
+      case LofAggregation::kMean:
+        aggregated[i] += scores[i] / static_cast<double>(steps);
+        break;
+    }
+  }
+}
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_LOF_SCORE_AGGREGATION_H_

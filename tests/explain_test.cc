@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "common/random.h"
 #include "dataset/generators.h"
 #include "dataset/metric.h"
@@ -56,6 +60,40 @@ TEST(ExplainTest, InlierHasDiffuseContributions) {
             0.999);
   EXPECT_EQ(explanation->neighbor_mean.size(), 2u);
   EXPECT_EQ(explanation->neighbor_stddev.size(), 2u);
+}
+
+// An all-duplicates pile is maximally degenerate: zero neighborhood spread,
+// zero global range, and an infinite LOF-style score. The explanation must
+// stay finite (uniform contributions) and the JSON export must never emit
+// the nan/inf tokens JSON cannot parse.
+TEST(ExplainTest, DuplicatePileSerializesWithoutNanOrInf) {
+  auto ds = Dataset::Create(2);
+  ASSERT_TRUE(ds.ok());
+  const double pile[2] = {4.0, -1.0};
+  ASSERT_TRUE(generators::AppendDuplicates(*ds, pile, 20).ok());
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(*ds, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(*ds, index, 5);
+  ASSERT_TRUE(m.ok());
+  auto explanation = ExplainOutlier(*ds, *m, 3, 5);
+  ASSERT_TRUE(explanation.ok());
+  // The mean of n identical coordinates can land a few ulps off the
+  // coordinate itself, so deviations are not exactly zero -- but every
+  // field must stay finite and the contributions a distribution.
+  double total = 0.0;
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_TRUE(std::isfinite(explanation->deviation[d])) << d;
+    EXPECT_TRUE(std::isfinite(explanation->contribution[d])) << d;
+    EXPECT_GE(explanation->contribution[d], 0.0);
+    total += explanation->contribution[d];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const std::string json = ExplanationToJson(
+      *explanation, 3, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"score\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"index\": 3"), std::string::npos);
 }
 
 TEST(ExplainTest, ErrorsOnBadInput) {

@@ -1,13 +1,17 @@
-// lofkit_cli — score a CSV dataset with LOF from the command line.
+// lofkit_cli — score a CSV dataset with a local-outlier scorer from the
+// command line.
 //
 // The tool drives the full paper pipeline: load -> (optionally normalize)
 // -> choose a kNN engine -> materialize neighborhoods (step 1, optionally
-// persisted/reloaded) -> LOF sweep over a MinPts range (step 2) -> rank by
-// the section-6.2 aggregate -> print the top outliers, optionally with
+// persisted/reloaded) -> score sweep over a MinPts range (step 2, LOF by
+// default; --scorer picks LDOF, the KDE density scorer, or the
+// kNN-distance / DB baselines on the same substrate) -> rank by the
+// section-6.2 aggregate -> print the top outliers, optionally with
 // per-dimension explanations, and optionally dump all scores as CSV.
 //
 // Examples:
 //   lofkit_cli --input points.csv --top 10
+//   lofkit_cli --input points.csv --top 10 --scorer kde
 //   lofkit_cli --input big.csv --top 10 --prune
 //   lofkit_cli --input games.csv --has-header --label-column 0
 //       --normalize --minpts-lb 30 --minpts-ub 50 --explain
@@ -20,6 +24,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,11 +34,14 @@
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "dataset/loaders.h"
 #include "dataset/metric.h"
 #include "index/index_factory.h"
 #include "index/rkd_forest_index.h"
 #include "lof/explain.h"
+#include "lof/local_scorer.h"
+#include "lof/scorer_sweep.h"
 #include "lof/subspace.h"
 #include "lof/lof_sweep.h"
 
@@ -86,6 +94,17 @@ int main(int argc, char** argv) {
                "rkd_forest: seed for the randomized splits; equal seeds "
                "give bit-identical forests and scores on every thread "
                "count");
+  flags.AddString("scorer", "lof",
+                  "outlier scorer on the shared neighborhood substrate: "
+                  "lof, ldof, kde, knn_distance or db_outlier");
+  flags.AddDouble("kde-bandwidth-scale", 1.0,
+                  "kde scorer: per-neighbor bandwidth h = scale * "
+                  "k-distance (must be > 0; larger smooths more)");
+  flags.AddDouble("db-pct", 95.0,
+                  "db_outlier scorer: the pct of DB(pct, dmin)");
+  flags.AddDouble("db-dmin", 0.0,
+                  "db_outlier scorer: the dmin radius (0 = derive 2x the "
+                  "median MinPts-distance from the data)");
   flags.AddU64("minpts-lb", 10, "lower bound of the MinPts range");
   flags.AddU64("minpts-ub", 20, "upper bound of the MinPts range");
   flags.AddString("aggregation", "max",
@@ -104,6 +123,10 @@ int main(int argc, char** argv) {
                 "ranking identical to the full sweep");
   flags.AddBool("explain", false,
                 "print the dominant deviating attribute per outlier");
+  flags.AddString("explain-json", "",
+                  "write per-dimension explanations of the printed "
+                  "outliers as JSON (non-finite scores serialize as null, "
+                  "so the file always parses)");
   flags.AddBool("subspaces", false,
                 "search minimal outlying attribute subspaces per printed "
                 "outlier (exhaustive up to 2 dims; d <= 30)");
@@ -195,6 +218,21 @@ int main(int argc, char** argv) {
         "--prune requires exact neighborhoods: the section-5 bound "
         "certificates are unsound over approximate kNN results; drop "
         "--prune, use an exact engine, or set --ann-checks 0 --ann-eps 0"));
+  }
+
+  // Scorer selection. LOF keeps its dedicated sweep entry points (which
+  // the prune-first path is specific to); every other scorer runs the
+  // generic ScorerSweep over the same substrate.
+  auto scorer_or = CreateScorerByName(flags.GetString("scorer"));
+  if (!scorer_or.ok()) return Fail(scorer_or.status());
+  const std::unique_ptr<LocalScorer>& scorer = *scorer_or;
+  const std::string scorer_name(scorer->name());
+  const bool is_lof = scorer->kind() == ScorerKind::kLof;
+  if (flags.GetBool("prune") && !is_lof) {
+    return Fail(Status::InvalidArgument(
+        "--prune is specific to the LOF scorer: the section-5 bound "
+        "certificates bound LOF values, not " + scorer_name +
+        " scores; drop --prune or use --scorer lof"));
   }
 
   // Robustness knobs: a wall-clock deadline for the whole pipeline and a
@@ -300,63 +338,119 @@ int main(int argc, char** argv) {
   }
   watch.Reset();
   TraceRecorder::Span sweep_span(observer.trace, "sweep");
-  auto sweep = [&]() -> Result<LofSweepResult> {
-    if (degraded_to_requery) {
-      return LofSweep::RunRequery(*working, *index, lb, ub, *aggregation,
-                                  threads, observer, stop);
-    }
-    if (prune) {
-      LofSweep::PruneOptions prune_options;
-      prune_options.top_n = top_n;
-      return LofSweep::RunPruned(*m, lb, ub, prune_options, *aggregation,
-                                 threads, observer, stop);
-    }
-    return LofSweep::Run(*m, lb, ub, *aggregation,
-                         /*keep_per_min_pts=*/false, threads, observer,
-                         stop);
-  }();
-  if (!sweep.ok()) return Fail(sweep.status());
+  std::vector<double> aggregated;
+  std::vector<ScorerPhase> phases;
+  LofSweepResult::PruneSummary prune_summary;
+  if (is_lof) {
+    // LOF keeps its dedicated entry points so the prune-first path (and
+    // its summary) stays available; Run/RunRequery are themselves thin
+    // adapters over the generic ScorerSweep.
+    auto sweep = [&]() -> Result<LofSweepResult> {
+      if (degraded_to_requery) {
+        return LofSweep::RunRequery(*working, *index, lb, ub, *aggregation,
+                                    threads, observer, stop);
+      }
+      if (prune) {
+        LofSweep::PruneOptions prune_options;
+        prune_options.top_n = top_n;
+        return LofSweep::RunPruned(*m, lb, ub, prune_options, *aggregation,
+                                   threads, observer, stop);
+      }
+      return LofSweep::Run(*m, lb, ub, *aggregation,
+                           /*keep_per_min_pts=*/false, threads, observer,
+                           stop);
+    }();
+    if (!sweep.ok()) return Fail(sweep.status());
+    aggregated = std::move(sweep->aggregated);
+    phases = {{"k_distance", sweep->phase_times.k_distance_seconds},
+              {"lrd", sweep->phase_times.lrd_seconds},
+              {"lof", sweep->phase_times.lof_seconds}};
+    prune_summary = sweep->prune;
+  } else {
+    LocalScorerOptions scorer_options;
+    scorer_options.threads = threads;
+    scorer_options.observer = observer;
+    scorer_options.stop = stop;
+    scorer_options.kde_bandwidth_scale =
+        flags.GetDouble("kde-bandwidth-scale");
+    scorer_options.db_pct = flags.GetDouble("db-pct");
+    scorer_options.db_dmin = flags.GetDouble("db-dmin");
+    auto sweep = [&]() -> Result<ScorerSweepResult> {
+      if (degraded_to_requery) {
+        LOFKIT_ASSIGN_OR_RETURN(
+            DensitySubstrate substrate,
+            DensitySubstrate::OverIndex(*working, *index, &metric));
+        return ScorerSweep::Run(substrate, *scorer, lb, ub, *aggregation,
+                                /*keep_per_min_pts=*/false, scorer_options);
+      }
+      LOFKIT_ASSIGN_OR_RETURN(
+          DensitySubstrate substrate,
+          DensitySubstrate::OverMaterialization(*m, working, &metric));
+      return ScorerSweep::Run(substrate, *scorer, lb, ub, *aggregation,
+                              /*keep_per_min_pts=*/false, scorer_options);
+    }();
+    if (!sweep.ok()) return Fail(sweep.status());
+    aggregated = std::move(sweep->aggregated);
+    phases = std::move(sweep->phases);
+  }
   sweep_span.End();
-  std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
-               lb, ub, watch.ElapsedSeconds());
-  if (sweep->prune.applied) {
+  if (is_lof) {
+    std::fprintf(stderr, "computed LOF for MinPts in [%zu, %zu] in %.3fs\n",
+                 lb, ub, watch.ElapsedSeconds());
+  } else {
+    std::fprintf(stderr,
+                 "computed %s scores for MinPts in [%zu, %zu] in %.3fs\n",
+                 scorer_name.c_str(), lb, ub, watch.ElapsedSeconds());
+  }
+  if (prune_summary.applied) {
     std::fprintf(stderr,
                  "prune stage: %zu of %zu points survived the bound "
                  "threshold %.4f (%.1f%%); %zu LOF evaluations avoided\n",
-                 sweep->prune.survivors, sweep->prune.total_points,
-                 sweep->prune.threshold,
-                 100.0 * sweep->prune.survivor_fraction(),
-                 sweep->prune.pruned_evaluations);
+                 prune_summary.survivors, prune_summary.total_points,
+                 prune_summary.threshold,
+                 100.0 * prune_summary.survivor_fraction(),
+                 prune_summary.pruned_evaluations);
   }
-  // Per-phase breakdown (k-distance/LRD/LOF are summed over the MinPts
-  // steps, so they read like CPU seconds when the sweep ran in parallel).
-  std::fprintf(stderr,
-               "phase seconds: materialize=%.3f k_distance=%.3f lrd=%.3f "
-               "lof=%.3f\n",
-               materialize_seconds, sweep->phase_times.k_distance_seconds,
-               sweep->phase_times.lrd_seconds,
-               sweep->phase_times.lof_seconds);
+  // Per-phase breakdown, in the scorer's own phase vocabulary (each phase
+  // is summed over the MinPts steps, so they read like CPU seconds when
+  // the sweep ran in parallel).
+  std::string phase_line =
+      StrFormat("phase seconds: materialize=%.3f", materialize_seconds);
+  for (const ScorerPhase& phase : phases) {
+    phase_line += StrFormat(" %s=%.3f", phase.name.c_str(), phase.seconds);
+  }
+  std::fprintf(stderr, "%s\n", phase_line.c_str());
 
-  if (flags.GetBool("explain") && degraded_to_requery) {
+  const std::string explain_json_path = flags.GetString("explain-json");
+  if ((flags.GetBool("explain") || !explain_json_path.empty()) &&
+      degraded_to_requery) {
     std::fprintf(stderr,
                  "--explain skipped: explanations need the materialized "
                  "neighborhood database, which the memory budget ruled "
                  "out\n");
   }
   TraceRecorder::Span rank_span(observer.trace, "rank");
-  auto ranked = RankDescending(sweep->aggregated, top_n);
+  auto ranked = RankDescending(aggregated, top_n);
   rank_span.End();
+  std::vector<std::string> explanation_json;
   std::printf("%-6s %-10s %-10s %s\n", "rank", "point", "score", "label");
   for (size_t i = 0; i < ranked.size(); ++i) {
     std::printf("%-6zu %-10u %-10.4f %s", i + 1, ranked[i].index,
                 ranked[i].score, data.label(ranked[i].index).c_str());
-    if (flags.GetBool("explain") && m != nullptr) {
+    if ((flags.GetBool("explain") || !explain_json_path.empty()) &&
+        m != nullptr) {
       auto explanation =
           ExplainOutlier(*working, *m, ranked[i].index, lb);
       if (explanation.ok()) {
-        const size_t dim = explanation->ranked_dimensions[0];
-        std::printf("  [dim %zu: %.0f%% of deviation]", dim,
-                    100.0 * explanation->contribution[dim]);
+        if (flags.GetBool("explain")) {
+          const size_t dim = explanation->ranked_dimensions[0];
+          std::printf("  [dim %zu: %.0f%% of deviation]", dim,
+                      100.0 * explanation->contribution[dim]);
+        }
+        if (!explain_json_path.empty()) {
+          explanation_json.push_back(ExplanationToJson(
+              *explanation, ranked[i].index, ranked[i].score));
+        }
       }
     }
     if (flags.GetBool("subspaces")) {
@@ -380,12 +474,28 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  if (!explain_json_path.empty() && m != nullptr) {
+    std::ofstream out(explain_json_path);
+    if (!out) {
+      return Fail(Status::IoError("cannot open explanation output file: " +
+                                  explain_json_path));
+    }
+    out << "[\n";
+    for (size_t i = 0; i < explanation_json.size(); ++i) {
+      out << "  " << explanation_json[i]
+          << (i + 1 < explanation_json.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    std::fprintf(stderr, "wrote %zu explanations to %s\n",
+                 explanation_json.size(), explain_json_path.c_str());
+  }
+
   if (!flags.GetString("output").empty()) {
     CsvTable table;
     table.header = {"point", "score"};
-    for (size_t i = 0; i < sweep->aggregated.size(); ++i) {
+    for (size_t i = 0; i < aggregated.size(); ++i) {
       table.rows.push_back(
-          {static_cast<double>(i), sweep->aggregated[i]});
+          {static_cast<double>(i), aggregated[i]});
     }
     if (Status status = WriteCsvFile(flags.GetString("output"), table);
         !status.ok()) {
@@ -409,18 +519,18 @@ int main(int argc, char** argv) {
     registry.Set(registry.Gauge("pipeline.degraded_to_requery"),
                  degraded_to_requery ? 1.0 : 0.0);
     registry.Set(registry.Gauge("pipeline.prune_applied"),
-                 sweep->prune.applied ? 1.0 : 0.0);
-    if (sweep->prune.applied) {
+                 prune_summary.applied ? 1.0 : 0.0);
+    if (prune_summary.applied) {
       registry.Add(registry.Counter("pipeline.prune_survivors"),
-                   sweep->prune.survivors);
+                   prune_summary.survivors);
       registry.Add(registry.Counter("pipeline.prune_pruned"),
-                   sweep->prune.total_points - sweep->prune.survivors);
+                   prune_summary.total_points - prune_summary.survivors);
       registry.Add(registry.Counter("pipeline.prune_evaluations_avoided"),
-                   sweep->prune.pruned_evaluations);
+                   prune_summary.pruned_evaluations);
       registry.Set(registry.Gauge("pipeline.prune_survivor_fraction"),
-                   sweep->prune.survivor_fraction());
+                   prune_summary.survivor_fraction());
       registry.Set(registry.Gauge("pipeline.prune_threshold"),
-                   sweep->prune.threshold);
+                   prune_summary.threshold);
     }
     registry.Set(registry.Gauge("pipeline.ann_enabled"),
                  approximate ? 1.0 : 0.0);
@@ -445,12 +555,14 @@ int main(int argc, char** argv) {
     }
     registry.Set(registry.Gauge("phase.materialize_seconds"),
                  materialize_seconds);
-    registry.Set(registry.Gauge("phase.k_distance_seconds"),
-                 sweep->phase_times.k_distance_seconds);
-    registry.Set(registry.Gauge("phase.lrd_seconds"),
-                 sweep->phase_times.lrd_seconds);
-    registry.Set(registry.Gauge("phase.lof_seconds"),
-                 sweep->phase_times.lof_seconds);
+    // Phase gauges in the scorer's own vocabulary — phase.k_distance_seconds
+    // / phase.lrd_seconds / phase.lof_seconds for LOF, phase.ldof_seconds
+    // for LDOF, and so on.
+    for (const ScorerPhase& phase : phases) {
+      registry.Set(
+          registry.Gauge(StrFormat("phase.%s_seconds", phase.name.c_str())),
+          phase.seconds);
+    }
     if (m != nullptr) {
       const MetricsRegistry::MetricId size_hist = registry.Histogram(
           "materialize.neighborhood_size", 1.0, 65536.0, 32);
@@ -459,9 +571,10 @@ int main(int argc, char** argv) {
                         static_cast<double>(m->neighbors(i).size()));
       }
     }
-    const MetricsRegistry::MetricId score_hist =
-        registry.Histogram("lof.aggregated_score", 0.0625, 64.0, 40);
-    for (double score : sweep->aggregated) {
+    const MetricsRegistry::MetricId score_hist = registry.Histogram(
+        StrFormat("%s.aggregated_score", scorer_name.c_str()), 0.0625, 64.0,
+        40);
+    for (double score : aggregated) {
       // Pruned points carry NaN placeholders instead of scores.
       if (!std::isnan(score)) registry.Record(score_hist, score);
     }
