@@ -183,6 +183,9 @@ int main() {
             : std::vector<size_t>{8, 16, 32, 64, 128, 256, 512};
 
   BenchReport report("ann_quality");
+  report.SetManifest("dataset", "performance+embedded_workloads");
+  report.SetManifest("index", "rkd_forest");
+  report.SetManifest("threads", 1.0);
   for (const Workload& w : workloads) {
     const size_t d = w.ambient;
     const size_t n = w.n;

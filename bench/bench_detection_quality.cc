@@ -112,6 +112,8 @@ int main() {
   PrintHeader("Detection quality (registry scorers vs global baselines)",
               "ROC-AUC / precision@n on planted ground truth");
   BenchReport report("detection_quality");
+  report.SetManifest("dataset", "ds1+ds2+planted_scenarios");
+  report.SetManifest("threads", 1.0);
 
   {
     Rng rng(11);

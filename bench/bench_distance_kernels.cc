@@ -63,6 +63,9 @@ int main() {
   const size_t n = smoke ? 256 : 4096;
   const std::vector<size_t> dims = {8, 64};
   BenchReport report("kernels");
+  report.SetManifest("dataset", "uniform_scan");
+  report.SetManifest("n", static_cast<double>(n));
+  report.SetManifest("threads", 1.0);
 
   PrintHeader("Distance kernels",
               "one n-point scan: virtual Metric::Distance vs devirtualized "

@@ -70,6 +70,10 @@ int main() {
   const std::vector<size_t> dims = smoke ? std::vector<size_t>{2, 5}
                                          : std::vector<size_t>{2, 5, 10, 20};
   BenchReport report("fig10");
+  report.SetManifest("dataset", "performance_workload");
+  report.SetManifest("k", static_cast<double>(k));
+  report.SetManifest("index", "rstar_tree");
+  report.SetManifest("threads", 1.0);
 
   PrintHeader("Figure 10",
               "materialization time vs n, MinPtsUB = 50, per dimension");

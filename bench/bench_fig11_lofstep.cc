@@ -49,6 +49,11 @@ int main() {
       smoke ? std::vector<size_t>{200}
             : std::vector<size_t>{2000, 4000, 8000, 16000};
   BenchReport report("fig11");
+  report.SetManifest("dataset", "performance_workload");
+  report.SetManifest("minpts_lb", static_cast<double>(lb));
+  report.SetManifest("minpts_ub", static_cast<double>(ub));
+  report.SetManifest("index", "kd_tree");
+  report.SetManifest("threads", 1.0);
 
   PrintHeader("Figure 11",
               "LOF-computation (step 2) time vs n, MinPts in [10, 50]");

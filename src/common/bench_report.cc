@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -20,7 +21,53 @@ void AppendNumber(std::ostringstream& os, double v) {
   os << v;
 }
 
+std::string CompilerString() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  // Environment-derived manifest defaults; benches overwrite or extend.
+  SetManifest("compiler", CompilerString());
+  SetManifest("hw_concurrency",
+              static_cast<double>(std::thread::hardware_concurrency()));
+  const char* smoke = std::getenv("LOFKIT_BENCH_SMOKE");
+  SetManifest("smoke",
+              smoke != nullptr && *smoke != '\0' && *smoke != '0' ? 1.0 : 0.0);
+#if defined(NDEBUG)
+  SetManifest("assertions", 0.0);
+#else
+  SetManifest("assertions", 1.0);
+#endif
+}
+
+BenchReport::ManifestEntry& BenchReport::ManifestSlot(const std::string& key) {
+  for (ManifestEntry& entry : manifest_) {
+    if (entry.key == key) return entry;
+  }
+  manifest_.push_back(ManifestEntry{key, "", 0.0, false});
+  return manifest_.back();
+}
+
+void BenchReport::SetManifest(const std::string& key,
+                              const std::string& value) {
+  ManifestEntry& entry = ManifestSlot(key);
+  entry.str = value;
+  entry.is_string = true;
+}
+
+void BenchReport::SetManifest(const std::string& key, double value) {
+  ManifestEntry& entry = ManifestSlot(key);
+  entry.num = value;
+  entry.is_string = false;
+}
 
 void BenchReport::Add(const std::string& case_name,
                       std::vector<std::pair<std::string, double>> metrics) {
@@ -29,7 +76,17 @@ void BenchReport::Add(const std::string& case_name,
 
 std::string BenchReport::ToJson() const {
   std::ostringstream os;
-  os << "{\"bench\": \"" << JsonEscape(name_) << "\", \"rows\": [";
+  os << "{\"bench\": \"" << JsonEscape(name_) << "\", \"manifest\": {";
+  for (size_t i = 0; i < manifest_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << JsonEscape(manifest_[i].key) << "\": ";
+    if (manifest_[i].is_string) {
+      os << "\"" << JsonEscape(manifest_[i].str) << "\"";
+    } else {
+      AppendNumber(os, manifest_[i].num);
+    }
+  }
+  os << "}, \"rows\": [";
   for (size_t i = 0; i < rows_.size(); ++i) {
     if (i > 0) os << ", ";
     os << "{\"case\": \"" << JsonEscape(rows_[i].case_name)

@@ -16,12 +16,23 @@ namespace lofkit {
 ///
 /// Format:
 ///   {"bench": "<name>",
+///    "manifest": {"<key>": <string-or-number>, ...},
 ///    "rows": [{"case": "<case>", "metrics": {"<key>": <value>, ...}}, ...]}
+///
+/// The manifest records the run's conditions — compiler, hardware
+/// concurrency, smoke mode, dataset parameters — so a diff tool
+/// (lofkit_benchdiff) can warn when two sidecars were not produced under
+/// comparable conditions. The constructor pre-fills the environment-derived
+/// keys; benches add their own with SetManifest.
 ///
 /// Non-finite metric values are serialized as null (JSON has no inf/nan).
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name);
+
+  /// Sets (or overwrites) one manifest entry. Insertion-ordered.
+  void SetManifest(const std::string& key, const std::string& value);
+  void SetManifest(const std::string& key, double value);
 
   /// Appends one row. Keys and case names are fully JSON-escaped on
   /// serialization (quotes, backslashes, and control characters such as
@@ -42,7 +53,18 @@ class BenchReport {
     std::vector<std::pair<std::string, double>> metrics;
   };
 
+  /// One manifest entry: a string or a number, never both.
+  struct ManifestEntry {
+    std::string key;
+    std::string str;
+    double num = 0.0;
+    bool is_string = false;
+  };
+
+  ManifestEntry& ManifestSlot(const std::string& key);
+
   std::string name_;
+  std::vector<ManifestEntry> manifest_;
   std::vector<Row> rows_;
 };
 

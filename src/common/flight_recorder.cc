@@ -1,0 +1,270 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lofkit {
+
+namespace {
+
+// Geometric bucket upper bounds shared by every shard, identical in
+// construction to MetricsRegistry's histogram layout so the merged view
+// behaves like any other registry histogram. Computed once; std::array,
+// so initialization allocates nothing even under the counting new hook.
+using BoundsArray = std::array<double, QueryFlightRecorder::Shard::kBuckets>;
+
+const BoundsArray& LatencyBounds() {
+  static const BoundsArray bounds = [] {
+    BoundsArray out{};
+    const double lo = QueryFlightRecorder::kLatencyLoNs;
+    const double ratio = QueryFlightRecorder::kLatencyHiNs / lo;
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] = lo * std::pow(ratio, static_cast<double>(b + 1) /
+                                        static_cast<double>(out.size()));
+    }
+    out.back() = QueryFlightRecorder::kLatencyHiNs;
+    return out;
+  }();
+  return bounds;
+}
+
+void AppendNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os.precision(17);
+  os << v;
+}
+
+// Min-heap on wall_ns: front() is the fastest retained unit, the one a
+// slower newcomer evicts.
+bool SlowerThan(const QueryFlightRecorder::Record& a,
+                const QueryFlightRecorder::Record& b) {
+  return a.wall_ns > b.wall_ns;
+}
+
+void AppendRecordJson(std::ostringstream& os,
+                      const QueryFlightRecorder::Record& rec) {
+  os << "{\"site\": \"" << QueryFlightRecorder::SiteName(rec.site)
+     << "\", \"engine\": \"" << JsonEscape(std::string(rec.engine))
+     << "\", \"shard\": " << rec.shard << ", \"seq\": " << rec.seq
+     << ", \"first_point\": " << rec.first_point
+     << ", \"queries\": " << rec.queries << ", \"k\": " << rec.k
+     << ", \"wall_ns\": " << rec.wall_ns
+     << ", \"distance_evals\": " << rec.distance_evals
+     << ", \"node_visits\": " << rec.node_visits
+     << ", \"leaf_visits\": " << rec.leaf_visits << "}";
+}
+
+}  // namespace
+
+std::string_view QueryFlightRecorder::SiteName(Site site) {
+  switch (site) {
+    case Site::kMaterialize:
+      return "materialize";
+    case Site::kSweep:
+      return "sweep";
+  }
+  return "unknown";
+}
+
+QueryFlightRecorder::QueryFlightRecorder()
+    : QueryFlightRecorder(Options{}) {}
+
+QueryFlightRecorder::QueryFlightRecorder(Options options)
+    : options_(options) {
+  options_.ring_capacity = std::max<size_t>(options_.ring_capacity, 1);
+  options_.top_k = std::max<size_t>(options_.top_k, 1);
+  options_.sample_stride = std::max<uint64_t>(options_.sample_stride, 1);
+}
+
+void QueryFlightRecorder::PrepareShards(size_t count) {
+  while (shards_.size() < count) {
+    auto shard = std::make_unique<Shard>();
+    shard->index_ = static_cast<uint32_t>(shards_.size());
+    shard->stride_ = options_.sample_stride;
+    shard->top_k_ = options_.top_k;
+    shard->ring_.resize(options_.ring_capacity);
+    shard->top_.reserve(options_.top_k);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void QueryFlightRecorder::Shard::Record(Site site, std::string_view engine,
+                                        uint32_t first_point, uint32_t queries,
+                                        uint32_t k, uint64_t wall_ns,
+                                        const QueryStats& before,
+                                        const QueryStats& after) {
+  QueryFlightRecorder::Record rec;
+  rec.seq = seq_;
+  rec.wall_ns = wall_ns;
+  rec.distance_evals = after.distance_evals - before.distance_evals;
+  rec.node_visits = after.node_visits - before.node_visits;
+  rec.leaf_visits = after.leaf_visits - before.leaf_visits;
+  rec.engine = engine;
+  rec.shard = index_;
+  rec.first_point = first_point;
+  rec.queries = std::max<uint32_t>(queries, 1);
+  rec.k = k;
+  rec.site = site;
+  ++seq_;
+
+  ring_[rec.seq % ring_.size()] = rec;
+
+  if (top_.size() < top_k_) {
+    top_.push_back(rec);
+    std::push_heap(top_.begin(), top_.end(), SlowerThan);
+  } else if (rec.wall_ns > top_.front().wall_ns) {
+    std::pop_heap(top_.begin(), top_.end(), SlowerThan);
+    top_.back() = rec;
+    std::push_heap(top_.begin(), top_.end(), SlowerThan);
+  }
+
+  // Histogram observations are per-query so the two sites compare on one
+  // axis: a 64-query batch contributes 64 observations of its amortized
+  // per-query latency.
+  SiteAccum& accum = sites_[static_cast<size_t>(site)];
+  const double per_query_ns =
+      static_cast<double>(wall_ns) / static_cast<double>(rec.queries);
+  const BoundsArray& bounds = LatencyBounds();
+  size_t slot;
+  if (per_query_ns < QueryFlightRecorder::kLatencyLoNs) {
+    slot = 0;
+  } else if (per_query_ns > QueryFlightRecorder::kLatencyHiNs) {
+    slot = accum.counts.size() - 1;
+  } else {
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), per_query_ns);
+    slot = 1 + static_cast<size_t>(it - bounds.begin());
+  }
+  accum.counts[slot] += rec.queries;
+  accum.sum_ns += static_cast<double>(wall_ns);
+  accum.min_ns = std::min(accum.min_ns, per_query_ns);
+  accum.max_ns = std::max(accum.max_ns, per_query_ns);
+  accum.units += 1;
+  accum.queries += rec.queries;
+  if (accum.engine.empty()) accum.engine = engine;
+}
+
+QueryFlightRecorder::Report QueryFlightRecorder::Merge() const {
+  Report report;
+  report.options = options_;
+
+  const BoundsArray& bounds = LatencyBounds();
+  for (size_t s = 0; s < kSiteCount; ++s) {
+    SiteReport site_report;
+    site_report.site = static_cast<Site>(s);
+    auto& hist = site_report.latency;
+    hist.lo = kLatencyLoNs;
+    hist.hi = kLatencyHiNs;
+    hist.upper_bounds.assign(bounds.begin(), bounds.end());
+    hist.counts.assign(bounds.size(), 0);
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const auto& shard : shards_) {
+      const Shard::SiteAccum& accum = shard->sites_[s];
+      if (accum.units == 0) continue;
+      hist.underflow += accum.counts.front();
+      hist.overflow += accum.counts.back();
+      for (size_t b = 0; b < hist.counts.size(); ++b) {
+        hist.counts[b] += accum.counts[b + 1];
+      }
+      hist.sum += accum.sum_ns;
+      min = std::min(min, accum.min_ns);
+      max = std::max(max, accum.max_ns);
+      site_report.sampled_units += accum.units;
+      site_report.sampled_queries += accum.queries;
+      if (site_report.engine.empty()) site_report.engine = accum.engine;
+    }
+    if (site_report.sampled_units == 0) continue;
+    hist.total_count = hist.underflow + hist.overflow;
+    for (uint64_t c : hist.counts) hist.total_count += c;
+    hist.min = min;
+    hist.max = max;
+    hist.name = "latency." + std::string(SiteName(site_report.site)) + "." +
+                std::string(site_report.engine) + ".query_ns";
+    report.sites.push_back(std::move(site_report));
+  }
+
+  for (const auto& shard : shards_) {
+    for (const Record& rec : shard->top_) report.slowest.push_back(rec);
+  }
+  std::sort(report.slowest.begin(), report.slowest.end(),
+            [](const Record& a, const Record& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  if (report.slowest.size() > options_.top_k) {
+    report.slowest.resize(options_.top_k);
+  }
+
+  for (const auto& shard : shards_) {
+    const size_t size = shard->ring_.size();
+    const uint64_t count = std::min<uint64_t>(shard->seq_, size);
+    const uint64_t start = shard->seq_ - count;
+    for (uint64_t i = start; i < shard->seq_; ++i) {
+      report.recent.push_back(shard->ring_[i % size]);
+    }
+  }
+
+  return report;
+}
+
+std::string QueryFlightRecorder::Report::ToJson() const {
+  std::ostringstream os;
+  os << "{\"config\": {\"ring_capacity\": " << options.ring_capacity
+     << ", \"top_k\": " << options.top_k
+     << ", \"sample_stride\": " << options.sample_stride << "},\n";
+  os << " \"sites\": [";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const SiteReport& site = sites[i];
+    if (i > 0) os << ",\n  ";
+    os << "{\"site\": \"" << QueryFlightRecorder::SiteName(site.site)
+       << "\", \"engine\": \"" << JsonEscape(std::string(site.engine))
+       << "\", \"sampled_units\": " << site.sampled_units
+       << ", \"sampled_queries\": " << site.sampled_queries
+       << ", \"latency_ns\": {\"count\": " << site.latency.total_count
+       << ", \"sum\": ";
+    AppendNumber(os, site.latency.sum);
+    os << ", \"min\": ";
+    AppendNumber(os, site.latency.min);
+    os << ", \"max\": ";
+    AppendNumber(os, site.latency.max);
+    os << ", \"p50\": ";
+    AppendNumber(os, site.latency.Quantile(0.50));
+    os << ", \"p95\": ";
+    AppendNumber(os, site.latency.Quantile(0.95));
+    os << ", \"p99\": ";
+    AppendNumber(os, site.latency.Quantile(0.99));
+    os << "}}";
+  }
+  os << "],\n \"slowest\": [";
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    if (i > 0) os << ",\n  ";
+    AppendRecordJson(os, slowest[i]);
+  }
+  os << "],\n \"recent\": [";
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) os << ",\n  ";
+    AppendRecordJson(os, recent[i]);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+Status QueryFlightRecorder::Report::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace lofkit

@@ -1,0 +1,188 @@
+#ifndef LOFKIT_COMMON_FLIGHT_RECORDER_H_
+#define LOFKIT_COMMON_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace lofkit {
+
+/// Per-query tail-latency capture for the kNN hot paths.
+///
+/// QueryStats answers "how much work" (the paper's page-access currency);
+/// the flight recorder answers "how long, and which queries were slow".
+/// Each worker owns a Shard and records sampled *timed units* — one
+/// QueryBatch chunk on the materialize path, one re-query on the
+/// substrate path — into a fixed-capacity ring buffer, a bounded heap of
+/// the slowest units, and a per-site geometric latency histogram. All
+/// storage is preallocated by PrepareShards(), so the record path is
+/// allocation-free and lock-free (the same per-worker discipline as
+/// QueryStats); the clock is read only around sampled units, so with a
+/// stride > 1 the timing overhead amortizes away.
+///
+/// Merge() folds the shards into one deterministic Report: histograms sum
+/// bucket-wise, and the slowest-unit list is ordered by (wall_ns desc,
+/// shard asc, seq asc) — independent of which worker finished first.
+class QueryFlightRecorder {
+ public:
+  /// Which pipeline call site timed the unit.
+  enum class Site : uint8_t { kMaterialize = 0, kSweep = 1 };
+  static constexpr size_t kSiteCount = 2;
+  static std::string_view SiteName(Site site);
+
+  struct Options {
+    /// Most-recent sampled units retained per shard.
+    size_t ring_capacity = 256;
+    /// Slowest sampled units retained per shard (exact top-K per shard;
+    /// the merged report keeps the global top-K of the union).
+    size_t top_k = 32;
+    /// Record every Nth unit (1 = every unit). Skipped units are not
+    /// timed at all — no clock reads, no counter snapshots.
+    uint64_t sample_stride = 1;
+  };
+
+  /// One sampled timed unit. `queries` is the number of kNN queries the
+  /// unit answered (the batch size on the materialize path, 1 on the
+  /// re-query path); histogram observations are per-query (wall_ns /
+  /// queries, weighted by queries), while ring/top-K retention is
+  /// per-unit. The engine name is a view of the engine's static
+  /// identifier — never owned, never copied.
+  struct Record {
+    uint64_t seq = 0;  // shard-local sample number, from 0
+    uint64_t wall_ns = 0;
+    uint64_t distance_evals = 0;
+    uint64_t node_visits = 0;
+    uint64_t leaf_visits = 0;
+    std::string_view engine;
+    uint32_t shard = 0;
+    uint32_t first_point = 0;
+    uint32_t queries = 0;
+    uint32_t k = 0;
+    Site site = Site::kMaterialize;
+  };
+
+  /// One worker's capture state. Not thread-safe: one shard per worker,
+  /// like KnnSearchContext. All methods are allocation-free after
+  /// PrepareShards().
+  class Shard {
+   public:
+    /// Stride gate; call once per unit and time the unit only on true.
+    bool ShouldSample() {
+      if (stride_ <= 1) return true;
+      return (tick_++ % stride_) == 0;
+    }
+
+    /// Records one timed unit. `before`/`after` are counter snapshots
+    /// straddling the unit; only their deltas are kept.
+    void Record(Site site, std::string_view engine, uint32_t first_point,
+                uint32_t queries, uint32_t k, uint64_t wall_ns,
+                const QueryStats& before, const QueryStats& after);
+
+    uint64_t sampled_units() const { return seq_; }
+
+    /// Bucket count of the per-site latency histograms (geometric over
+    /// [kLatencyLoNs, kLatencyHiNs], plus underflow/overflow slots).
+    static constexpr size_t kBuckets = 48;
+
+   private:
+    friend class QueryFlightRecorder;
+
+    // Per-site latency accumulation in fixed-size arrays so recording
+    // never grows anything.
+    struct SiteAccum {
+      std::array<uint64_t, kBuckets + 2> counts{};
+      double sum_ns = 0.0;
+      double min_ns = std::numeric_limits<double>::infinity();
+      double max_ns = -std::numeric_limits<double>::infinity();
+      uint64_t units = 0;
+      uint64_t queries = 0;
+      std::string_view engine;
+    };
+
+    uint32_t index_ = 0;
+    uint64_t stride_ = 1;
+    uint64_t tick_ = 0;
+    uint64_t seq_ = 0;    // sampled units recorded so far
+    size_t top_k_ = 0;    // heap bound (reserve may round capacity up)
+    // "QueryFlightRecorder::Record" in full: the bare name would resolve
+    // to the Record() member function inside this class.
+    std::vector<QueryFlightRecorder::Record> ring_;  // slot = seq % capacity
+    std::vector<QueryFlightRecorder::Record> top_;   // min-heap by wall_ns
+    std::array<SiteAccum, kSiteCount> sites_{};
+  };
+
+  QueryFlightRecorder();
+  explicit QueryFlightRecorder(Options options);
+
+  QueryFlightRecorder(const QueryFlightRecorder&) = delete;
+  QueryFlightRecorder& operator=(const QueryFlightRecorder&) = delete;
+
+  /// Ensures at least `count` shards exist, preallocating their rings and
+  /// heaps. Idempotent; only ever grows. This is the only allocation site
+  /// — call it before the parallel region.
+  void PrepareShards(size_t count);
+
+  /// Shard `i` (must be < shard_count()). Pointers remain valid until the
+  /// recorder is destroyed; PrepareShards never invalidates them.
+  Shard* shard(size_t i) { return shards_[i].get(); }
+  size_t shard_count() const { return shards_.size(); }
+
+  const Options& options() const { return options_; }
+
+  /// Histogram bucket geometry of the per-site latency histograms.
+  static constexpr double kLatencyLoNs = 256.0;
+  static constexpr double kLatencyHiNs = 1e10;
+
+  /// Merged per-site latency view, shaped like a registry histogram so it
+  /// can splice straight into a metrics Snapshot (and reuse Quantile()).
+  struct SiteReport {
+    Site site = Site::kMaterialize;
+    std::string_view engine;
+    uint64_t sampled_units = 0;
+    uint64_t sampled_queries = 0;
+    MetricsRegistry::Snapshot::HistogramValue latency;  // per-query ns
+  };
+
+  struct Report {
+    Options options;
+    std::vector<SiteReport> sites;   // only sites that saw samples
+    std::vector<Record> slowest;     // wall desc, shard asc, seq asc
+    std::vector<Record> recent;      // shard asc, then oldest to newest
+
+    /// Slow-query report: config, per-site latency summaries
+    /// (count/sum/min/max/p50/p95/p99), the slowest units, and the
+    /// recent-unit rings. Strict JSON.
+    std::string ToJson() const;
+
+    /// Writes ToJson() to `path`.
+    Status WriteJson(const std::string& path) const;
+  };
+
+  /// Deterministic fold of all shards (call after the parallel region
+  /// has joined). Does not consume the shards.
+  Report Merge() const;
+
+  /// Monotonic nanoseconds for timing units (steady_clock).
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_FLIGHT_RECORDER_H_

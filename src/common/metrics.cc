@@ -4,7 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/string_util.h"
 
@@ -169,6 +174,8 @@ MetricsRegistry::MetricId MetricsRegistry::Histogram(const std::string& name,
   for (Shard& shard : shards_) {
     shard.hist_counts.emplace_back(buckets + 2, 0);
     shard.hist_sum.push_back(0.0);
+    shard.hist_min.push_back(std::numeric_limits<double>::infinity());
+    shard.hist_max.push_back(-std::numeric_limits<double>::infinity());
   }
   return id;
 }
@@ -214,6 +221,8 @@ void MetricsRegistry::Record(MetricId id, double value, size_t shard) {
   }
   ++counts[slot];
   s.hist_sum[def.slot] += value;
+  s.hist_min[def.slot] = std::min(s.hist_min[def.slot], value);
+  s.hist_max[def.slot] = std::max(s.hist_max[def.slot], value);
 }
 
 void MetricsRegistry::AddQueryStats(const std::string& prefix,
@@ -261,6 +270,8 @@ MetricsRegistry::Snapshot MetricsRegistry::Aggregate() const {
         value.hi = layout.hi;
         value.upper_bounds = layout.upper_bounds;
         value.counts.assign(layout.upper_bounds.size(), 0);
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
         for (const Shard& shard : shards_) {
           const std::vector<uint64_t>& counts = shard.hist_counts[def.slot];
           value.underflow += counts.front();
@@ -269,15 +280,48 @@ MetricsRegistry::Snapshot MetricsRegistry::Aggregate() const {
             value.counts[b] += counts[b + 1];
           }
           value.sum += shard.hist_sum[def.slot];
+          min = std::min(min, shard.hist_min[def.slot]);
+          max = std::max(max, shard.hist_max[def.slot]);
         }
         value.total_count = value.underflow + value.overflow;
         for (uint64_t c : value.counts) value.total_count += c;
+        const bool empty = value.total_count == 0;
+        value.min = empty ? std::numeric_limits<double>::quiet_NaN() : min;
+        value.max = empty ? std::numeric_limits<double>::quiet_NaN() : max;
         snapshot.histograms.push_back(std::move(value));
         break;
       }
     }
   }
   return snapshot;
+}
+
+double MetricsRegistry::Snapshot::HistogramValue::Quantile(double q) const {
+  if (total_count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Fractional rank of the target observation in the sorted sample; the
+  // cumulative bucket walk below finds the bucket containing it and
+  // interpolates linearly inside that bucket's edges.
+  const double target = q * static_cast<double>(total_count);
+  double cum = static_cast<double>(underflow);
+  if (target <= cum) return min;  // underflow bucket has no lower edge
+  double lower_edge = lo;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const double upper_edge = upper_bounds[b];
+    if (counts[b] > 0) {
+      const double next = cum + static_cast<double>(counts[b]);
+      if (target <= next) {
+        const double frac = (target - cum) / static_cast<double>(counts[b]);
+        const double estimate = lower_edge + frac * (upper_edge - lower_edge);
+        // The exact envelope keeps single-valued data exact and estimates
+        // inside the observed range even at the extreme percentiles.
+        return std::min(max, std::max(min, estimate));
+      }
+      cum = next;
+    }
+    lower_edge = upper_edge;
+  }
+  return max;  // target falls in the overflow bucket
 }
 
 std::string MetricsRegistry::Snapshot::ToJson() const {
@@ -307,6 +351,18 @@ std::string MetricsRegistry::Snapshot::ToJson() const {
     AppendJsonNumber(os, hist.hi);
     os << ", \"count\": " << hist.total_count << ", \"sum\": ";
     AppendJsonNumber(os, hist.sum);
+    if (hist.total_count > 0) {
+      os << ", \"min\": ";
+      AppendJsonNumber(os, hist.min);
+      os << ", \"max\": ";
+      AppendJsonNumber(os, hist.max);
+      os << ", \"p50\": ";
+      AppendJsonNumber(os, hist.Quantile(0.50));
+      os << ", \"p95\": ";
+      AppendJsonNumber(os, hist.Quantile(0.95));
+      os << ", \"p99\": ";
+      AppendJsonNumber(os, hist.Quantile(0.99));
+    }
     os << ", \"underflow\": " << hist.underflow
        << ", \"overflow\": " << hist.overflow << ", \"buckets\": [";
     for (size_t b = 0; b < hist.counts.size(); ++b) {
@@ -319,6 +375,85 @@ std::string MetricsRegistry::Snapshot::ToJson() const {
   }
   os << "}}\n";
   return os.str();
+}
+
+namespace {
+
+// OpenMetrics metric names admit [a-zA-Z0-9_:] only; everything else
+// (the registry's dotted names in particular) maps to '_'.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "lofkit_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// OpenMetrics spells non-finite values NaN/+Inf/-Inf, unlike JSON.
+void AppendOpenMetricsNumber(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    os.precision(17);
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::ToOpenMetrics() const {
+  std::ostringstream os;
+  for (const CounterValue& counter : counters) {
+    const std::string name = OpenMetricsName(counter.name);
+    os << "# TYPE " << name << " counter\n";
+    os << name << "_total " << counter.value << "\n";
+  }
+  for (const GaugeValue& gauge : gauges) {
+    if (!gauge.set) continue;
+    const std::string name = OpenMetricsName(gauge.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " ";
+    AppendOpenMetricsNumber(os, gauge.value);
+    os << "\n";
+  }
+  for (const HistogramValue& hist : histograms) {
+    const std::string name = OpenMetricsName(hist.name);
+    os << "# TYPE " << name << " histogram\n";
+    // Cumulative buckets: underflow observations (< lo) are below every
+    // upper bound, so they seed the running total.
+    uint64_t cum = hist.underflow;
+    for (size_t b = 0; b < hist.counts.size(); ++b) {
+      cum += hist.counts[b];
+      os << name << "_bucket{le=\"";
+      AppendOpenMetricsNumber(os, hist.upper_bounds[b]);
+      os << "\"} " << cum << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << hist.total_count << "\n";
+    os << name << "_count " << hist.total_count << "\n";
+    os << name << "_sum ";
+    AppendOpenMetricsNumber(os, hist.sum);
+    os << "\n";
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // reported in KiB
+#endif
+#else
+  return 0;
+#endif
 }
 
 Status MetricsRegistry::WriteJson(const std::string& path) const {

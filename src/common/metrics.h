@@ -1,6 +1,7 @@
 #ifndef LOFKIT_COMMON_METRICS_H_
 #define LOFKIT_COMMON_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -11,6 +12,8 @@
 #include "common/result.h"
 
 namespace lofkit {
+
+class QueryFlightRecorder;
 
 /// Per-query work counters for the kNN engines — the quantities the paper's
 /// performance sections argue in (node/page accesses and distance
@@ -147,17 +150,76 @@ class TraceRecorder {
   std::vector<Event> events_;
 };
 
+/// Coarse liveness state for long runs: pipeline layers bump `units_done`
+/// (one unit = one point scored or materialized) and set the phase label;
+/// a background publisher thread reads the fields to emit heartbeat
+/// gauges. All members are relaxed atomics — progress is advisory, never
+/// load-bearing for results, so no ordering is required.
+///
+/// Phase labels must be string literals (or otherwise outlive the
+/// tracker): only the pointer is stored, so readers never allocate or
+/// race on string contents.
+class ProgressTracker {
+ public:
+  void SetPhase(const char* phase) {
+    phase_.store(phase, std::memory_order_relaxed);
+  }
+  const char* phase() const {
+    const char* p = phase_.load(std::memory_order_relaxed);
+    return p != nullptr ? p : "";
+  }
+
+  void SetTotal(uint64_t units) {
+    units_total_.store(units, std::memory_order_relaxed);
+  }
+  void Add(uint64_t units) {
+    units_done_.fetch_add(units, std::memory_order_relaxed);
+  }
+
+  uint64_t units_done() const {
+    return units_done_.load(std::memory_order_relaxed);
+  }
+  uint64_t units_total() const {
+    return units_total_.load(std::memory_order_relaxed);
+  }
+
+  /// done/total clamped to [0, 1]; 0 while the total is unknown.
+  double FractionComplete() const {
+    const uint64_t total = units_total();
+    if (total == 0) return 0.0;
+    const uint64_t done = units_done();
+    return done >= total ? 1.0
+                         : static_cast<double>(done) /
+                               static_cast<double>(total);
+  }
+
+ private:
+  std::atomic<const char*> phase_{nullptr};
+  std::atomic<uint64_t> units_done_{0};
+  std::atomic<uint64_t> units_total_{0};
+};
+
 /// Optional observability hooks threaded through the pipeline layers
-/// (materializers, LofComputer, LofSweep). Both pointers default to null —
-/// fully disabled, with zero behavior change; either may be set alone.
+/// (materializers, LofComputer, LofSweep). Every pointer defaults to null —
+/// fully disabled, with zero behavior change; any subset may be set.
 /// `query_stats` receives deterministic totals (per-worker shards are
 /// summed after the parallel region, so every thread count yields the same
-/// numbers); `trace` receives phase and per-worker chunk spans.
+/// numbers); `trace` receives phase and per-worker chunk spans; `flight`
+/// samples per-query latency records into per-worker ring buffers;
+/// `progress` receives coarse liveness updates for the heartbeat
+/// publisher. `trace_tid` is the track phase spans are recorded on —
+/// normally 0, but a sweep running whole steps on worker threads sets it
+/// to the worker's track so nested phase spans land under the step span.
 struct PipelineObserver {
   QueryStats* query_stats = nullptr;
   TraceRecorder* trace = nullptr;
+  QueryFlightRecorder* flight = nullptr;
+  ProgressTracker* progress = nullptr;
+  uint32_t trace_tid = 0;
 
-  bool enabled() const { return query_stats != nullptr || trace != nullptr; }
+  bool enabled() const {
+    return query_stats != nullptr || trace != nullptr || flight != nullptr;
+  }
 };
 
 /// A registry of named counters, gauges, and bounded histograms with
@@ -233,6 +295,17 @@ class MetricsRegistry {
       uint64_t overflow = 0;
       uint64_t total_count = 0;
       double sum = 0.0;
+      /// Exact smallest/largest recorded value (NaN when count == 0).
+      /// Min/max merge order-independently across shards, so quantile
+      /// clamping stays deterministic at every thread count.
+      double min = 0.0;
+      double max = 0.0;
+
+      /// Estimated q-quantile (q in [0, 1]) by linear interpolation
+      /// within the geometric buckets, clamped to the exact [min, max]
+      /// envelope — single-bucket data is therefore exact, and estimates
+      /// are monotone in q. Returns NaN when the histogram is empty.
+      double Quantile(double q) const;
     };
 
     std::vector<CounterValue> counters;
@@ -241,7 +314,15 @@ class MetricsRegistry {
 
     /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
     /// every name JSON-escaped; parses under any strict JSON reader.
+    /// Non-empty histograms also carry "min"/"max"/"p50"/"p95"/"p99".
     std::string ToJson() const;
+
+    /// OpenMetrics text exposition (the Prometheus scrape surface):
+    /// counters as `lofkit_<name>_total`, gauges as `lofkit_<name>`, and
+    /// histograms with cumulative `le` buckets plus `_sum`/`_count`,
+    /// terminated by `# EOF`. Metric names are sanitized to
+    /// [a-zA-Z0-9_:] as the format requires.
+    std::string ToOpenMetrics() const;
   };
 
   Snapshot Aggregate() const;
@@ -272,6 +353,8 @@ class MetricsRegistry {
     // overflow), preallocated at registration time.
     std::vector<std::vector<uint64_t>> hist_counts;
     std::vector<double> hist_sum;
+    std::vector<double> hist_min;  // +inf until the first observation
+    std::vector<double> hist_max;  // -inf until the first observation
   };
 
   MetricId Register(const std::string& name, Kind kind);
@@ -281,6 +364,11 @@ class MetricsRegistry {
   std::vector<HistogramLayout> histogram_layouts_;
   std::vector<Shard> shards_;
 };
+
+/// Peak resident-set size of this process in bytes (getrusage ru_maxrss),
+/// or 0 where the platform does not report it. High-water mark, not
+/// current usage — it can only grow over a run.
+uint64_t PeakRssBytes();
 
 }  // namespace lofkit
 

@@ -1,0 +1,64 @@
+#include "common/metrics_publisher.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace lofkit {
+
+SnapshotPublisher::SnapshotPublisher(std::string path,
+                                     std::chrono::milliseconds interval,
+                                     RenderFn render)
+    : path_(std::move(path)),
+      interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds(1000)),
+      render_(std::move(render)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+SnapshotPublisher::~SnapshotPublisher() { Stop(); }
+
+void SnapshotPublisher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  PublishOnce();
+}
+
+uint64_t SnapshotPublisher::publish_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_count_;
+}
+
+void SnapshotPublisher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) break;
+    lock.unlock();
+    PublishOnce();
+    lock.lock();
+  }
+}
+
+void SnapshotPublisher::PublishOnce() {
+  const std::string text = render_();
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return;  // heartbeat is best-effort; never fail the run
+    out << text;
+    if (!out) return;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publish_count_;
+}
+
+}  // namespace lofkit

@@ -1,0 +1,61 @@
+#ifndef LOFKIT_COMMON_METRICS_PUBLISHER_H_
+#define LOFKIT_COMMON_METRICS_PUBLISHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lofkit {
+
+/// Periodically renders a text snapshot and writes it to a file — the
+/// scrape surface for long runs: point a file-based scraper (or `watch
+/// cat`) at the path and it sees a fresh OpenMetrics heartbeat every
+/// interval, even while the pipeline is mid-phase.
+///
+/// The render callback runs on the publisher's own thread and must be
+/// safe to call concurrently with the pipeline (read relaxed atomics,
+/// take snapshots — never touch per-worker shards mid-flight). Writes go
+/// to `<path>.tmp` and are renamed into place, so a reader never
+/// observes a partially written snapshot. Stop() (or destruction)
+/// publishes one final snapshot so the file always ends at the terminal
+/// state.
+class SnapshotPublisher {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  SnapshotPublisher(std::string path, std::chrono::milliseconds interval,
+                    RenderFn render);
+  ~SnapshotPublisher();
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// Stops the background thread and publishes the final snapshot.
+  /// Idempotent.
+  void Stop();
+
+  /// Snapshots written so far (including the final one after Stop()).
+  uint64_t publish_count() const;
+
+ private:
+  void Loop();
+  void PublishOnce();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  RenderFn render_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  uint64_t publish_count_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_METRICS_PUBLISHER_H_

@@ -1,0 +1,56 @@
+#ifndef LOFKIT_COMMON_MINIJSON_H_
+#define LOFKIT_COMMON_MINIJSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lofkit {
+
+/// A small strict-JSON reader for the repo's own machine-readable outputs
+/// (BENCH_*.json sidecars, --stats-json snapshots): enough for tools like
+/// lofkit_benchdiff to load a document without an external dependency.
+///
+/// Scope: strict RFC 8259 JSON — objects, arrays, strings (with \uXXXX
+/// including surrogate pairs), numbers (parsed as double), true/false/null.
+/// Object members keep insertion order; duplicate keys are kept as-is and
+/// Find returns the first. Not a streaming parser — the whole document
+/// lives in memory twice (text + tree), which is fine for kilobyte-scale
+/// sidecars and wrong for anything bigger.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member named `key`, or nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document. Trailing whitespace is allowed;
+/// any other trailing content is an error, as are documents nested deeper
+/// than an implementation cap (64 levels — far beyond any sidecar).
+/// Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads `path` and parses it with ParseJson.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_MINIJSON_H_

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
@@ -101,6 +102,14 @@ class KnnSearchContext {
   /// allocates and never changes a result bit, so the zero-allocation
   /// steady state and bit-identical guarantees hold in both modes.
   QueryStats* stats = nullptr;
+
+  /// Optional flight-recorder shard for per-query latency sampling. The
+  /// engines never touch this — the *call sites* that issue queries
+  /// (materializer chunks, substrate re-queries) consult it to decide
+  /// whether to time a unit and where to record it. Same per-worker
+  /// discipline as `stats`; timing requires `stats` to be set too (the
+  /// recorder keeps counter deltas alongside wall time).
+  QueryFlightRecorder::Shard* flight = nullptr;
 
   /// Engine-internal scratch pools. Not part of the stable API: the
   /// engines and the collector reach in freely; external callers must

@@ -117,6 +117,29 @@ Status ValidateMaterializationArgs(const Dataset& data, size_t k_max) {
 // The upfront budget gate: refuses to materialize when even the optimistic
 // projection of M does not fit, so callers can fall back to the re-query
 // path before a single query has been paid.
+// Runs `query` as one flight-recorder timed unit covering `queries` kNN
+// queries starting at `first_point`. When the unit is not sampled (or no
+// shard is armed) the query runs bare — no clock reads, no snapshots — so
+// the stride fully amortizes the timing overhead. Requires ctx.stats when
+// ctx.flight is set (the record keeps counter deltas).
+template <typename QueryFn>
+Status TimedUnit(KnnSearchContext& ctx, const KnnIndex& index,
+                 uint32_t first_point, uint32_t queries, size_t k,
+                 QueryFn&& query) {
+  if (ctx.flight == nullptr || ctx.stats == nullptr ||
+      !ctx.flight->ShouldSample()) {
+    return query();
+  }
+  const QueryStats before = *ctx.stats;
+  const uint64_t start_ns = QueryFlightRecorder::NowNs();
+  LOFKIT_RETURN_IF_ERROR(query());
+  const uint64_t end_ns = QueryFlightRecorder::NowNs();
+  ctx.flight->Record(QueryFlightRecorder::Site::kMaterialize, index.name(),
+                     first_point, queries, static_cast<uint32_t>(k),
+                     end_ns - start_ns, before, *ctx.stats);
+  return Status::OK();
+}
+
 Status CheckMemoryBudget(size_t n, size_t k_max, size_t budget_bytes) {
   if (budget_bytes == 0) return Status::OK();
   const size_t projected =
@@ -152,6 +175,15 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
   // bumped directly.
   KnnSearchContext ctx;
   ctx.stats = observer.query_stats;
+  // Flight sampling needs counters for the per-record deltas, so an armed
+  // recorder gets a local QueryStats even when the caller asked for no
+  // totals.
+  QueryStats local_stats;
+  if (observer.flight != nullptr) {
+    observer.flight->PrepareShards(1);
+    ctx.flight = observer.flight->shard(0);
+    if (ctx.stats == nullptr) ctx.stats = &local_stats;
+  }
   if (!distinct_neighbors) {
     // The plain self-query pass goes through QueryBatch so engines with a
     // real batch override (the linear scan's query tiling) get to amortize
@@ -167,12 +199,15 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
       for (size_t j = 0; j < ids.size(); ++j) {
         ids[j] = static_cast<uint32_t>(begin + j);
       }
-      LOFKIT_RETURN_IF_ERROR(index.QueryBatch(ids, k_max, ctx));
+      LOFKIT_RETURN_IF_ERROR(TimedUnit(
+          ctx, index, ids.front(), static_cast<uint32_t>(ids.size()), k_max,
+          [&] { return index.QueryBatch(ids, k_max, ctx); }));
       for (size_t j = 0; j < ids.size(); ++j) {
         const auto list = ctx.batch_results(j);
         m.flat_.insert(m.flat_.end(), list.begin(), list.end());
         m.offsets_.push_back(m.flat_.size());
       }
+      if (observer.progress != nullptr) observer.progress->Add(end - begin);
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
@@ -181,11 +216,15 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::Materialize(
                                                          : stop.status());
       }
       LOFKIT_FAIL_POINT("materializer.query");
-      LOFKIT_RETURN_IF_ERROR(
-          QueryNeighborhood(data, index, k_max, distinct_neighbors, i, ctx));
+      LOFKIT_RETURN_IF_ERROR(TimedUnit(
+          ctx, index, static_cast<uint32_t>(i), 1, k_max, [&] {
+            return QueryNeighborhood(data, index, k_max, distinct_neighbors,
+                                     i, ctx);
+          }));
       const auto list = ctx.results();
       m.flat_.insert(m.flat_.end(), list.begin(), list.end());
       m.offsets_.push_back(m.flat_.size());
+      if (observer.progress != nullptr) observer.progress->Add(1);
     }
   }
   return m;
@@ -218,9 +257,15 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
   // Per-worker counter shards, summed after the join: totals come out the
   // same at every thread count, and the hot path never shares a cache line.
   std::vector<QueryStats> worker_stats(num_workers);
-  if (observer.query_stats != nullptr) {
+  if (observer.query_stats != nullptr || observer.flight != nullptr) {
     for (size_t w = 0; w < num_workers; ++w) {
       ctxs[w].stats = &worker_stats[w];
+    }
+  }
+  if (observer.flight != nullptr) {
+    observer.flight->PrepareShards(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      ctxs[w].flight = observer.flight->shard(w);
     }
   }
   TraceRecorder::Span span(observer.trace, "materialize", /*tid=*/0);
@@ -238,19 +283,26 @@ Result<NeighborhoodMaterializer> NeighborhoodMaterializer::MaterializeParallel(
           for (size_t j = 0; j < chunk_ids.size(); ++j) {
             chunk_ids[j] = static_cast<uint32_t>(begin + j);
           }
-          LOFKIT_RETURN_IF_ERROR(index.QueryBatch(chunk_ids, k_max, ctx));
+          LOFKIT_RETURN_IF_ERROR(TimedUnit(
+              ctx, index, chunk_ids.front(),
+              static_cast<uint32_t>(chunk_ids.size()), k_max,
+              [&] { return index.QueryBatch(chunk_ids, k_max, ctx); }));
           for (size_t j = 0; j < chunk_ids.size(); ++j) {
             const auto list = ctx.batch_results(j);
             lists[begin + j].assign(list.begin(), list.end());
           }
         } else {
           for (size_t i = begin; i < end; ++i) {
-            LOFKIT_RETURN_IF_ERROR(QueryNeighborhood(
-                data, index, k_max, distinct_neighbors, i, ctx));
+            LOFKIT_RETURN_IF_ERROR(TimedUnit(
+                ctx, index, static_cast<uint32_t>(i), 1, k_max, [&] {
+                  return QueryNeighborhood(data, index, k_max,
+                                           distinct_neighbors, i, ctx);
+                }));
             const auto list = ctx.results();
             lists[i].assign(list.begin(), list.end());
           }
         }
+        if (observer.progress != nullptr) observer.progress->Add(end - begin);
         return Status::OK();
       }));
   span.End();

@@ -68,9 +68,22 @@ Result<DensitySubstrate::View> DensitySubstrate::ViewOf(Cursor& cursor,
   // result is exactly the k-distance neighborhood a materialized View
   // would yield — same entries, same (distance, index) order, same bits.
   LOFKIT_FAIL_POINT("substrate.query");
-  LOFKIT_RETURN_IF_ERROR(
-      index_->Query(data_->point(i), k, static_cast<uint32_t>(i),
-                    cursor.ctx_));
+  KnnSearchContext& ctx = cursor.ctx_;
+  if (ctx.flight != nullptr && ctx.stats != nullptr &&
+      ctx.flight->ShouldSample()) {
+    const QueryStats before = *ctx.stats;
+    const uint64_t start_ns = QueryFlightRecorder::NowNs();
+    LOFKIT_RETURN_IF_ERROR(
+        index_->Query(data_->point(i), k, static_cast<uint32_t>(i), ctx));
+    const uint64_t end_ns = QueryFlightRecorder::NowNs();
+    ctx.flight->Record(QueryFlightRecorder::Site::kSweep, index_->name(),
+                       static_cast<uint32_t>(i), /*queries=*/1,
+                       static_cast<uint32_t>(k), end_ns - start_ns, before,
+                       *ctx.stats);
+  } else {
+    LOFKIT_RETURN_IF_ERROR(
+        index_->Query(data_->point(i), k, static_cast<uint32_t>(i), ctx));
+  }
   const std::span<const Neighbor> neighborhood = cursor.ctx_.results();
   return View{neighborhood[k - 1].distance, neighborhood};
 }
@@ -82,15 +95,31 @@ void DensitySubstrate::PrepareCursors(size_t workers,
   }
   // Stats shards only make sense on the re-query route (the materialized
   // route runs no queries); arm or disarm every cursor so a pool reused
-  // across computations follows the current observer.
-  const bool armed = m_ == nullptr && observer.query_stats != nullptr;
-  for (Cursor& cursor : cursors_) {
+  // across computations follows the current observer. Flight sampling
+  // needs the counters for its per-record deltas, so an armed recorder
+  // forces the stats shard on even without a query_stats sink (the fold
+  // then just drops the totals).
+  const bool requery = m_ == nullptr;
+  const bool armed =
+      requery &&
+      (observer.query_stats != nullptr || observer.flight != nullptr);
+  if (requery && observer.flight != nullptr) {
+    observer.flight->PrepareShards(cursors_.size());
+  }
+  for (size_t w = 0; w < cursors_.size(); ++w) {
+    Cursor& cursor = cursors_[w];
     cursor.ctx_.stats = armed ? &cursor.stats_ : nullptr;
+    cursor.ctx_.flight = (requery && observer.flight != nullptr)
+                             ? observer.flight->shard(w)
+                             : nullptr;
   }
 }
 
 void DensitySubstrate::FoldQueryStats(const PipelineObserver& observer) const {
-  if (observer.query_stats == nullptr) return;
+  // Materialized substrates never arm their cursors, so folding would only
+  // add zeros — skipping entirely keeps concurrent materialized scans from
+  // touching the shared observer at all.
+  if (m_ != nullptr || observer.query_stats == nullptr) return;
   for (Cursor& cursor : cursors_) {
     observer.query_stats->Add(cursor.stats_);
     cursor.stats_.Reset();

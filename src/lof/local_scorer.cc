@@ -111,7 +111,8 @@ class LdofScorer final : public LocalScorer {
     scores.score.resize(n);
     scores.density.resize(n);
     Stopwatch watch;
-    TraceRecorder::Span span(options.observer.trace, "ldof");
+    TraceRecorder::Span span(options.observer.trace, "ldof",
+                             options.observer.trace_tid);
     LOFKIT_RETURN_IF_ERROR(substrate.Scan(
         n, options.threads, options.stop, options.observer,
         [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
@@ -192,7 +193,8 @@ class KdeScorer final : public LocalScorer {
     // Pass 0: k-distances — they are the adaptive bandwidths.
     std::vector<double> k_distance;
     {
-      TraceRecorder::Span span(trace, "k_distance");
+      TraceRecorder::Span span(trace, "k_distance",
+                               options.observer.trace_tid);
       LOFKIT_RETURN_IF_ERROR(
           KDistancePass(substrate, min_pts, options, k_distance));
     }
@@ -204,7 +206,8 @@ class KdeScorer final : public LocalScorer {
     // exact duplicates) degenerates to a point mass: infinite contribution
     // at distance 0, none elsewhere — the KDE analogue of LOF's infinite
     // lrd on duplicate piles.
-    TraceRecorder::Span density_span(trace, "kde_density");
+    TraceRecorder::Span density_span(trace, "kde_density",
+                                     options.observer.trace_tid);
     LOFKIT_RETURN_IF_ERROR(substrate.Scan(
         n, options.threads, options.stop, options.observer,
         [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
@@ -233,7 +236,8 @@ class KdeScorer final : public LocalScorer {
     // Score pass: the LOF-shaped ratio of the neighbors' densities to the
     // point's own, with the same degenerate conventions (inf/inf := 1,
     // 0/0 := 1), so duplicate piles score 1 instead of NaN.
-    TraceRecorder::Span score_span(trace, "kde_score");
+    TraceRecorder::Span score_span(trace, "kde_score",
+                                   options.observer.trace_tid);
     LOFKIT_RETURN_IF_ERROR(substrate.Scan(
         n, options.threads, options.stop, options.observer,
         [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
@@ -280,7 +284,8 @@ class KnnDistanceScorer final : public LocalScorer {
     LocalScores scores;
     scores.min_pts = min_pts;
     Stopwatch watch;
-    TraceRecorder::Span span(options.observer.trace, "k_distance");
+    TraceRecorder::Span span(options.observer.trace, "k_distance",
+                             options.observer.trace_tid);
     LOFKIT_RETURN_IF_ERROR(
         KDistancePass(substrate, min_pts, options, scores.score));
     span.End();
@@ -326,7 +331,8 @@ class DbOutlierScorer final : public LocalScorer {
     double dmin = options.db_dmin;
     if (dmin == 0.0) {
       std::vector<double> k_distance;
-      TraceRecorder::Span span(trace, "k_distance");
+      TraceRecorder::Span span(trace, "k_distance",
+                               options.observer.trace_tid);
       LOFKIT_RETURN_IF_ERROR(
           KDistancePass(substrate, min_pts, options, k_distance));
       span.End();
@@ -342,7 +348,8 @@ class DbOutlierScorer final : public LocalScorer {
     // The nested-loop scan polls the token only here: Detect is the
     // baseline's own sequential kernel and stays unchanged.
     LOFKIT_RETURN_IF_ERROR(options.stop.CheckDeadline());
-    TraceRecorder::Span span(trace, "db_scan");
+    TraceRecorder::Span span(trace, "db_scan",
+                             options.observer.trace_tid);
     LOFKIT_ASSIGN_OR_RETURN(
         DbOutlierResult verdicts,
         DbOutlierDetector::Detect(*substrate.data(), *substrate.metric(),

@@ -39,7 +39,7 @@ Result<LofScores> ComputeLofPasses(
   // Pass 0 (cheap): k-distances, needed for the reachability distances.
   std::vector<double> k_distance(n);
   {
-    TraceRecorder::Span span(trace, "k_distance");
+    TraceRecorder::Span span(trace, "k_distance", options.observer.trace_tid);
     LOFKIT_RETURN_IF_ERROR(substrate.Scan(
         n, threads, options.stop, options.observer,
         [&](DensitySubstrate::Cursor& cursor, size_t i) -> Status {
@@ -76,7 +76,7 @@ Result<LofScores> ComputeLofPasses(
               std::numeric_limits<double>::quiet_NaN());
   }
   const size_t lrd_count = candidates != nullptr ? lrd_points.size() : n;
-  TraceRecorder::Span lrd_span(trace, "lrd");
+  TraceRecorder::Span lrd_span(trace, "lrd", options.observer.trace_tid);
   LOFKIT_RETURN_IF_ERROR(substrate.Scan(
       lrd_count, threads, options.stop, options.observer,
       [&](DensitySubstrate::Cursor& cursor, size_t slot) -> Status {
@@ -116,7 +116,7 @@ Result<LofScores> ComputeLofPasses(
     std::fill(scores.lof.begin(), scores.lof.end(),
               std::numeric_limits<double>::quiet_NaN());
   }
-  TraceRecorder::Span lof_span(trace, "lof");
+  TraceRecorder::Span lof_span(trace, "lof", options.observer.trace_tid);
   LOFKIT_RETURN_IF_ERROR(substrate.Scan(
       lof_count, threads, options.stop, options.observer,
       [&](DensitySubstrate::Cursor& cursor, size_t slot) -> Status {

@@ -1,6 +1,7 @@
 #include "lof/lof_sweep.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -38,6 +39,7 @@ LofSweepResult ToLofSweepResult(ScorerSweepResult&& sweep) {
   result.phase_times.k_distance_seconds = sweep.PhaseSeconds("k_distance");
   result.phase_times.lrd_seconds = sweep.PhaseSeconds("lrd");
   result.phase_times.lof_seconds = sweep.PhaseSeconds("lof");
+  result.step_seconds = std::move(sweep.step_seconds);
   result.aggregated = std::move(sweep.aggregated);
   result.per_min_pts.reserve(sweep.per_min_pts.size());
   for (LocalScores& scores : sweep.per_min_pts) {
@@ -228,22 +230,38 @@ Result<LofSweepResult> LofSweep::RunPruned(const NeighborhoodMaterializer& m,
   }
 
   // Stage 2 (expensive): full LOF, but only for the survivors. Same step
-  // sharding and observer routing as Run.
+  // sharding and observer routing as ScorerSweep::Run: every step records
+  // a sweep.min_pts_<m> span, and multi-step sweeps redirect it (plus the
+  // nested phase spans, via trace_tid) onto the step worker's track.
   std::vector<LofScores> per_step(steps);
-  LofComputeOptions step_options;
-  step_options.threads = steps == 1 ? threads : 1;
-  if (steps == 1) step_options.observer = observer;
-  step_options.stop = stop;
+  result.step_seconds.assign(steps, 0.0);
   LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
       steps, threads, stop, [&](size_t worker, size_t step) -> Status {
+        const uint32_t tid = steps == 1
+                                 ? observer.trace_tid
+                                 : static_cast<uint32_t>(worker + 1);
         TraceRecorder::Span span(
-            steps == 1 ? nullptr : observer.trace,
-            StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
-            static_cast<uint32_t>(worker + 1));
+            observer.trace,
+            StrFormat("sweep.min_pts_%zu", min_pts_lb + step), tid);
+        LofComputeOptions step_options;
+        step_options.threads = steps == 1 ? threads : 1;
+        step_options.observer = observer;
+        step_options.observer.trace_tid = tid;
+        if (steps != 1) {
+          step_options.observer.query_stats = nullptr;
+          step_options.observer.flight = nullptr;
+        }
+        step_options.stop = stop;
+        const auto step_start = std::chrono::steady_clock::now();
         LOFKIT_ASSIGN_OR_RETURN(
             per_step[step],
             LofComputer::ComputeForCandidates(
                 m, min_pts_lb + step, selection.survivors, step_options));
+        result.step_seconds[step] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          step_start)
+                .count();
+        if (observer.progress != nullptr) observer.progress->Add(n);
         return Status::OK();
       }));
 

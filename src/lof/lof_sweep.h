@@ -60,6 +60,10 @@ struct LofSweepResult {
   /// the steps ran in parallel: each step's own wall clock is added).
   LofPhaseTimes phase_times;
 
+  /// Wall seconds of each MinPts step (index 0 is MinPtsLB). Parallel
+  /// steps overlap, so these do not sum to the sweep's wall time.
+  std::vector<double> step_seconds;
+
   /// True when the sweep ran on the bounded-memory re-query path (memory
   /// budget forced degradation). The aggregated bits are identical either
   /// way.

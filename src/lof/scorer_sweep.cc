@@ -1,6 +1,7 @@
 #include "lof/scorer_sweep.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -65,29 +66,41 @@ Result<ScorerSweepResult> ScorerSweep::Run(const DensitySubstrate& substrate,
   result.degraded_to_requery = !substrate.materialized();
   std::vector<double> aggregated = MakeAggregationIdentity(aggregation, n);
 
+  result.step_seconds.assign(steps, 0.0);
+
   if (substrate.materialized()) {
     // The per-MinPts computations are independent (each reads only the
     // substrate's backend), so they shard over the step axis; a
-    // single-step sweep has no step parallelism, so the threads and
-    // observer go into the scorer's scans instead. Aggregating afterwards
-    // in ascending MinPts order keeps the floating-point accumulation
-    // order — and thus the result bits — identical to the sequential path.
+    // single-step sweep has no step parallelism, so the threads go into
+    // the scorer's scans instead. Aggregating afterwards in ascending
+    // MinPts order keeps the floating-point accumulation order — and thus
+    // the result bits — identical to the sequential path.
     std::vector<LocalScores> per_step(steps);
-    LocalScorerOptions step_options = options;
-    step_options.threads = steps == 1 ? options.threads : 1;
-    // A single-step sweep runs on this thread, so the observer's phase
-    // spans can pass straight through to the scorer; a multi-step sweep
-    // records one span per step on its worker's tid instead (per-phase
-    // spans from concurrent steps would pile onto tid 0 and render as
-    // garbage).
-    if (steps != 1) step_options.observer = PipelineObserver{};
     LOFKIT_RETURN_IF_ERROR(ParallelForWorker(
         steps, options.threads, options.stop,
         [&](size_t worker, size_t step) -> Status {
+          // Span naming matches the re-query route step for step. A
+          // multi-step sweep redirects the step span and the scorer's
+          // nested phase spans (via trace_tid) onto the step worker's
+          // track, so concurrent steps never pile onto one tid; the
+          // single-step case stays on the caller's track.
+          const uint32_t tid =
+              steps == 1 ? options.observer.trace_tid
+                         : static_cast<uint32_t>(worker + 1);
           TraceRecorder::Span span(
-              steps == 1 ? nullptr : options.observer.trace,
-              StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
-              static_cast<uint32_t>(worker + 1));
+              options.observer.trace,
+              StrFormat("sweep.min_pts_%zu", min_pts_lb + step), tid);
+          LocalScorerOptions step_options = options;
+          step_options.threads = steps == 1 ? options.threads : 1;
+          step_options.observer.trace_tid = tid;
+          if (steps != 1) {
+            // Concurrent steps may not share the caller's plain-counter
+            // sinks; on this (materialized) route the scorers run no kNN
+            // queries anyway, so dropping them loses nothing.
+            step_options.observer.query_stats = nullptr;
+            step_options.observer.flight = nullptr;
+          }
+          const auto step_start = std::chrono::steady_clock::now();
           // Each concurrent step scores its own cursor-pool copy; the
           // single-step case keeps the caller's substrate so its pool
           // stays warm.
@@ -96,6 +109,13 @@ Result<ScorerSweepResult> ScorerSweep::Run(const DensitySubstrate& substrate,
               per_step[step],
               scorer.Score(steps == 1 ? substrate : local,
                            min_pts_lb + step, step_options));
+          result.step_seconds[step] =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            step_start)
+                  .count();
+          if (options.observer.progress != nullptr) {
+            options.observer.progress->Add(n);
+          }
           return Status::OK();
         }));
     for (LocalScores& scores : per_step) {
@@ -114,11 +134,20 @@ Result<ScorerSweepResult> ScorerSweep::Run(const DensitySubstrate& substrate,
     for (size_t step = 0; step < steps; ++step) {
       TraceRecorder::Span span(
           options.observer.trace,
-          StrFormat("sweep.min_pts_%zu", min_pts_lb + step));
+          StrFormat("sweep.min_pts_%zu", min_pts_lb + step),
+          options.observer.trace_tid);
+      const auto step_start = std::chrono::steady_clock::now();
       LOFKIT_ASSIGN_OR_RETURN(
           LocalScores scores,
           scorer.Score(substrate, min_pts_lb + step, options));
       span.End();
+      result.step_seconds[step] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        step_start)
+              .count();
+      if (options.observer.progress != nullptr) {
+        options.observer.progress->Add(n);
+      }
       MergePhases(result.phases, scores.phases);
       result.has_infinite_density |= scores.has_infinite_density;
       AggregateStep(aggregation, steps, scores.score, aggregated);

@@ -28,6 +28,12 @@ struct ScorerSweepResult {
   /// first-seen order; CPU-time-like when the steps ran in parallel).
   std::vector<ScorerPhase> phases;
 
+  /// Wall seconds of each MinPts step (index 0 is MinPtsLB), on both
+  /// routes — the per-step latency distribution the stats export
+  /// histograms. Parallel steps overlap, so these do not sum to the
+  /// sweep's wall time.
+  std::vector<double> step_seconds;
+
   /// True when any step saw an infinite density (duplicate degeneracy).
   bool has_infinite_density = false;
 

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/flight_recorder.h"
 #include "common/random.h"
 #include "dataset/generators.h"
 #include "dataset/metric.h"
@@ -165,6 +166,39 @@ TEST(AllocationTest, RkdForestSteadyStateIsAllocationFree) {
   // Exact dial: the frontier drains fully, touching every scratch pool
   // (including the cross-tree visited marks) at its largest extent.
   ExpectZeroSteadyStateAllocations<RkdForestIndex>("rkd_forest");
+}
+
+// The flight recorder's record path must stay allocation-free after
+// PrepareShards, including when the ring wraps and the top-K heap churns:
+// rings are preallocated, engine names are string_views, and the heap
+// replaces in place once full.
+TEST(AllocationTest, FlightRecorderSteadyStateIsAllocationFree) {
+  QueryFlightRecorder recorder(
+      QueryFlightRecorder::Options{/*ring_capacity=*/16, /*top_k=*/8,
+                                   /*sample_stride=*/2});
+  recorder.PrepareShards(2);
+  const QueryStats before;
+  QueryStats after;
+  after.distance_evals = 123;
+  after.node_visits = 45;
+
+  {
+    AllocationGuard guard;
+    for (uint32_t i = 0; i < 200; ++i) {
+      QueryFlightRecorder::Shard* shard = recorder.shard(i % 2);
+      if (!shard->ShouldSample()) continue;
+      shard->Record(QueryFlightRecorder::Site::kMaterialize, "kd_tree", i,
+                    /*queries=*/64, /*k=*/20,
+                    /*wall_ns=*/1000 + 7919 * (i % 31), before, after);
+      shard->Record(QueryFlightRecorder::Site::kSweep, "kd_tree", i,
+                    /*queries=*/1, /*k=*/20,
+                    /*wall_ns=*/500 + 131 * (i % 17), before, after);
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "flight recorder record path allocated after PrepareShards";
+  }
+  // The recorder actually captured: both rings wrapped several times.
+  EXPECT_GT(recorder.shard(0)->sampled_units(), 16u);
 }
 
 TEST(AllocationTest, HookSeesAllocations) {

@@ -1,0 +1,191 @@
+#include "common/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lofkit {
+namespace {
+
+QueryStats StatsAt(uint64_t evals, uint64_t nodes, uint64_t leaves) {
+  QueryStats stats;
+  stats.distance_evals = evals;
+  stats.node_visits = nodes;
+  stats.leaf_visits = leaves;
+  return stats;
+}
+
+TEST(QueryFlightRecorderTest, OptionsAreSanitized) {
+  QueryFlightRecorder recorder(
+      QueryFlightRecorder::Options{/*ring_capacity=*/0, /*top_k=*/0,
+                                   /*sample_stride=*/0});
+  EXPECT_EQ(recorder.options().ring_capacity, 1u);
+  EXPECT_EQ(recorder.options().top_k, 1u);
+  EXPECT_EQ(recorder.options().sample_stride, 1u);
+}
+
+TEST(QueryFlightRecorderTest, PrepareShardsGrowsIdempotently) {
+  QueryFlightRecorder recorder;
+  recorder.PrepareShards(2);
+  QueryFlightRecorder::Shard* first = recorder.shard(0);
+  recorder.PrepareShards(4);
+  EXPECT_EQ(recorder.shard_count(), 4u);
+  EXPECT_EQ(recorder.shard(0), first);  // pointers stay valid
+  recorder.PrepareShards(1);            // never shrinks
+  EXPECT_EQ(recorder.shard_count(), 4u);
+}
+
+TEST(QueryFlightRecorderTest, StrideGateSamplesEveryNth) {
+  QueryFlightRecorder recorder(
+      QueryFlightRecorder::Options{/*ring_capacity=*/8, /*top_k=*/4,
+                                   /*sample_stride=*/3});
+  recorder.PrepareShards(1);
+  QueryFlightRecorder::Shard* shard = recorder.shard(0);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (shard->ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);  // units 0, 3, 6
+}
+
+TEST(QueryFlightRecorderTest, RingWrapsKeepingMostRecent) {
+  QueryFlightRecorder recorder(
+      QueryFlightRecorder::Options{/*ring_capacity=*/4, /*top_k=*/2,
+                                   /*sample_stride=*/1});
+  recorder.PrepareShards(1);
+  QueryFlightRecorder::Shard* shard = recorder.shard(0);
+  const QueryStats zero;
+  for (uint64_t i = 0; i < 10; ++i) {
+    shard->Record(QueryFlightRecorder::Site::kSweep, "linear_scan",
+                  /*first_point=*/static_cast<uint32_t>(i), /*queries=*/1,
+                  /*k=*/5, /*wall_ns=*/1000 + i,
+                  zero, StatsAt(i + 1, 0, 0));
+  }
+  const auto report = recorder.Merge();
+  ASSERT_EQ(report.recent.size(), 4u);  // ring capacity, not sample count
+  // Oldest-to-newest: the last four sampled units, in order.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.recent[i].seq, 6 + i);
+    EXPECT_EQ(report.recent[i].first_point, 6 + i);
+  }
+}
+
+TEST(QueryFlightRecorderTest, TopKRetainsSlowestNotLatest) {
+  QueryFlightRecorder recorder(
+      QueryFlightRecorder::Options{/*ring_capacity=*/4, /*top_k=*/3,
+                                   /*sample_stride=*/1});
+  recorder.PrepareShards(1);
+  QueryFlightRecorder::Shard* shard = recorder.shard(0);
+  const QueryStats zero;
+  const uint64_t walls[] = {50, 900, 10, 700, 20, 800, 30};
+  for (uint64_t i = 0; i < 7; ++i) {
+    shard->Record(QueryFlightRecorder::Site::kMaterialize, "kd_tree",
+                  /*first_point=*/static_cast<uint32_t>(i), /*queries=*/1,
+                  /*k=*/5, walls[i], zero, zero);
+  }
+  const auto report = recorder.Merge();
+  ASSERT_EQ(report.slowest.size(), 3u);
+  EXPECT_EQ(report.slowest[0].wall_ns, 900u);
+  EXPECT_EQ(report.slowest[1].wall_ns, 800u);
+  EXPECT_EQ(report.slowest[2].wall_ns, 700u);
+}
+
+TEST(QueryFlightRecorderTest, RecordKeepsCounterDeltasAndBatchSemantics) {
+  QueryFlightRecorder recorder;
+  recorder.PrepareShards(1);
+  QueryFlightRecorder::Shard* shard = recorder.shard(0);
+  shard->Record(QueryFlightRecorder::Site::kMaterialize, "grid",
+                /*first_point=*/128, /*queries=*/64, /*k=*/20,
+                /*wall_ns=*/640000, StatsAt(100, 10, 5),
+                StatsAt(400, 40, 25));
+  const auto report = recorder.Merge();
+  ASSERT_EQ(report.recent.size(), 1u);
+  const auto& rec = report.recent[0];
+  EXPECT_EQ(rec.distance_evals, 300u);
+  EXPECT_EQ(rec.node_visits, 30u);
+  EXPECT_EQ(rec.leaf_visits, 20u);
+  EXPECT_EQ(rec.queries, 64u);
+  ASSERT_EQ(report.sites.size(), 1u);
+  // 64 queries at 640000/64 = 10000 ns apiece: the histogram weights the
+  // per-query latency by the batch size.
+  EXPECT_EQ(report.sites[0].sampled_units, 1u);
+  EXPECT_EQ(report.sites[0].sampled_queries, 64u);
+  EXPECT_EQ(report.sites[0].latency.total_count, 64u);
+  EXPECT_DOUBLE_EQ(report.sites[0].latency.min, 10000.0);
+  EXPECT_DOUBLE_EQ(report.sites[0].latency.max, 10000.0);
+  EXPECT_DOUBLE_EQ(report.sites[0].latency.Quantile(0.99), 10000.0);
+}
+
+// The merged report must not depend on which worker recorded first: two
+// recorders fed the same records in different shard interleavings produce
+// byte-identical reports.
+TEST(QueryFlightRecorderTest, MergeIsDeterministicAcrossFillOrders) {
+  const QueryStats zero;
+  struct Unit {
+    uint32_t shard;
+    uint32_t point;
+    uint64_t wall;
+  };
+  std::vector<Unit> units;
+  for (uint32_t i = 0; i < 40; ++i) {
+    units.push_back(Unit{i % 3, i, 1000 + 97 * ((i * 13) % 17)});
+  }
+
+  auto run = [&](bool reversed) {
+    QueryFlightRecorder recorder(
+        QueryFlightRecorder::Options{/*ring_capacity=*/8, /*top_k=*/5,
+                                     /*sample_stride=*/1});
+    recorder.PrepareShards(3);
+    // Shard-local order must be preserved (each worker's stream is
+    // sequential); only the interleaving across shards may differ.
+    for (uint32_t shard = 0; shard < 3; ++shard) {
+      const uint32_t s = reversed ? 2 - shard : shard;
+      for (const Unit& unit : units) {
+        if (unit.shard != s) continue;
+        recorder.shard(s)->Record(QueryFlightRecorder::Site::kSweep,
+                                  "kd_tree", unit.point, 1, 10, unit.wall,
+                                  zero, zero);
+      }
+    }
+    return recorder.Merge().ToJson();
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(QueryFlightRecorderTest, SitesStaySeparate) {
+  QueryFlightRecorder recorder;
+  recorder.PrepareShards(1);
+  const QueryStats zero;
+  recorder.shard(0)->Record(QueryFlightRecorder::Site::kMaterialize,
+                            "kd_tree", 0, 1, 5, 1000, zero, zero);
+  recorder.shard(0)->Record(QueryFlightRecorder::Site::kSweep, "kd_tree", 1,
+                            1, 5, 2000, zero, zero);
+  const auto report = recorder.Merge();
+  ASSERT_EQ(report.sites.size(), 2u);
+  EXPECT_EQ(report.sites[0].site, QueryFlightRecorder::Site::kMaterialize);
+  EXPECT_EQ(report.sites[1].site, QueryFlightRecorder::Site::kSweep);
+  EXPECT_EQ(report.sites[0].latency.name,
+            "latency.materialize.kd_tree.query_ns");
+  EXPECT_EQ(report.sites[1].latency.name, "latency.sweep.kd_tree.query_ns");
+}
+
+TEST(QueryFlightRecorderTest, ReportJsonIsStructured) {
+  QueryFlightRecorder recorder;
+  recorder.PrepareShards(1);
+  const QueryStats zero;
+  recorder.shard(0)->Record(QueryFlightRecorder::Site::kSweep, "m_tree", 7,
+                            1, 3, 12345, zero, StatsAt(9, 2, 1));
+  const std::string json = recorder.Merge().ToJson();
+  EXPECT_NE(json.find("\"config\""), std::string::npos);
+  EXPECT_NE(json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"slowest\""), std::string::npos);
+  EXPECT_NE(json.find("\"recent\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\": \"m_tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\": 12345"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -2,9 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics_publisher.h"
 #include "common/parallel.h"
 
 namespace lofkit {
@@ -222,6 +229,185 @@ TEST(PipelineObserverTest, EnabledTracksEitherPointer) {
   TraceRecorder trace;
   observer.trace = &trace;
   EXPECT_TRUE(observer.enabled());
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  registry.Histogram("empty", 1.0, 100.0, 8);
+  const auto hist = registry.Aggregate().histograms[0];
+  EXPECT_TRUE(std::isnan(hist.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(hist.min));
+  EXPECT_TRUE(std::isnan(hist.max));
+}
+
+// All mass in one bucket: the min/max clamp makes every quantile exact.
+TEST(HistogramQuantileTest, SingleBucketDataIsExact) {
+  MetricsRegistry registry;
+  const auto id = registry.Histogram("h", 1.0, 1024.0, 10);
+  for (int i = 0; i < 100; ++i) registry.Record(id, 7.0);
+  const auto hist = registry.Aggregate().histograms[0];
+  EXPECT_DOUBLE_EQ(hist.min, 7.0);
+  EXPECT_DOUBLE_EQ(hist.max, 7.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 7.0);
+}
+
+TEST(HistogramQuantileTest, MonotoneInQAndWithinEnvelope) {
+  MetricsRegistry registry;
+  const auto id = registry.Histogram("h", 1.0, 1e6, 24);
+  for (int i = 1; i <= 1000; ++i) registry.Record(id, static_cast<double>(i));
+  registry.Record(id, 0.5);    // underflow
+  registry.Record(id, 2e6);    // overflow
+  const auto hist = registry.Aggregate().histograms[0];
+  double prev = hist.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = hist.Quantile(q);
+    EXPECT_GE(value, prev) << "quantiles must be monotone at q=" << q;
+    EXPECT_GE(value, hist.min);
+    EXPECT_LE(value, hist.max);
+    prev = value;
+  }
+  // The median of 1..1000 must land inside its geometric bucket, which is
+  // a tight relative band around 500.
+  EXPECT_GT(hist.Quantile(0.5), 250.0);
+  EXPECT_LT(hist.Quantile(0.5), 1000.0);
+}
+
+// Min/max merge commutatively, so quantiles (whose interpolation clamps to
+// the exact envelope) are identical at every shard count.
+TEST(HistogramQuantileTest, DeterministicAcrossShardCounts) {
+  constexpr size_t kItems = 997;
+  std::vector<std::string> serialized;
+  std::vector<double> p50s, p99s;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    const size_t workers = std::min(ResolveThreadCount(threads), kItems);
+    MetricsRegistry registry(workers);
+    const auto id = registry.Histogram("lat", 1.0, 1e5, 32);
+    ASSERT_TRUE(ParallelForWorker(kItems, threads,
+                                  [&](size_t worker, size_t i) -> Status {
+                                    registry.Record(
+                                        id,
+                                        static_cast<double>((i * 37) % 9973),
+                                        worker);
+                                    return Status::OK();
+                                  })
+                    .ok());
+    const auto hist = registry.Aggregate().histograms[0];
+    p50s.push_back(hist.Quantile(0.50));
+    p99s.push_back(hist.Quantile(0.99));
+    serialized.push_back(registry.Aggregate().ToJson());
+  }
+  for (size_t i = 1; i < p50s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p50s[i], p50s[0]);
+    EXPECT_DOUBLE_EQ(p99s[i], p99s[0]);
+    EXPECT_EQ(serialized[i], serialized[0]);
+  }
+}
+
+TEST(MetricsSnapshotTest, JsonCarriesQuantilesForNonEmptyHistograms) {
+  MetricsRegistry registry;
+  const auto id = registry.Histogram("h", 1.0, 100.0, 8);
+  registry.Record(id, 10.0);
+  const std::string json = registry.Aggregate().ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"min\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
+}
+
+TEST(OpenMetricsTest, ExpositionHasTypesSuffixesAndEof) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("materialize.queries"), 42);
+  registry.Set(registry.Gauge("dataset.points"), 1000.0);
+  const auto id = registry.Histogram("latency.query_ns", 1.0, 100.0, 4);
+  registry.Record(id, 0.5);    // underflow folds into the first le bucket
+  registry.Record(id, 10.0);
+  registry.Record(id, 1000.0);  // overflow counts only under +Inf
+  const std::string text = registry.Aggregate().ToOpenMetrics();
+
+  EXPECT_NE(text.find("# TYPE lofkit_materialize_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lofkit_materialize_queries_total 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lofkit_dataset_points gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lofkit_latency_query_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lofkit_latency_query_ns_count 3"), std::string::npos);
+  // The exposition must end with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 7u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Cumulative le buckets never decrease.
+  uint64_t prev = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t le = line.find("le=\"");
+    if (le == std::string::npos) continue;
+    const size_t space = line.rfind(' ');
+    const uint64_t value = std::stoull(line.substr(space + 1));
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(OpenMetricsTest, SanitizesMetricNames) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("weird-name.with spaces"), 1);
+  const std::string text = registry.Aggregate().ToOpenMetrics();
+  EXPECT_NE(text.find("lofkit_weird_name_with_spaces_total 1"),
+            std::string::npos);
+}
+
+TEST(ProgressTrackerTest, PhaseUnitsAndFraction) {
+  ProgressTracker progress;
+  EXPECT_STREQ(progress.phase(), "");
+  EXPECT_DOUBLE_EQ(progress.FractionComplete(), 0.0);  // unknown total
+  progress.SetPhase("materialize");
+  EXPECT_STREQ(progress.phase(), "materialize");
+  progress.SetTotal(100);
+  progress.Add(25);
+  EXPECT_DOUBLE_EQ(progress.FractionComplete(), 0.25);
+  progress.Add(200);  // overshoot clamps
+  EXPECT_DOUBLE_EQ(progress.FractionComplete(), 1.0);
+  EXPECT_EQ(progress.units_done(), 225u);
+}
+
+TEST(PeakRssTest, ReportsPlausiblyNonZero) {
+  const uint64_t rss = PeakRssBytes();
+  // Linux and macOS both report; the test process certainly exceeds 1 MiB.
+  EXPECT_GT(rss, uint64_t{1} << 20);
+}
+
+TEST(SnapshotPublisherTest, PublishesAtomicallyAndFinalSnapshotOnStop) {
+  const std::string path =
+      testing::TempDir() + "/publisher_test_metrics.prom";
+  int renders = 0;
+  {
+    SnapshotPublisher publisher(path, std::chrono::milliseconds(10),
+                                [&renders]() {
+                                  ++renders;
+                                  return std::string("# heartbeat\n# EOF\n");
+                                });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    publisher.Stop();
+    EXPECT_GE(publisher.publish_count(), 1u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "# heartbeat\n# EOF\n");
+  EXPECT_GE(renders, 1);
+  std::remove(path.c_str());
+  // No .tmp file may linger after a clean stop.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#include "common/minijson.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace lofkit {
+namespace {
+
+TEST(MiniJsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->b);
+  EXPECT_FALSE(ParseJson("false")->b);
+  EXPECT_DOUBLE_EQ(ParseJson("42")->num, 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e2")->num, -150.0);
+  EXPECT_DOUBLE_EQ(ParseJson("0.125")->num, 0.125);
+  EXPECT_EQ(ParseJson("\"hello\"")->str, "hello");
+}
+
+TEST(MiniJsonTest, ParsesNestedStructures) {
+  auto doc = ParseJson(
+      R"({"bench": "fig11", "rows": [{"case": "n=200", "metrics": )"
+      R"({"seconds": 0.5, "evals": 4781}}], "empty": [], "none": {}})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("bench")->str, "fig11");
+  const JsonValue* rows = doc->Find("rows");
+  ASSERT_TRUE(rows != nullptr && rows->is_array());
+  ASSERT_EQ(rows->array.size(), 1u);
+  const JsonValue* metrics = rows->array[0].Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->Find("seconds")->num, 0.5);
+  EXPECT_DOUBLE_EQ(metrics->Find("evals")->num, 4781.0);
+  EXPECT_TRUE(doc->Find("empty")->array.empty());
+  EXPECT_TRUE(doc->Find("none")->object.empty());
+  EXPECT_EQ(doc->Find("absent"), nullptr);
+}
+
+TEST(MiniJsonTest, ObjectKeepsInsertionOrder) {
+  auto doc = ParseJson(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->object.size(), 3u);
+  EXPECT_EQ(doc->object[0].first, "z");
+  EXPECT_EQ(doc->object[1].first, "a");
+  EXPECT_EQ(doc->object[2].first, "m");
+}
+
+TEST(MiniJsonTest, DecodesEscapesAndUnicode) {
+  auto doc = ParseJson(R"("a\"b\\c\/d\n\t\u0041\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->str,
+            "a\"b\\c/d\n\tA\xC3\xA9\xF0\x9F\x98\x80");  // é and 😀 in UTF-8
+}
+
+TEST(MiniJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("01").ok());
+  EXPECT_FALSE(ParseJson("1.").ok());
+  EXPECT_FALSE(ParseJson("1e").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("\"bad\\escape\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\ud800\"").ok());  // unpaired surrogate
+  EXPECT_FALSE(ParseJson("nul").ok());
+  // Raw control characters must be escaped in strings.
+  EXPECT_FALSE(ParseJson("\"line\nbreak\"").ok());
+}
+
+TEST(MiniJsonTest, ErrorsCarryByteOffsets) {
+  auto result = ParseJson("{\"a\": !}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("byte 6"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MiniJsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(MiniJsonTest, ParsesFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/minijson_test.json";
+  {
+    std::ofstream out(path);
+    out << "{\"answer\": 42}\n";
+  }
+  auto doc = ParseJsonFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc->Find("answer")->num, 42.0);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ParseJsonFile(path).ok());
+}
+
+}  // namespace
+}  // namespace lofkit

@@ -1,0 +1,109 @@
+# lofkit_benchdiff CLI conventions and gate semantics: --help exits 0, an
+# unknown flag exits 2 listing the valid flags, a clean comparison exits 0,
+# and a planted regression exits 1.
+
+# --help: exit 0, usage on stdout.
+execute_process(
+  COMMAND ${BENCHDIFF} --help
+  OUTPUT_VARIABLE help_output
+  RESULT_VARIABLE help_result)
+if(NOT help_result EQUAL 0)
+  message(FATAL_ERROR "--help must exit 0, got ${help_result}")
+endif()
+string(FIND "${help_output}" "--baseline" found_baseline)
+string(FIND "${help_output}" "--threshold-pct" found_threshold)
+if(found_baseline EQUAL -1 OR found_threshold EQUAL -1)
+  message(FATAL_ERROR "--help must list the flags:\n${help_output}")
+endif()
+
+# Unknown flag: exit 2, error plus the flag list on stderr.
+execute_process(
+  COMMAND ${BENCHDIFF} --no-such-flag
+  ERROR_VARIABLE unknown_stderr
+  RESULT_VARIABLE unknown_result)
+if(NOT unknown_result EQUAL 2)
+  message(FATAL_ERROR "unknown flag must exit 2, got ${unknown_result}")
+endif()
+string(FIND "${unknown_stderr}" "unknown flag" found_unknown)
+string(FIND "${unknown_stderr}" "--candidate" found_flags)
+if(found_unknown EQUAL -1 OR found_flags EQUAL -1)
+  message(FATAL_ERROR
+          "unknown-flag error must name the flag and list valid flags:\n"
+          "${unknown_stderr}")
+endif()
+
+# Missing required flags: exit 2.
+execute_process(
+  COMMAND ${BENCHDIFF}
+  OUTPUT_QUIET
+  RESULT_VARIABLE noargs_result)
+if(NOT noargs_result EQUAL 2)
+  message(FATAL_ERROR "missing --baseline/--candidate must exit 2, got "
+          "${noargs_result}")
+endif()
+
+# Gate semantics on synthetic sidecars.
+set(base ${WORKDIR}/benchdiff_base.json)
+set(same ${WORKDIR}/benchdiff_same.json)
+set(worse ${WORKDIR}/benchdiff_worse.json)
+file(WRITE ${base}
+     "{\"bench\": \"t\", \"manifest\": {\"threads\": 1},"
+     " \"rows\": [{\"case\": \"a\", \"metrics\":"
+     " {\"seconds\": 1.0, \"distance_evals\": 100}}]}")
+file(WRITE ${same}
+     "{\"bench\": \"t\", \"manifest\": {\"threads\": 1},"
+     " \"rows\": [{\"case\": \"a\", \"metrics\":"
+     " {\"seconds\": 1.05, \"distance_evals\": 100}}]}")
+file(WRITE ${worse}
+     "{\"bench\": \"t\", \"manifest\": {\"threads\": 2},"
+     " \"rows\": [{\"case\": \"a\", \"metrics\":"
+     " {\"seconds\": 2.0, \"distance_evals\": 100}}]}")
+
+execute_process(
+  COMMAND ${BENCHDIFF} --baseline ${base} --candidate ${same}
+  OUTPUT_QUIET
+  RESULT_VARIABLE same_result)
+if(NOT same_result EQUAL 0)
+  message(FATAL_ERROR "5% growth under the 10% default must pass, got "
+          "${same_result}")
+endif()
+
+execute_process(
+  COMMAND ${BENCHDIFF} --baseline ${base} --candidate ${worse}
+  OUTPUT_VARIABLE worse_output
+  ERROR_VARIABLE worse_stderr
+  RESULT_VARIABLE worse_result)
+if(NOT worse_result EQUAL 1)
+  message(FATAL_ERROR "a 2x regression must exit 1, got ${worse_result}")
+endif()
+string(FIND "${worse_output}" "REGRESSION" found_regression)
+if(found_regression EQUAL -1)
+  message(FATAL_ERROR "regression lines must be marked:\n${worse_output}")
+endif()
+string(FIND "${worse_stderr}" "manifest 'threads' differs" found_manifest)
+if(found_manifest EQUAL -1)
+  message(FATAL_ERROR "manifest drift must warn:\n${worse_stderr}")
+endif()
+
+# Per-metric thresholds override the default.
+execute_process(
+  COMMAND ${BENCHDIFF} --baseline ${base} --candidate ${worse}
+          --thresholds seconds=150
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE lax_result)
+if(NOT lax_result EQUAL 0)
+  message(FATAL_ERROR "a 150% allowance must pass a 2x value, got "
+          "${lax_result}")
+endif()
+
+# A selector matching nothing must fail loudly, not pass vacuously.
+execute_process(
+  COMMAND ${BENCHDIFF} --baseline ${base} --candidate ${same}
+          --metrics no_such_metric
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE vacuous_result)
+if(vacuous_result EQUAL 0)
+  message(FATAL_ERROR "an empty comparison must not exit 0")
+endif()
+
+file(REMOVE ${base} ${same} ${worse})

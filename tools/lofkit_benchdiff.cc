@@ -1,0 +1,297 @@
+// lofkit_benchdiff — compare two BENCH_*.json sidecars and fail on
+// regressions, the CI perf gate behind the bench jobs.
+//
+// Rows are matched by case name, metrics by key; a candidate value that
+// exceeds baseline * (1 + threshold%) is a regression, as is a baseline
+// case or metric that the candidate no longer reports (coverage loss). New
+// candidate-only cases are reported but never fail the diff. Manifest
+// blocks (compiler, hardware concurrency, smoke mode, dataset parameters)
+// are compared first: differences are warnings, because numbers measured
+// under different conditions rarely mean what a threshold assumes.
+//
+// Exit codes: 0 = no regressions, 1 = regressions (or unreadable input),
+// 2 = usage errors.
+//
+// Examples:
+//   lofkit_benchdiff --baseline bench/baselines/BENCH_fig11.json
+//       --candidate BENCH_fig11.json
+//   lofkit_benchdiff --baseline old.json --candidate new.json
+//       --metrics distance_evals,node_visits --threshold-pct 5
+//   lofkit_benchdiff --baseline old.json --candidate new.json
+//       --thresholds seconds=25,distance_evals=1
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/minijson.h"
+#include "common/result.h"
+#include "common/string_util.h"
+
+using namespace lofkit;  // NOLINT
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::vector<std::string> SplitString(const std::string& input, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= input.size()) {
+    const size_t end = input.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(input.substr(start));
+      break;
+    }
+    parts.push_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+struct ThresholdRule {
+  std::string key_substring;
+  double pct = 0.0;
+};
+
+// Parses "seconds=25,distance_evals=1" into per-metric threshold rules.
+Result<std::vector<ThresholdRule>> ParseThresholds(const std::string& spec) {
+  std::vector<ThresholdRule> rules;
+  for (const std::string& part : SplitString(spec, ',')) {
+    if (part.empty()) continue;
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "--thresholds entries must look like metric=pct, got: " + part);
+    }
+    char* end = nullptr;
+    const double pct = std::strtod(part.c_str() + eq + 1, &end);
+    if (end != part.c_str() + part.size() || !(pct >= 0.0)) {
+      return Status::InvalidArgument(
+          "--thresholds percentage must be a number >= 0, got: " + part);
+    }
+    rules.push_back(ThresholdRule{part.substr(0, eq), pct});
+  }
+  return rules;
+}
+
+// A metric participates in the diff when its key contains any of the
+// requested substrings ("seconds" matches build_seconds and sweep_seconds).
+bool MetricSelected(const std::string& key,
+                    const std::vector<std::string>& selectors) {
+  for (const std::string& sel : selectors) {
+    if (!sel.empty() && key.find(sel) != std::string::npos) return true;
+  }
+  return false;
+}
+
+double ThresholdFor(const std::string& key,
+                    const std::vector<ThresholdRule>& rules,
+                    double default_pct) {
+  for (const ThresholdRule& rule : rules) {
+    if (key.find(rule.key_substring) != std::string::npos) return rule.pct;
+  }
+  return default_pct;
+}
+
+// Loads a sidecar and checks the shape benchdiff relies on.
+Result<JsonValue> LoadSidecar(const std::string& path) {
+  LOFKIT_ASSIGN_OR_RETURN(JsonValue doc, ParseJsonFile(path));
+  if (!doc.is_object() || doc.Find("rows") == nullptr ||
+      !doc.Find("rows")->is_array()) {
+    return Status::InvalidArgument(path +
+                                   " is not a BENCH sidecar (no rows array)");
+  }
+  return doc;
+}
+
+std::string ManifestEntryToString(const JsonValue& value) {
+  if (value.is_string()) return value.str;
+  if (value.is_number()) return StrFormat("%.17g", value.num);
+  if (value.is_bool()) return value.b ? "true" : "false";
+  return "<non-scalar>";
+}
+
+// Warns (stderr) about manifest keys that differ or exist on one side
+// only. Returns the number of warnings.
+size_t DiffManifests(const JsonValue& base, const JsonValue& cand) {
+  const JsonValue* base_manifest = base.Find("manifest");
+  const JsonValue* cand_manifest = cand.Find("manifest");
+  size_t warnings = 0;
+  if (base_manifest == nullptr || cand_manifest == nullptr) {
+    if (base_manifest != cand_manifest) {
+      std::fprintf(stderr,
+                   "warning: only the %s sidecar carries a run manifest; "
+                   "comparability unknown\n",
+                   base_manifest != nullptr ? "baseline" : "candidate");
+      ++warnings;
+    }
+    return warnings;
+  }
+  for (const auto& [key, value] : base_manifest->object) {
+    const JsonValue* other = cand_manifest->Find(key);
+    if (other == nullptr) {
+      std::fprintf(stderr,
+                   "warning: manifest key '%s' missing from the candidate\n",
+                   key.c_str());
+      ++warnings;
+      continue;
+    }
+    const std::string base_str = ManifestEntryToString(value);
+    const std::string cand_str = ManifestEntryToString(*other);
+    if (base_str != cand_str) {
+      std::fprintf(stderr,
+                   "warning: manifest '%s' differs: baseline=%s "
+                   "candidate=%s\n",
+                   key.c_str(), base_str.c_str(), cand_str.c_str());
+      ++warnings;
+    }
+  }
+  for (const auto& [key, value] : cand_manifest->object) {
+    if (base_manifest->Find(key) == nullptr) {
+      std::fprintf(stderr,
+                   "warning: manifest key '%s' missing from the baseline\n",
+                   key.c_str());
+      ++warnings;
+    }
+  }
+  return warnings;
+}
+
+const JsonValue* FindRow(const JsonValue& doc, const std::string& case_name) {
+  for (const JsonValue& row : doc.Find("rows")->array) {
+    const JsonValue* name = row.Find("case");
+    if (name != nullptr && name->is_string() && name->str == case_name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("baseline", "",
+                  "baseline BENCH_*.json sidecar (required)");
+  flags.AddString("candidate", "",
+                  "candidate BENCH_*.json sidecar to gate (required)");
+  flags.AddString("metrics", "seconds",
+                  "comma-separated key substrings selecting which metrics "
+                  "to compare (a key participates when it contains any of "
+                  "them)");
+  flags.AddDouble("threshold-pct", 10.0,
+                  "default allowed increase in percent; a candidate value "
+                  "above baseline * (1 + pct/100) is a regression");
+  flags.AddString("thresholds", "",
+                  "per-metric overrides as key=pct pairs, e.g. "
+                  "seconds=25,distance_evals=1 (first matching substring "
+                  "wins)");
+  flags.AddBool("help", false, "show this help");
+
+  if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
+    std::fprintf(stderr,
+                 "%s\n\nusage: %s --baseline old.json --candidate new.json "
+                 "[flags]\n%s",
+                 status.ToString().c_str(), argv[0], flags.Help().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help") || flags.GetString("baseline").empty() ||
+      flags.GetString("candidate").empty()) {
+    std::printf("usage: %s --baseline old.json --candidate new.json "
+                "[flags]\n%s",
+                argv[0], flags.Help().c_str());
+    return flags.GetBool("help") ? 0 : 2;
+  }
+  const double default_pct = flags.GetDouble("threshold-pct");
+  if (!(default_pct >= 0.0)) {
+    return Fail(Status::InvalidArgument("--threshold-pct must be >= 0"));
+  }
+  auto rules_or = ParseThresholds(flags.GetString("thresholds"));
+  if (!rules_or.ok()) return Fail(rules_or.status());
+  const std::vector<ThresholdRule>& rules = *rules_or;
+  const std::vector<std::string> selectors =
+      SplitString(flags.GetString("metrics"), ',');
+
+  auto base_or = LoadSidecar(flags.GetString("baseline"));
+  if (!base_or.ok()) return Fail(base_or.status());
+  auto cand_or = LoadSidecar(flags.GetString("candidate"));
+  if (!cand_or.ok()) return Fail(cand_or.status());
+  const JsonValue& base = *base_or;
+  const JsonValue& cand = *cand_or;
+
+  DiffManifests(base, cand);
+
+  size_t compared = 0;
+  size_t regressions = 0;
+  std::printf("%-40s %-24s %14s %14s %9s %9s\n", "case", "metric", "baseline",
+              "candidate", "delta%", "allowed%");
+  for (const JsonValue& base_row : base.Find("rows")->array) {
+    const JsonValue* name = base_row.Find("case");
+    if (name == nullptr || !name->is_string()) continue;
+    const JsonValue* cand_row = FindRow(cand, name->str);
+    const JsonValue* base_metrics = base_row.Find("metrics");
+    if (base_metrics == nullptr || !base_metrics->is_object()) continue;
+    if (cand_row == nullptr) {
+      // A case the candidate stopped reporting is a gate failure, not a
+      // pass-by-omission.
+      std::printf("%-40s %-24s %14s %14s %9s %9s  REGRESSION (case missing)\n",
+                  name->str.c_str(), "-", "-", "-", "-", "-");
+      ++regressions;
+      continue;
+    }
+    const JsonValue* cand_metrics = cand_row->Find("metrics");
+    for (const auto& [key, base_value] : base_metrics->object) {
+      if (!MetricSelected(key, selectors)) continue;
+      if (!base_value.is_number()) continue;  // null = non-finite, skip
+      const JsonValue* cand_value =
+          cand_metrics != nullptr ? cand_metrics->Find(key) : nullptr;
+      const double pct = ThresholdFor(key, rules, default_pct);
+      ++compared;
+      if (cand_value == nullptr || !cand_value->is_number()) {
+        std::printf(
+            "%-40s %-24s %14.6g %14s %9s %9.3g  REGRESSION (metric missing)\n",
+            name->str.c_str(), key.c_str(), base_value.num, "-", "-", pct);
+        ++regressions;
+        continue;
+      }
+      const double delta_pct =
+          base_value.num != 0.0
+              ? 100.0 * (cand_value->num - base_value.num) / base_value.num
+              : (cand_value->num == 0.0 ? 0.0
+                                        : std::numeric_limits<double>::infinity());
+      const bool regressed =
+          cand_value->num > base_value.num * (1.0 + pct / 100.0);
+      std::printf("%-40s %-24s %14.6g %14.6g %+9.2f %9.3g%s\n",
+                  name->str.c_str(), key.c_str(), base_value.num,
+                  cand_value->num, delta_pct, pct,
+                  regressed ? "  REGRESSION" : "");
+      if (regressed) ++regressions;
+    }
+  }
+  for (const JsonValue& cand_row : cand.Find("rows")->array) {
+    const JsonValue* name = cand_row.Find("case");
+    if (name != nullptr && name->is_string() &&
+        FindRow(base, name->str) == nullptr) {
+      std::printf("%-40s (new case, not gated)\n", name->str.c_str());
+    }
+  }
+
+  if (compared == 0) {
+    // An empty comparison would make the gate vacuous — fail loudly so a
+    // renamed metric cannot silently disable it.
+    return Fail(Status::InvalidArgument(
+        "no metrics matched --metrics in the baseline; the gate compared "
+        "nothing"));
+  }
+  std::fprintf(stderr, "compared %zu metrics, %zu regression%s\n", compared,
+               regressions, regressions == 1 ? "" : "s");
+  return regressions == 0 ? 0 : 1;
+}

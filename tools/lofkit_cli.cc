@@ -19,6 +19,8 @@
 //   lofkit_cli --input big.csv --load-materialization m.bin --top 20
 //   lofkit_cli --input points.csv --stats-json stats.json
 //       --trace-json trace.json
+//   lofkit_cli --input big.csv --metrics-text metrics.prom
+//       --stats-interval-ms 1000 --flight-json flight.json
 
 #include <algorithm>
 #include <chrono>
@@ -32,7 +34,9 @@
 #include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
+#include "common/metrics_publisher.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "dataset/loaders.h"
@@ -150,6 +154,20 @@ int main(int argc, char** argv) {
   flags.AddString("trace-json", "",
                   "write pipeline trace spans as Chrome trace-event JSON "
                   "(chrome://tracing, Perfetto) to this file");
+  flags.AddString("metrics-text", "",
+                  "write run metrics in the OpenMetrics text exposition "
+                  "(the Prometheus scrape format) to this file");
+  flags.AddString("flight-json", "",
+                  "write the flight recorder's slow-query report (per-site "
+                  "latency quantiles, the slowest sampled queries, the "
+                  "recent-query rings) as JSON to this file");
+  flags.AddU64("flight-sample-stride", 1,
+               "flight recorder: time every Nth query unit (1 = all); "
+               "skipped units pay no clock reads or counter snapshots");
+  flags.AddU64("stats-interval-ms", 0,
+               "rewrite --metrics-text with a progress heartbeat every N "
+               "milliseconds while the run is in flight (0 = write only "
+               "the final snapshot; requires --metrics-text)");
   flags.AddBool("help", false, "show this help");
 
   if (Status status = flags.Parse(argc - 1, argv + 1); !status.ok()) {
@@ -163,15 +181,63 @@ int main(int argc, char** argv) {
     return flags.GetBool("help") ? 0 : 2;
   }
 
-  // Observability: both sinks are armed only when their output flag is
-  // set, so the default run carries no counting or tracing overhead.
+  // Observability: every sink is armed only when an output flag wants it,
+  // so the default run carries no counting, timing or tracing overhead.
+  // The latency quantiles in --stats-json/--metrics-text come from the
+  // flight recorder, so those flags arm it too (and timing needs the
+  // counters, so the flight recorder arms query_stats).
   const std::string stats_path = flags.GetString("stats-json");
   const std::string trace_path = flags.GetString("trace-json");
+  const std::string metrics_text_path = flags.GetString("metrics-text");
+  const std::string flight_path = flags.GetString("flight-json");
+  const uint64_t stats_interval_ms = flags.GetU64("stats-interval-ms");
+  if (stats_interval_ms > 0 && metrics_text_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--stats-interval-ms needs --metrics-text: the periodic heartbeat "
+        "is published as OpenMetrics text to that file"));
+  }
+  const bool want_stats = !stats_path.empty() || !metrics_text_path.empty();
   TraceRecorder trace;
   QueryStats materialize_stats;
+  QueryFlightRecorder::Options flight_options;
+  flight_options.sample_stride = flags.GetU64("flight-sample-stride");
+  QueryFlightRecorder flight(flight_options);
+  ProgressTracker progress;
   PipelineObserver observer;
-  if (!stats_path.empty()) observer.query_stats = &materialize_stats;
+  if (want_stats || !flight_path.empty()) {
+    observer.query_stats = &materialize_stats;
+    observer.flight = &flight;
+  }
   if (!trace_path.empty()) observer.trace = &trace;
+  observer.progress = &progress;
+
+  // Heartbeat publisher: while armed, rewrites --metrics-text atomically
+  // every interval with liveness gauges; the full snapshot replaces the
+  // heartbeat once the run completes.
+  Stopwatch run_watch;
+  progress.SetPhase("load");
+  std::optional<SnapshotPublisher> publisher;
+  if (stats_interval_ms > 0) {
+    publisher.emplace(
+        metrics_text_path, std::chrono::milliseconds(stats_interval_ms),
+        [&progress, &run_watch]() {
+          MetricsRegistry heartbeat;
+          heartbeat.Set(heartbeat.Gauge("progress.fraction"),
+                        progress.FractionComplete());
+          heartbeat.Set(heartbeat.Gauge("progress.units_done"),
+                        static_cast<double>(progress.units_done()));
+          heartbeat.Set(heartbeat.Gauge("progress.units_total"),
+                        static_cast<double>(progress.units_total()));
+          heartbeat.Set(heartbeat.Gauge(
+                            StrFormat("progress.phase.%s", progress.phase())),
+                        1.0);
+          heartbeat.Set(heartbeat.Gauge("pipeline.uptime_seconds"),
+                        run_watch.ElapsedSeconds());
+          heartbeat.Set(heartbeat.Gauge("pipeline.peak_rss_bytes"),
+                        static_cast<double>(PeakRssBytes()));
+          return heartbeat.Aggregate().ToOpenMetrics();
+        });
+  }
 
   // Load.
   TraceRecorder::Span load_span(observer.trace, "load");
@@ -267,6 +333,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "reloaded materialization (k_max=%zu) in %.3fs\n",
                  m->k_max(), watch.ElapsedSeconds());
   } else {
+    progress.SetPhase("index_build");
     if (flags.GetString("index") == "auto") {
       index = CreateIndex(RecommendIndexKind(working->dimension()));
     } else {
@@ -293,6 +360,8 @@ int main(int argc, char** argv) {
                    "path (same scores, more query work)\n",
                    projected_bytes, memory_budget_bytes);
     } else {
+      progress.SetPhase("materialize");
+      progress.SetTotal(working->size());
       auto built = NeighborhoodMaterializer::MaterializeParallel(
           *working, *index, ub, threads, flags.GetBool("distinct"), observer,
           stop, memory_budget_bytes);
@@ -337,9 +406,16 @@ int main(int argc, char** argv) {
                  "compute bounds from\n");
   }
   watch.Reset();
+  progress.SetPhase("sweep");
+  // Progress units accumulate across phases: the sweep adds n units per
+  // MinPts step on top of whatever materialization already contributed.
+  const size_t sweep_steps = ub >= lb ? ub - lb + 1 : 0;
+  progress.SetTotal(progress.units_total() +
+                    working->size() * sweep_steps);
   TraceRecorder::Span sweep_span(observer.trace, "sweep");
   std::vector<double> aggregated;
   std::vector<ScorerPhase> phases;
+  std::vector<double> step_seconds;
   LofSweepResult::PruneSummary prune_summary;
   if (is_lof) {
     // LOF keeps its dedicated entry points so the prune-first path (and
@@ -365,6 +441,7 @@ int main(int argc, char** argv) {
     phases = {{"k_distance", sweep->phase_times.k_distance_seconds},
               {"lrd", sweep->phase_times.lrd_seconds},
               {"lof", sweep->phase_times.lof_seconds}};
+    step_seconds = std::move(sweep->step_seconds);
     prune_summary = sweep->prune;
   } else {
     LocalScorerOptions scorer_options;
@@ -392,6 +469,7 @@ int main(int argc, char** argv) {
     if (!sweep.ok()) return Fail(sweep.status());
     aggregated = std::move(sweep->aggregated);
     phases = std::move(sweep->phases);
+    step_seconds = std::move(sweep->step_seconds);
   }
   sweep_span.End();
   if (is_lof) {
@@ -429,6 +507,7 @@ int main(int argc, char** argv) {
                  "neighborhood database, which the memory budget ruled "
                  "out\n");
   }
+  progress.SetPhase("rank");
   TraceRecorder::Span rank_span(observer.trace, "rank");
   auto ranked = RankDescending(aggregated, top_n);
   rank_span.End();
@@ -505,7 +584,12 @@ int main(int argc, char** argv) {
                  flags.GetString("output").c_str());
   }
 
-  if (!stats_path.empty()) {
+  // The flight recorder's deterministic fold feeds both the slow-query
+  // report and the latency histograms spliced into the stats snapshot.
+  QueryFlightRecorder::Report flight_report;
+  if (observer.flight != nullptr) flight_report = flight.Merge();
+
+  if (want_stats) {
     MetricsRegistry registry;
     registry.AddQueryStats("materialize", materialize_stats);
     registry.Set(registry.Gauge("dataset.points"),
@@ -578,10 +662,73 @@ int main(int argc, char** argv) {
       // Pruned points carry NaN placeholders instead of scores.
       if (!std::isnan(score)) registry.Record(score_hist, score);
     }
-    if (Status status = registry.WriteJson(stats_path); !status.ok()) {
+    registry.Set(registry.Gauge("pipeline.threads"),
+                 static_cast<double>(threads));
+    registry.Set(registry.Gauge("pipeline.peak_rss_bytes"),
+                 static_cast<double>(PeakRssBytes()));
+    if (!step_seconds.empty()) {
+      const MetricsRegistry::MetricId step_hist =
+          registry.Histogram("sweep.step_seconds", 1e-6, 1e4, 40);
+      for (double s : step_seconds) registry.Record(step_hist, s);
+    }
+    for (const QueryFlightRecorder::SiteReport& site : flight_report.sites) {
+      registry.Add(
+          registry.Counter(StrFormat(
+              "flight.%s.sampled_units",
+              std::string(QueryFlightRecorder::SiteName(site.site)).c_str())),
+          site.sampled_units);
+      registry.Add(
+          registry.Counter(StrFormat(
+              "flight.%s.sampled_queries",
+              std::string(QueryFlightRecorder::SiteName(site.site)).c_str())),
+          site.sampled_queries);
+    }
+    MetricsRegistry::Snapshot snapshot = registry.Aggregate();
+    // Splice the merged per-site latency histograms in: they carry the
+    // p50/p95/p99 tail view that the work counters alone cannot.
+    for (const QueryFlightRecorder::SiteReport& site : flight_report.sites) {
+      snapshot.histograms.push_back(site.latency);
+    }
+    auto write_text = [](const std::string& path,
+                         const std::string& text) -> Status {
+      std::ofstream out(path);
+      if (!out) {
+        return Status::IoError("cannot open " + path + " for writing");
+      }
+      out << text;
+      out.close();
+      if (!out) return Status::IoError("failed writing " + path);
+      return Status::OK();
+    };
+    if (!stats_path.empty()) {
+      if (Status status = write_text(stats_path, snapshot.ToJson());
+          !status.ok()) {
+        return Fail(status);
+      }
+      std::fprintf(stderr, "wrote run metrics to %s\n", stats_path.c_str());
+    }
+    if (!metrics_text_path.empty()) {
+      // Retire the heartbeat first so its final publish cannot overwrite
+      // the terminal snapshot.
+      progress.SetPhase("done");
+      publisher.reset();
+      if (Status status =
+              write_text(metrics_text_path, snapshot.ToOpenMetrics());
+          !status.ok()) {
+        return Fail(status);
+      }
+      std::fprintf(stderr, "wrote OpenMetrics exposition to %s\n",
+                   metrics_text_path.c_str());
+    }
+  }
+  if (!flight_path.empty()) {
+    if (Status status = flight_report.WriteJson(flight_path); !status.ok()) {
       return Fail(status);
     }
-    std::fprintf(stderr, "wrote run metrics to %s\n", stats_path.c_str());
+    std::fprintf(stderr,
+                 "wrote flight report (%zu slow, %zu recent) to %s\n",
+                 flight_report.slowest.size(), flight_report.recent.size(),
+                 flight_path.c_str());
   }
   if (!trace_path.empty()) {
     if (Status status = trace.WriteJson(trace_path); !status.ok()) {
