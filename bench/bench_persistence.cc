@@ -1,0 +1,189 @@
+// Persistence and spill costs for the crash-safe container format: wall
+// time of save / copying load / mmap load at fig10-style scale, LOF
+// scoring over an mmap-served M versus the in-RAM M (the paper's step 2
+// runs entirely from the file-resident materialization, so the mmap route
+// is the literal section-7.4 deployment), and the peak-RSS footprint of
+// the memory-budget spill rung versus the in-RAM build.
+//
+// Besides the stdout table, the run writes BENCH_persistence.json. The
+// deterministic columns (file bytes, entry counts, section count, the
+// bit-identity flags) are gated by lofkit_benchdiff in CI; the wall-clock
+// and RSS columns are informational. LOFKIT_BENCH_SMOKE=1 shrinks the run.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "bench/bench_util.h"
+#include "common/bench_report.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "dataset/generators.h"
+#include "dataset/metric.h"
+#include "index/kd_tree_index.h"
+#include "index/neighborhood_materializer.h"
+#include "lof/lof_computer.h"
+
+using namespace lofkit;         // NOLINT
+using namespace lofkit::bench;  // NOLINT
+
+namespace {
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+// 1.0 when the two score vectors carry identical bits; the gate metric.
+double BitIdentical(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  return a.size() == b.size() &&
+                 (a.empty() ||
+                  std::memcmp(a.data(), b.data(),
+                              a.size() * sizeof(double)) == 0)
+             ? 1.0
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const size_t k = smoke ? 10 : 50;
+  const size_t min_pts = smoke ? 8 : 30;
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{500}
+            : std::vector<size_t>{2000, 8000, 32000};
+  const std::string dir = "/tmp";
+
+  BenchReport report("persistence");
+  report.SetManifest("dataset", "performance_workload");
+  report.SetManifest("k", static_cast<double>(k));
+  report.SetManifest("index", "kd_tree");
+
+  PrintHeader("Persistence",
+              "container save / load / mmap walls and scoring routes "
+              "vs n (d=5)");
+  std::printf("%-8s %-10s %-10s %-10s %-12s %-12s %-10s\n", "n", "save (s)",
+              "load (s)", "map (s)", "score-ram", "score-mmap", "MiB");
+
+  for (size_t n : sizes) {
+    Rng rng(20260809);
+    auto data =
+        CheckOk(generators::MakePerformanceWorkload(rng, 5, n, 10), "workload");
+    KdTreeIndex index;
+    CheckOk(index.Build(data, Euclidean()), "Build");
+    auto m = CheckOk(NeighborhoodMaterializer::MaterializeParallel(
+                         data, index, k, /*threads=*/0),
+                     "MaterializeParallel");
+
+    const std::string path =
+        dir + "/lofkit_bench_persistence_" + std::to_string(n) + ".lofc";
+    Stopwatch watch;
+    CheckOk(m.SaveToFile(path), "SaveToFile");
+    const double save_seconds = watch.ElapsedSeconds();
+    const uint64_t file_bytes = FileBytes(path);
+
+    watch.Reset();
+    auto copied =
+        CheckOk(NeighborhoodMaterializer::LoadFromFile(path), "LoadFromFile");
+    const double load_seconds = watch.ElapsedSeconds();
+
+    watch.Reset();
+    auto mapped =
+        CheckOk(NeighborhoodMaterializer::MapFromFile(path), "MapFromFile");
+    const double map_seconds = watch.ElapsedSeconds();
+
+    LofComputeOptions options;
+    watch.Reset();
+    auto ram_scores = CheckOk(LofComputer::Compute(m, min_pts, options),
+                              "Compute(in-RAM)");
+    const double score_ram_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    auto mmap_scores = CheckOk(LofComputer::Compute(mapped, min_pts, options),
+                               "Compute(mmap)");
+    const double score_mmap_seconds = watch.ElapsedSeconds();
+
+    const std::string case_name = "n=" + std::to_string(n);
+    report.Add(case_name,
+               {{"save_seconds", save_seconds},
+                {"load_seconds", load_seconds},
+                {"map_seconds", map_seconds},
+                {"score_inram_seconds", score_ram_seconds},
+                {"score_mmap_seconds", score_mmap_seconds},
+                {"file_bytes", static_cast<double>(file_bytes)},
+                {"entries", static_cast<double>(m.total_neighbor_count())},
+                {"copied_entries",
+                 static_cast<double>(copied.total_neighbor_count())},
+                {"mapped_entries",
+                 static_cast<double>(mapped.total_neighbor_count())},
+                {"scores_identical",
+                 BitIdentical(ram_scores.lof, mmap_scores.lof)}});
+    std::printf("%-8zu %-10.3f %-10.3f %-10.3f %-12.3f %-12.3f %-10.1f\n", n,
+                save_seconds, load_seconds, map_seconds, score_ram_seconds,
+                score_mmap_seconds, file_bytes / (1024.0 * 1024.0));
+    std::remove(path.c_str());
+  }
+
+  // Spill rung: peak-RSS growth of the spill-and-mmap build versus the
+  // in-RAM build, on the largest size. The spill build runs FIRST so the
+  // process high-water mark cannot mask its footprint; the in-RAM build
+  // then shows the cost the spill avoided. Scores must match bit for bit.
+  PrintHeader("Spill rung", "peak-RSS growth: spill-to-mmap vs in-RAM build");
+  {
+    const size_t n = sizes.back();
+    Rng rng(20260809);
+    auto data =
+        CheckOk(generators::MakePerformanceWorkload(rng, 5, n, 10), "workload");
+
+    const uint64_t rss_start = PeakRssBytes();
+    LofComputeOptions spill_options;
+    spill_options.memory_budget_bytes = 1;
+    spill_options.spill_directory = dir;
+    auto spilled = CheckOk(
+        LofComputer::ComputeFromScratch(data, Euclidean(), min_pts,
+                                        IndexKind::kKdTree,
+                                        /*distinct=*/false, spill_options),
+        "ComputeFromScratch(spill)");
+    const uint64_t rss_after_spill = PeakRssBytes();
+
+    LofComputeOptions ram_options;
+    auto in_ram = CheckOk(
+        LofComputer::ComputeFromScratch(data, Euclidean(), min_pts,
+                                        IndexKind::kKdTree,
+                                        /*distinct=*/false, ram_options),
+        "ComputeFromScratch(in-RAM)");
+    const uint64_t rss_after_ram = PeakRssBytes();
+
+    const double spill_delta =
+        static_cast<double>(rss_after_spill - rss_start);
+    const double ram_delta =
+        static_cast<double>(rss_after_ram - rss_after_spill);
+    const double projected = static_cast<double>(
+        NeighborhoodMaterializer::ProjectedBytes(data.size(), min_pts));
+    report.Add("spill_rung",
+               {{"spilled", spilled.spilled_to_disk ? 1.0 : 0.0},
+                {"degraded_to_requery",
+                 spilled.degraded_to_requery ? 1.0 : 0.0},
+                {"projected_bytes", projected},
+                {"spill_peak_rss_delta_bytes", spill_delta},
+                {"inram_peak_rss_delta_bytes", ram_delta},
+                {"scores_identical", BitIdentical(in_ram.lof, spilled.lof)}});
+    std::printf("projected M: %.1f MiB | spill-build RSS growth: %.1f MiB | "
+                "in-RAM-build RSS growth: %.1f MiB\n",
+                projected / (1024.0 * 1024.0),
+                spill_delta / (1024.0 * 1024.0),
+                ram_delta / (1024.0 * 1024.0));
+    std::printf("spill rung taken: %s | scores bit-identical: %s\n",
+                spilled.spilled_to_disk ? "yes" : "no",
+                BitIdentical(in_ram.lof, spilled.lof) == 1.0 ? "yes" : "no");
+  }
+
+  CheckOk(report.Write(), "BenchReport::Write");
+  return 0;
+}

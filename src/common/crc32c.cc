@@ -1,0 +1,71 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace lofkit {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Eight lookup tables for slice-by-8: table[0] is the classic byte-at-a-time
+// table; table[k][b] is the CRC of byte b followed by k zero bytes, which
+// lets the loop fold eight input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 8; ++k) {
+      tables.t[k][i] =
+          (tables.t[k - 1][i] >> 8) ^ tables.t[0][tables.t[k - 1][i] & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = MakeTables();
+
+inline uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32c::Extend(uint32_t crc, const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until the slice-by-8 loop can take over.
+  while (size != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    --size;
+  }
+  while (size >= 8) {
+    const uint32_t lo = LoadLe32(p) ^ crc;
+    const uint32_t hi = LoadLe32(p + 4);
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace lofkit

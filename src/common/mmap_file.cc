@@ -1,0 +1,55 @@
+#include "common/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/fail_point.h"
+
+namespace lofkit {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  LOFKIT_FAIL_POINT("container.mmap");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ != 0) {
+    void* mapped =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot mmap '" + path +
+                             "': " + std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(mapped);
+  }
+  // The mapping keeps the pages alive; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace lofkit

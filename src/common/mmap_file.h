@@ -1,0 +1,61 @@
+#ifndef LOFKIT_COMMON_MMAP_FILE_H_
+#define LOFKIT_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lofkit {
+
+/// Read-only memory mapping of a whole file (the zero-copy read path for
+/// container files: a mapped materialization M serves `View()` straight
+/// from the page cache instead of materializing `flat_` in RAM).
+///
+/// Movable, not copyable; the mapping is released on destruction. An
+/// empty file maps to {data() == nullptr, size() == 0}, which is valid.
+///
+/// The "container.mmap" fail point fires inside Open, so the fault matrix
+/// can exercise mapping failure without exhausting address space.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. IoError when the file cannot be opened,
+  /// stat'ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// First mapped byte (nullptr when nothing is mapped).
+  const std::byte* data() const { return data_; }
+
+  /// Mapped length in bytes.
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lofkit
+
+#endif  // LOFKIT_COMMON_MMAP_FILE_H_

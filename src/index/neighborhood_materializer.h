@@ -1,9 +1,12 @@
 #ifndef LOFKIT_INDEX_NEIGHBORHOOD_MATERIALIZER_H_
 #define LOFKIT_INDEX_NEIGHBORHOOD_MATERIALIZER_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/container_file.h"
 #include "common/result.h"
 #include "index/knn_index.h"
 
@@ -17,6 +20,14 @@ namespace lofkit {
 /// [MinPtsLB, MinPtsUB] with MinPtsUB == k_max) needs only this structure,
 /// never the original coordinates — which is why its size is independent of
 /// the data dimensionality, exactly as the paper notes.
+///
+/// M can be backed two ways, invisible to every consumer (all accessors go
+/// through spans): by RAM vectors (Materialize/FromLists/LoadFromFile), or
+/// zero-copy by a memory-mapped container file (MapFromFile — the paper's
+/// file-resident M, served straight from the page cache). The mapped form
+/// is what makes the memory budget's spill rung possible: MaterializeToFile
+/// streams step 1 to disk in bounded windows, MapFromFile serves it back
+/// without ever holding flat_ in RAM, and scores come out bit-identical.
 ///
 /// With `distinct_neighbors` (the k-distinct-distance refinement from the
 /// remark below Definition 6), only neighbors with pairwise-distinct
@@ -35,8 +46,8 @@ class NeighborhoodMaterializer {
   /// latched kCancelled / kDeadlineExceeded status. A non-zero
   /// `memory_budget_bytes` is compared against ProjectedBytes(n, k_max)
   /// before any query runs; a projected overflow returns
-  /// kResourceExhausted so the caller can degrade to the re-query path
-  /// instead of materializing.
+  /// kResourceExhausted so the caller can degrade to the spill or re-query
+  /// path instead of materializing.
   static Result<NeighborhoodMaterializer> Materialize(
       const Dataset& data, const KnnIndex& index, size_t k_max,
       bool distinct_neighbors = false,
@@ -60,24 +71,59 @@ class NeighborhoodMaterializer {
       const PipelineObserver& observer = {}, const StopToken& stop = {},
       size_t memory_budget_bytes = 0);
 
+  /// The spill rung of the memory-budget ladder: runs step 1 in bounded
+  /// windows of points (parallel queries inside each window, identical
+  /// chunking to MaterializeParallel, so the produced M is bit-identical)
+  /// and streams the neighbor lists straight into a container file at
+  /// `path` instead of accumulating them in RAM. Peak residency is one
+  /// window of lists plus the offsets table — independent of n * k_max.
+  /// The file is published crash-safely (tmp + fsync + rename) and is
+  /// ready for MapFromFile. Works in distinct mode too.
+  static Status MaterializeToFile(
+      const Dataset& data, const KnnIndex& index, size_t k_max,
+      size_t threads, bool distinct_neighbors, const std::string& path,
+      const PipelineObserver& observer = {}, const StopToken& stop = {});
+
   /// Lower bound on the resident size of M for n points at k_max, in bytes:
   /// the flat neighbor array at exactly k_max entries per point plus the
   /// offsets table. Ties and distinct-mode growth can push the real size
   /// higher, so a budget decision made on this estimate is optimistic — but
   /// it is available before any query runs, which is what the
-  /// materialize-vs-requery degradation decision needs.
+  /// materialize-vs-spill-vs-requery degradation decision needs.
   static size_t ProjectedBytes(size_t n, size_t k_max) {
     return n * k_max * sizeof(Neighbor) + (n + 1) * sizeof(size_t);
   }
 
-  NeighborhoodMaterializer(NeighborhoodMaterializer&&) noexcept = default;
-  NeighborhoodMaterializer& operator=(NeighborhoodMaterializer&&) noexcept =
-      default;
+  NeighborhoodMaterializer(NeighborhoodMaterializer&& other) noexcept
+      : k_max_(other.k_max_),
+        distinct_(other.distinct_),
+        data_(other.data_),
+        offsets_(std::move(other.offsets_)),
+        flat_(std::move(other.flat_)),
+        container_(std::move(other.container_)),
+        offsets_view_(std::exchange(other.offsets_view_, {})),
+        flat_view_(std::exchange(other.flat_view_, {})) {}
+  NeighborhoodMaterializer& operator=(
+      NeighborhoodMaterializer&& other) noexcept {
+    if (this != &other) {
+      k_max_ = other.k_max_;
+      distinct_ = other.distinct_;
+      data_ = other.data_;
+      offsets_ = std::move(other.offsets_);
+      flat_ = std::move(other.flat_);
+      container_ = std::move(other.container_);
+      offsets_view_ = std::exchange(other.offsets_view_, {});
+      flat_view_ = std::exchange(other.flat_view_, {});
+    }
+    return *this;
+  }
 
   /// Number of points. A default-constructed or moved-from instance has an
-  /// empty offsets_ table; without the guard the unsigned subtraction would
+  /// empty offsets view; without the guard the unsigned subtraction would
   /// wrap to SIZE_MAX.
-  size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t size() const {
+    return offsets_view_.empty() ? 0 : offsets_view_.size() - 1;
+  }
 
   /// The k the neighborhoods were materialized for (== MinPtsUB).
   size_t k_max() const { return k_max_; }
@@ -85,10 +131,14 @@ class NeighborhoodMaterializer {
   /// Whether k-distinct-distance counting is in effect.
   bool distinct_neighbors() const { return distinct_; }
 
+  /// True when this M is served zero-copy from a memory-mapped container
+  /// file (MapFromFile) rather than RAM vectors.
+  bool file_backed() const { return container_ != nullptr; }
+
   /// Full stored neighbor list of point i, sorted by (distance, index).
   std::span<const Neighbor> neighbors(size_t i) const {
-    return {flat_.data() + offsets_[i],
-            offsets_[i + 1] - offsets_[i]};
+    return flat_view_.subspan(offsets_view_[i],
+                              offsets_view_[i + 1] - offsets_view_[i]);
   }
 
   /// The k-distance of point i together with its k-distance neighborhood
@@ -103,22 +153,39 @@ class NeighborhoodMaterializer {
   Result<KView> View(size_t i, size_t k) const;
 
   /// Total stored neighbor entries (the size of M; n * k_max plus ties).
-  size_t total_neighbor_count() const { return flat_.size(); }
+  size_t total_neighbor_count() const { return flat_view_.size(); }
 
-  /// Persists M to a binary file. The paper's step 2 works entirely from
-  /// this file-resident database ("the materialization database M ... The
-  /// original database D is not needed for this step"); saving and
-  /// reloading M lets the expensive step 1 be paid once per dataset.
+  /// Persists M to a checksummed container file (container_file.h),
+  /// published crash-safely via tmp + fsync + atomic rename: a crash
+  /// mid-save can never leave a torn file at `path`. The paper's step 2
+  /// works entirely from this file-resident database ("the materialization
+  /// database M ... The original database D is not needed for this step");
+  /// saving and reloading M lets the expensive step 1 be paid once per
+  /// dataset.
   Status SaveToFile(const std::string& path) const;
 
-  /// Loads a materialization database written by SaveToFile. A
+  /// Loads a materialization database into RAM. Understands both the
+  /// checksummed container written by SaveToFile/MaterializeToFile and the
+  /// legacy v1 "LOFM" blob (pre-container saves stay loadable). A
   /// distinct-neighbors M additionally needs the original dataset for its
   /// coordinate comparisons; pass it via `data` (must be the same dataset,
   /// checked by size). Neighbor lists are structurally validated on load
   /// (index range, finite non-negative distances, (distance, index)
-  /// sortedness — the same invariants FromLists enforces), so a corrupt
-  /// file is rejected instead of silently mis-scoring later.
+  /// sortedness — the same invariants FromLists enforces), and every
+  /// header-derived count is bounded by the actual file size before any
+  /// allocation, so a corrupt file is rejected with a typed Status instead
+  /// of OOM-ing or silently mis-scoring later.
   static Result<NeighborhoodMaterializer> LoadFromFile(
+      const std::string& path, const Dataset* data = nullptr);
+
+  /// Memory-maps a container written by SaveToFile/MaterializeToFile and
+  /// serves neighbors()/View() zero-copy from the mapping — flat_ is never
+  /// materialized in RAM, so a multi-gigabyte M costs page cache, not
+  /// anonymous memory. Section checksums and the same structural
+  /// validation as LoadFromFile run once up front (one sequential pass);
+  /// scores computed over a mapped M are bit-identical to the in-RAM
+  /// route. The legacy v1 format has no checksums and is not mappable.
+  static Result<NeighborhoodMaterializer> MapFromFile(
       const std::string& path, const Dataset* data = nullptr);
 
   /// Assembles an M from externally maintained neighbor lists (used by the
@@ -135,11 +202,30 @@ class NeighborhoodMaterializer {
   NeighborhoodMaterializer(size_t k_max, bool distinct)
       : k_max_(k_max), distinct_(distinct) {}
 
+  /// Points the read-path views at the owned vectors. Every RAM-backed
+  /// construction path must call this last; the vectors' heap buffers move
+  /// with the object, so the spans stay valid across moves.
+  void BindToVectors() {
+    offsets_view_ = {offsets_.data(), offsets_.size()};
+    flat_view_ = {flat_.data(), flat_.size()};
+  }
+
+  /// Decodes a container (shared by LoadFromFile and MapFromFile):
+  /// validates meta/offsets/neighbors sections against each other and the
+  /// file size, then either copies into the vectors (copy_to_ram) or
+  /// serves the mapping zero-copy, keeping `reader` alive.
+  static Result<NeighborhoodMaterializer> FromContainer(
+      ContainerReader reader, const std::string& path, const Dataset* data,
+      bool copy_to_ram);
+
   size_t k_max_;
   bool distinct_;
   const Dataset* data_ = nullptr;  // needed for distinct-mode comparisons
   std::vector<size_t> offsets_;
   std::vector<Neighbor> flat_;
+  std::unique_ptr<ContainerReader> container_;  // owns the mapping when set
+  std::span<const size_t> offsets_view_;
+  std::span<const Neighbor> flat_view_;
 };
 
 }  // namespace lofkit

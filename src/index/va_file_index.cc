@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/container_file.h"
 #include "common/fail_point.h"
 #include "common/string_util.h"
 
 namespace lofkit {
 
 namespace {
+
+// Container identity of a persisted signature table. Sections:
+//   "meta"       24 bytes: bits u64 | dim u64 | n u64
+//   "box_lo"     dim x f64 (grid origin per dimension)
+//   "step"       dim x f64 (interval width per dimension)
+//   "signatures" n * dim x u8 (quantization cell per coordinate)
+constexpr uint32_t kVaFileFileType = 2;
+constexpr uint32_t kVaFileFileVersion = 1;
+constexpr size_t kVaMetaSize = 24;
+
+uint64_t VaReadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
 
 Status CheckQuery(const Dataset* data, std::span<const double> query) {
   if (data == nullptr) {
@@ -53,6 +70,107 @@ Status VaFileIndex::Build(const Dataset& data, const Metric& metric) {
       approximation_[i * dim_ + d] = static_cast<uint8_t>(c);
     }
   }
+  return Status::OK();
+}
+
+Status VaFileIndex::SaveToFile(const std::string& path) const {
+  LOFKIT_FAIL_POINT("va_file.save");
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("VA-file saved before Build()");
+  }
+  auto writer_or =
+      ContainerWriter::Create(path, kVaFileFileType, kVaFileFileVersion);
+  if (!writer_or.ok()) return writer_or.status();
+  ContainerWriter writer = std::move(writer_or).value();
+  unsigned char meta[kVaMetaSize] = {};
+  const uint64_t bits64 = bits_;
+  const uint64_t dim64 = dim_;
+  const uint64_t n64 = data_->size();
+  std::memcpy(meta, &bits64, 8);
+  std::memcpy(meta + 8, &dim64, 8);
+  std::memcpy(meta + 16, &n64, 8);
+  LOFKIT_RETURN_IF_ERROR(writer.AddSection("meta", meta, kVaMetaSize));
+  LOFKIT_RETURN_IF_ERROR(writer.AddSection(
+      "box_lo", box_lo_.data(), box_lo_.size() * sizeof(double)));
+  LOFKIT_RETURN_IF_ERROR(
+      writer.AddSection("step", step_.data(), step_.size() * sizeof(double)));
+  LOFKIT_RETURN_IF_ERROR(writer.AddSection(
+      "signatures", approximation_.data(), approximation_.size()));
+  return writer.Finish();
+}
+
+Status VaFileIndex::LoadFromFile(const std::string& path, const Dataset& data,
+                                 const Metric& metric) {
+  LOFKIT_FAIL_POINT("va_file.load");
+  LOFKIT_ASSIGN_OR_RETURN(auto reader, ContainerReader::Open(path));
+  if (reader.file_type() != kVaFileFileType) {
+    return Status::InvalidArgument("container '" + path +
+                                   "' is not a VA-file signature table");
+  }
+  if (reader.file_version() != kVaFileFileVersion) {
+    return Status::InvalidArgument("unsupported VA-file version");
+  }
+  LOFKIT_ASSIGN_OR_RETURN(auto meta, reader.Section("meta"));
+  if (meta.size() != kVaMetaSize) {
+    return Status::InvalidArgument("corrupt VA-file header");
+  }
+  const uint64_t bits = VaReadU64(meta.data());
+  const uint64_t dim = VaReadU64(meta.data() + 8);
+  const uint64_t n = VaReadU64(meta.data() + 16);
+  if (bits < 1 || bits > 8) {
+    return Status::InvalidArgument("corrupt VA-file header: bits out of "
+                                   "[1, 8]");
+  }
+  if (dim != data.dimension() || n != data.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "VA-file was built over %llu points x %llu dims, dataset has %zu x "
+        "%zu",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(dim), data.size(),
+        data.dimension()));
+  }
+  // Section sizes are already bounded by the real file size (container
+  // reader), so these equality checks also bound every allocation below.
+  LOFKIT_ASSIGN_OR_RETURN(auto box_lo_bytes, reader.Section("box_lo"));
+  LOFKIT_ASSIGN_OR_RETURN(auto step_bytes, reader.Section("step"));
+  LOFKIT_ASSIGN_OR_RETURN(auto sig_bytes, reader.Section("signatures"));
+  if (box_lo_bytes.size() != dim * sizeof(double) ||
+      step_bytes.size() != dim * sizeof(double) ||
+      sig_bytes.size() != n * dim) {
+    return Status::InvalidArgument(
+        "corrupt VA-file: section sizes disagree with the header");
+  }
+  std::vector<double> box_lo(dim);
+  std::vector<double> step(dim);
+  std::memcpy(box_lo.data(), box_lo_bytes.data(), box_lo_bytes.size());
+  std::memcpy(step.data(), step_bytes.data(), step_bytes.size());
+  const size_t cells = size_t{1} << bits;
+  for (size_t d = 0; d < dim; ++d) {
+    if (!std::isfinite(box_lo[d]) || !std::isfinite(step[d]) ||
+        step[d] <= 0.0) {
+      return Status::InvalidArgument(
+          "corrupt VA-file: non-finite grid bounds or non-positive step");
+    }
+  }
+  std::vector<uint8_t> approximation(sig_bytes.size());
+  std::memcpy(approximation.data(), sig_bytes.data(), sig_bytes.size());
+  if (cells < 256) {
+    for (uint8_t cell : approximation) {
+      if (cell >= cells) {
+        return Status::InvalidArgument(StrFormat(
+            "corrupt VA-file: cell index %u out of %zu intervals", cell,
+            cells));
+      }
+    }
+  }
+  data_ = &data;
+  metric_ = &metric;
+  kern_ = metric.kernels();
+  bits_ = static_cast<size_t>(bits);
+  dim_ = static_cast<size_t>(dim);
+  box_lo_ = std::move(box_lo);
+  step_ = std::move(step);
+  approximation_ = std::move(approximation);
   return Status::OK();
 }
 

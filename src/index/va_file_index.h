@@ -40,6 +40,23 @@ class VaFileIndex final : public KnnIndex {
   /// Number of quantization intervals per dimension.
   size_t intervals() const { return size_t{1} << bits_; }
 
+  /// Persists the signature table — quantization grid (box_lo, step) and
+  /// per-point cell approximations — to a checksummed container file
+  /// (container_file.h), published crash-safely via tmp + fsync + atomic
+  /// rename. The approximation is the expensive full-data pass of Build();
+  /// the exact coordinates are not stored (they live in the dataset).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a signature table written by SaveToFile over the same
+  /// dataset, replacing the Build() quantization pass. `data`/`metric`
+  /// play Build()'s role (queries still refine against the exact
+  /// coordinates); the file's dimensions and point count must match the
+  /// dataset, and the grid is structurally validated (finite bounds,
+  /// positive steps, in-range cells), so a corrupt or mismatched file is
+  /// rejected with a typed Status.
+  Status LoadFromFile(const std::string& path, const Dataset& data,
+                      const Metric& metric);
+
  private:
   /// Fills `lo`/`hi` with the bounds of point i's quantization cell.
   void CellOf(size_t i, std::vector<double>& lo, std::vector<double>& hi) const;

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "lof/spill.h"
 
 namespace lofkit {
 
@@ -209,11 +210,43 @@ Result<LofScores> LofComputer::ComputeFromScratch(
   const size_t budget = options.memory_budget_bytes;
   if (budget != 0 && NeighborhoodMaterializer::ProjectedBytes(
                          data.size(), min_pts) > budget) {
+    // The degradation ladder: spill M to disk and keep going (rung 2),
+    // else fall back to the 3n-query re-query path (rung 3). Every rung
+    // produces bit-identical score bits; only RAM and wall time differ.
+    if (!options.spill_directory.empty()) {
+      LOFKIT_LOG(Warning)
+          << "projected materialization ("
+          << NeighborhoodMaterializer::ProjectedBytes(data.size(), min_pts)
+          << " bytes) exceeds the memory budget (" << budget
+          << " bytes); spilling M to disk under '"
+          << options.spill_directory << "'";
+      auto spilled = internal_lof::SpillMaterialize(
+          data, *index, min_pts, options.threads, distinct_neighbors,
+          options.spill_directory, options.observer, options.stop);
+      if (spilled.ok()) {
+        const double materialize_seconds = watch.ElapsedSeconds();
+        LOFKIT_ASSIGN_OR_RETURN(LofScores scores,
+                                Compute(*spilled, min_pts, options));
+        scores.phase_times.materialize_seconds = materialize_seconds;
+        scores.spilled_to_disk = true;
+        return scores;
+      }
+      const StatusCode code = spilled.status().code();
+      if (code == StatusCode::kCancelled ||
+          code == StatusCode::kDeadlineExceeded || distinct_neighbors) {
+        // A tripped token is the caller's decision, not a disk problem;
+        // and distinct mode has no re-query rung to fall through to.
+        return spilled.status();
+      }
+      LOFKIT_LOG(Warning) << "spill to disk failed ("
+                          << spilled.status().ToString()
+                          << "); degrading to the re-query path";
+    }
     if (distinct_neighbors) {
       return Status::ResourceExhausted(StrFormat(
           "materializing %zu points at min_pts=%zu exceeds the %zu-byte "
           "memory budget, and distinct-neighbors mode has no re-query "
-          "fallback",
+          "fallback (set spill_directory to spill M to disk instead)",
           data.size(), min_pts, budget));
     }
     LOFKIT_LOG(Warning)

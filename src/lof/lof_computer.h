@@ -1,6 +1,7 @@
 #ifndef LOFKIT_LOF_LOF_COMPUTER_H_
 #define LOFKIT_LOF_LOF_COMPUTER_H_
 
+#include <string>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -59,6 +60,12 @@ struct LofScores {
   /// produced them (surfaced in the CLI's stats export).
   bool degraded_to_requery = false;
 
+  /// True when a memory budget forced ComputeFromScratch onto the spill
+  /// rung: M was streamed to a temporary container file and served
+  /// zero-copy via mmap (LofComputeOptions::spill_directory). Score bits
+  /// are identical to the in-RAM route.
+  bool spilled_to_disk = false;
+
   /// Per-phase wall times of the computation that produced these scores.
   LofPhaseTimes phase_times;
 };
@@ -98,12 +105,25 @@ struct LofComputeOptions {
 
   /// Memory budget in bytes for the materialization database M (0 =
   /// unlimited). When ProjectedBytes for the requested run exceeds it,
-  /// ComputeFromScratch degrades to the re-query path (logged, and recorded
-  /// in LofScores::degraded_to_requery) instead of failing — except in
-  /// distinct-neighbors mode, which has no re-query equivalent and returns
-  /// kResourceExhausted. Compute itself ignores the budget: its M already
-  /// exists.
+  /// ComputeFromScratch walks the degradation ladder instead of failing:
+  /// spill M to disk and keep going (when `spill_directory` is set —
+  /// recorded in LofScores::spilled_to_disk), else degrade to the re-query
+  /// path (logged, and recorded in LofScores::degraded_to_requery).
+  /// Distinct-neighbors mode has no re-query equivalent, so without a
+  /// spill directory it returns kResourceExhausted. Compute itself ignores
+  /// the budget: its M already exists.
   size_t memory_budget_bytes = 0;
+
+  /// Directory for the ladder's spill rung (empty = spilling disabled).
+  /// On a projected budget overflow, step 1 streams M into a uniquely
+  /// named temporary container file here and serves it back zero-copy via
+  /// mmap — bit-identical scores, peak RAM of one build window instead of
+  /// n * k_max entries. Works in distinct-neighbors mode too (which the
+  /// re-query rung cannot serve). If the spill itself fails (disk full,
+  /// I/O error) the ladder falls through to re-query, except that
+  /// cancellation/deadline trips — and distinct-mode failures, which have
+  /// no next rung — propagate as errors.
+  std::string spill_directory;
 
   /// Construction options for the approximate engines, forwarded by
   /// ComputeFromScratch when index_kind names one (kRkdForest); exact

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -9,6 +10,7 @@
 #include "lof/local_scorer.h"
 #include "lof/lof_pruner.h"
 #include "lof/scorer_sweep.h"
+#include "lof/spill.h"
 
 namespace lofkit {
 
@@ -346,37 +348,77 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
         "prune-first ranking needs top_n >= 1: without a concrete top-N "
         "there is no threshold to discard against");
   }
+  if (pipeline.spilled_to_disk != nullptr) {
+    *pipeline.spilled_to_disk = false;
+  }
   const size_t budget = pipeline.memory_budget_bytes;
+  std::optional<NeighborhoodMaterializer> m;
   if (budget != 0 && NeighborhoodMaterializer::ProjectedBytes(
                          data.size(), min_pts_ub) > budget) {
-    LOFKIT_LOG(Warning)
-        << "projected materialization ("
-        << NeighborhoodMaterializer::ProjectedBytes(data.size(), min_pts_ub)
-        << " bytes) exceeds the memory budget (" << budget
-        << " bytes); degrading the sweep to the re-query path";
-    if (pipeline.degraded_to_requery != nullptr) {
-      *pipeline.degraded_to_requery = true;
-    }
-    if (pipeline.prune) {
-      // The re-query path never materializes M, and the bound estimates
-      // read it; score bits are identical either way, so degrade to the
-      // full (unpruned) evaluation rather than failing the run.
+    // Rung 2 of the ladder: spill M to a temporary container file and
+    // serve it via mmap. Unlike the re-query rung this keeps a real M, so
+    // the prune-first path stays available; the ranking bits are identical
+    // on every rung either way.
+    if (!pipeline.spill_directory.empty()) {
       LOFKIT_LOG(Warning)
-          << "prune-first ranking requires the materialized path; the "
-             "memory budget forced re-query mode, so every point gets the "
-             "full LOF evaluation";
-    }
-    LOFKIT_ASSIGN_OR_RETURN(
-        LofSweepResult sweep,
-        RunRequery(data, *index, min_pts_lb, min_pts_ub, aggregation,
-                   threads, pipeline.observer, pipeline.stop));
-    return RankDescending(sweep.aggregated, top_n);
-  }
-  LOFKIT_ASSIGN_OR_RETURN(
-      NeighborhoodMaterializer m,
-      NeighborhoodMaterializer::MaterializeParallel(
+          << "projected materialization ("
+          << NeighborhoodMaterializer::ProjectedBytes(data.size(),
+                                                      min_pts_ub)
+          << " bytes) exceeds the memory budget (" << budget
+          << " bytes); spilling M to disk under '"
+          << pipeline.spill_directory << "'";
+      auto spilled = internal_lof::SpillMaterialize(
           data, *index, min_pts_ub, threads, /*distinct_neighbors=*/false,
-          pipeline.observer, pipeline.stop));
+          pipeline.spill_directory, pipeline.observer, pipeline.stop);
+      if (spilled.ok()) {
+        m.emplace(std::move(spilled).value());
+        if (pipeline.spilled_to_disk != nullptr) {
+          *pipeline.spilled_to_disk = true;
+        }
+      } else {
+        const StatusCode code = spilled.status().code();
+        if (code == StatusCode::kCancelled ||
+            code == StatusCode::kDeadlineExceeded) {
+          return spilled.status();
+        }
+        LOFKIT_LOG(Warning) << "spill to disk failed ("
+                            << spilled.status().ToString()
+                            << "); degrading to the re-query path";
+      }
+    }
+    if (!m.has_value()) {
+      LOFKIT_LOG(Warning)
+          << "projected materialization ("
+          << NeighborhoodMaterializer::ProjectedBytes(data.size(),
+                                                      min_pts_ub)
+          << " bytes) exceeds the memory budget (" << budget
+          << " bytes); degrading the sweep to the re-query path";
+      if (pipeline.degraded_to_requery != nullptr) {
+        *pipeline.degraded_to_requery = true;
+      }
+      if (pipeline.prune) {
+        // The re-query path never materializes M, and the bound estimates
+        // read it; score bits are identical either way, so degrade to the
+        // full (unpruned) evaluation rather than failing the run.
+        LOFKIT_LOG(Warning)
+            << "prune-first ranking requires the materialized path; the "
+               "memory budget forced re-query mode, so every point gets the "
+               "full LOF evaluation";
+      }
+      LOFKIT_ASSIGN_OR_RETURN(
+          LofSweepResult sweep,
+          RunRequery(data, *index, min_pts_lb, min_pts_ub, aggregation,
+                     threads, pipeline.observer, pipeline.stop));
+      return RankDescending(sweep.aggregated, top_n);
+    }
+  }
+  if (!m.has_value()) {
+    auto m_or = NeighborhoodMaterializer::MaterializeParallel(
+        data, *index, min_pts_ub, threads, /*distinct_neighbors=*/false,
+        pipeline.observer, pipeline.stop);
+    if (!m_or.ok()) return m_or.status();
+    m.emplace(std::move(m_or).value());
+  }
   if (pipeline.prune) {
     PruneOptions prune;
     prune.top_n = top_n;
@@ -387,7 +429,7 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
     }
     LOFKIT_ASSIGN_OR_RETURN(
         LofSweepResult sweep,
-        RunPruned(m, min_pts_lb, min_pts_ub, prune, aggregation, threads,
+        RunPruned(*m, min_pts_lb, min_pts_ub, prune, aggregation, threads,
                   pipeline.observer, pipeline.stop));
     if (pipeline.prune_summary != nullptr) {
       *pipeline.prune_summary = sweep.prune;
@@ -396,7 +438,7 @@ Result<std::vector<RankedOutlier>> LofSweep::RankOutliers(
   }
   LOFKIT_ASSIGN_OR_RETURN(
       LofSweepResult sweep,
-      Run(m, min_pts_lb, min_pts_ub, aggregation,
+      Run(*m, min_pts_lb, min_pts_ub, aggregation,
           /*keep_per_min_pts=*/false, threads, pipeline.observer,
           pipeline.stop));
   return RankDescending(sweep.aggregated, top_n);

@@ -1,6 +1,7 @@
 #ifndef LOFKIT_LOF_LOF_SWEEP_H_
 #define LOFKIT_LOF_LOF_SWEEP_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -76,14 +77,27 @@ struct LofPipelineOptions {
   StopToken stop;
 
   /// Memory budget for M in bytes (0 = unlimited); a projected overflow
-  /// degrades the sweep to RunRequery instead of failing.
+  /// walks the degradation ladder — spill M to disk and keep going (when
+  /// `spill_directory` is set), else degrade the sweep to RunRequery —
+  /// instead of failing. Every rung ranks bit-identically.
   size_t memory_budget_bytes = 0;
+
+  /// Directory for the ladder's spill rung (empty = spilling disabled):
+  /// on a projected overflow M is streamed into a temporary container
+  /// file here and served zero-copy via mmap, so the sweep — including
+  /// the prune-first path, which the re-query rung cannot run — proceeds
+  /// with the RAM cost of one build window. A failed spill falls through
+  /// to re-query (cancellation/deadline trips propagate).
+  std::string spill_directory;
 
   /// Observability hooks, forwarded into materialization and sweep.
   PipelineObserver observer;
 
   /// When non-null, set to whether the budget forced the re-query path.
   bool* degraded_to_requery = nullptr;
+
+  /// When non-null, set to whether the budget spilled M to disk.
+  bool* spilled_to_disk = nullptr;
 
   /// Run the §5 prune-first top-N path (RunPruned) instead of the full
   /// sweep. Requires top_n >= 1; the ranking stays bit-identical to the

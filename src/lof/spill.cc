@@ -1,0 +1,44 @@
+#include "lof/spill.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace lofkit::internal_lof {
+
+namespace {
+
+// Unique per process + call: concurrent pipelines in one process get
+// distinct files, and two processes sharing a spill directory cannot
+// collide (the container writer's ".tmp" suffix inherits the uniqueness).
+std::string MakeSpillPath(const std::string& dir) {
+  static std::atomic<uint64_t> counter{0};
+  return dir + "/lofkit_spill_m." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".lofc";
+}
+
+}  // namespace
+
+Result<NeighborhoodMaterializer> SpillMaterialize(
+    const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
+    bool distinct_neighbors, const std::string& dir,
+    const PipelineObserver& observer, const StopToken& stop) {
+  const std::string path = MakeSpillPath(dir);
+  LOFKIT_RETURN_IF_ERROR(NeighborhoodMaterializer::MaterializeToFile(
+      data, index, k_max, threads, distinct_neighbors, path, observer,
+      stop));
+  auto m_or = NeighborhoodMaterializer::MapFromFile(path, &data);
+  // Unlink win or lose: on success the mapping keeps the pages alive for
+  // the materializer's lifetime; on failure the file is garbage anyway.
+  std::remove(path.c_str());
+  if (!m_or.ok()) return m_or.status();
+  LOFKIT_LOG(Info) << "spilled M to disk under '" << dir << "' ("
+                   << m_or->total_neighbor_count()
+                   << " neighbor entries, served via mmap)";
+  return std::move(m_or).value();
+}
+
+}  // namespace lofkit::internal_lof

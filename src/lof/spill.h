@@ -1,0 +1,27 @@
+#ifndef LOFKIT_LOF_SPILL_H_
+#define LOFKIT_LOF_SPILL_H_
+
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "index/neighborhood_materializer.h"
+
+namespace lofkit::internal_lof {
+
+/// The spill rung of the memory-budget ladder, shared by every pipeline
+/// entry point: streams step 1 into a uniquely named temporary container
+/// file under `dir` (NeighborhoodMaterializer::MaterializeToFile — peak
+/// RAM is one build window, not n * k_max), maps it back zero-copy
+/// (MapFromFile), and unlinks the file immediately — POSIX keeps the
+/// mapping's pages alive, so the spill file cleans itself up even if the
+/// process dies mid-run. The returned M is file-backed and serves
+/// bit-identical neighborhoods to the in-RAM route.
+Result<NeighborhoodMaterializer> SpillMaterialize(
+    const Dataset& data, const KnnIndex& index, size_t k_max, size_t threads,
+    bool distinct_neighbors, const std::string& dir,
+    const PipelineObserver& observer = {}, const StopToken& stop = {});
+
+}  // namespace lofkit::internal_lof
+
+#endif  // LOFKIT_LOF_SPILL_H_

@@ -1,0 +1,257 @@
+#include "common/container_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fail_point.h"
+
+namespace lofkit {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/lofkit_container_" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Status WriteTwoSectionFile(const std::string& path) {
+  auto writer = ContainerWriter::Create(path, /*file_type=*/7,
+                                        /*file_version=*/3);
+  if (!writer.ok()) return writer.status();
+  LOFKIT_RETURN_IF_ERROR(writer->AddSection("alpha", "hello world", 11));
+  LOFKIT_RETURN_IF_ERROR(writer->BeginSection("beta"));
+  // Streamed in two chunks to exercise the incremental section CRC.
+  LOFKIT_RETURN_IF_ERROR(writer->Append("0123", 4));
+  LOFKIT_RETURN_IF_ERROR(writer->Append("456789", 6));
+  LOFKIT_RETURN_IF_ERROR(writer->EndSection());
+  return writer->Finish();
+}
+
+class ContainerFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailPoints::DisarmAll();
+    ASSERT_FALSE(FailPoints::AnyArmed());
+  }
+};
+
+TEST_F(ContainerFileTest, RoundTripTwoSections) {
+  const std::string path = TempPath("roundtrip.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->file_type(), 7u);
+  EXPECT_EQ(reader->file_version(), 3u);
+  EXPECT_EQ(reader->section_count(), 2u);
+  EXPECT_TRUE(reader->HasSection("alpha"));
+  EXPECT_TRUE(reader->HasSection("beta"));
+  EXPECT_FALSE(reader->HasSection("gamma"));
+
+  auto alpha = reader->Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  ASSERT_EQ(alpha->size(), 11u);
+  EXPECT_EQ(std::memcmp(alpha->data(), "hello world", 11), 0);
+
+  auto beta = reader->Section("beta");
+  ASSERT_TRUE(beta.ok());
+  ASSERT_EQ(beta->size(), 10u);
+  EXPECT_EQ(std::memcmp(beta->data(), "0123456789", 10), 0);
+
+  EXPECT_EQ(reader->Section("gamma").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(reader->VerifyAllSections().ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, SectionPayloadsAreAligned) {
+  const std::string path = TempPath("aligned.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (const char* name : {"alpha", "beta"}) {
+    auto section = reader->Section(name);
+    ASSERT_TRUE(section.ok());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(section->data()) %
+                  container::kSectionAlignment,
+              0u)
+        << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, WriterRejectsBadSectionUsage) {
+  const std::string path = TempPath("misuse.lofc");
+  auto writer = ContainerWriter::Create(path, 1, 1);
+  ASSERT_TRUE(writer.ok());
+  // Append/EndSection need an open section.
+  EXPECT_EQ(writer->Append("x", 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->EndSection().code(), StatusCode::kFailedPrecondition);
+  // Names must be non-empty, short enough, and unique.
+  EXPECT_EQ(writer->BeginSection("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      writer->BeginSection("a-name-way-too-long-for-the-table").code(),
+      StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer->AddSection("dup", "a", 1).ok());
+  EXPECT_EQ(writer->AddSection("dup", "b", 1).code(),
+            StatusCode::kInvalidArgument);
+  // Finish with an open section is refused; the writer survives.
+  ASSERT_TRUE(writer->BeginSection("open").ok());
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(writer->EndSection().ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, AbandonedWriterLeavesNoFiles) {
+  const std::string path = TempPath("abandoned.lofc");
+  {
+    auto writer = ContainerWriter::Create(path, 1, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AddSection("s", "data", 4).ok());
+    // Destroyed without Finish: the tmp file must vanish and the final
+    // path must never appear.
+  }
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST_F(ContainerFileTest, FailedFinishPreservesThePreviousFile) {
+  const std::string path = TempPath("atomic.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  const std::vector<char> before = ReadAll(path);
+
+  for (const char* point :
+       {"container.write", "container.fsync", "container.rename"}) {
+    SCOPED_TRACE(point);
+    ScopedFailPoint armed(point, Status::IoError("injected disk failure"));
+    auto writer = ContainerWriter::Create(path, 7, 3);
+    Status status = writer.ok() ? writer->AddSection("other", "xyz", 3)
+                                : writer.status();
+    if (status.ok()) status = writer->Finish();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+  }
+  // The previous contents survived every failure mode, byte for byte, and
+  // no tmp litter remains.
+  EXPECT_EQ(ReadAll(path), before);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, OpenFailsCleanlyOnMissingAndTinyFiles) {
+  EXPECT_EQ(ContainerReader::Open(TempPath("nonexistent.lofc"))
+                .status()
+                .code(),
+            StatusCode::kIoError);
+  const std::string path = TempPath("tiny.lofc");
+  WriteAll(path, std::vector<char>(16, 'x'));
+  auto tiny = ContainerReader::Open(path);
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_EQ(tiny.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, TruncationAtEveryByteIsDetected) {
+  const std::string path = TempPath("truncate.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  const std::vector<char> full = ReadAll(path);
+  const std::string cut_path = TempPath("truncate_cut.lofc");
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteAll(cut_path,
+             std::vector<char>(full.begin(), full.begin() + cut));
+    auto reader = ContainerReader::Open(cut_path);
+    ASSERT_FALSE(reader.ok()) << "cut at byte " << cut;
+    EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument)
+        << "cut at byte " << cut << ": " << reader.status();
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST_F(ContainerFileTest, EveryFlippedBitIsDetected) {
+  const std::string path = TempPath("bitflip.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  const std::vector<char> full = ReadAll(path);
+  const std::string flip_path = TempPath("bitflip_cur.lofc");
+  // A flipped bit in ANY byte must fail Open or a section verify. (The
+  // only insensitive bytes are alignment padding, which no seal covers —
+  // but padding is not meaningful data, so flag only real-byte escapes.)
+  size_t undetected_padding = 0;
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    std::vector<char> corrupt = full;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x10);
+    WriteAll(flip_path, corrupt);
+    auto reader = ContainerReader::Open(flip_path);
+    Status status = reader.ok() ? reader->VerifyAllSections()
+                                : reader.status();
+    if (status.ok()) {
+      // Must be inter-section padding: zero in the clean file.
+      ASSERT_EQ(full[byte], 0) << "undetected flip in byte " << byte;
+      ++undetected_padding;
+      continue;
+    }
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "byte " << byte << ": " << status;
+  }
+  // Sanity: padding is a small minority of the file.
+  EXPECT_LT(undetected_padding, full.size() / 2);
+  std::remove(path.c_str());
+  std::remove(flip_path.c_str());
+}
+
+TEST_F(ContainerFileTest, MmapAndVerifyFailPointsPropagate) {
+  const std::string path = TempPath("failpoints.lofc");
+  ASSERT_TRUE(WriteTwoSectionFile(path).ok());
+  {
+    ScopedFailPoint armed("container.mmap",
+                          Status::IoError("injected@container.mmap"));
+    auto reader = ContainerReader::Open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  }
+  {
+    ScopedFailPoint armed("container.verify",
+                          Status::IoError("injected@container.verify"));
+    auto reader = ContainerReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader->Section("alpha").status().code(),
+              StatusCode::kIoError);
+  }
+  // Disarmed, the same file reads fine.
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->Section("alpha").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ContainerFileTest, EmptySectionsRoundTrip) {
+  const std::string path = TempPath("empty.lofc");
+  auto writer = ContainerWriter::Create(path, 1, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AddSection("nothing", nullptr, 0).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto section = reader->Section("nothing");
+  ASSERT_TRUE(section.ok());
+  EXPECT_EQ(section->size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lofkit

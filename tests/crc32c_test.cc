@@ -1,0 +1,63 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lofkit {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The RFC 3720 check value for the Castagnoli polynomial.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c::Value(digits, 9), 0xE3069283u);
+  // Empty input is the identity.
+  EXPECT_EQ(Crc32c::Value(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c::Value("", 0), 0u);
+  // 32 zero bytes (an iSCSI test vector).
+  std::vector<unsigned char> zeros(32, 0);
+  EXPECT_EQ(Crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  std::vector<unsigned char> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c::Value(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<char>((i * 131 + 17) & 0xFF));
+  }
+  const uint32_t one_shot = Crc32c::Value(data.data(), data.size());
+  // Every split point must agree with the one-shot value, including the
+  // unaligned ones that exercise the slice-by-8 prologue/epilogue.
+  for (size_t split : {0u, 1u, 3u, 7u, 8u, 9u, 63u, 64u, 511u, 999u, 1000u}) {
+    uint32_t crc = Crc32c::Extend(0, data.data(), split);
+    crc = Crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split " << split;
+  }
+  // Byte-at-a-time too.
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32c::Extend(crc, &c, 1);
+  EXPECT_EQ(crc, one_shot);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i);
+  }
+  const uint32_t clean = Crc32c::Value(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 37) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c::Value(corrupt.data(), corrupt.size()), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lofkit

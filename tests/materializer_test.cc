@@ -356,6 +356,97 @@ TEST(MaterializerTest, LoadStillRejectsOutOfRangeNeighborIndexes) {
   std::remove(path.c_str());
 }
 
+// Writes only the legacy v1 header with arbitrary (hostile) counts — no
+// body — to prove load validation bounds every allocation by the actual
+// file size.
+void WriteLegacyHeader(const std::string& path, uint64_t k_max, uint64_t n) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write("LOFM", 4);
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&k_max), sizeof(k_max));
+  const uint8_t distinct = 0;
+  out.write(reinterpret_cast<const char*>(&distinct), sizeof(distinct));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+}
+
+TEST(MaterializerTest, HostileHeaderCountsAreBoundedByTheFileSize) {
+  // Regression: LoadFromFile used to offsets_.resize(n + 1) straight from
+  // the header, so a 25-byte file claiming n = 2^61 points asked the
+  // allocator for 16 EiB before any byte of the offsets table was read.
+  const std::string path = ::testing::TempDir() + "/lofkit_m_hostile_n.bin";
+  WriteLegacyHeader(path, 4, uint64_t{1} << 61);
+  auto loaded = NeighborhoodMaterializer::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("exceeds the file size"),
+            std::string::npos)
+      << loaded.status();
+
+  // n + 1 overflowing to zero must not sneak past the bound either.
+  WriteLegacyHeader(path, 4, ~uint64_t{0});
+  EXPECT_EQ(NeighborhoodMaterializer::LoadFromFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MaterializerTest, HostileOffsetsAreBoundedByTheFileSize) {
+  // The sibling hole: a plausible n whose final offset (the flat entry
+  // count) vastly exceeds what the file can hold used to reach
+  // flat_.resize(offsets_.back()) unchecked.
+  const std::string path =
+      ::testing::TempDir() + "/lofkit_m_hostile_offsets.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("LOFM", 4);
+    const uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t k_max = 4;
+    out.write(reinterpret_cast<const char*>(&k_max), sizeof(k_max));
+    const uint8_t distinct = 0;
+    out.write(reinterpret_cast<const char*>(&distinct), sizeof(distinct));
+    const uint64_t n = 2;
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    const uint64_t offsets[3] = {0, uint64_t{1} << 60, uint64_t{1} << 61};
+    out.write(reinterpret_cast<const char*>(offsets), sizeof(offsets));
+  }
+  auto loaded = NeighborhoodMaterializer::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("exceeds the file size"),
+            std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(MaterializerTest, SavedFilesUseTheContainerFormatNow) {
+  // SaveToFile migrated from the legacy "LOFM" blob to the checksummed
+  // container ("LFKC" magic); LoadFromFile sniffs the magic and reads
+  // both, so old files keep working (WriteRawMaterialization above covers
+  // the legacy decode path).
+  Dataset data = MakeLine(25);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(data, Euclidean()).ok());
+  auto m = NeighborhoodMaterializer::Materialize(data, index, 5);
+  ASSERT_TRUE(m.ok());
+  const std::string path = ::testing::TempDir() + "/lofkit_m_container.bin";
+  ASSERT_TRUE(m->SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  char magic[4];
+  in.read(magic, 4);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(std::string(magic, 4), "LFKC");
+  // Both loaders accept it; the mmap route reports file_backed().
+  auto copied = NeighborhoodMaterializer::LoadFromFile(path);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_FALSE(copied->file_backed());
+  auto mapped = NeighborhoodMaterializer::MapFromFile(path);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->file_backed());
+  EXPECT_EQ(mapped->size(), 25u);
+  std::remove(path.c_str());
+}
+
 TEST(MaterializerTest, SizeOfMIsDimensionIndependent) {
   // Section 7.4: |M| = n * MinPtsUB entries regardless of dimension.
   for (size_t dim : {2u, 8u}) {

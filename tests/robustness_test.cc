@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/container_file.h"
 #include "common/fail_point.h"
 #include "common/random.h"
 #include "dataset/generators.h"
@@ -21,7 +22,9 @@
 #include "index/incremental_materializer.h"
 #include "index/index_factory.h"
 #include "index/linear_scan_index.h"
+#include "index/va_file_index.h"
 #include "lof/lof_sweep.h"
+#include "lof/spill.h"
 
 namespace lofkit {
 namespace {
@@ -130,6 +133,72 @@ TEST_F(RobustnessTest, EveryPlantedFailPointPropagatesCleanly) {
                                                 IndexKind::kLinearScan,
                                                 /*distinct=*/false, options)
              .status();
+       }},
+      {"container.write",
+       [&] {
+         auto writer = ContainerWriter::Create(TempPath("cw.lofc"), 99, 1);
+         if (!writer.ok()) return writer.status();
+         Status section = writer->AddSection("payload", "abc", 3);
+         if (!section.ok()) return section;
+         return writer->Finish();
+       }},
+      {"container.fsync",
+       [&] {
+         auto writer = ContainerWriter::Create(TempPath("cw.lofc"), 99, 1);
+         if (!writer.ok()) return writer.status();
+         Status section = writer->AddSection("payload", "abc", 3);
+         if (!section.ok()) return section;
+         return writer->Finish();
+       }},
+      {"container.rename",
+       [&] {
+         auto writer = ContainerWriter::Create(TempPath("cw.lofc"), 99, 1);
+         if (!writer.ok()) return writer.status();
+         Status section = writer->AddSection("payload", "abc", 3);
+         if (!section.ok()) return section;
+         return writer->Finish();
+       }},
+      {"container.mmap",
+       [&] {
+         return NeighborhoodMaterializer::MapFromFile(mat_path, &data)
+             .status();
+       }},
+      {"container.verify",
+       [&] {
+         return NeighborhoodMaterializer::MapFromFile(mat_path, &data)
+             .status();
+       }},
+      {"materialization.map",
+       [&] {
+         return NeighborhoodMaterializer::MapFromFile(mat_path, &data)
+             .status();
+       }},
+      {"materialization.spill",
+       [&] {
+         LinearScanIndex index;
+         Status built = index.Build(data, Euclidean());
+         if (!built.ok()) return built;
+         return NeighborhoodMaterializer::MaterializeToFile(
+             data, index, 5, /*threads=*/1, /*distinct_neighbors=*/false,
+             TempPath("spill.lofc"));
+       }},
+      {"va_file.save",
+       [&] {
+         VaFileIndex va;
+         Status built = va.Build(data, Euclidean());
+         if (!built.ok()) return built;
+         return va.SaveToFile(TempPath("va.lofc"));
+       }},
+      {"va_file.load",
+       [&] {
+         VaFileIndex va;
+         Status built = va.Build(data, Euclidean());
+         if (!built.ok()) return built;
+         const std::string va_path = TempPath("va_rt.lofc");
+         Status saved = va.SaveToFile(va_path);
+         if (!saved.ok()) return saved;
+         VaFileIndex loaded;
+         return loaded.LoadFromFile(va_path, data, Euclidean());
        }},
   };
 

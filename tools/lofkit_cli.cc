@@ -46,6 +46,7 @@
 #include "lof/explain.h"
 #include "lof/local_scorer.h"
 #include "lof/scorer_sweep.h"
+#include "lof/spill.h"
 #include "lof/subspace.h"
 #include "lof/lof_sweep.h"
 
@@ -139,6 +140,17 @@ int main(int argc, char** argv) {
                   "persist the neighborhood database (step 1) to this file");
   flags.AddString("load-materialization", "",
                   "reuse a previously saved neighborhood database");
+  flags.AddBool("map-materialization", false,
+                "serve --load-materialization zero-copy via mmap instead of "
+                "copying it into RAM (container-format files only; scores "
+                "are bit-identical either way)");
+  flags.AddString("spill-dir", "",
+                  "directory for the memory-budget spill rung (empty = "
+                  "disabled): when the projected neighborhood database "
+                  "exceeds --memory-budget-mb, stream it into a temporary "
+                  "file here and serve it via mmap instead of degrading to "
+                  "the re-query path; identical scores, and --prune stays "
+                  "available");
   flags.AddU64("deadline-ms", 0,
                "abort the run with deadline_exceeded after this many "
                "milliseconds (0 = no deadline); checked cooperatively at "
@@ -146,8 +158,9 @@ int main(int argc, char** argv) {
   flags.AddU64("memory-budget-mb", 0,
                "memory budget for the neighborhood database in MiB (0 = "
                "unlimited); when the projected size exceeds it the run "
-               "degrades to the slower bounded-memory re-query path with "
-               "identical scores");
+               "spills to disk (with --spill-dir) or degrades to the slower "
+               "bounded-memory re-query path, with identical scores either "
+               "way");
   flags.AddString("stats-json", "",
                   "write run metrics (query-cost counters, phase seconds, "
                   "score/neighborhood histograms) as JSON to this file");
@@ -321,17 +334,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<NeighborhoodMaterializer> m;
   std::unique_ptr<KnnIndex> index;
   bool degraded_to_requery = false;
+  bool spilled_to_disk = false;
   const size_t projected_bytes =
       NeighborhoodMaterializer::ProjectedBytes(working->size(), ub);
   if (!flags.GetString("load-materialization").empty()) {
     TraceRecorder::Span span(observer.trace, "load_materialization");
-    auto loaded = NeighborhoodMaterializer::LoadFromFile(
-        flags.GetString("load-materialization"), working);
+    const bool map = flags.GetBool("map-materialization");
+    auto loaded =
+        map ? NeighborhoodMaterializer::MapFromFile(
+                  flags.GetString("load-materialization"), working)
+            : NeighborhoodMaterializer::LoadFromFile(
+                  flags.GetString("load-materialization"), working);
     if (!loaded.ok()) return Fail(loaded.status());
     m = std::make_unique<NeighborhoodMaterializer>(std::move(loaded).value());
     span.End();
-    std::fprintf(stderr, "reloaded materialization (k_max=%zu) in %.3fs\n",
-                 m->k_max(), watch.ElapsedSeconds());
+    std::fprintf(stderr, "%s materialization (k_max=%zu) in %.3fs\n",
+                 map ? "mapped" : "reloaded", m->k_max(),
+                 watch.ElapsedSeconds());
   } else {
     progress.SetPhase("index_build");
     if (flags.GetString("index") == "auto") {
@@ -348,17 +367,57 @@ int main(int argc, char** argv) {
       }
     }
     if (memory_budget_bytes != 0 && projected_bytes > memory_budget_bytes) {
-      if (flags.GetBool("distinct")) {
-        return Fail(Status::ResourceExhausted(
-            "the neighborhood database exceeds --memory-budget-mb and "
-            "--distinct has no re-query fallback; raise the budget"));
+      // The degradation ladder: spill M to disk and keep going when
+      // --spill-dir names a directory, else fall back to the re-query
+      // path. Both rungs produce bit-identical scores.
+      const std::string spill_dir = flags.GetString("spill-dir");
+      if (!spill_dir.empty()) {
+        progress.SetPhase("materialize");
+        progress.SetTotal(working->size());
+        std::fprintf(stderr,
+                     "projected neighborhood database (%zu bytes) exceeds "
+                     "the memory budget (%zu bytes); spilling to disk under "
+                     "'%s'\n",
+                     projected_bytes, memory_budget_bytes, spill_dir.c_str());
+        auto spilled = internal_lof::SpillMaterialize(
+            *working, *index, ub, threads, flags.GetBool("distinct"),
+            spill_dir, observer, stop);
+        if (spilled.ok()) {
+          spilled_to_disk = true;
+          m = std::make_unique<NeighborhoodMaterializer>(
+              std::move(spilled).value());
+          std::fprintf(stderr,
+                       "spilled %zu neighborhoods to disk (%s index, "
+                       "mmap-served) in %.3fs\n",
+                       m->size(), index->name().data(),
+                       watch.ElapsedSeconds());
+        } else if (spilled.status().code() == StatusCode::kCancelled ||
+                   spilled.status().code() ==
+                       StatusCode::kDeadlineExceeded ||
+                   flags.GetBool("distinct")) {
+          // Distinct mode has no re-query rung below this one.
+          return Fail(spilled.status());
+        } else {
+          std::fprintf(stderr,
+                       "spill to disk failed (%s); degrading to the "
+                       "re-query path\n",
+                       spilled.status().ToString().c_str());
+        }
       }
-      degraded_to_requery = true;
-      std::fprintf(stderr,
-                   "projected neighborhood database (%zu bytes) exceeds the "
-                   "memory budget (%zu bytes); degrading to the re-query "
-                   "path (same scores, more query work)\n",
-                   projected_bytes, memory_budget_bytes);
+      if (m == nullptr) {
+        if (flags.GetBool("distinct")) {
+          return Fail(Status::ResourceExhausted(
+              "the neighborhood database exceeds --memory-budget-mb and "
+              "--distinct has no re-query fallback; raise the budget or "
+              "set --spill-dir"));
+        }
+        degraded_to_requery = true;
+        std::fprintf(stderr,
+                     "projected neighborhood database (%zu bytes) exceeds "
+                     "the memory budget (%zu bytes); degrading to the "
+                     "re-query path (same scores, more query work)\n",
+                     projected_bytes, memory_budget_bytes);
+      }
     } else {
       progress.SetPhase("materialize");
       progress.SetTotal(working->size());
@@ -602,6 +661,8 @@ int main(int argc, char** argv) {
                  static_cast<double>(ub));
     registry.Set(registry.Gauge("pipeline.degraded_to_requery"),
                  degraded_to_requery ? 1.0 : 0.0);
+    registry.Set(registry.Gauge("pipeline.spilled_to_disk"),
+                 spilled_to_disk ? 1.0 : 0.0);
     registry.Set(registry.Gauge("pipeline.prune_applied"),
                  prune_summary.applied ? 1.0 : 0.0);
     if (prune_summary.applied) {
